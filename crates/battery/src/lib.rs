@@ -1,0 +1,40 @@
+//! Battery models and the battery status monitor of the DATE'05 DPM
+//! architecture.
+//!
+//! The paper develops *"SystemC models of the battery"* to close the
+//! control loop: the LEM reads a five-class battery status (Empty, Low,
+//! Medium, High, Full) and the GEM gates IPs on it. This crate provides:
+//!
+//! * [`Battery`] — the model trait, with three implementations:
+//!   [`LinearBattery`] (ideal energy tank), [`RateCapacityBattery`]
+//!   (Peukert-style losses at high drain) and [`KibamBattery`] (kinetic
+//!   two-well model with charge recovery; an extension over the paper).
+//! * [`BatteryClass`] — the paper's five status classes, plus
+//!   [`BatteryClassifier`], a hysteresis quantizer that keeps the class
+//!   signal from chattering at threshold crossings.
+//! * [`PowerSource`] — battery vs. mains, for Table 1's "power supply" row.
+//! * [`BatteryMonitor`] — a simulation process integrating the SoC's total
+//!   power draw into the battery and publishing `state-of-charge` and
+//!   class signals.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_battery::{Battery, LinearBattery};
+//! use dpm_units::{Energy, Power, SimDuration};
+//!
+//! let mut b = LinearBattery::new(Energy::from_joules(100.0));
+//! b.drain(Power::from_watts(2.0), SimDuration::from_secs(10));
+//! assert!((b.soc().value() - 0.8).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod model;
+mod monitor;
+
+pub use class::{BatteryClass, BatteryClassifier, PowerSource};
+pub use model::{Battery, KibamBattery, LinearBattery, RateCapacityBattery};
+pub use monitor::{BatteryMonitor, BatteryMonitorHandles};

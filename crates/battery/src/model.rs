@@ -1,0 +1,349 @@
+//! Battery discharge models.
+//!
+//! Three fidelity levels, all tracked in energy terms:
+//!
+//! * [`LinearBattery`] — an ideal energy tank (what the paper's
+//!   experiments need: the classes move with integrated consumption).
+//! * [`RateCapacityBattery`] — high drain rates waste capacity
+//!   (Peukert-style exponent), so bursty max-power execution empties the
+//!   battery faster than the same energy drawn smoothly.
+//! * [`KibamBattery`] — the kinetic battery model: an *available* and a
+//!   *bound* charge well; idle periods let charge seep back into the
+//!   available well (recovery effect). This rewards DPM policies that
+//!   interleave sleep periods — an extension over the paper.
+
+use core::fmt;
+
+use dpm_units::{Energy, Power, Ratio, SimDuration, Voltage};
+
+/// A dischargeable battery tracked in energy terms.
+///
+/// Implementations must be deterministic and side-effect free outside
+/// their own state: the [`BatteryMonitor`](crate::BatteryMonitor) calls
+/// [`drain`](Battery::drain) with piecewise-constant power slices.
+pub trait Battery: fmt::Debug + 'static {
+    /// Rated capacity.
+    fn capacity(&self) -> Energy;
+
+    /// Energy still extractable right now.
+    fn remaining(&self) -> Energy;
+
+    /// Discharges at `power` for `dt`.
+    fn drain(&mut self, power: Power, dt: SimDuration);
+
+    /// State of charge in `[0, 1]`.
+    fn soc(&self) -> Ratio {
+        Ratio::new(self.remaining() / self.capacity()).clamp_unit()
+    }
+
+    /// `true` once no energy can be delivered anymore.
+    fn is_exhausted(&self) -> bool {
+        self.remaining() <= Energy::ZERO
+    }
+
+    /// Terminal voltage (simple affine droop with state of charge).
+    fn terminal_voltage(&self) -> Voltage {
+        let (v_full, v_empty) = (Voltage::from_volts(4.2), Voltage::from_volts(3.0));
+        v_empty + (v_full - v_empty) * self.soc().value()
+    }
+}
+
+/// Ideal battery: every joule drawn is a joule gone, no rate effects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearBattery {
+    capacity: Energy,
+    remaining: Energy,
+}
+
+impl LinearBattery {
+    /// A full battery of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive capacity.
+    pub fn new(capacity: Energy) -> Self {
+        assert!(
+            capacity.as_joules() > 0.0,
+            "battery capacity must be positive"
+        );
+        Self {
+            capacity,
+            remaining: capacity,
+        }
+    }
+
+    /// A battery starting at `soc` (clamped to `[0, 1]`).
+    pub fn with_soc(capacity: Energy, soc: Ratio) -> Self {
+        let mut b = Self::new(capacity);
+        b.remaining = capacity * soc.clamp_unit().value();
+        b
+    }
+}
+
+impl Battery for LinearBattery {
+    fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    fn remaining(&self) -> Energy {
+        self.remaining
+    }
+
+    fn drain(&mut self, power: Power, dt: SimDuration) {
+        let e = power * dt;
+        self.remaining = (self.remaining - e).max(Energy::ZERO);
+    }
+}
+
+/// Rate-capacity battery: drawing above the nominal rate wastes energy
+/// with a Peukert-style exponent.
+///
+/// Effective drain is `P·dt · (P/P_ref)^(k−1)` for `P > P_ref` (and the
+/// plain `P·dt` below), with `k ≈ 1.1–1.3` for lithium cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateCapacityBattery {
+    inner: LinearBattery,
+    p_ref: Power,
+    peukert: f64,
+}
+
+impl RateCapacityBattery {
+    /// A full battery with nominal discharge power `p_ref` and Peukert
+    /// exponent `peukert`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacity/reference power or `peukert < 1`.
+    pub fn new(capacity: Energy, p_ref: Power, peukert: f64) -> Self {
+        assert!(
+            p_ref.as_watts() > 0.0,
+            "reference discharge power must be positive"
+        );
+        assert!(
+            (1.0..2.0).contains(&peukert),
+            "peukert exponent must be in [1, 2), got {peukert}"
+        );
+        Self {
+            inner: LinearBattery::new(capacity),
+            p_ref,
+            peukert,
+        }
+    }
+
+    /// Starts the battery at `soc`.
+    pub fn with_soc(mut self, soc: Ratio) -> Self {
+        self.inner = LinearBattery::with_soc(self.inner.capacity, soc);
+        self
+    }
+}
+
+impl Battery for RateCapacityBattery {
+    fn capacity(&self) -> Energy {
+        self.inner.capacity()
+    }
+
+    fn remaining(&self) -> Energy {
+        self.inner.remaining()
+    }
+
+    fn drain(&mut self, power: Power, dt: SimDuration) {
+        let ratio = power / self.p_ref;
+        let factor = if ratio > 1.0 {
+            ratio.powf(self.peukert - 1.0)
+        } else {
+            1.0
+        };
+        self.inner.drain(power * factor, dt);
+    }
+}
+
+/// Kinetic Battery Model (KiBaM): available + bound wells with rate `k`.
+///
+/// During discharge the available well empties; during rest, charge flows
+/// from the bound well back (recovery). `c` is the available-well capacity
+/// fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KibamBattery {
+    capacity: Energy,
+    available: Energy,
+    bound: Energy,
+    /// Available-well fraction of total capacity.
+    c: f64,
+    /// Well equalization rate (1/s).
+    k: f64,
+    /// Integration sub-step.
+    max_step: SimDuration,
+}
+
+impl KibamBattery {
+    /// A full KiBaM battery.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-physical parameters (`c ∉ (0,1)`, `k ≤ 0`).
+    pub fn new(capacity: Energy, c: f64, k: f64) -> Self {
+        assert!(capacity.as_joules() > 0.0, "capacity must be positive");
+        assert!((0.0..1.0).contains(&c) && c > 0.0, "c must be in (0, 1)");
+        assert!(k > 0.0 && k.is_finite(), "k must be positive");
+        Self {
+            capacity,
+            available: capacity * c,
+            bound: capacity * (1.0 - c),
+            c,
+            k,
+            max_step: SimDuration::from_millis(10),
+        }
+    }
+
+    /// Typical lithium-ion parameters: 40 % available well, equalization
+    /// time constant of ~200 s.
+    pub fn typical(capacity: Energy) -> Self {
+        Self::new(capacity, 0.4, 0.005)
+    }
+
+    /// Starts the battery at `soc` (both wells scaled).
+    pub fn with_soc(mut self, soc: Ratio) -> Self {
+        let s = soc.clamp_unit().value();
+        self.available = self.capacity * (self.c * s);
+        self.bound = self.capacity * ((1.0 - self.c) * s);
+        self
+    }
+
+    /// Charge currently in the bound (slow) well.
+    pub fn bound_energy(&self) -> Energy {
+        self.bound
+    }
+
+    fn step(&mut self, power: Power, dt_s: f64) {
+        // Well heights; the equalizing flow k·(h2−h1) moves charge wholly
+        // from one well to the other (dy1 + dy2 = −I, charge conservation).
+        let h1 = self.available.as_joules() / self.c;
+        let h2 = self.bound.as_joules() / (1.0 - self.c);
+        let flow = self.k * (h2 - h1); // W from bound to available
+        let p = power.as_watts();
+        let new_avail = self.available.as_joules() - p * dt_s + flow * dt_s;
+        let new_bound = self.bound.as_joules() - flow * dt_s;
+        self.available = Energy::from_joules(new_avail.max(0.0));
+        self.bound = Energy::from_joules(new_bound.clamp(0.0, self.capacity.as_joules()));
+    }
+}
+
+impl Battery for KibamBattery {
+    fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    fn remaining(&self) -> Energy {
+        self.available + self.bound
+    }
+
+    fn drain(&mut self, power: Power, dt: SimDuration) {
+        // Sub-step the ODE for stability on long slices.
+        let mut left = dt;
+        while !left.is_zero() {
+            let step = left.min(self.max_step);
+            self.step(power, step.as_secs_f64());
+            left -= step;
+        }
+    }
+
+    /// Exhausted once the *available* well is dry — bound charge cannot be
+    /// delivered instantaneously, which is exactly the recovery effect.
+    fn is_exhausted(&self) -> bool {
+        self.available <= Energy::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_battery_book_keeping() {
+        let mut b = LinearBattery::new(Energy::from_joules(10.0));
+        b.drain(Power::from_watts(1.0), SimDuration::from_secs(4));
+        assert!((b.remaining().as_joules() - 6.0).abs() < 1e-12);
+        assert!((b.soc().value() - 0.6).abs() < 1e-12);
+        b.drain(Power::from_watts(100.0), SimDuration::from_secs(1));
+        assert_eq!(b.remaining(), Energy::ZERO);
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn with_soc_starts_partial() {
+        let b = LinearBattery::with_soc(Energy::from_joules(100.0), Ratio::new(0.3));
+        assert!((b.soc().value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_capacity_punishes_bursts() {
+        let cap = Energy::from_joules(100.0);
+        let p_ref = Power::from_watts(1.0);
+        let mut smooth = RateCapacityBattery::new(cap, p_ref, 1.2);
+        let mut bursty = RateCapacityBattery::new(cap, p_ref, 1.2);
+        // Same total energy: 10 J smooth vs 10 J in a 10x burst.
+        smooth.drain(Power::from_watts(1.0), SimDuration::from_secs(10));
+        bursty.drain(Power::from_watts(10.0), SimDuration::from_secs(1));
+        assert!(bursty.remaining() < smooth.remaining());
+        // below the reference rate there is no penalty
+        let mut slow = RateCapacityBattery::new(cap, p_ref, 1.2);
+        slow.drain(Power::from_watts(0.5), SimDuration::from_secs(20));
+        assert!((slow.remaining().as_joules() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kibam_recovers_during_rest() {
+        let mut b = KibamBattery::typical(Energy::from_joules(100.0));
+        // Hard burst drains the available well.
+        b.drain(Power::from_watts(20.0), SimDuration::from_secs(2));
+        let after_burst = b.available;
+        // Rest: no load, charge seeps back from the bound well.
+        b.drain(Power::ZERO, SimDuration::from_secs(60));
+        assert!(
+            b.available > after_burst,
+            "recovery must refill the available well"
+        );
+        // but total never grows
+        assert!(b.remaining() <= Energy::from_joules(100.0) + Energy::from_joules(1e-9));
+    }
+
+    #[test]
+    fn kibam_total_energy_is_conserved_minus_load() {
+        let mut b = KibamBattery::typical(Energy::from_joules(50.0));
+        b.drain(Power::from_watts(1.0), SimDuration::from_secs(10));
+        // 10 J drawn: remaining within numerical tolerance of 40 J.
+        assert!((b.remaining().as_joules() - 40.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn kibam_exhaustion_is_available_well_dry() {
+        let mut b = KibamBattery::new(Energy::from_joules(10.0), 0.2, 0.0001);
+        // available well: 2 J; heavy load kills it quickly even though
+        // 8 J remain bound.
+        b.drain(Power::from_watts(10.0), SimDuration::from_secs(1));
+        assert!(b.is_exhausted());
+        assert!(b.remaining() > Energy::from_joules(5.0));
+    }
+
+    #[test]
+    fn terminal_voltage_droops() {
+        let mut b = LinearBattery::new(Energy::from_joules(10.0));
+        let v_full = b.terminal_voltage();
+        b.drain(Power::from_watts(1.0), SimDuration::from_secs(9));
+        let v_low = b.terminal_voltage();
+        assert!(v_full > v_low);
+        assert!(v_low >= Voltage::from_volts(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LinearBattery::new(Energy::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "peukert exponent")]
+    fn bad_peukert_rejected() {
+        let _ = RateCapacityBattery::new(Energy::from_joules(1.0), Power::from_watts(1.0), 0.9);
+    }
+}

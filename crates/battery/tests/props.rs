@@ -1,0 +1,129 @@
+//! Property-based tests of the battery models and classifier.
+
+use dpm_battery::{
+    Battery, BatteryClass, BatteryClassifier, KibamBattery, LinearBattery, RateCapacityBattery,
+};
+use dpm_units::{Energy, Power, Ratio, SimDuration};
+use proptest::prelude::*;
+
+fn drain_plan() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    // (watts, milliseconds) slices
+    prop::collection::vec((0.0..50.0f64, 1u64..5_000), 1..40)
+}
+
+fn apply<B: Battery>(b: &mut B, plan: &[(f64, u64)]) {
+    for (w, ms) in plan {
+        b.drain(Power::from_watts(*w), SimDuration::from_millis(*ms));
+    }
+}
+
+proptest! {
+    #[test]
+    fn linear_soc_is_monotone_nonincreasing(plan in drain_plan()) {
+        let mut b = LinearBattery::new(Energy::from_joules(500.0));
+        let mut last = b.soc().value();
+        for (w, ms) in &plan {
+            b.drain(Power::from_watts(*w), SimDuration::from_millis(*ms));
+            let soc = b.soc().value();
+            prop_assert!(soc <= last + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&soc));
+            last = soc;
+        }
+    }
+
+    #[test]
+    fn linear_drain_matches_integral(plan in drain_plan()) {
+        let mut b = LinearBattery::new(Energy::from_joules(1e9)); // never empties
+        apply(&mut b, &plan);
+        let drawn: f64 = plan.iter().map(|(w, ms)| w * (*ms as f64) / 1e3).sum();
+        let gone = 1e9 - b.remaining().as_joules();
+        prop_assert!((gone - drawn).abs() <= 1e-6 * drawn.max(1.0));
+    }
+
+    #[test]
+    fn rate_capacity_never_beats_linear(plan in drain_plan()) {
+        let cap = Energy::from_joules(1e9);
+        let mut ideal = LinearBattery::new(cap);
+        let mut lossy = RateCapacityBattery::new(cap, Power::from_watts(1.0), 1.25);
+        apply(&mut ideal, &plan);
+        apply(&mut lossy, &plan);
+        prop_assert!(lossy.remaining() <= ideal.remaining() + Energy::from_joules(1e-9));
+    }
+
+    #[test]
+    fn kibam_conserves_charge_under_load(plan in drain_plan()) {
+        let cap = Energy::from_joules(1e9);
+        let mut b = KibamBattery::typical(cap);
+        apply(&mut b, &plan);
+        let drawn: f64 = plan.iter().map(|(w, ms)| w * (*ms as f64) / 1e3).sum();
+        let gone = 1e9 - b.remaining().as_joules();
+        // while the available well never empties, charge is conserved
+        if !b.is_exhausted() {
+            prop_assert!((gone - drawn).abs() <= 1e-4 * drawn.max(1.0), "gone={gone} drawn={drawn}");
+        }
+        prop_assert!(b.remaining() <= cap);
+    }
+
+    #[test]
+    fn kibam_rest_recovery_never_creates_energy(
+        burst_w in 5.0..50.0f64,
+        burst_s in 1u64..10,
+        rest_s in 1u64..600,
+    ) {
+        let cap = Energy::from_joules(1000.0);
+        let mut b = KibamBattery::typical(cap);
+        b.drain(Power::from_watts(burst_w), SimDuration::from_secs(burst_s));
+        let total_after_burst = b.remaining();
+        b.drain(Power::ZERO, SimDuration::from_secs(rest_s));
+        // recovery shifts charge between wells; the total must not grow
+        prop_assert!(b.remaining() <= total_after_burst + Energy::from_joules(1e-9));
+    }
+
+    #[test]
+    fn classifier_is_stable_under_repeats(socs in prop::collection::vec(0.0..1.0f64, 1..100)) {
+        let mut c = BatteryClassifier::with_defaults();
+        for soc in socs {
+            let first = c.classify(Ratio::new(soc));
+            // re-presenting the same soc never changes the class
+            let second = c.classify(Ratio::new(soc));
+            prop_assert_eq!(first, second);
+        }
+    }
+
+    #[test]
+    fn classifier_tracks_large_moves(a in 0.0..1.0f64, b in 0.0..1.0f64) {
+        // Any two SoCs more than 2×hysteresis apart in different raw bands
+        // must yield different classes when presented in sequence.
+        let mut c1 = BatteryClassifier::with_defaults();
+        let mut c2 = BatteryClassifier::with_defaults();
+        let ca = c1.classify(Ratio::new(a));
+        let cb = c2.classify(Ratio::new(b));
+        if ca != cb {
+            // moving from a to b through the stateful classifier must not
+            // get stuck more than one class away from the raw answer
+            let mut c = BatteryClassifier::with_defaults();
+            let _ = c.classify(Ratio::new(a));
+            let moved = c.classify(Ratio::new(b));
+            let diff = (moved.index() as i32 - cb.index() as i32).abs();
+            prop_assert!(diff <= 1, "stateful={moved}, raw={cb}");
+        }
+    }
+
+    #[test]
+    fn exhausted_batteries_stay_exhausted(plan in drain_plan()) {
+        let mut b = LinearBattery::new(Energy::from_joules(1.0));
+        b.drain(Power::from_watts(10.0), SimDuration::from_secs(1));
+        prop_assert!(b.is_exhausted());
+        apply(&mut b, &plan);
+        prop_assert!(b.is_exhausted());
+        prop_assert_eq!(b.soc(), Ratio::ZERO);
+        prop_assert_eq!(b.remaining(), Energy::ZERO);
+    }
+}
+
+#[test]
+fn class_all_is_sorted_ascending() {
+    let mut sorted = BatteryClass::ALL.to_vec();
+    sorted.sort();
+    assert_eq!(sorted.as_slice(), BatteryClass::ALL.as_slice());
+}

@@ -1,0 +1,185 @@
+//! Microbenchmarks of the discrete-event kernel: timed-event throughput,
+//! signal update cost, fifo transfer rate and the raw clock tick rate
+//! behind the `simspeed` figures.
+//!
+//! ```sh
+//! cargo bench -p dpm-bench --bench kernel_micro
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpm_kernel::{Clock, Ctx, EventId, Fifo, Process, Signal, Simulation};
+use dpm_units::{SimDuration, SimTime};
+
+/// Self-rescheduling no-op process: measures event scheduling + dispatch.
+struct Ticker {
+    tick: EventId,
+    period: SimDuration,
+    count: u64,
+}
+
+impl Process for Ticker {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.notify(self.tick, self.period);
+    }
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        self.count += 1;
+        ctx.notify(self.tick, self.period);
+    }
+}
+
+fn bench_timed_events(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    let mut group = c.benchmark_group("kernel");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("timed_event_dispatch_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let tick = sim.event("tick");
+            let pid = sim.add_process(
+                "ticker",
+                Ticker {
+                    tick,
+                    period: SimDuration::from_nanos(10),
+                    count: 0,
+                },
+            );
+            sim.sensitize(pid, tick);
+            sim.run_until(SimTime::from_nanos(10 * EVENTS));
+            std::hint::black_box(sim.stats().events_fired)
+        });
+    });
+    group.finish();
+}
+
+/// Writer toggling a signal; reader sensitive to it: measures the full
+/// evaluate/update/delta path per value change.
+struct Toggler {
+    out: Signal<bool>,
+    tick: EventId,
+    level: bool,
+}
+
+impl Process for Toggler {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.notify(self.tick, SimDuration::from_nanos(10));
+    }
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        self.level = !self.level;
+        ctx.write(self.out, self.level);
+        ctx.notify(self.tick, SimDuration::from_nanos(10));
+    }
+}
+
+struct CountReader {
+    input: Signal<bool>,
+    seen: u64,
+}
+
+impl Process for CountReader {
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.read(self.input) {
+            self.seen += 1;
+        }
+    }
+}
+
+fn bench_signal_path(c: &mut Criterion) {
+    const CHANGES: u64 = 100_000;
+    let mut group = c.benchmark_group("kernel");
+    group.throughput(Throughput::Elements(CHANGES));
+    group.bench_function("signal_change_propagation_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let sig = sim.signal("s", false);
+            let tick = sim.event("tick");
+            let w = sim.add_process(
+                "toggler",
+                Toggler {
+                    out: sig,
+                    tick,
+                    level: false,
+                },
+            );
+            sim.sensitize(w, tick);
+            let r = sim.add_process("reader", CountReader { input: sig, seen: 0 });
+            sim.sensitize_signal(r, sig);
+            sim.run_until(SimTime::from_nanos(10 * CHANGES));
+            std::hint::black_box(sim.with_process::<CountReader, _>(r, |p| p.seen))
+        });
+    });
+    group.finish();
+}
+
+struct FifoWriter {
+    out: Fifo<u64>,
+    tick: EventId,
+    n: u64,
+}
+
+impl Process for FifoWriter {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.notify(self.tick, SimDuration::from_nanos(10));
+    }
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        self.n += 1;
+        let _ = ctx.fifo_push(self.out, self.n);
+        ctx.notify(self.tick, SimDuration::from_nanos(10));
+    }
+}
+
+struct FifoReader {
+    input: Fifo<u64>,
+    sum: u64,
+}
+
+impl Process for FifoReader {
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(v) = ctx.fifo_pop(self.input) {
+            self.sum = self.sum.wrapping_add(v);
+        }
+    }
+}
+
+fn bench_fifo_transfer(c: &mut Criterion) {
+    const ITEMS: u64 = 100_000;
+    let mut group = c.benchmark_group("kernel");
+    group.throughput(Throughput::Elements(ITEMS));
+    group.bench_function("fifo_transfer_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let chan = sim.fifo::<u64>("chan", 64);
+            let tick = sim.event("tick");
+            let w = sim.add_process("writer", FifoWriter { out: chan, tick, n: 0 });
+            sim.sensitize(w, tick);
+            let r = sim.add_process("reader", FifoReader { input: chan, sum: 0 });
+            sim.sensitize(r, chan.written_event());
+            sim.run_until(SimTime::from_nanos(10 * ITEMS));
+            std::hint::black_box(sim.with_process::<FifoReader, _>(r, |p| p.sum))
+        });
+    });
+    group.finish();
+}
+
+fn bench_clock(c: &mut Criterion) {
+    const CYCLES: u64 = 100_000;
+    let mut group = c.benchmark_group("kernel");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("bare_clock_100k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let clk = Clock::spawn(&mut sim, "clk", SimDuration::from_nanos(5));
+            sim.run_until(SimTime::from_nanos(5 * CYCLES));
+            std::hint::black_box(sim.with_process::<Clock, _>(clk.pid, |c| c.cycles()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timed_events,
+    bench_signal_path,
+    bench_fifo_transfer,
+    bench_clock
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Microbenchmarks of the physical models: battery drain steps, thermal
+//! network integration, break-even computation and energy metering.
+//!
+//! ```sh
+//! cargo bench -p dpm-bench --bench models
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_battery::{Battery, KibamBattery, LinearBattery, RateCapacityBattery};
+use dpm_power::{
+    BreakEvenTable, EnergyMeter, IpPowerModel, PowerState, TransitionTable,
+};
+use dpm_thermal::{ThermalNetwork, ThermalNetworkConfig};
+use dpm_units::{Energy, Power, SimDuration, SimTime};
+
+fn bench_batteries(c: &mut Criterion) {
+    const STEPS: u64 = 1_000;
+    let mut group = c.benchmark_group("battery_drain_1k_steps");
+    group.throughput(Throughput::Elements(STEPS));
+    let dt = SimDuration::from_micros(100);
+    let p = Power::from_milliwatts(300.0);
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let mut bat = LinearBattery::new(Energy::from_joules(100.0));
+            for _ in 0..STEPS {
+                bat.drain(p, dt);
+            }
+            std::hint::black_box(bat.soc())
+        });
+    });
+    group.bench_function("rate_capacity", |b| {
+        b.iter(|| {
+            let mut bat =
+                RateCapacityBattery::new(Energy::from_joules(100.0), Power::from_milliwatts(100.0), 1.2);
+            for _ in 0..STEPS {
+                bat.drain(p, dt);
+            }
+            std::hint::black_box(bat.soc())
+        });
+    });
+    group.bench_function("kibam", |b| {
+        b.iter(|| {
+            let mut bat = KibamBattery::typical(Energy::from_joules(100.0));
+            for _ in 0..STEPS {
+                bat.drain(p, dt);
+            }
+            std::hint::black_box(bat.soc())
+        });
+    });
+    group.finish();
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_step");
+    for n in [1usize, 4, 16] {
+        let powers: Vec<Power> = (0..n).map(|_| Power::from_milliwatts(250.0)).collect();
+        group.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = ThermalNetwork::new(ThermalNetworkConfig::default_soc(n));
+                net.step(&powers, false, SimDuration::from_millis(10));
+                std::hint::black_box(net.hottest())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_breakeven(c: &mut Criterion) {
+    let model = IpPowerModel::default_cpu();
+    let table = TransitionTable::for_model(&model);
+    c.bench_function("breakeven/table_compute", |b| {
+        b.iter(|| {
+            std::hint::black_box(BreakEvenTable::compute(
+                std::hint::black_box(&model),
+                &table,
+                PowerState::On1,
+            ))
+        });
+    });
+    let be = BreakEvenTable::compute(&model, &table, PowerState::On1);
+    c.bench_function("breakeven/deepest_within", |b| {
+        b.iter(|| {
+            std::hint::black_box(be.deepest_within(
+                std::hint::black_box(SimDuration::from_millis(1)),
+                Some(SimDuration::from_micros(600)),
+            ))
+        });
+    });
+}
+
+fn bench_meter(c: &mut Criterion) {
+    const EVENTS: u64 = 1_000;
+    let mut group = c.benchmark_group("energy_meter");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("1k_state_changes", |b| {
+        b.iter(|| {
+            let mut m = EnergyMeter::new(SimTime::ZERO, PowerState::On1, Power::from_watts(0.25));
+            let mut t = SimTime::ZERO;
+            for i in 0..EVENTS {
+                t += SimDuration::from_micros(50);
+                let s = if i % 2 == 0 { PowerState::Sl2 } else { PowerState::On1 };
+                m.set_state(t, s, Power::from_milliwatts(2.0));
+            }
+            std::hint::black_box(m.total())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batteries, bench_thermal, bench_breakeven, bench_meter);
+criterion_main!(benches);

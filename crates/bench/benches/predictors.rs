@@ -1,0 +1,78 @@
+//! Ablation bench for the LEM's idle predictors: per-update cost and the
+//! end-to-end effect of the predictor choice on a full scenario run.
+//!
+//! ```sh
+//! cargo bench -p dpm-bench --bench predictors
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_bench::{bench_trace, run_soc};
+use dpm_core::predictor::PredictorKind;
+use dpm_soc::{collect_metrics, SocConfig};
+use dpm_units::{SimDuration, SimTime};
+use dpm_workload::ActivityLevel;
+
+const KINDS: [(&str, PredictorKind); 4] = [
+    ("last_idle", PredictorKind::LastIdle),
+    ("exp_average", PredictorKind::ExpAverage { alpha: 0.5 }),
+    ("fixed_1ms", PredictorKind::Fixed { value_us: 1_000 }),
+    ("window_8", PredictorKind::Window { k: 8 }),
+];
+
+fn bench_update_cost(c: &mut Criterion) {
+    // a synthetic idle history: alternating short/long gaps
+    let gaps_us: Vec<u64> = (0..256)
+        .map(|i| if i % 3 == 0 { 5_000 } else { 150 })
+        .collect();
+    let mut group = c.benchmark_group("predictor_update");
+    group.throughput(Throughput::Elements(gaps_us.len() as u64));
+    for (name, kind) in KINDS {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, kind| {
+            b.iter(|| {
+                let mut p = kind.build(SimDuration::from_micros(500));
+                let mut t = SimTime::ZERO;
+                let mut acc = 0u64;
+                for gap in &gaps_us {
+                    p.idle_started(t);
+                    t += SimDuration::from_micros(*gap);
+                    p.idle_ended(t);
+                    t += SimDuration::from_micros(300);
+                    acc ^= p.predict().as_ps();
+                }
+                std::hint::black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // the predictor choice changes sleep depth selection and therefore
+    // both energy and wall cost of a run
+    println!("\n== predictor ablation on a low-activity run ==");
+    for (name, kind) in KINDS {
+        let mut cfg = SocConfig::single_ip(bench_trace(ActivityLevel::Low, 77));
+        cfg.lem.predictor = kind;
+        let (mut sim, handles) = run_soc(&cfg);
+        let m = collect_metrics(&mut sim, &handles, dpm_bench::BENCH_HORIZON);
+        println!(
+            "  {name:>12}: energy {} | sleep {} | mean latency {}",
+            m.total_energy,
+            m.per_ip[0].low_power_time(),
+            m.mean_latency().map(|l| l.to_string()).unwrap_or_default()
+        );
+    }
+    let mut group = c.benchmark_group("predictor_end_to_end");
+    group.sample_size(20);
+    for (name, kind) in KINDS {
+        let mut cfg = SocConfig::single_ip(bench_trace(ActivityLevel::Low, 77));
+        cfg.lem.predictor = kind;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(run_soc(cfg).0.stats().process_activations));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_cost, bench_end_to_end);
+criterion_main!(benches);

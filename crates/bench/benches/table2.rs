@@ -1,0 +1,36 @@
+//! Regenerates the paper's **Table 2**: energy saving, temperature
+//! reduction and delay overhead of scenarios A1–A4, B, C against the
+//! always-max-frequency baseline.
+//!
+//! The comparison table is printed once at startup (measured vs paper);
+//! criterion then times each scenario's full double run (DPM + baseline),
+//! which doubles as a regression guard on simulation cost.
+//!
+//! ```sh
+//! cargo bench -p dpm-bench --bench table2
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpm_soc::experiment::{run_scenario, ScenarioId};
+use dpm_soc::report::table2_ascii;
+
+fn print_table_once() {
+    let outcomes: Vec<_> = ScenarioId::ALL.into_iter().map(run_scenario).collect();
+    println!("\n== Table 2: measured vs paper (Conti, DATE'05) ==");
+    println!("{}", table2_ascii(&outcomes));
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    print_table_once();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for id in ScenarioId::ALL {
+        group.bench_function(id.to_string(), |b| {
+            b.iter(|| std::hint::black_box(run_scenario(id)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,580 @@
+//! Reference controllers.
+//!
+//! Table 2 of the paper reports every metric *"with respect to the values
+//! required for the task execution at the maximum clock frequency without
+//! going to sleep or off mode"* — that reference is
+//! [`AlwaysOnController`]. The crate also ships two classic DPM baselines
+//! the paper alludes to ("many DPM algorithms have been introduced"):
+//! a fixed-timeout policy and a clairvoyant oracle, bounding the LEM from
+//! below and above.
+//!
+//! All controllers speak the same port bundle as the LEM
+//! ([`LemPorts`]), so the SoC builder can swap them freely.
+
+use std::collections::VecDeque;
+
+use dpm_kernel::{Ctx, EventId, Process, ProcessId, Simulation};
+use dpm_power::{BreakEvenTable, IpPowerModel, PowerState, TransitionTable};
+use dpm_units::{SimDuration, SimTime};
+use dpm_workload::TaskSpec;
+
+use crate::lem::LemPorts;
+use crate::msg::TaskGrant;
+
+/// Request/grant/completion plumbing shared by every baseline controller.
+#[derive(Debug)]
+struct ControllerCore {
+    ports: LemPorts,
+    queue: VecDeque<TaskSpec>,
+    seen_done: u64,
+    running: bool,
+    granted: u64,
+}
+
+impl ControllerCore {
+    fn new(ports: LemPorts) -> Self {
+        Self {
+            ports,
+            queue: VecDeque::new(),
+            seen_done: 0,
+            running: false,
+            granted: 0,
+        }
+    }
+
+    /// Pulls newly arrived requests into the queue. Returns `true` if any
+    /// arrived.
+    fn ingest(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let mut any = false;
+        while let Some(req) = ctx.fifo_pop(self.ports.requests) {
+            self.queue.push_back(req.spec);
+            any = true;
+        }
+        any
+    }
+
+    /// Retires the running task if the IP reported completion. Returns
+    /// `true` on completion.
+    fn check_done(&mut self, ctx: &Ctx<'_>) -> bool {
+        let done = ctx.read(self.ports.done_count);
+        if done > self.seen_done && self.running {
+            self.seen_done = done;
+            self.running = false;
+            self.queue.pop_front();
+            return true;
+        }
+        false
+    }
+
+    /// Grants the head-of-queue task if the PSM sits ready in `state`.
+    fn try_grant_at(&mut self, ctx: &mut Ctx<'_>, state: PowerState) {
+        if self.running || self.queue.is_empty() {
+            return;
+        }
+        if ctx.read(self.ports.psm_state) == state && !ctx.read(self.ports.psm_busy) {
+            let task = *self.queue.front().expect("non-empty queue");
+            ctx.fifo_push(self.ports.grants, TaskGrant { spec: task })
+                .unwrap_or_else(|_| panic!("grant fifo overflow"));
+            self.running = true;
+            self.granted += 1;
+        }
+    }
+
+    fn command(&mut self, ctx: &mut Ctx<'_>, state: PowerState) {
+        ctx.fifo_push(self.ports.psm_cmd, state)
+            .unwrap_or_else(|_| panic!("PSM command fifo overflow"));
+    }
+
+    fn idle(&self) -> bool {
+        !self.running && self.queue.is_empty()
+    }
+
+    fn sensitize(sim: &mut Simulation, pid: ProcessId, ports: &LemPorts) {
+        sim.sensitize(pid, ports.requests.written_event());
+        sim.sensitize_signal(pid, ports.done_count);
+        sim.sensitize_signal(pid, ports.psm_state);
+        sim.sensitize_signal(pid, ports.psm_busy);
+    }
+}
+
+/// The paper's Table 2 reference: every task at `ON1`, never sleeps, idles
+/// hot at `ON1` idle power.
+#[derive(Debug)]
+pub struct AlwaysOnController {
+    core: ControllerCore,
+}
+
+impl AlwaysOnController {
+    /// Creates the controller and its sensitivity list.
+    pub fn spawn(sim: &mut Simulation, name: &str, ports: LemPorts) -> ProcessId {
+        let ctrl = AlwaysOnController {
+            core: ControllerCore::new(ports),
+        };
+        let pid = sim.add_process(name, ctrl);
+        ControllerCore::sensitize(sim, pid, &ports);
+        pid
+    }
+
+    /// Tasks granted so far.
+    pub fn granted(&self) -> u64 {
+        self.core.granted
+    }
+}
+
+impl Process for AlwaysOnController {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.command(ctx, PowerState::On1);
+    }
+
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.ingest(ctx);
+        self.core.check_done(ctx);
+        self.core.try_grant_at(ctx, PowerState::On1);
+    }
+}
+
+/// Classic fixed-timeout DPM: run everything at `ON1`; after `timeout` of
+/// continuous idleness, drop into `sleep_state`; wake on the next arrival
+/// (paying the full wake latency).
+#[derive(Debug)]
+pub struct TimeoutController {
+    core: ControllerCore,
+    timeout: SimDuration,
+    sleep_state: PowerState,
+    timer: EventId,
+    sleeps: u64,
+}
+
+impl TimeoutController {
+    /// Creates the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sleep_state` is not a sleep state.
+    pub fn spawn(
+        sim: &mut Simulation,
+        name: &str,
+        ports: LemPorts,
+        timeout: SimDuration,
+        sleep_state: PowerState,
+    ) -> ProcessId {
+        assert!(
+            sleep_state.is_sleep(),
+            "timeout controller must target a sleep state, got {sleep_state}"
+        );
+        let timer = sim.event(&format!("{name}.timeout"));
+        let ctrl = TimeoutController {
+            core: ControllerCore::new(ports),
+            timeout,
+            sleep_state,
+            timer,
+            sleeps: 0,
+        };
+        let pid = sim.add_process(name, ctrl);
+        ControllerCore::sensitize(sim, pid, &ports);
+        sim.sensitize(pid, timer);
+        pid
+    }
+
+    /// Sleep commands issued.
+    pub fn sleeps(&self) -> u64 {
+        self.sleeps
+    }
+}
+
+impl Process for TimeoutController {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.command(ctx, PowerState::On1);
+        ctx.notify(self.timer, self.timeout);
+    }
+
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        if self.core.ingest(ctx) {
+            ctx.cancel(self.timer);
+            // wake (or stay) at ON1 for the new work
+            let state = ctx.read(self.core.ports.psm_state);
+            if state != PowerState::On1 {
+                self.core.command(ctx, PowerState::On1);
+            }
+        }
+        if self.core.check_done(ctx) && self.core.idle() {
+            ctx.notify(self.timer, self.timeout);
+        }
+        if ctx.triggered(self.timer) && self.core.idle() {
+            self.core.command(ctx, self.sleep_state);
+            self.sleeps += 1;
+        }
+        self.core.try_grant_at(ctx, PowerState::On1);
+    }
+}
+
+/// Clairvoyant DPM: knows every future arrival, so on each idle period it
+/// sleeps in the deepest profitable state *and wakes early* so the PSM is
+/// back at `ON1` exactly when the next task arrives — the energy lower
+/// bound among `ON1`-only policies, with (near) zero delay overhead.
+#[derive(Debug)]
+pub struct OracleController {
+    core: ControllerCore,
+    /// Future arrival instants, ascending.
+    arrivals: Vec<SimTime>,
+    next_arrival: usize,
+    breakeven: BreakEvenTable,
+    wake_timer: EventId,
+    sleeps: u64,
+    transitions: TransitionTable,
+}
+
+impl OracleController {
+    /// Creates the oracle with the full arrival schedule.
+    pub fn spawn(
+        sim: &mut Simulation,
+        name: &str,
+        ports: LemPorts,
+        model: &IpPowerModel,
+        transitions: TransitionTable,
+        arrivals: Vec<SimTime>,
+    ) -> ProcessId {
+        let breakeven = BreakEvenTable::compute(model, &transitions, PowerState::On1);
+        let wake_timer = sim.event(&format!("{name}.wake"));
+        let ctrl = OracleController {
+            core: ControllerCore::new(ports),
+            arrivals,
+            next_arrival: 0,
+            breakeven,
+            wake_timer,
+            sleeps: 0,
+            transitions,
+        };
+        let pid = sim.add_process(name, ctrl);
+        ControllerCore::sensitize(sim, pid, &ports);
+        sim.sensitize(pid, wake_timer);
+        pid
+    }
+
+    /// Sleep commands issued.
+    pub fn sleeps(&self) -> u64 {
+        self.sleeps
+    }
+
+    fn plan_idle(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // find the next arrival strictly in the future
+        while self
+            .arrivals
+            .get(self.next_arrival)
+            .is_some_and(|t| *t <= now)
+        {
+            self.next_arrival += 1;
+        }
+        let gap = match self.arrivals.get(self.next_arrival) {
+            Some(t) => *t - now,
+            None => SimDuration::MAX, // nothing ever again: sleep forever
+        };
+        let Some(sleep) = self.breakeven.deepest_within(gap, None) else {
+            return;
+        };
+        self.core.command(ctx, sleep);
+        self.sleeps += 1;
+        if let Some(t_next) = self.arrivals.get(self.next_arrival) {
+            let wake_latency = self.transitions.cost(sleep, PowerState::On1).latency;
+            let wake_at = (*t_next - wake_latency).max(now);
+            ctx.notify(self.wake_timer, wake_at - now);
+        }
+    }
+}
+
+impl Process for OracleController {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.command(ctx, PowerState::On1);
+        self.plan_idle(ctx);
+    }
+
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.ingest(ctx);
+        if ctx.triggered(self.wake_timer) {
+            self.core.command(ctx, PowerState::On1);
+        }
+        if self.core.check_done(ctx) && self.core.idle() {
+            self.plan_idle(ctx);
+        }
+        self.core.try_grant_at(ctx, PowerState::On1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::TaskRequest;
+    use crate::psm::Psm;
+    use dpm_battery::BatteryClass;
+    use dpm_kernel::{Fifo, Signal};
+    use dpm_power::InstructionMix;
+    use dpm_thermal::ThermalClass;
+    use dpm_workload::{Priority, TaskId};
+
+    /// Same minimal IP as in the LEM tests.
+    struct MiniIp {
+        requests: Fifo<TaskRequest>,
+        grants: Fifo<TaskGrant>,
+        done_count: Signal<u64>,
+        psm_state: Signal<PowerState>,
+        model: IpPowerModel,
+        plan: Vec<TaskSpec>,
+        next: usize,
+        arrival: EventId,
+        exec_done: EventId,
+        running: bool,
+        done: u64,
+        latencies: Vec<SimDuration>,
+        started: Option<SimTime>,
+    }
+
+    impl Process for MiniIp {
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some(spec) = self.plan.first() {
+                ctx.notify(self.arrival, spec.arrival - SimTime::ZERO);
+            }
+        }
+        fn react(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.triggered(self.arrival) {
+                let spec = self.plan[self.next];
+                self.next += 1;
+                ctx.fifo_push(self.requests, TaskRequest { spec }).unwrap();
+                if let Some(next) = self.plan.get(self.next) {
+                    ctx.notify(self.arrival, next.arrival - ctx.now());
+                }
+            }
+            if ctx.triggered(self.exec_done) && self.running {
+                self.running = false;
+                self.done += 1;
+                let spec = self.plan[(self.done - 1) as usize];
+                self.latencies
+                    .push(ctx.now() - spec.arrival);
+                let _ = self.started.take();
+                ctx.write(self.done_count, self.done);
+            }
+            if !self.running {
+                if let Some(grant) = ctx.fifo_pop(self.grants) {
+                    let state = ctx.read(self.psm_state);
+                    let dt = self
+                        .model
+                        .execution_time(grant.spec.instructions, &grant.spec.mix, state)
+                        .expect("granted while executable");
+                    self.running = true;
+                    self.started = Some(ctx.now());
+                    ctx.notify(self.exec_done, dt);
+                }
+            }
+        }
+    }
+
+    enum Kind {
+        AlwaysOn,
+        Timeout(SimDuration, PowerState),
+        Oracle,
+    }
+
+    struct Rig {
+        sim: Simulation,
+        psm: ProcessId,
+        ip: ProcessId,
+        done: Signal<u64>,
+        psm_state: Signal<PowerState>,
+    }
+
+    fn rig(kind: Kind, plan: Vec<TaskSpec>) -> Rig {
+        let mut sim = Simulation::new();
+        let model = IpPowerModel::default_cpu();
+        let table = TransitionTable::for_model(&model);
+        let (psm_ports, psm) = Psm::spawn(&mut sim, "psm", table.clone(), PowerState::On1);
+        let requests = sim.fifo("ctrl.requests", 64);
+        let grants = sim.fifo("ctrl.grants", 64);
+        let done_count = sim.signal("ip.done_count", 0u64);
+        let battery_class = sim.signal("battery.class", BatteryClass::Full);
+        let battery_soc = sim.signal("battery.soc", 1.0f64);
+        let temp_class = sim.signal("thermal.class", ThermalClass::Low);
+        let temp_c = sim.signal("thermal.temp", 30.0f64);
+        let ports = LemPorts {
+            requests,
+            grants,
+            done_count,
+            psm_cmd: psm_ports.cmd,
+            psm_state: psm_ports.state,
+            psm_busy: psm_ports.busy,
+            battery_class,
+            battery_soc,
+            temp_class,
+            temp_c,
+            gem: None,
+        };
+        match kind {
+            Kind::AlwaysOn => {
+                AlwaysOnController::spawn(&mut sim, "ctrl", ports);
+            }
+            Kind::Timeout(timeout, state) => {
+                TimeoutController::spawn(&mut sim, "ctrl", ports, timeout, state);
+            }
+            Kind::Oracle => {
+                let arrivals = plan.iter().map(|t| t.arrival).collect();
+                OracleController::spawn(&mut sim, "ctrl", ports, &model, table, arrivals);
+            }
+        }
+        let arrival = sim.event("ip.arrival");
+        let exec_done = sim.event("ip.exec_done");
+        let ip = sim.add_process(
+            "ip",
+            MiniIp {
+                requests,
+                grants,
+                done_count,
+                psm_state: psm_ports.state,
+                model,
+                plan,
+                next: 0,
+                arrival,
+                exec_done,
+                running: false,
+                done: 0,
+                latencies: Vec::new(),
+                started: None,
+            },
+        );
+        sim.sensitize(ip, arrival);
+        sim.sensitize(ip, exec_done);
+        sim.sensitize(ip, grants.written_event());
+        Rig {
+            sim,
+            psm,
+            ip,
+            done: done_count,
+            psm_state: psm_ports.state,
+        }
+    }
+
+    fn task(id: u64, at_us: u64) -> TaskSpec {
+        TaskSpec::new(
+            TaskId(id),
+            SimTime::from_micros(at_us),
+            50_000,
+            InstructionMix::default(),
+            Priority::Medium,
+        )
+    }
+
+    #[test]
+    fn always_on_never_transitions() {
+        let mut r = rig(
+            Kind::AlwaysOn,
+            vec![task(0, 100), task(1, 10_000), task(2, 30_000)],
+        );
+        r.sim.run_until(SimTime::from_millis(50));
+        assert_eq!(r.sim.peek(r.done), 3);
+        let stats = r.sim.with_process::<Psm, _>(r.psm, |p| p.stats().clone());
+        assert_eq!(stats.transitions, 0, "baseline must pin ON1");
+        // latency = pure execution time (grants are immediate)
+        let lat = r.sim.with_process::<MiniIp, _>(r.ip, |p| p.latencies.clone());
+        let exec = IpPowerModel::default_cpu()
+            .execution_time(50_000, &InstructionMix::default(), PowerState::On1)
+            .unwrap();
+        for l in lat {
+            assert!(l <= exec + SimDuration::from_micros(1), "{l} vs {exec}");
+        }
+    }
+
+    #[test]
+    fn timeout_controller_sleeps_after_quiet_period() {
+        let mut r = rig(
+            Kind::Timeout(SimDuration::from_micros(200), PowerState::Sl2),
+            vec![task(0, 100), task(1, 20_000)],
+        );
+        r.sim.run_until(SimTime::from_millis(50));
+        assert_eq!(r.sim.peek(r.done), 2);
+        let stats = r.sim.with_process::<Psm, _>(r.psm, |p| p.stats().clone());
+        // at least: On1 -> Sl2 (after first task), Sl2 -> On1 (second), and
+        // a final drop to Sl2 once the trace ends.
+        assert!(stats.transitions >= 3, "transitions {}", stats.transitions);
+        assert_eq!(r.sim.peek(r.psm_state), PowerState::Sl2);
+    }
+
+    #[test]
+    fn oracle_has_no_wake_delay() {
+        let gap_us = 20_000;
+        let mut r = rig(Kind::Oracle, vec![task(0, 100), task(1, gap_us)]);
+        r.sim.run_until(SimTime::from_millis(60));
+        assert_eq!(r.sim.peek(r.done), 2);
+        let psm_stats = r.sim.with_process::<Psm, _>(r.psm, |p| p.stats().clone());
+        assert!(psm_stats.transitions >= 2, "oracle must have slept");
+        // perfect wake: latency of the 2nd task ≈ pure execution time
+        let lat = r.sim.with_process::<MiniIp, _>(r.ip, |p| p.latencies.clone());
+        let exec = IpPowerModel::default_cpu()
+            .execution_time(50_000, &InstructionMix::default(), PowerState::On1)
+            .unwrap();
+        assert!(
+            lat[1] <= exec + SimDuration::from_micros(20),
+            "oracle wake delay: {} vs {exec}",
+            lat[1]
+        );
+    }
+
+    #[test]
+    fn oracle_saves_energy_versus_always_on() {
+        // compare PSM residency: the oracle spends the 20 ms gap asleep
+        let plan = vec![task(0, 100), task(1, 20_000)];
+        let mut on = rig(Kind::AlwaysOn, plan.clone());
+        let mut oracle = rig(Kind::Oracle, plan);
+        let horizon = SimTime::from_millis(30);
+        on.sim.run_until(horizon);
+        oracle.sim.run_until(horizon);
+        let on_res = on.sim.with_process::<Psm, _>(on.psm, |p| p.residency(horizon));
+        let or_res = oracle
+            .sim
+            .with_process::<Psm, _>(oracle.psm, |p| p.residency(horizon));
+        // Low-power time includes SoftOff: the oracle legitimately powers
+        // off across the 20 ms gap when the boot cost amortizes.
+        let low_power = |res: [SimDuration; 9]| -> SimDuration {
+            PowerState::SLEEP
+                .iter()
+                .map(|s| res[s.index()])
+                .sum::<SimDuration>()
+                + res[PowerState::SoftOff.index()]
+        };
+        assert!(low_power(or_res) > SimDuration::from_millis(10));
+        assert_eq!(low_power(on_res), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must target a sleep state")]
+    fn timeout_to_execution_state_rejected() {
+        let mut sim = Simulation::new();
+        let model = IpPowerModel::default_cpu();
+        let table = TransitionTable::for_model(&model);
+        let (psm_ports, _) = Psm::spawn(&mut sim, "psm", table, PowerState::On1);
+        let requests = sim.fifo("r", 4);
+        let grants = sim.fifo("g", 4);
+        let done_count = sim.signal("d", 0u64);
+        let battery_class = sim.signal("bc", BatteryClass::Full);
+        let battery_soc = sim.signal("bs", 1.0f64);
+        let temp_class = sim.signal("tc", ThermalClass::Low);
+        let temp_c = sim.signal("t", 30.0f64);
+        let ports = LemPorts {
+            requests,
+            grants,
+            done_count,
+            psm_cmd: psm_ports.cmd,
+            psm_state: psm_ports.state,
+            psm_busy: psm_ports.busy,
+            battery_class,
+            battery_soc,
+            temp_class,
+            temp_c,
+            gem: None,
+        };
+        let _ = TimeoutController::spawn(
+            &mut sim,
+            "ctrl",
+            ports,
+            SimDuration::from_micros(10),
+            PowerState::On2,
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Messages exchanged between the functional IP, LEM, GEM and PSM.
+
+use dpm_units::Energy;
+use dpm_workload::{Priority, TaskSpec};
+
+/// "Task execution request" sent by the functional IP to its LEM before
+/// the execution of each task (paper §1.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRequest {
+    /// The task to execute.
+    pub spec: TaskSpec,
+}
+
+/// Execution grant returned by the LEM to the functional IP once the PSM
+/// has reached the selected execution state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskGrant {
+    /// The granted task.
+    pub spec: TaskSpec,
+}
+
+/// Resource request forwarded by a LEM to the GEM when a task is about to
+/// be serviced (paper §1.4: the GEM *"receives resource requests from all
+/// the IP blocks"* and redistributes the energy estimates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemRequest {
+    /// Index of the requesting IP.
+    pub ip: u8,
+    /// The task's priority (the GEM's own gating uses the *static* IP
+    /// priority; the task priority is carried for accounting).
+    pub priority: Priority,
+    /// LEM's estimate of the task's energy at nominal speed.
+    pub energy_estimate: Energy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_power::InstructionMix;
+    use dpm_units::SimTime;
+    use dpm_workload::TaskId;
+
+    #[test]
+    fn messages_are_plain_data() {
+        let spec = TaskSpec::new(
+            TaskId(1),
+            SimTime::ZERO,
+            10,
+            InstructionMix::default(),
+            Priority::High,
+        );
+        let req = TaskRequest { spec };
+        let grant = TaskGrant { spec };
+        assert_eq!(req.spec, grant.spec);
+        let gem = GemRequest {
+            ip: 2,
+            priority: Priority::High,
+            energy_estimate: Energy::from_microjoules(10.0),
+        };
+        assert_eq!(gem.ip, 2);
+    }
+}

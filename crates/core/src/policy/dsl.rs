@@ -1,0 +1,431 @@
+//! Parser for the paper's natural-language rule form.
+//!
+//! The paper writes the policy as sentences like
+//!
+//! > *"If the priority is high and the battery is empty then the power
+//! > state is ON4"*
+//!
+//! This module parses that shape (articles and the "the power state is"
+//! boilerplate are optional):
+//!
+//! ```text
+//! rule  := "if" cond ("and" cond)* "then" state
+//! cond  := ("priority" | "battery" | "temperature" | "power") "is" values
+//! values:= value ("or" value)*
+//! state := ON1..ON4 | SL1..SL4 | OFF
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_core::policy::parse_rule;
+//!
+//! let rule = parse_rule("if priority is very high and battery is empty then ON4").unwrap();
+//! assert_eq!(rule.then, dpm_power::PowerState::On4);
+//! ```
+
+use core::fmt;
+
+use dpm_battery::BatteryClass;
+use dpm_power::PowerState;
+use dpm_thermal::ThermalClass;
+use dpm_workload::Priority;
+
+use super::sets::{BatterySet, PrioritySet, SourceCond, TempSet};
+use super::{Rule, RuleSet};
+
+/// Why a rule failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRuleError {
+    /// The rule has no `then` keyword.
+    MissingThen,
+    /// The rule does not start with `if`.
+    MissingIf,
+    /// A condition subject is not priority/battery/temperature/power.
+    UnknownSubject(String),
+    /// A value is not valid for its subject.
+    UnknownValue {
+        /// The condition subject.
+        subject: String,
+        /// The offending value.
+        value: String,
+    },
+    /// The consequent is not a power state.
+    UnknownState(String),
+    /// A condition is missing its `is` keyword or values.
+    MalformedCondition(String),
+    /// The same subject appears twice.
+    DuplicateSubject(String),
+    /// An error with the line number it occurred on (from
+    /// [`parse_rules`]).
+    AtLine(usize, Box<ParseRuleError>),
+}
+
+impl fmt::Display for ParseRuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRuleError::MissingThen => f.write_str("rule has no 'then' clause"),
+            ParseRuleError::MissingIf => f.write_str("rule must start with 'if'"),
+            ParseRuleError::UnknownSubject(s) => write!(f, "unknown condition subject '{s}'"),
+            ParseRuleError::UnknownValue { subject, value } => {
+                write!(f, "unknown {subject} value '{value}'")
+            }
+            ParseRuleError::UnknownState(s) => write!(f, "unknown power state '{s}'"),
+            ParseRuleError::MalformedCondition(c) => write!(f, "malformed condition '{c}'"),
+            ParseRuleError::DuplicateSubject(s) => write!(f, "subject '{s}' appears twice"),
+            ParseRuleError::AtLine(n, e) => write!(f, "line {n}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseRuleError {}
+
+/// Lowercases and strips filler words ("the", "state", "power state is").
+fn tokens(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .replace([',', '.', ';'], " ")
+        .split_whitespace()
+        .filter(|w| !matches!(*w, "the" | "a" | "an" | "state" | "mode"))
+        .map(str::to_owned)
+        .collect()
+}
+
+fn parse_state(word: &str) -> Result<PowerState, ParseRuleError> {
+    Ok(match word {
+        "on1" => PowerState::On1,
+        "on2" => PowerState::On2,
+        "on3" => PowerState::On3,
+        "on4" => PowerState::On4,
+        "sl1" | "sleep1" => PowerState::Sl1,
+        "sl2" | "sleep2" => PowerState::Sl2,
+        "sl3" | "sleep3" => PowerState::Sl3,
+        "sl4" | "sleep4" => PowerState::Sl4,
+        "off" | "softoff" => PowerState::SoftOff,
+        other => return Err(ParseRuleError::UnknownState(other.to_owned())),
+    })
+}
+
+/// Splits value tokens on `or`, joining multi-word values ("very high").
+fn value_groups(words: &[String]) -> Vec<String> {
+    let mut groups = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    for w in words {
+        if w == "or" {
+            if !current.is_empty() {
+                groups.push(current.join(" "));
+                current.clear();
+            }
+        } else {
+            current.push(w);
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current.join(" "));
+    }
+    groups
+}
+
+#[derive(Default)]
+struct Builder {
+    priorities: Option<PrioritySet>,
+    batteries: Option<BatterySet>,
+    temperatures: Option<TempSet>,
+    source: Option<SourceCond>,
+}
+
+fn apply_condition(b: &mut Builder, words: &[String]) -> Result<(), ParseRuleError> {
+    let joined = words.join(" ");
+    let Some((subject, rest)) = words.split_first() else {
+        return Err(ParseRuleError::MalformedCondition(joined));
+    };
+    let Some((is, values)) = rest.split_first() else {
+        return Err(ParseRuleError::MalformedCondition(joined));
+    };
+    if is != "is" || values.is_empty() {
+        return Err(ParseRuleError::MalformedCondition(joined));
+    }
+    let groups = value_groups(values);
+    match subject.as_str() {
+        "priority" => {
+            if b.priorities.is_some() {
+                return Err(ParseRuleError::DuplicateSubject("priority".into()));
+            }
+            let mut set = PrioritySet::none();
+            for g in &groups {
+                let p = match g.as_str() {
+                    "low" => Priority::Low,
+                    "medium" => Priority::Medium,
+                    "high" => Priority::High,
+                    "very high" | "veryhigh" | "very-high" => Priority::VeryHigh,
+                    other => {
+                        return Err(ParseRuleError::UnknownValue {
+                            subject: "priority".into(),
+                            value: other.to_owned(),
+                        })
+                    }
+                };
+                set = set.union(PrioritySet::only(p));
+            }
+            b.priorities = Some(set);
+        }
+        "battery" => {
+            if b.batteries.is_some() {
+                return Err(ParseRuleError::DuplicateSubject("battery".into()));
+            }
+            let mut set = BatterySet::none();
+            for g in &groups {
+                let c = match g.as_str() {
+                    "empty" => BatteryClass::Empty,
+                    "low" => BatteryClass::Low,
+                    "medium" => BatteryClass::Medium,
+                    "high" => BatteryClass::High,
+                    "full" => BatteryClass::Full,
+                    other => {
+                        return Err(ParseRuleError::UnknownValue {
+                            subject: "battery".into(),
+                            value: other.to_owned(),
+                        })
+                    }
+                };
+                set = set.union(BatterySet::only(c));
+            }
+            b.batteries = Some(set);
+        }
+        "temperature" => {
+            if b.temperatures.is_some() {
+                return Err(ParseRuleError::DuplicateSubject("temperature".into()));
+            }
+            let mut set = TempSet::none();
+            for g in &groups {
+                let c = match g.as_str() {
+                    "low" => ThermalClass::Low,
+                    "medium" => ThermalClass::Medium,
+                    "high" => ThermalClass::High,
+                    other => {
+                        return Err(ParseRuleError::UnknownValue {
+                            subject: "temperature".into(),
+                            value: other.to_owned(),
+                        })
+                    }
+                };
+                set = set.union(TempSet::only(c));
+            }
+            b.temperatures = Some(set);
+        }
+        "power" | "source" | "supply" => {
+            if b.source.is_some() {
+                return Err(ParseRuleError::DuplicateSubject("power".into()));
+            }
+            let cond = match groups.first().map(String::as_str) {
+                Some("supply" | "mains") => SourceCond::MainsOnly,
+                Some("battery") => SourceCond::BatteryOnly,
+                other => {
+                    return Err(ParseRuleError::UnknownValue {
+                        subject: "power".into(),
+                        value: other.unwrap_or("").to_owned(),
+                    })
+                }
+            };
+            b.source = Some(cond);
+        }
+        other => return Err(ParseRuleError::UnknownSubject(other.to_owned())),
+    }
+    Ok(())
+}
+
+/// Parses one rule sentence.
+///
+/// Omitted subjects are wildcards. A rule that tests the battery (and has
+/// no explicit power condition) implicitly applies only on battery power,
+/// matching the interpretation of the paper's table.
+///
+/// # Errors
+///
+/// Returns a [`ParseRuleError`] describing the first problem found.
+pub fn parse_rule(text: &str) -> Result<Rule, ParseRuleError> {
+    let toks = tokens(text);
+    let then_pos = toks
+        .iter()
+        .position(|w| w == "then")
+        .ok_or(ParseRuleError::MissingThen)?;
+    let (lhs, rhs) = toks.split_at(then_pos);
+    let rhs = &rhs[1..]; // drop "then"
+    let state_word = rhs
+        .iter()
+        .rev()
+        .find(|w| w.as_str() != "is")
+        .ok_or_else(|| ParseRuleError::UnknownState(String::new()))?;
+    let then = parse_state(state_word)?;
+
+    let Some((first, conds)) = lhs.split_first() else {
+        return Err(ParseRuleError::MissingIf);
+    };
+    if first != "if" {
+        return Err(ParseRuleError::MissingIf);
+    }
+    let mut builder = Builder::default();
+    for cond in conds.split(|w| w == "and") {
+        if cond.is_empty() {
+            continue;
+        }
+        apply_condition(&mut builder, cond)?;
+    }
+    let source = builder.source.unwrap_or(match builder.batteries {
+        Some(_) => SourceCond::BatteryOnly,
+        None => SourceCond::Any,
+    });
+    Ok(Rule {
+        priorities: builder.priorities.unwrap_or(PrioritySet::any()),
+        batteries: builder.batteries.unwrap_or(BatterySet::any()),
+        temperatures: builder.temperatures.unwrap_or(TempSet::any()),
+        source,
+        then,
+    })
+}
+
+/// Parses a whole policy: one rule per line, `#` comments and blank lines
+/// ignored; row order is match order.
+///
+/// # Errors
+///
+/// Returns the first error wrapped with its 1-based line number.
+pub fn parse_rules(text: &str) -> Result<RuleSet, ParseRuleError> {
+    let mut rules = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule =
+            parse_rule(line).map_err(|e| ParseRuleError::AtLine(i + 1, Box::new(e)))?;
+        rules.push(rule);
+    }
+    Ok(RuleSet::new(rules))
+}
+
+/// The paper's Table 1 in sentence form (used by tests and the
+/// `policy_explorer` example to show the two representations agree).
+pub const TABLE1_TEXT: &str = "\
+# Conti DATE'05, Table 1 - power state selection algorithm
+if priority is very high and battery is empty then ON4
+if priority is very high and temperature is high then ON4
+if priority is high or medium or low and battery is empty then SL1
+if priority is high or medium or low and temperature is high then SL1
+if battery is low and temperature is medium or low then ON4
+if battery is empty and temperature is medium then ON4
+if priority is very high and battery is medium or high and temperature is low then ON1
+if priority is high and battery is medium or high and temperature is low then ON2
+if priority is medium and battery is medium or high and temperature is low then ON3
+if priority is low and battery is medium or high and temperature is low then ON4
+if priority is very high or high or medium and battery is full and temperature is low then ON1
+if priority is low and battery is full and temperature is low then ON2
+if power is supply and temperature is medium or low then ON1
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::table1;
+
+    #[test]
+    fn parses_single_rule_with_multiword_priority() {
+        let r = parse_rule("if priority is very high and battery is empty then ON4").unwrap();
+        assert!(r.priorities.contains(Priority::VeryHigh));
+        assert!(!r.priorities.contains(Priority::High));
+        assert!(r.batteries.contains(BatteryClass::Empty));
+        assert_eq!(r.batteries.len(), 1);
+        assert!(r.temperatures.is_any());
+        assert_eq!(r.source, SourceCond::BatteryOnly);
+        assert_eq!(r.then, PowerState::On4);
+    }
+
+    #[test]
+    fn accepts_the_papers_prose_form() {
+        let r = parse_rule(
+            "If the priority is high and the battery is empty then the power state is ON4",
+        )
+        .unwrap();
+        assert!(r.priorities.contains(Priority::High));
+        assert_eq!(r.then, PowerState::On4);
+    }
+
+    #[test]
+    fn dsl_table_equals_programmatic_table() {
+        let parsed = parse_rules(TABLE1_TEXT).unwrap();
+        let programmatic = table1();
+        assert_eq!(parsed.rules().len(), programmatic.rules().len());
+        for (i, (a, b)) in parsed
+            .rules()
+            .iter()
+            .zip(programmatic.rules())
+            .enumerate()
+        {
+            assert_eq!(a, b, "row {i} differs: parsed '{a}' vs table '{b}'");
+        }
+    }
+
+    #[test]
+    fn or_lists_and_omitted_subjects() {
+        let r = parse_rule("if temperature is medium or low then on1").unwrap();
+        assert!(r.priorities.is_any());
+        assert!(r.batteries.is_any());
+        assert!(r.temperatures.contains(ThermalClass::Low));
+        assert!(r.temperatures.contains(ThermalClass::Medium));
+        assert!(!r.temperatures.contains(ThermalClass::High));
+        assert_eq!(r.source, SourceCond::Any);
+    }
+
+    #[test]
+    fn power_supply_condition() {
+        let r = parse_rule("if power is supply and temperature is low then on1").unwrap();
+        assert_eq!(r.source, SourceCond::MainsOnly);
+        let r = parse_rule("if power is battery then on4").unwrap();
+        assert_eq!(r.source, SourceCond::BatteryOnly);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert_eq!(
+            parse_rule("priority is high then on1"),
+            Err(ParseRuleError::MissingIf)
+        );
+        assert_eq!(
+            parse_rule("if priority is high"),
+            Err(ParseRuleError::MissingThen)
+        );
+        assert!(matches!(
+            parse_rule("if colour is red then on1"),
+            Err(ParseRuleError::UnknownSubject(_))
+        ));
+        assert!(matches!(
+            parse_rule("if battery is purple then on1"),
+            Err(ParseRuleError::UnknownValue { .. })
+        ));
+        assert!(matches!(
+            parse_rule("if battery is low then warp9"),
+            Err(ParseRuleError::UnknownState(_))
+        ));
+        assert!(matches!(
+            parse_rule("if battery is low and battery is full then on1"),
+            Err(ParseRuleError::DuplicateSubject(_))
+        ));
+    }
+
+    #[test]
+    fn line_numbers_in_batch_errors() {
+        let err = parse_rules("if battery is low then on4\nif nonsense then on1\n").unwrap_err();
+        assert!(err.to_string().starts_with("line 2:"));
+        match err {
+            ParseRuleError::AtLine(2, inner) => {
+                assert!(matches!(*inner, ParseRuleError::MalformedCondition(_)));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let rs = parse_rules("# nothing\n\n  \nif battery is full then on1\n").unwrap();
+        assert_eq!(rs.rules().len(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Fuzzy-inference variant of the rule engine (extension).
+//!
+//! The paper notes its rules *"can be seen as expressions of the natural
+//! language, as in the fuzzy rules"*. This module takes that reading
+//! literally: instead of quantizing the battery state of charge and chip
+//! temperature into crisp classes first, each class becomes a triangular
+//! membership function over the continuous measurement, every rule fires
+//! with the strength of its weakest antecedent (Mamdani min), and the
+//! state whose supporting rules accumulate the most strength wins.
+//!
+//! Near class boundaries this removes the policy discontinuities of the
+//! crisp table — the selected state changes where the membership balance
+//! tips, not exactly at the threshold — while far from boundaries it
+//! reproduces the crisp table's choice.
+
+use dpm_battery::{BatteryClass, PowerSource};
+use dpm_power::PowerState;
+use dpm_thermal::ThermalClass;
+use dpm_units::Celsius;
+use dpm_workload::Priority;
+
+use super::RuleSet;
+
+/// Triangular membership: 1 at `peak`, 0 beyond `left`/`right`; the
+/// outermost classes get open shoulders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Triangle {
+    left: f64,
+    peak: f64,
+    right: f64,
+    open_left: bool,
+    open_right: bool,
+}
+
+impl Triangle {
+    fn grade(&self, x: f64) -> f64 {
+        if x <= self.peak {
+            if self.open_left {
+                return 1.0;
+            }
+            if x <= self.left {
+                0.0
+            } else {
+                (x - self.left) / (self.peak - self.left)
+            }
+        } else {
+            if self.open_right {
+                return 1.0;
+            }
+            if x >= self.right {
+                0.0
+            } else {
+                (self.right - x) / (self.right - self.peak)
+            }
+        }
+    }
+}
+
+/// Fuzzy evaluation of a crisp [`RuleSet`] over continuous inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzyPolicy {
+    rules: RuleSet,
+    battery_memberships: [Triangle; 5],
+    temperature_memberships: [Triangle; 3],
+}
+
+/// Outcome of a fuzzy selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzySelection {
+    /// The winning state.
+    pub state: PowerState,
+    /// Accumulated rule strength per state (only non-zero entries).
+    pub scores: Vec<(PowerState, f64)>,
+}
+
+impl FuzzyPolicy {
+    /// Wraps a crisp rule set with the default memberships, aligned with
+    /// the default classifier thresholds (battery 5/25/55/85 %,
+    /// temperature 50/70 °C).
+    pub fn new(rules: RuleSet) -> Self {
+        let b = |left: f64, peak: f64, right: f64| Triangle {
+            left,
+            peak,
+            right,
+            open_left: false,
+            open_right: false,
+        };
+        let battery_memberships = [
+            Triangle { open_left: true, ..b(0.0, 0.02, 0.15) },   // Empty
+            b(0.02, 0.15, 0.40),                                  // Low
+            b(0.15, 0.40, 0.70),                                  // Medium
+            b(0.40, 0.70, 0.925),                                 // High
+            Triangle { open_right: true, ..b(0.70, 0.925, 1.0) }, // Full
+        ];
+        let temperature_memberships = [
+            Triangle { open_left: true, ..b(20.0, 40.0, 60.0) },  // Low
+            b(40.0, 60.0, 80.0),                                  // Medium
+            Triangle { open_right: true, ..b(60.0, 80.0, 100.0) },// High
+        ];
+        Self {
+            rules,
+            battery_memberships,
+            temperature_memberships,
+        }
+    }
+
+    /// Membership grade of `soc` in `class`.
+    pub fn battery_grade(&self, class: BatteryClass, soc: f64) -> f64 {
+        self.battery_memberships[class.index()].grade(soc)
+    }
+
+    /// Membership grade of `temp` in `class`.
+    pub fn temperature_grade(&self, class: ThermalClass, temp: Celsius) -> f64 {
+        self.temperature_memberships[class.index()].grade(temp.as_celsius())
+    }
+
+    /// Fuzzy-selects a state for continuous inputs.
+    ///
+    /// Every rule fires with `min` over its antecedent grades (wildcards
+    /// grade 1); strengths accumulate per consequent state; the strongest
+    /// state wins, ties broken toward the earlier rule (matching the crisp
+    /// table's first-match flavour).
+    pub fn select(
+        &self,
+        priority: Priority,
+        soc: f64,
+        temp: Celsius,
+        source: PowerSource,
+    ) -> FuzzySelection {
+        let mut scores: Vec<(PowerState, f64)> = Vec::new();
+        for rule in self.rules.rules() {
+            if !rule.source.matches(source) || !rule.priorities.contains(priority) {
+                continue;
+            }
+            // On mains the battery antecedent is moot (grade 1 for the
+            // wildcard; battery-testing rules are BatteryOnly anyway).
+            let b_grade = if rule.batteries.is_any() {
+                1.0
+            } else {
+                BatteryClass::ALL
+                    .iter()
+                    .filter(|c| rule.batteries.contains(**c))
+                    .map(|c| self.battery_grade(*c, soc))
+                    .fold(0.0, f64::max)
+            };
+            let t_grade = if rule.temperatures.is_any() {
+                1.0
+            } else {
+                ThermalClass::ALL
+                    .iter()
+                    .filter(|c| rule.temperatures.contains(**c))
+                    .map(|c| self.temperature_grade(*c, temp))
+                    .fold(0.0, f64::max)
+            };
+            let strength = b_grade.min(t_grade);
+            if strength <= 0.0 {
+                continue;
+            }
+            match scores.iter_mut().find(|(s, _)| *s == rule.then) {
+                Some((_, acc)) => *acc += strength,
+                None => scores.push((rule.then, strength)),
+            }
+        }
+        // Strictly-greater comparison keeps the *earliest* state on ties
+        // (scores are pushed in rule order), mirroring the crisp table's
+        // first-match semantics — this is what keeps the paper's shadowed
+        // row 6 from resurfacing through the fuzzy path.
+        let mut best: Option<(PowerState, f64)> = None;
+        for (s, sc) in &scores {
+            if best.is_none_or(|(_, b)| *sc > b) {
+                best = Some((*s, *sc));
+            }
+        }
+        let state = best.map(|(s, _)| s).unwrap_or(PowerState::On1);
+        FuzzySelection { state, scores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{table1, PolicyInputs};
+
+    fn fuzzy() -> FuzzyPolicy {
+        FuzzyPolicy::new(table1())
+    }
+
+    /// Class-center (crisp) inputs: soc/temp values where exactly one
+    /// membership is 1 and the others 0.
+    fn center(b: BatteryClass) -> f64 {
+        [0.02, 0.15, 0.40, 0.70, 0.925][b.index()]
+    }
+    fn tcenter(t: ThermalClass) -> Celsius {
+        Celsius::new([30.0, 60.0, 85.0][t.index()])
+    }
+
+    #[test]
+    fn agrees_with_crisp_table_at_class_centers() {
+        let f = fuzzy();
+        let crisp = table1();
+        for p in Priority::ALL {
+            for b in BatteryClass::ALL {
+                for t in ThermalClass::ALL {
+                    let crisp_sel = crisp.select(PolicyInputs {
+                        priority: p,
+                        battery: b,
+                        temperature: t,
+                        source: PowerSource::Battery,
+                    });
+                    // Skip combinations the crisp table only covers via
+                    // fallback: fuzzy handles them by interpolation instead.
+                    if crisp_sel.used_fallback {
+                        continue;
+                    }
+                    let fz = f.select(p, center(b), tcenter(t), PowerSource::Battery);
+                    assert_eq!(
+                        fz.state, crisp_sel.state,
+                        "pri={p} batt={b} temp={t}: fuzzy {} vs crisp {}",
+                        fz.state, crisp_sel.state
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_inputs_excite_multiple_states() {
+        let f = fuzzy();
+        // soc right between Low (0.15) and Medium (0.40) memberships, cool
+        // chip, High priority: both the "battery low -> ON4" and the
+        // "battery medium -> ON2" rules fire partially.
+        let sel = f.select(
+            Priority::High,
+            0.27,
+            Celsius::new(30.0),
+            PowerSource::Battery,
+        );
+        assert!(sel.scores.len() >= 2, "scores: {:?}", sel.scores);
+        let states: Vec<PowerState> = sel.scores.iter().map(|(s, _)| *s).collect();
+        assert!(states.contains(&PowerState::On4));
+        assert!(states.contains(&PowerState::On2));
+    }
+
+    #[test]
+    fn selection_shifts_smoothly_across_the_boundary() {
+        let f = fuzzy();
+        // Walking soc from deep Low toward Medium flips the winner from
+        // ON4 to ON2 somewhere strictly inside the band, not at the crisp
+        // 0.25 threshold.
+        let at = |soc: f64| {
+            f.select(Priority::High, soc, Celsius::new(30.0), PowerSource::Battery)
+                .state
+        };
+        assert_eq!(at(0.16), PowerState::On4);
+        assert_eq!(at(0.38), PowerState::On2);
+        let mut flipped_at = None;
+        let mut soc = 0.16;
+        while soc < 0.38 {
+            if at(soc) == PowerState::On2 {
+                flipped_at = Some(soc);
+                break;
+            }
+            soc += 0.005;
+        }
+        let flip = flipped_at.expect("must flip inside the band");
+        assert!(flip > 0.20 && flip < 0.35, "flip at {flip}");
+    }
+
+    #[test]
+    fn membership_grades_partition_reasonably() {
+        let f = fuzzy();
+        // at any soc, grades sum to within (0, 2] and at least one is > 0
+        for i in 0..=20 {
+            let soc = i as f64 / 20.0;
+            let sum: f64 = BatteryClass::ALL
+                .iter()
+                .map(|c| f.battery_grade(*c, soc))
+                .sum();
+            assert!(sum > 0.0 && sum <= 2.0, "soc {soc}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn thermal_emergency_dominates_when_hot() {
+        let f = fuzzy();
+        let sel = f.select(
+            Priority::Medium,
+            0.9,
+            Celsius::new(95.0),
+            PowerSource::Battery,
+        );
+        assert_eq!(sel.state, PowerState::Sl1);
+    }
+
+    #[test]
+    fn mains_selection_prefers_on1_when_cool() {
+        let f = fuzzy();
+        let sel = f.select(Priority::Low, 0.0, Celsius::new(30.0), PowerSource::Mains);
+        assert_eq!(sel.state, PowerState::On1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Bitmask sets over the classified input domains (rule wildcards).
+
+use core::fmt;
+
+use dpm_battery::{BatteryClass, PowerSource};
+use dpm_thermal::ThermalClass;
+use dpm_workload::Priority;
+
+macro_rules! class_set {
+    ($(#[$meta:meta])* $name:ident, $class:ty, $count:expr, $codes:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// The wildcard set (matches every class).
+            pub const fn any() -> Self {
+                Self((1 << $count) - 1)
+            }
+
+            /// The empty set (matches nothing; useful for builders).
+            pub const fn none() -> Self {
+                Self(0)
+            }
+
+            /// The singleton set.
+            pub fn only(class: $class) -> Self {
+                Self(1 << class.index())
+            }
+
+            /// A set from a list of classes.
+            pub fn of(classes: &[$class]) -> Self {
+                let mut bits = 0u8;
+                for c in classes {
+                    bits |= 1 << c.index();
+                }
+                Self(bits)
+            }
+
+            /// `true` when `class` is in the set.
+            pub fn contains(self, class: $class) -> bool {
+                self.0 & (1 << class.index()) != 0
+            }
+
+            /// `true` when the set matches every class.
+            pub fn is_any(self) -> bool {
+                self == Self::any()
+            }
+
+            /// Union of two sets.
+            #[must_use]
+            pub fn union(self, other: Self) -> Self {
+                Self(self.0 | other.0)
+            }
+
+            /// Number of classes in the set.
+            pub fn len(self) -> u32 {
+                self.0.count_ones()
+            }
+
+            /// `true` when no class matches.
+            pub fn is_empty(self) -> bool {
+                self.0 == 0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.is_any() {
+                    return f.write_str("-");
+                }
+                let codes: &[char] = &$codes;
+                let mut first = true;
+                for (i, code) in codes.iter().enumerate() {
+                    if self.0 & (1 << i) != 0 {
+                        if !first {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{code}")?;
+                        first = false;
+                    }
+                }
+                if first {
+                    f.write_str("(none)")?;
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+class_set!(
+    /// Set of task priorities a rule matches ("-" is the wildcard).
+    PrioritySet,
+    Priority,
+    4,
+    ['L', 'M', 'H', 'V']
+);
+
+class_set!(
+    /// Set of battery classes a rule matches.
+    BatterySet,
+    BatteryClass,
+    5,
+    ['E', 'L', 'M', 'H', 'F']
+);
+
+class_set!(
+    /// Set of temperature classes a rule matches.
+    TempSet,
+    ThermalClass,
+    3,
+    ['L', 'M', 'H']
+);
+
+/// Power-source condition of a rule.
+///
+/// Rows of the paper's Table 1 that test a battery class implicitly apply
+/// only when the SoC runs from the battery; the "Power supply" row applies
+/// only on mains; the purely thermal rows apply to both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SourceCond {
+    /// Applies regardless of the power source.
+    #[default]
+    Any,
+    /// Applies only when running from the battery.
+    BatteryOnly,
+    /// Applies only when running from the mains ("Power supply").
+    MainsOnly,
+}
+
+impl SourceCond {
+    /// `true` when the condition admits `source`.
+    pub fn matches(self, source: PowerSource) -> bool {
+        match self {
+            SourceCond::Any => true,
+            SourceCond::BatteryOnly => source == PowerSource::Battery,
+            SourceCond::MainsOnly => source == PowerSource::Mains,
+        }
+    }
+}
+
+impl fmt::Display for SourceCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SourceCond::Any => "any",
+            SourceCond::BatteryOnly => "batt",
+            SourceCond::MainsOnly => "mains",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_contains_everything() {
+        for p in Priority::ALL {
+            assert!(PrioritySet::any().contains(p));
+        }
+        for b in BatteryClass::ALL {
+            assert!(BatterySet::any().contains(b));
+        }
+        for t in ThermalClass::ALL {
+            assert!(TempSet::any().contains(t));
+        }
+    }
+
+    #[test]
+    fn of_and_only() {
+        let s = PrioritySet::of(&[Priority::High, Priority::Medium, Priority::Low]);
+        assert!(s.contains(Priority::High));
+        assert!(!s.contains(Priority::VeryHigh));
+        assert_eq!(s.len(), 3);
+        assert_eq!(PrioritySet::only(Priority::VeryHigh).len(), 1);
+        assert!(PrioritySet::none().is_empty());
+    }
+
+    #[test]
+    fn union_composes() {
+        let s = BatterySet::only(BatteryClass::Medium).union(BatterySet::only(BatteryClass::High));
+        assert!(s.contains(BatteryClass::Medium));
+        assert!(s.contains(BatteryClass::High));
+        assert!(!s.contains(BatteryClass::Full));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(PrioritySet::any().to_string(), "-");
+        assert_eq!(
+            PrioritySet::of(&[Priority::High, Priority::Medium, Priority::Low]).to_string(),
+            "L,M,H"
+        );
+        assert_eq!(BatterySet::only(BatteryClass::Empty).to_string(), "E");
+        assert_eq!(
+            TempSet::of(&[ThermalClass::Medium, ThermalClass::Low]).to_string(),
+            "L,M"
+        );
+    }
+
+    #[test]
+    fn source_conditions() {
+        assert!(SourceCond::Any.matches(PowerSource::Battery));
+        assert!(SourceCond::Any.matches(PowerSource::Mains));
+        assert!(SourceCond::BatteryOnly.matches(PowerSource::Battery));
+        assert!(!SourceCond::BatteryOnly.matches(PowerSource::Mains));
+        assert!(SourceCond::MainsOnly.matches(PowerSource::Mains));
+        assert!(!SourceCond::MainsOnly.matches(PowerSource::Battery));
+    }
+}

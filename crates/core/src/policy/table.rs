@@ -1,0 +1,213 @@
+//! The paper's Table 1, row for row.
+
+use dpm_battery::BatteryClass::{self, Empty, Full, High as BHigh, Low as BLow, Medium as BMed};
+use dpm_power::PowerState;
+use dpm_thermal::ThermalClass::{self, High as THigh, Low as TLow, Medium as TMed};
+use dpm_workload::Priority::{self, High, Low, Medium, VeryHigh};
+
+use super::sets::{BatterySet, PrioritySet, SourceCond, TempSet};
+use super::{Rule, RuleSet};
+
+fn row(
+    priorities: &[Priority],
+    batteries: &[BatteryClass],
+    temperatures: &[ThermalClass],
+    source: SourceCond,
+    then: PowerState,
+) -> Rule {
+    Rule {
+        priorities: if priorities.is_empty() {
+            PrioritySet::any()
+        } else {
+            PrioritySet::of(priorities)
+        },
+        batteries: if batteries.is_empty() {
+            BatterySet::any()
+        } else {
+            BatterySet::of(batteries)
+        },
+        temperatures: if temperatures.is_empty() {
+            TempSet::any()
+        } else {
+            TempSet::of(temperatures)
+        },
+        source,
+        then,
+    }
+}
+
+/// The paper's power-state selection algorithm (Table 1), with first-match
+/// semantics and the source interpretation documented in
+/// [`SourceCond`]: battery-testing rows apply on battery power, the
+/// "Power supply" row applies on mains, purely thermal rows apply always.
+///
+/// ```text
+/// Task priority | Battery      | Temperature | Selected state
+/// V             | E            | -           | ON4
+/// V             | -            | H           | ON4
+/// H, M, L       | E            | -           | SL1
+/// H, M, L       | -            | H           | SL1
+/// -             | L            | M, L        | ON4
+/// -             | E            | M           | ON4    (shadowed; kept verbatim)
+/// V             | M, H         | L           | ON1
+/// H             | M, H         | L           | ON2
+/// M             | M, H         | L           | ON3
+/// L             | M, H         | L           | ON4
+/// V, H, M       | F            | L           | ON1
+/// L             | F            | L           | ON2
+/// -             | Power supply | M, L        | ON1
+/// ```
+pub fn table1() -> RuleSet {
+    use PowerState::*;
+    use SourceCond::{Any, BatteryOnly, MainsOnly};
+    RuleSet::new(vec![
+        // 0: V E - -> ON4 (critical work runs even on an empty battery)
+        row(&[VeryHigh], &[Empty], &[], BatteryOnly, On4),
+        // 1: V - H -> ON4 (critical work runs even when hot, but slowly)
+        row(&[VeryHigh], &[], &[THigh], Any, On4),
+        // 2: H,M,L E - -> SL1 (everything else halts on an empty battery)
+        row(&[High, Medium, Low], &[Empty], &[], BatteryOnly, Sl1),
+        // 3: H,M,L - H -> SL1 (cool-down: defer non-critical work)
+        row(&[High, Medium, Low], &[], &[THigh], Any, Sl1),
+        // 4: - L M,L -> ON4 (battery low: crawl, regardless of priority)
+        row(&[], &[BLow], &[TMed, TLow], BatteryOnly, On4),
+        // 5: - E M -> ON4 (verbatim from the paper; shadowed by rows 0/2)
+        row(&[], &[Empty], &[TMed], BatteryOnly, On4),
+        // 6..9: battery M/H + temp L: speed by priority
+        row(&[VeryHigh], &[BMed, BHigh], &[TLow], BatteryOnly, On1),
+        row(&[High], &[BMed, BHigh], &[TLow], BatteryOnly, On2),
+        row(&[Medium], &[BMed, BHigh], &[TLow], BatteryOnly, On3),
+        row(&[Low], &[BMed, BHigh], &[TLow], BatteryOnly, On4),
+        // 10..11: battery F + temp L: almost everything at full speed
+        row(&[VeryHigh, High, Medium], &[Full], &[TLow], BatteryOnly, On1),
+        row(&[Low], &[Full], &[TLow], BatteryOnly, On2),
+        // 12: "- Power supply M,L -> ON1"
+        row(&[], &[], &[TMed, TLow], MainsOnly, On1),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyInputs;
+    use dpm_battery::PowerSource;
+
+    fn sel(priority: Priority, battery: BatteryClass, temperature: ThermalClass) -> PowerState {
+        table1()
+            .select(PolicyInputs {
+                priority,
+                battery,
+                temperature,
+                source: PowerSource::Battery,
+            })
+            .state
+    }
+
+    #[test]
+    fn paper_rows_fire_as_printed() {
+        use PowerState::*;
+        // row 0/1: very high priority emergencies -> ON4
+        assert_eq!(sel(VeryHigh, Empty, TLow), On4);
+        assert_eq!(sel(VeryHigh, Full, THigh), On4);
+        // row 2/3: everything else halts in emergencies
+        assert_eq!(sel(High, Empty, TLow), Sl1);
+        assert_eq!(sel(Medium, Empty, TMed), Sl1);
+        assert_eq!(sel(Low, Full, THigh), Sl1);
+        assert_eq!(sel(High, BMed, THigh), Sl1);
+        // row 4: battery low -> ON4 for everyone
+        assert_eq!(sel(VeryHigh, BLow, TLow), On4);
+        assert_eq!(sel(Low, BLow, TMed), On4);
+        // rows 6..9: priority ladder at battery M/H, temp L
+        assert_eq!(sel(VeryHigh, BMed, TLow), On1);
+        assert_eq!(sel(High, BMed, TLow), On2);
+        assert_eq!(sel(Medium, BHigh, TLow), On3);
+        assert_eq!(sel(Low, BHigh, TLow), On4);
+        // rows 10..11: battery Full, temp L
+        assert_eq!(sel(VeryHigh, Full, TLow), On1);
+        assert_eq!(sel(High, Full, TLow), On1);
+        assert_eq!(sel(Medium, Full, TLow), On1);
+        assert_eq!(sel(Low, Full, TLow), On2);
+    }
+
+    #[test]
+    fn mains_row_fires_on_power_supply() {
+        let rs = table1();
+        for t in [TLow, TMed] {
+            let s = rs.select(PolicyInputs {
+                priority: Low,
+                battery: Empty, // irrelevant on mains
+                temperature: t,
+                source: PowerSource::Mains,
+            });
+            assert_eq!(s.state, PowerState::On1);
+            assert!(!s.used_fallback);
+        }
+        // thermal emergency still bites on mains
+        let s = rs.select(PolicyInputs {
+            priority: Low,
+            battery: Full,
+            temperature: THigh,
+            source: PowerSource::Mains,
+        });
+        assert_eq!(s.state, PowerState::Sl1);
+    }
+
+    #[test]
+    fn row_5_is_shadowed_exactly() {
+        // "- E M -> ON4" can never fire: V E M hits row 0, {H,M,L} E M hits
+        // row 2. The analysis must find precisely this row.
+        assert_eq!(table1().shadowed(), vec![5]);
+    }
+
+    #[test]
+    fn uncovered_combinations_are_the_medium_temperature_gap() {
+        let rs = table1();
+        let gaps = rs.uncovered();
+        // Exactly the battery-powered (M/H/F battery, Medium temp) inputs
+        // lack a direct row: 4 priorities × 3 batteries = 12 combinations.
+        assert_eq!(gaps.len(), 12);
+        for g in &gaps {
+            assert_eq!(g.source, PowerSource::Battery);
+            assert_eq!(g.temperature, TMed);
+            assert!(matches!(g.battery, BMed | BHigh | Full), "{g}");
+        }
+    }
+
+    #[test]
+    fn fallback_resolves_medium_temperature_gap_reasonably() {
+        // battery Full, temp Medium: fallback demotes to temp Low ->
+        // priority ladder of the Full column.
+        assert_eq!(sel(VeryHigh, Full, TMed), PowerState::On1);
+        assert_eq!(sel(Low, Full, TMed), PowerState::On2);
+        assert_eq!(sel(Medium, BMed, TMed), PowerState::On3);
+        let s = table1().select(PolicyInputs {
+            priority: Medium,
+            battery: Full,
+            temperature: TMed,
+            source: PowerSource::Battery,
+        });
+        assert!(s.used_fallback);
+    }
+
+    #[test]
+    fn every_input_yields_a_state() {
+        let rs = table1();
+        for inputs in RuleSet::input_space() {
+            let s = rs.select(inputs);
+            // All states the table can produce are ON or SL1.
+            assert!(
+                s.state.is_execution() || s.state == PowerState::Sl1,
+                "{inputs} -> {}",
+                s.state
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_thirteen_rows() {
+        let printed = table1().to_string();
+        assert_eq!(table1().rules().len(), 13);
+        assert!(printed.contains("-> ON4"));
+        assert!(printed.contains("-> SL1"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Idle-time predictors.
+//!
+//! The paper (§1.3): *"The manager makes a prediction of the idle time.
+//! This prediction is compared with the … break-even time."* It does not
+//! fix the predictor, so this module provides the classic ones from the
+//! DPM literature behind one trait, selected through [`PredictorKind`]
+//! (and ablated in the benches).
+
+use core::fmt;
+use std::collections::VecDeque;
+
+use dpm_units::{SimDuration, SimTime};
+
+/// Observes the idle/busy alternation of one IP and predicts the length
+/// of the idle period that just started.
+pub trait IdlePredictor: fmt::Debug {
+    /// Called when the IP becomes idle.
+    fn idle_started(&mut self, now: SimTime);
+
+    /// Called when work arrives again, closing the current idle period.
+    fn idle_ended(&mut self, now: SimTime);
+
+    /// Predicted length of the current (or next) idle period.
+    fn predict(&self) -> SimDuration;
+}
+
+/// Predicts that the next idle period lasts as long as the previous one —
+/// the simplest renewal assumption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LastIdlePredictor {
+    started: Option<SimTime>,
+    last: Option<SimDuration>,
+    initial: SimDuration,
+}
+
+impl LastIdlePredictor {
+    /// Uses `initial` until the first idle period completes.
+    pub fn new(initial: SimDuration) -> Self {
+        Self {
+            started: None,
+            last: None,
+            initial,
+        }
+    }
+}
+
+impl IdlePredictor for LastIdlePredictor {
+    fn idle_started(&mut self, now: SimTime) {
+        self.started = Some(now);
+    }
+
+    fn idle_ended(&mut self, now: SimTime) {
+        if let Some(start) = self.started.take() {
+            self.last = Some(now.saturating_duration_since(start));
+        }
+    }
+
+    fn predict(&self) -> SimDuration {
+        self.last.unwrap_or(self.initial)
+    }
+}
+
+/// Exponentially weighted average of observed idle lengths
+/// (the Hwang–Wu predictor): `Iₙ₊₁ = α·iₙ + (1−α)·Iₙ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpAveragePredictor {
+    alpha: f64,
+    estimate_s: f64,
+    started: Option<SimTime>,
+}
+
+impl ExpAveragePredictor {
+    /// Smoothing factor `alpha` in `(0, 1]`, seeded with `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range `alpha`.
+    pub fn new(alpha: f64, initial: SimDuration) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Self {
+            alpha,
+            estimate_s: initial.as_secs_f64(),
+            started: None,
+        }
+    }
+}
+
+impl IdlePredictor for ExpAveragePredictor {
+    fn idle_started(&mut self, now: SimTime) {
+        self.started = Some(now);
+    }
+
+    fn idle_ended(&mut self, now: SimTime) {
+        if let Some(start) = self.started.take() {
+            let observed = now.saturating_duration_since(start).as_secs_f64();
+            self.estimate_s = self.alpha * observed + (1.0 - self.alpha) * self.estimate_s;
+        }
+    }
+
+    fn predict(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.estimate_s)
+    }
+}
+
+/// Always predicts the same duration (degenerate baseline; with a large
+/// constant it turns the LEM greedy, with zero it disables sleeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedPredictor {
+    value: SimDuration,
+}
+
+impl FixedPredictor {
+    /// Predicts `value` forever.
+    pub fn new(value: SimDuration) -> Self {
+        Self { value }
+    }
+}
+
+impl IdlePredictor for FixedPredictor {
+    fn idle_started(&mut self, _now: SimTime) {}
+    fn idle_ended(&mut self, _now: SimTime) {}
+    fn predict(&self) -> SimDuration {
+        self.value
+    }
+}
+
+/// Median of the last `k` observed idle lengths — robust to the
+/// heavy-tailed gap distributions bursty workloads produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPredictor {
+    window: VecDeque<SimDuration>,
+    k: usize,
+    started: Option<SimTime>,
+    initial: SimDuration,
+}
+
+impl WindowPredictor {
+    /// Median over the last `k` observations, seeded with `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn new(k: usize, initial: SimDuration) -> Self {
+        assert!(k > 0, "window size must be positive");
+        Self {
+            window: VecDeque::with_capacity(k),
+            k,
+            started: None,
+            initial,
+        }
+    }
+}
+
+impl IdlePredictor for WindowPredictor {
+    fn idle_started(&mut self, now: SimTime) {
+        self.started = Some(now);
+    }
+
+    fn idle_ended(&mut self, now: SimTime) {
+        if let Some(start) = self.started.take() {
+            if self.window.len() == self.k {
+                self.window.pop_front();
+            }
+            self.window.push_back(now.saturating_duration_since(start));
+        }
+    }
+
+    fn predict(&self) -> SimDuration {
+        if self.window.is_empty() {
+            return self.initial;
+        }
+        let mut sorted: Vec<SimDuration> = self.window.iter().copied().collect();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// Configuration enum mapping to a boxed predictor.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PredictorKind {
+    /// [`LastIdlePredictor`].
+    LastIdle,
+    /// [`ExpAveragePredictor`] with the given smoothing factor.
+    ExpAverage {
+        /// Smoothing factor in `(0, 1]`.
+        alpha: f64,
+    },
+    /// [`FixedPredictor`] with the given value in microseconds.
+    Fixed {
+        /// The constant prediction (µs).
+        value_us: u64,
+    },
+    /// [`WindowPredictor`] over the last `k` idle periods.
+    Window {
+        /// Window length.
+        k: usize,
+    },
+}
+
+impl PredictorKind {
+    /// Builds the predictor, seeding adaptives with `initial`.
+    pub fn build(self, initial: SimDuration) -> Box<dyn IdlePredictor + 'static> {
+        match self {
+            PredictorKind::LastIdle => Box::new(LastIdlePredictor::new(initial)),
+            PredictorKind::ExpAverage { alpha } => {
+                Box::new(ExpAveragePredictor::new(alpha, initial))
+            }
+            PredictorKind::Fixed { value_us } => {
+                Box::new(FixedPredictor::new(SimDuration::from_micros(value_us)))
+            }
+            PredictorKind::Window { k } => Box::new(WindowPredictor::new(k, initial)),
+        }
+    }
+}
+
+impl Default for PredictorKind {
+    /// The exponential average with the literature-typical `α = 0.5`.
+    fn default() -> Self {
+        PredictorKind::ExpAverage { alpha: 0.5 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimDuration {
+        SimDuration::from_micros(x)
+    }
+
+    fn feed(p: &mut dyn IdlePredictor, idles_us: &[u64]) {
+        let mut t = SimTime::ZERO;
+        for &idle in idles_us {
+            p.idle_started(t);
+            t += us(idle);
+            p.idle_ended(t);
+            t += us(100); // busy period
+        }
+    }
+
+    #[test]
+    fn last_idle_tracks_previous() {
+        let mut p = LastIdlePredictor::new(us(500));
+        assert_eq!(p.predict(), us(500), "seed before observations");
+        feed(&mut p, &[100, 300]);
+        assert_eq!(p.predict(), us(300));
+        feed(&mut p, &[50]);
+        assert_eq!(p.predict(), us(50));
+    }
+
+    #[test]
+    fn exp_average_converges_to_stationary_mean() {
+        let mut p = ExpAveragePredictor::new(0.5, us(0));
+        feed(&mut p, &[400; 20]);
+        let predicted = p.predict().as_secs_f64() * 1e6;
+        assert!((predicted - 400.0).abs() < 1.0, "{predicted} µs");
+    }
+
+    #[test]
+    fn exp_average_damps_outliers() {
+        let mut by_last = LastIdlePredictor::new(us(100));
+        let mut by_avg = ExpAveragePredictor::new(0.25, us(100));
+        let history = [100u64, 100, 100, 100, 5000];
+        feed(&mut by_last, &history);
+        feed(&mut by_avg, &history);
+        // the last-idle predictor swallows the outlier whole
+        assert_eq!(by_last.predict(), us(5000));
+        // the exponential average damps it to 100 + 0.25*(4900)
+        let avg_us = by_avg.predict().as_secs_f64() * 1e6;
+        assert!(avg_us < 1500.0, "{avg_us} µs");
+    }
+
+    #[test]
+    fn window_median_is_robust() {
+        let mut p = WindowPredictor::new(5, us(100));
+        assert_eq!(p.predict(), us(100));
+        feed(&mut p, &[200, 210, 190, 10_000, 205]);
+        let med = p.predict();
+        assert!(med >= us(190) && med <= us(210), "median {med}");
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut p = WindowPredictor::new(3, us(0));
+        feed(&mut p, &[10, 10, 10, 1000, 1000, 1000]);
+        assert_eq!(p.predict(), us(1000));
+    }
+
+    #[test]
+    fn fixed_never_learns() {
+        let mut p = FixedPredictor::new(us(42));
+        feed(&mut p, &[1, 10_000, 7]);
+        assert_eq!(p.predict(), us(42));
+    }
+
+    #[test]
+    fn kind_builds_the_right_impl() {
+        let p = PredictorKind::default().build(us(100));
+        assert_eq!(p.predict(), us(100));
+        let p = PredictorKind::Fixed { value_us: 7 }.build(us(100));
+        assert_eq!(p.predict(), us(7));
+        let p = PredictorKind::Window { k: 3 }.build(us(9));
+        assert_eq!(p.predict(), us(9));
+        let p = PredictorKind::LastIdle.build(us(11));
+        assert_eq!(p.predict(), us(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_rejected() {
+        let _ = ExpAveragePredictor::new(0.0, us(1));
+    }
+
+    #[test]
+    fn unmatched_idle_end_is_ignored() {
+        let mut p = LastIdlePredictor::new(us(77));
+        p.idle_ended(SimTime::from_micros(50)); // no started: no-op
+        assert_eq!(p.predict(), us(77));
+    }
+}

@@ -1,0 +1,328 @@
+//! The Power State Machine.
+//!
+//! The paper (§1.2): the PSM holds the ACPI-style state of its IP, and
+//! *"the LEM sets the power state to the PSM that communicates the actual
+//! state to the functional block"*. Transitions are not free: each takes
+//! the latency and energy of the IP's characterized
+//! [`TransitionTable`], during which the IP can do no useful work.
+//!
+//! Interface (all created by the SoC builder):
+//!
+//! * `cmd` fifo — target states commanded by the LEM; while a transition
+//!   is in flight the **latest** queued command wins (it reflects the
+//!   LEM's most recent intent).
+//! * `state` signal — the actual state, updated when a transition
+//!   *completes* (the functional IP reads its execution speed from this).
+//! * `busy` signal — `true` while a transition is in flight.
+//! * `trans_power` signal — the transition's energy spread over its
+//!   latency as average power, so the battery and thermal monitors see
+//!   transition costs with no extra plumbing.
+
+use dpm_kernel::{Ctx, EventId, Fifo, Process, ProcessId, Signal, Simulation};
+use dpm_power::{PowerState, TransitionTable};
+use dpm_units::{Energy, SimDuration, SimTime};
+
+/// Signal/fifo bundle of one PSM instance.
+#[derive(Debug, Clone, Copy)]
+pub struct PsmPorts {
+    /// Command fifo (LEM → PSM).
+    pub cmd: Fifo<PowerState>,
+    /// Actual power state (PSM → IP/LEM).
+    pub state: Signal<PowerState>,
+    /// Transition-in-flight flag.
+    pub busy: Signal<bool>,
+    /// Average transition power while busy (W).
+    pub trans_power: Signal<f64>,
+}
+
+/// Activity counters of one PSM.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PsmStats {
+    /// Completed transitions.
+    pub transitions: u64,
+    /// Commands ignored because the PSM was already in the target state.
+    pub redundant_commands: u64,
+    /// Commands superseded while a transition was in flight.
+    pub superseded_commands: u64,
+    /// Total time spent transitioning.
+    pub transition_time: SimDuration,
+    /// Total transition energy.
+    pub transition_energy: Energy,
+    /// Residency per state (index = `PowerState::index()`), updated on
+    /// each departure; call [`Psm::residency`] for a closed-out view.
+    pub time_in_state: [SimDuration; 9],
+}
+
+/// The Power State Machine process.
+pub struct Psm {
+    ports: PsmPorts,
+    table: TransitionTable,
+    current: PowerState,
+    in_flight: Option<PowerState>,
+    pending: Option<PowerState>,
+    done: EventId,
+    entered_current: SimTime,
+    stats: PsmStats,
+}
+
+impl Psm {
+    /// Creates a PSM named `name` starting in `initial`, returning its
+    /// ports and process id.
+    pub fn spawn(
+        sim: &mut Simulation,
+        name: &str,
+        table: TransitionTable,
+        initial: PowerState,
+    ) -> (PsmPorts, ProcessId) {
+        let cmd = sim.fifo(&format!("{name}.cmd"), 16);
+        let state = sim.signal(&format!("{name}.state"), initial);
+        let busy = sim.signal(&format!("{name}.busy"), false);
+        let trans_power = sim.signal(&format!("{name}.trans_power"), 0.0f64);
+        let done = sim.event(&format!("{name}.done"));
+        let ports = PsmPorts {
+            cmd,
+            state,
+            busy,
+            trans_power,
+        };
+        let psm = Psm {
+            ports,
+            table,
+            current: initial,
+            in_flight: None,
+            pending: None,
+            done,
+            entered_current: SimTime::ZERO,
+            stats: PsmStats::default(),
+        };
+        let pid = sim.add_process(name, psm);
+        sim.sensitize(pid, cmd.written_event());
+        sim.sensitize(pid, done);
+        (ports, pid)
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &PsmStats {
+        &self.stats
+    }
+
+    /// The state the PSM currently holds (post-run inspection).
+    pub fn current_state(&self) -> PowerState {
+        self.current
+    }
+
+    /// State residency including the still-open stay in the current state
+    /// up to `now`.
+    pub fn residency(&self, now: SimTime) -> [SimDuration; 9] {
+        let mut r = self.stats.time_in_state;
+        if self.in_flight.is_none() {
+            r[self.current.index()] += now.saturating_duration_since(self.entered_current);
+        }
+        r
+    }
+
+    fn start_transition(&mut self, ctx: &mut Ctx<'_>, target: PowerState) {
+        debug_assert!(self.in_flight.is_none());
+        if target == self.current {
+            self.stats.redundant_commands += 1;
+            return;
+        }
+        let cost = self.table.cost(self.current, target);
+        // close out residency of the departing state
+        self.stats.time_in_state[self.current.index()] +=
+            ctx.now().saturating_duration_since(self.entered_current);
+        self.stats.transition_time += cost.latency;
+        self.stats.transition_energy += cost.energy;
+        if cost.latency.is_zero() {
+            // Degenerate characterization: complete instantaneously (the
+            // energy still counts in the stats).
+            self.current = target;
+            self.entered_current = ctx.now();
+            self.stats.transitions += 1;
+            ctx.write(self.ports.state, target);
+            return;
+        }
+        self.in_flight = Some(target);
+        ctx.write(self.ports.busy, true);
+        ctx.write(
+            self.ports.trans_power,
+            cost.energy.as_joules() / cost.latency.as_secs_f64(),
+        );
+        ctx.notify(self.done, cost.latency);
+    }
+
+    fn complete_transition(&mut self, ctx: &mut Ctx<'_>) {
+        let target = self
+            .in_flight
+            .take()
+            .expect("done event without a transition in flight");
+        self.current = target;
+        self.entered_current = ctx.now();
+        self.stats.transitions += 1;
+        ctx.write(self.ports.state, target);
+        ctx.write(self.ports.busy, false);
+        ctx.write(self.ports.trans_power, 0.0);
+        if let Some(next) = self.pending.take() {
+            self.start_transition(ctx, next);
+        }
+    }
+}
+
+impl Process for Psm {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.entered_current = ctx.now();
+        ctx.write(self.ports.state, self.current);
+    }
+
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.triggered(self.done) {
+            self.complete_transition(ctx);
+        }
+        // Drain commands; the newest one expresses the LEM's current
+        // intent, earlier ones are superseded.
+        let mut desired = None;
+        while let Some(cmd) = ctx.fifo_pop(self.ports.cmd) {
+            if desired.is_some() {
+                self.stats.superseded_commands += 1;
+            }
+            desired = Some(cmd);
+        }
+        if let Some(target) = desired {
+            if self.in_flight.is_some() {
+                if self.pending.replace(target).is_some() {
+                    self.stats.superseded_commands += 1;
+                }
+            } else {
+                self.start_transition(ctx, target);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_power::IpPowerModel;
+    use dpm_units::SimTime;
+
+    fn setup(initial: PowerState) -> (Simulation, PsmPorts, ProcessId) {
+        let mut sim = Simulation::new();
+        let table = TransitionTable::for_model(&IpPowerModel::default_cpu());
+        let (ports, pid) = Psm::spawn(&mut sim, "psm", table, initial);
+        (sim, ports, pid)
+    }
+
+    /// Pushes one command at a given time.
+    struct Commander {
+        cmd: Fifo<PowerState>,
+        plan: Vec<(SimDuration, PowerState)>,
+        at: EventId,
+        idx: usize,
+    }
+    impl Process for Commander {
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some((d, _)) = self.plan.first() {
+                ctx.notify(self.at, *d);
+            }
+        }
+        fn react(&mut self, ctx: &mut Ctx<'_>) {
+            let (_, s) = self.plan[self.idx];
+            ctx.fifo_push(self.cmd, s).expect("cmd fifo full");
+            self.idx += 1;
+            if let Some((d, _)) = self.plan.get(self.idx) {
+                ctx.notify(self.at, *d);
+            }
+        }
+    }
+
+    fn with_commands(
+        initial: PowerState,
+        plan: Vec<(SimDuration, PowerState)>,
+    ) -> (Simulation, PsmPorts, ProcessId) {
+        let (mut sim, ports, pid) = setup(initial);
+        let at = sim.event("commander.at");
+        let cpid = sim.add_process(
+            "commander",
+            Commander {
+                cmd: ports.cmd,
+                plan,
+                at,
+                idx: 0,
+            },
+        );
+        sim.sensitize(cpid, at);
+        (sim, ports, pid)
+    }
+
+    #[test]
+    fn transition_takes_latency_and_publishes_power() {
+        let (mut sim, ports, pid) = with_commands(
+            PowerState::On1,
+            vec![(SimDuration::from_micros(10), PowerState::Sl2)],
+        );
+        // during the 20 µs down-transition the PSM is busy and dissipating
+        sim.run_until(SimTime::from_micros(15));
+        assert_eq!(sim.peek(ports.state), PowerState::On1, "state changes on completion");
+        assert!(sim.peek(ports.busy));
+        assert!(sim.peek(ports.trans_power) > 0.0);
+        // after it completes
+        sim.run_until(SimTime::from_micros(40));
+        assert_eq!(sim.peek(ports.state), PowerState::Sl2);
+        assert!(!sim.peek(ports.busy));
+        assert_eq!(sim.peek(ports.trans_power), 0.0);
+        let stats = sim.with_process::<Psm, _>(pid, |p| p.stats().clone());
+        assert_eq!(stats.transitions, 1);
+        assert!(stats.transition_energy > Energy::ZERO);
+    }
+
+    #[test]
+    fn latest_command_wins_while_in_flight() {
+        let (mut sim, ports, pid) = with_commands(
+            PowerState::On1,
+            vec![
+                (SimDuration::from_micros(10), PowerState::Sl4), // 500 µs down
+                (SimDuration::from_micros(50), PowerState::On2), // supersedes queue
+                (SimDuration::from_micros(10), PowerState::On3), // supersedes On2
+            ],
+        );
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.peek(ports.state), PowerState::On3);
+        let stats = sim.with_process::<Psm, _>(pid, |p| p.stats().clone());
+        // Sl4 then On3: exactly two transitions; On2 was superseded.
+        assert_eq!(stats.transitions, 2);
+        assert_eq!(stats.superseded_commands, 1);
+    }
+
+    #[test]
+    fn redundant_commands_are_cheap() {
+        let (mut sim, ports, pid) = with_commands(
+            PowerState::On1,
+            vec![
+                (SimDuration::from_micros(10), PowerState::On1),
+                (SimDuration::from_micros(10), PowerState::On1),
+            ],
+        );
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.peek(ports.state), PowerState::On1);
+        let stats = sim.with_process::<Psm, _>(pid, |p| p.stats().clone());
+        assert_eq!(stats.transitions, 0);
+        assert_eq!(stats.redundant_commands, 2);
+        assert_eq!(stats.transition_energy, Energy::ZERO);
+    }
+
+    #[test]
+    fn residency_accounts_for_all_time() {
+        let (mut sim, _ports, pid) = with_commands(
+            PowerState::On1,
+            vec![(SimDuration::from_micros(100), PowerState::Sl1)],
+        );
+        let horizon = SimTime::from_millis(1);
+        sim.run_until(horizon);
+        let (residency, stats) =
+            sim.with_process::<Psm, _>(pid, |p| (p.residency(horizon), p.stats().clone()));
+        let total: SimDuration = residency.iter().copied().sum();
+        assert_eq!(total + stats.transition_time, horizon - SimTime::ZERO);
+        assert!(residency[PowerState::On1.index()] >= SimDuration::from_micros(100));
+        assert!(residency[PowerState::Sl1.index()] > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,100 @@
+//! Golden pin of the complete Table 1 decision matrix.
+//!
+//! The shape tests elsewhere assert *relations*; this test pins every one
+//! of the 120 classified inputs to its exact selected state, so any
+//! accidental change to rule order, fallback behaviour or source
+//! interpretation shows up as a readable diff.
+
+use dpm_battery::{BatteryClass, PowerSource};
+use dpm_core::policy::{table1, PolicyInputs};
+use dpm_thermal::ThermalClass;
+use dpm_workload::Priority;
+
+/// Renders the decision matrix in a stable, reviewable text form:
+/// one line per (priority, battery) pair on battery power, states for
+/// temperature Low/Medium/High, `*` marking fallback resolutions.
+fn render_battery_matrix() -> String {
+    let rules = table1();
+    let mut out = String::new();
+    for p in Priority::ALL {
+        for b in BatteryClass::ALL {
+            let mut cells = Vec::new();
+            for t in ThermalClass::ALL {
+                let sel = rules.select(PolicyInputs {
+                    priority: p,
+                    battery: b,
+                    temperature: t,
+                    source: PowerSource::Battery,
+                });
+                cells.push(format!(
+                    "{}{}",
+                    sel.state.short_name(),
+                    if sel.used_fallback { "*" } else { "" }
+                ));
+            }
+            out.push_str(&format!("{}{}: {}\n", p.code(), b.code(), cells.join(" ")));
+        }
+    }
+    out
+}
+
+#[test]
+fn battery_powered_decision_matrix_is_pinned() {
+    let expected = "\
+LE: SL1 SL1 SL1
+LL: ON4 ON4 SL1
+LM: ON4 ON4* SL1
+LH: ON4 ON4* SL1
+LF: ON2 ON2* SL1
+ME: SL1 SL1 SL1
+ML: ON4 ON4 SL1
+MM: ON3 ON3* SL1
+MH: ON3 ON3* SL1
+MF: ON1 ON1* SL1
+HE: SL1 SL1 SL1
+HL: ON4 ON4 SL1
+HM: ON2 ON2* SL1
+HH: ON2 ON2* SL1
+HF: ON1 ON1* SL1
+VE: ON4 ON4 ON4
+VL: ON4 ON4 ON4
+VM: ON1 ON1* ON4
+VH: ON1 ON1* ON4
+VF: ON1 ON1* ON4
+";
+    assert_eq!(render_battery_matrix(), expected);
+}
+
+#[test]
+fn mains_powered_decisions_are_pinned() {
+    let rules = table1();
+    for p in Priority::ALL {
+        for b in BatteryClass::ALL {
+            for t in ThermalClass::ALL {
+                let sel = rules.select(PolicyInputs {
+                    priority: p,
+                    battery: b,
+                    temperature: t,
+                    source: PowerSource::Mains,
+                });
+                let expected = match (p, t) {
+                    // thermal emergency rows apply on mains too
+                    (Priority::VeryHigh, ThermalClass::High) => dpm_power::PowerState::On4,
+                    (_, ThermalClass::High) => dpm_power::PowerState::Sl1,
+                    // otherwise the "power supply" row: full speed
+                    _ => dpm_power::PowerState::On1,
+                };
+                assert_eq!(
+                    sel.state, expected,
+                    "mains {p}/{b}/{t}: got {}, want {expected}",
+                    sel.state
+                );
+                // the battery class must be irrelevant on mains
+                assert!(
+                    !sel.used_fallback || t == ThermalClass::Medium,
+                    "mains selection should not need battery fallbacks"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! A free-running clock generator (the `sc_clock` equivalent).
+//!
+//! The DPM simulation itself is event-driven, but the paper reports its
+//! simulation speed in kilo-clock-cycles per second — a metric that only
+//! makes sense for a clocked model. The `simspeed` bench runs the SoC in a
+//! cycle-accurate mode driven by this clock to reproduce that measurement.
+
+use dpm_units::SimDuration;
+
+use crate::ids::{EventId, ProcessId};
+use crate::process::{Ctx, Process};
+use crate::signal::Signal;
+use crate::sim::Simulation;
+
+/// A 50/50 duty-cycle clock driving a `bool` signal.
+///
+/// Counts rising edges; read the count back with
+/// [`Simulation::with_process`].
+///
+/// # Examples
+///
+/// ```
+/// use dpm_kernel::{Clock, Simulation};
+/// use dpm_units::{SimDuration, SimTime};
+///
+/// let mut sim = Simulation::new();
+/// let clk = Clock::spawn(&mut sim, "clk", SimDuration::from_nanos(10));
+/// sim.run_until(SimTime::from_nanos(100));
+/// let cycles = sim.with_process::<Clock, _>(clk.pid, |c| c.cycles());
+/// assert_eq!(cycles, 10); // rising edges at 5, 15, ..., 95 ns
+/// ```
+pub struct Clock {
+    signal: Signal<bool>,
+    tick: EventId,
+    half_high: SimDuration,
+    half_low: SimDuration,
+    level: bool,
+    cycles: u64,
+}
+
+/// Handles to a spawned [`Clock`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClockHandle {
+    /// The clock process (for cycle-count retrieval).
+    pub pid: ProcessId,
+    /// The clock signal (for sensitivity lists).
+    pub signal: Signal<bool>,
+}
+
+impl Clock {
+    /// Creates a clock named `name` with the given `period` and registers
+    /// it with the simulation. The first rising edge occurs at `period/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or the name is taken.
+    pub fn spawn(sim: &mut Simulation, name: &str, period: SimDuration) -> ClockHandle {
+        assert!(!period.is_zero(), "clock '{name}' period must be non-zero");
+        let signal = sim.signal(&format!("{name}.out"), false);
+        let tick = sim.event(&format!("{name}.tick"));
+        let half_low = period / 2;
+        let half_high = period - half_low;
+        let pid = sim.add_process(
+            name,
+            Clock {
+                signal,
+                tick,
+                half_high,
+                half_low,
+                level: false,
+                cycles: 0,
+            },
+        );
+        sim.sensitize(pid, tick);
+        ClockHandle { pid, signal }
+    }
+
+    /// Rising edges generated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The clock output signal.
+    pub fn signal(&self) -> Signal<bool> {
+        self.signal
+    }
+}
+
+impl Process for Clock {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.write(self.signal, false);
+        ctx.notify(self.tick, self.half_low);
+    }
+
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        self.level = !self.level;
+        ctx.write(self.signal, self.level);
+        if self.level {
+            self.cycles += 1;
+            ctx.notify(self.tick, self.half_high);
+        } else {
+            ctx.notify(self.tick, self.half_low);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_units::SimTime;
+
+    /// Counts rising edges of a bool signal through the sensitivity list.
+    struct EdgeCounter {
+        clk: Signal<bool>,
+        rising: u64,
+        falling: u64,
+    }
+
+    impl Process for EdgeCounter {
+        fn react(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.read(self.clk) {
+                self.rising += 1;
+            } else {
+                self.falling += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn clock_ticks_and_counts() {
+        let mut sim = Simulation::new();
+        let clk = Clock::spawn(&mut sim, "clk", SimDuration::from_nanos(10));
+        let counter = sim.add_process(
+            "counter",
+            EdgeCounter {
+                clk: clk.signal,
+                rising: 0,
+                falling: 0,
+            },
+        );
+        sim.sensitize_signal(counter, clk.signal);
+        sim.run_until(SimTime::from_nanos(100));
+        let cycles = sim.with_process::<Clock, _>(clk.pid, |c| c.cycles());
+        // edges at 5,10,15,...; rising at 5,15,...,95 => 10 rising edges;
+        // the horizon is inclusive, so the falling edge at t=100 counts too.
+        assert_eq!(cycles, 10);
+        let (rising, falling) =
+            sim.with_process::<EdgeCounter, _>(counter, |c| (c.rising, c.falling));
+        assert_eq!(rising, 10);
+        assert_eq!(falling, 10);
+    }
+
+    #[test]
+    fn odd_period_keeps_full_period_length() {
+        let mut sim = Simulation::new();
+        let clk = Clock::spawn(&mut sim, "clk", SimDuration::from_ps(3));
+        sim.run_until(SimTime::from_ps(300));
+        let cycles = sim.with_process::<Clock, _>(clk.pid, |c| c.cycles());
+        assert_eq!(cycles, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_period_rejected() {
+        let mut sim = Simulation::new();
+        let _ = Clock::spawn(&mut sim, "clk", SimDuration::ZERO);
+    }
+}

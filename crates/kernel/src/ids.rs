@@ -1,0 +1,62 @@
+//! Opaque handles for kernel-owned objects.
+
+use core::fmt;
+
+/// Handle to a method process registered with
+/// [`Simulation::add_process`](crate::Simulation::add_process).
+///
+/// Process ids are dense indices; the evaluate phase runs activated
+/// processes in ascending id order, which makes every simulation in this
+/// workspace deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    /// The dense index of this process.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// Handle to a kernel event (the `sc_event` equivalent).
+///
+/// Events are notified with a delay ([`Ctx::notify`](crate::Ctx::notify))
+/// or for the next delta cycle
+/// ([`Ctx::notify_delta`](crate::Ctx::notify_delta)); processes whose
+/// sensitivity list contains the event are activated when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// The dense index of this event.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert_eq!(ProcessId(3).to_string(), "proc#3");
+        assert_eq!(EventId(7).to_string(), "event#7");
+        assert_eq!(EventId(7).index(), 7);
+    }
+}

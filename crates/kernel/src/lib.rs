@@ -1,0 +1,76 @@
+//! A from-scratch discrete-event simulation kernel with SystemC semantics.
+//!
+//! The DATE'05 DPM architecture this workspace reproduces was evaluated in
+//! SystemC 2.0. No SystemC equivalent exists for Rust, so this crate
+//! re-implements the part of the SystemC kernel the architecture relies on:
+//!
+//! * **Two-phase scheduler** — processes run in an *evaluate* phase; signal
+//!   writes are buffered and committed in an *update* phase; value changes
+//!   trigger sensitive processes one *delta cycle* later. This reproduces
+//!   SystemC's determinism guarantee: within one delta, every process sees
+//!   the same signal values regardless of execution order.
+//! * **Events** ([`EventId`]) with timed and delta notification and
+//!   SystemC's earlier-notification-wins override rule.
+//! * **Method processes** ([`Process`]) — reactive state machines activated
+//!   by their static sensitivity list or self-scheduled events (the
+//!   `SC_METHOD` style; every module in the DPM architecture is naturally a
+//!   reactive FSM, so stackful `SC_THREAD` coroutines are not needed).
+//! * **Typed signals** ([`Signal`]) and **fifo channels** ([`Fifo`]) for
+//!   module communication, a [`Clock`] generator, **VCD waveform tracing**
+//!   (`sc_trace` equivalent) and a CSV sampler for analog quantities.
+//! * **Kernel statistics** ([`KernelStats`]) used by the benches that
+//!   reproduce the paper's Kcycle/s throughput figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpm_kernel::{Ctx, Process, Simulation};
+//! use dpm_units::{SimDuration, SimTime};
+//!
+//! struct Counter {
+//!     tick: dpm_kernel::EventId,
+//!     out: dpm_kernel::Signal<u64>,
+//!     n: u64,
+//! }
+//!
+//! impl Process for Counter {
+//!     fn init(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.notify(self.tick, SimDuration::from_nanos(10));
+//!     }
+//!     fn react(&mut self, ctx: &mut Ctx<'_>) {
+//!         self.n += 1;
+//!         ctx.write(self.out, self.n);
+//!         ctx.notify(self.tick, SimDuration::from_nanos(10));
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new();
+//! let out = sim.signal("counter.out", 0u64);
+//! let tick = sim.event("counter.tick");
+//! let pid = sim.add_process("counter", Counter { tick, out, n: 0 });
+//! sim.sensitize(pid, tick);
+//! sim.run_until(SimTime::from_nanos(95));
+//! assert_eq!(sim.peek(out), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod fifo;
+mod ids;
+mod process;
+mod sched;
+mod signal;
+mod sim;
+mod stats;
+mod trace;
+
+pub use clock::{Clock, ClockHandle};
+pub use fifo::Fifo;
+pub use ids::{EventId, ProcessId};
+pub use process::{Ctx, Process};
+pub use signal::{Signal, SignalValue};
+pub use sim::Simulation;
+pub use stats::{KernelStats, RunOutcome, StopReason};
+pub use trace::{CsvSampler, Traceable, VcdValue};

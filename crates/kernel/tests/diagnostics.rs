@@ -1,0 +1,139 @@
+//! Tests of the kernel's introspection surface: dumps, names, fifo
+//! levels and the statistics counters the benches rely on.
+
+use dpm_kernel::{Ctx, EventId, Fifo, Process, Signal, Simulation};
+use dpm_units::{SimDuration, SimTime};
+
+struct Producer {
+    out: Fifo<u32>,
+    sig: Signal<u32>,
+    tick: EventId,
+    remaining: u32,
+}
+
+impl Process for Producer {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.notify(self.tick, SimDuration::from_micros(1));
+    }
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let _ = ctx.fifo_push(self.out, self.remaining);
+            ctx.write(self.sig, self.remaining);
+            ctx.notify(self.tick, SimDuration::from_micros(1));
+        }
+    }
+}
+
+fn build() -> (Simulation, Fifo<u32>, Signal<u32>) {
+    let mut sim = Simulation::new();
+    let chan = sim.fifo::<u32>("soc.chan", 8);
+    let sig = sim.signal("soc.value", 99u32);
+    let tick = sim.event("producer.tick");
+    let pid = sim.add_process(
+        "producer",
+        Producer {
+            out: chan,
+            sig,
+            tick,
+            remaining: 3,
+        },
+    );
+    sim.sensitize(pid, tick);
+    (sim, chan, sig)
+}
+
+#[test]
+fn signal_dump_lists_names_and_values() {
+    let (mut sim, _, _) = build();
+    sim.run_until(SimTime::from_millis(1));
+    let dump = sim.signal_dump();
+    let entry = dump
+        .iter()
+        .find(|(name, _)| name == "soc.value")
+        .expect("signal listed");
+    assert_eq!(entry.1, "0");
+}
+
+#[test]
+fn fifo_levels_and_peek() {
+    let (mut sim, chan, _) = build();
+    sim.run_until(SimTime::from_millis(1));
+    let levels = sim.fifo_levels();
+    let (_, len, cap) = levels
+        .iter()
+        .find(|(name, _, _)| name == "soc.chan")
+        .expect("fifo listed");
+    assert_eq!((*len, *cap), (3, 8));
+    // contents in push order: 2, 1, 0
+    assert_eq!(sim.peek_fifo(chan), vec![2, 1, 0]);
+}
+
+#[test]
+fn names_are_retrievable() {
+    let (sim, chan, sig) = build();
+    assert_eq!(sim.event_name(sig.changed_event()), "soc.value.changed");
+    assert_eq!(sim.event_name(chan.written_event()), "soc.chan.written");
+    assert_eq!(sim.event_name(chan.read_event()), "soc.chan.read");
+    assert_eq!(sim.process_count(), 1);
+}
+
+#[test]
+fn stats_counters_add_up() {
+    let (mut sim, _, _) = build();
+    sim.run_until(SimTime::from_millis(1));
+    let stats = sim.stats();
+    // 4 activations: 3 producing ticks plus the final tick that finds
+    // `remaining == 0` and stops re-arming itself.
+    assert_eq!(stats.process_activations, 4);
+    // each activation commits one changed signal write
+    assert_eq!(stats.signal_changes, 3);
+    // timed tick fired three times, fifo written events fired too
+    assert!(stats.events_fired >= 3);
+    assert!(stats.delta_cycles >= 3);
+    assert!(stats.timesteps >= 3);
+    assert!(stats.wall > std::time::Duration::ZERO);
+}
+
+#[test]
+fn run_for_composes_with_run_until() {
+    let (mut sim, _, sig) = build();
+    sim.run_until(SimTime::from_micros(1));
+    assert_eq!(sim.peek(sig), 2);
+    sim.run_for(SimDuration::from_micros(1));
+    assert_eq!(sim.peek(sig), 1);
+    assert_eq!(sim.now(), SimTime::from_micros(2));
+    sim.run_for(SimDuration::from_millis(5));
+    assert_eq!(sim.peek(sig), 0);
+}
+
+#[test]
+fn is_pending_reflects_schedule() {
+    let mut sim = Simulation::new();
+    let ev = sim.event("solo");
+    struct Checker {
+        ev: EventId,
+        observed_pending: Option<bool>,
+    }
+    impl Process for Checker {
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.notify(self.ev, SimDuration::from_micros(5));
+            self.observed_pending = Some(ctx.is_pending(self.ev));
+        }
+        fn react(&mut self, ctx: &mut Ctx<'_>) {
+            // during dispatch the notification is consumed
+            self.observed_pending = Some(ctx.is_pending(self.ev));
+        }
+    }
+    let pid = sim.add_process(
+        "checker",
+        Checker {
+            ev,
+            observed_pending: None,
+        },
+    );
+    sim.sensitize(pid, ev);
+    sim.run_until(SimTime::from_micros(10));
+    let after = sim.with_process::<Checker, _>(pid, |c| c.observed_pending);
+    assert_eq!(after, Some(false), "consumed at fire time");
+}

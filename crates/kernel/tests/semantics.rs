@@ -1,0 +1,256 @@
+//! Cross-module semantics tests: determinism, delta-cycle visibility,
+//! fifo backpressure and event ordering under random schedules.
+
+use dpm_kernel::{Ctx, EventId, Fifo, Process, Signal, Simulation};
+use dpm_units::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Records the simulation time of every activation.
+struct TimeLogger {
+    log: Vec<SimTime>,
+}
+
+impl Process for TimeLogger {
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        self.log.push(ctx.now());
+    }
+}
+
+/// Schedules each `(event, delay)` pair once at init.
+struct OneShotScheduler {
+    plan: Vec<(EventId, SimDuration)>,
+}
+
+impl Process for OneShotScheduler {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        for (ev, d) in self.plan.drain(..) {
+            ctx.notify(ev, d);
+        }
+    }
+    fn react(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+#[test]
+fn events_fire_in_time_order() {
+    let mut sim = Simulation::new();
+    let logger_pid;
+    {
+        let delays = [17u64, 3, 99, 3, 42, 1];
+        let mut plan = Vec::new();
+        let mut events = Vec::new();
+        for (i, d) in delays.iter().enumerate() {
+            let ev = sim.event(&format!("e{i}"));
+            events.push(ev);
+            plan.push((ev, SimDuration::from_nanos(*d)));
+        }
+        logger_pid = sim.add_process("logger", TimeLogger { log: Vec::new() });
+        for ev in events {
+            sim.sensitize(logger_pid, ev);
+        }
+        let sched_pid = sim.add_process("sched", OneShotScheduler { plan });
+        let _ = sched_pid;
+    }
+    sim.run_until(SimTime::from_micros(1));
+    let log = sim.with_process::<TimeLogger, _>(logger_pid, |l| l.log.clone());
+    // Two events at 3 ns activate the logger once (one delta), so the log
+    // holds the *distinct* firing instants in ascending order.
+    let expected: Vec<SimTime> = [1u64, 3, 17, 42, 99]
+        .iter()
+        .map(|&ns| SimTime::from_nanos(ns))
+        .collect();
+    assert_eq!(log, expected);
+}
+
+/// Producer pushes a burst of items; consumer drains one per activation and
+/// re-arms itself, exercising the written/read event plumbing.
+struct Producer {
+    fifo: Fifo<u32>,
+    start: EventId,
+    items: u32,
+    pushed: u32,
+    rejected: u32,
+}
+
+impl Process for Producer {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.notify(self.start, SimDuration::from_nanos(5));
+    }
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        while self.pushed < self.items {
+            match ctx.fifo_push(self.fifo, self.pushed) {
+                Ok(()) => self.pushed += 1,
+                Err(_) => {
+                    self.rejected += 1;
+                    // retry when the consumer drained something
+                    return;
+                }
+            }
+        }
+    }
+}
+
+struct Consumer {
+    fifo: Fifo<u32>,
+    received: Vec<u32>,
+}
+
+impl Process for Consumer {
+    fn react(&mut self, ctx: &mut Ctx<'_>) {
+        // Drain everything available: the written event coalesces bursts
+        // (one notification per delta), so popping a single item per
+        // activation would strand the tail of the final burst.
+        while let Some(v) = ctx.fifo_pop(self.fifo) {
+            self.received.push(v);
+        }
+    }
+}
+
+#[test]
+fn fifo_backpressure_delivers_everything_in_order() {
+    let mut sim = Simulation::new();
+    let fifo = sim.fifo::<u32>("chan", 4);
+    let start = sim.event("start");
+    let prod = sim.add_process(
+        "producer",
+        Producer {
+            fifo,
+            start,
+            items: 100,
+            pushed: 0,
+            rejected: 0,
+        },
+    );
+    sim.sensitize(prod, start);
+    sim.sensitize(prod, fifo.read_event());
+    let cons = sim.add_process(
+        "consumer",
+        Consumer {
+            fifo,
+            received: Vec::new(),
+        },
+    );
+    sim.sensitize(cons, fifo.written_event());
+    sim.run_until(SimTime::from_millis(1));
+    let received = sim.with_process::<Consumer, _>(cons, |c| c.received.clone());
+    assert_eq!(received, (0..100).collect::<Vec<_>>());
+    let rejected = sim.with_process::<Producer, _>(prod, |p| p.rejected);
+    assert!(rejected > 0, "capacity 4 with 100 items must backpressure");
+}
+
+#[test]
+fn swap_pair_sees_consistent_snapshots() {
+    // Classic SystemC litmus: two processes each copy the *other's* signal
+    // in the same delta. With two-phase updates both read the pre-delta
+    // snapshot, so the values genuinely swap instead of racing.
+    let mut sim = Simulation::new();
+    let a = sim.signal("a", 1u32);
+    let b = sim.signal("b", 100u32);
+    let kick = sim.event("kick");
+
+    struct Swap {
+        src: Signal<u32>,
+        dst: Signal<u32>,
+    }
+    impl Process for Swap {
+        fn react(&mut self, ctx: &mut Ctx<'_>) {
+            let v = ctx.read(self.src);
+            ctx.write(self.dst, v);
+        }
+    }
+
+    let p1 = sim.add_process("p1", Swap { src: a, dst: b });
+    let p2 = sim.add_process("p2", Swap { src: b, dst: a });
+    sim.sensitize(p1, kick);
+    sim.sensitize(p2, kick);
+
+    let kicker = sim.add_process(
+        "kicker",
+        OneShotScheduler {
+            plan: vec![(kick, SimDuration::from_nanos(1))],
+        },
+    );
+    let _ = kicker;
+    sim.run_until(SimTime::from_nanos(1));
+    // True swap, no read/write race.
+    assert_eq!(sim.peek(a), 100);
+    assert_eq!(sim.peek(b), 1);
+}
+
+#[test]
+fn ring_oscillator_is_detected_as_runaway() {
+    // Two processes cross-sensitive to the signal the other one writes form
+    // a zero-delay oscillator; the kernel must abort instead of hanging.
+    let mut sim = Simulation::new();
+    let a = sim.signal("ring.a", 1u32);
+    let b = sim.signal("ring.b", 100u32);
+    let kick = sim.event("ring.kick");
+
+    struct Swap {
+        src: Signal<u32>,
+        dst: Signal<u32>,
+    }
+    impl Process for Swap {
+        fn react(&mut self, ctx: &mut Ctx<'_>) {
+            let v = ctx.read(self.src);
+            ctx.write(self.dst, v);
+        }
+    }
+
+    let p1 = sim.add_process("p1", Swap { src: a, dst: b });
+    let p2 = sim.add_process("p2", Swap { src: b, dst: a });
+    sim.sensitize(p1, kick);
+    sim.sensitize(p2, kick);
+    sim.sensitize_signal(p1, a);
+    sim.sensitize_signal(p2, b);
+    sim.add_process(
+        "kicker",
+        OneShotScheduler {
+            plan: vec![(kick, SimDuration::from_nanos(1))],
+        },
+    );
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.run_until(SimTime::from_nanos(2));
+    }));
+    let err = result.expect_err("oscillator must be detected");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("delta cycle runaway"), "got: {msg}");
+}
+
+fn run_random_schedule(delays: &[u64]) -> (Vec<SimTime>, u64) {
+    let mut sim = Simulation::new();
+    let mut plan = Vec::new();
+    let logger_pid = sim.add_process("logger", TimeLogger { log: Vec::new() });
+    for (i, d) in delays.iter().enumerate() {
+        let ev = sim.event(&format!("e{i}"));
+        sim.sensitize(logger_pid, ev);
+        plan.push((ev, SimDuration::from_nanos(*d)));
+    }
+    sim.add_process("sched", OneShotScheduler { plan });
+    sim.run_until(SimTime::from_secs(1));
+    let log = sim.with_process::<TimeLogger, _>(logger_pid, |l| l.log.clone());
+    (log, sim.stats().events_fired)
+}
+
+proptest! {
+    #[test]
+    fn random_schedules_fire_sorted_and_deterministic(
+        delays in prop::collection::vec(1u64..1_000_000, 1..40)
+    ) {
+        let (log1, fired1) = run_random_schedule(&delays);
+        let (log2, fired2) = run_random_schedule(&delays);
+        // determinism: bit-identical replay
+        prop_assert_eq!(&log1, &log2);
+        prop_assert_eq!(fired1, fired2);
+        // every distinct delay appears exactly once, in ascending order
+        let mut expected: Vec<u64> = delays.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let got: Vec<u64> = log1.iter().map(|t| t.as_ps() / 1000).collect();
+        prop_assert_eq!(got, expected);
+        // all events fired exactly once
+        prop_assert_eq!(fired1, delays.len() as u64);
+    }
+}

@@ -1,0 +1,343 @@
+//! Break-even analysis for sleep decisions.
+//!
+//! The paper (§1.3): *"This prediction is compared with the minimum time
+//! for which the state switching guarantees a reduction of energy
+//! dissipation, called break-even time."*
+
+use dpm_units::{Energy, Power, SimDuration};
+
+use crate::model::IpPowerModel;
+use crate::state::PowerState;
+use crate::transition::{TransitionCost, TransitionTable};
+
+/// The minimum idle duration for which `hold → sleep → hold` dissipates
+/// no more energy than simply holding.
+///
+/// With transition cost `E_tr` over `T_tr = T_down + T_up`:
+///
+/// * staying: `E_stay(T) = P_hold · T`
+/// * sleeping: `E_sleep(T) = E_tr + P_sleep · (T − T_tr)` for `T ≥ T_tr`
+///
+/// The break-even time is where the two meet, never less than `T_tr`
+/// itself. When the sleep state does not actually save power
+/// (`P_sleep ≥ P_hold`), there is no finite break-even time and
+/// [`SimDuration::MAX`] is returned.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_power::{break_even_time, IpPowerModel, PowerState, TransitionTable};
+///
+/// let m = IpPowerModel::default_cpu();
+/// let t = TransitionTable::for_model(&m);
+/// let tbe_light = break_even_time(
+///     m.idle_power(PowerState::On1),
+///     m.state_power(PowerState::Sl1),
+///     t.cost(PowerState::On1, PowerState::Sl1),
+///     t.cost(PowerState::Sl1, PowerState::On1),
+/// );
+/// let tbe_deep = break_even_time(
+///     m.idle_power(PowerState::On1),
+///     m.state_power(PowerState::Sl4),
+///     t.cost(PowerState::On1, PowerState::Sl4),
+///     t.cost(PowerState::Sl4, PowerState::On1),
+/// );
+/// assert!(tbe_deep > tbe_light, "deep sleep needs longer idle to pay off");
+/// ```
+pub fn break_even_time(
+    hold_power: Power,
+    sleep_power: Power,
+    down: TransitionCost,
+    up: TransitionCost,
+) -> SimDuration {
+    if hold_power <= sleep_power {
+        return SimDuration::MAX;
+    }
+    let t_tr = down.latency + up.latency;
+    let e_tr = down.energy + up.energy;
+    let numerator = e_tr.as_joules() - sleep_power.as_watts() * t_tr.as_secs_f64();
+    let denominator = (hold_power - sleep_power).as_watts();
+    let t = (numerator / denominator).max(0.0);
+    SimDuration::from_secs_f64(t).max(t_tr)
+}
+
+/// One sleep candidate with its break-even time and wake latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakEvenEntry {
+    /// The candidate sleep (or off) state.
+    pub state: PowerState,
+    /// Minimum profitable idle duration.
+    pub break_even: SimDuration,
+    /// Latency to resume execution from this state.
+    pub wake_latency: SimDuration,
+    /// Round-trip transition time (`hold → state → hold`).
+    pub transition_time: SimDuration,
+    /// Round-trip transition energy.
+    pub transition_energy: Energy,
+    /// Hold power while parked in the state.
+    pub sleep_power: Power,
+}
+
+impl BreakEvenEntry {
+    /// Estimated energy of spending an idle period of length `idle` in
+    /// this state (transition round trip plus residency).
+    pub fn idle_energy(&self, idle: SimDuration) -> Energy {
+        self.transition_energy
+            + self.sleep_power * idle.saturating_sub(self.transition_time)
+    }
+}
+
+/// Break-even times of every sleep state (and soft-off) from a given hold
+/// state, used by the LEM to pick the deepest profitable sleep state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakEvenTable {
+    hold: PowerState,
+    hold_power: Power,
+    entries: Vec<BreakEvenEntry>,
+}
+
+impl BreakEvenTable {
+    /// Computes the table for idling in `hold` (usually the ON state the
+    /// IP would otherwise wait in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hold` is not an execution state.
+    pub fn compute(model: &IpPowerModel, transitions: &TransitionTable, hold: PowerState) -> Self {
+        assert!(
+            hold.is_execution(),
+            "break-even tables are computed for execution states, got {hold}"
+        );
+        let hold_power = model.idle_power(hold);
+        let mut entries = Vec::with_capacity(5);
+        for state in PowerState::SLEEP.into_iter().chain([PowerState::SoftOff]) {
+            let down = transitions.cost(hold, state);
+            let up = transitions.cost(state, hold);
+            let sleep_power = model.state_power(state);
+            entries.push(BreakEvenEntry {
+                state,
+                break_even: break_even_time(hold_power, sleep_power, down, up),
+                wake_latency: up.latency,
+                transition_time: down.latency + up.latency,
+                transition_energy: down.energy + up.energy,
+                sleep_power,
+            });
+        }
+        Self {
+            hold,
+            hold_power,
+            entries,
+        }
+    }
+
+    /// The hold state this table was computed for.
+    pub fn hold_state(&self) -> PowerState {
+        self.hold
+    }
+
+    /// All entries, lightest sleep first, soft-off last.
+    pub fn entries(&self) -> &[BreakEvenEntry] {
+        &self.entries
+    }
+
+    /// The most power-frugal state whose break-even time fits within
+    /// `predicted_idle` and whose wake latency does not exceed
+    /// `max_wake_latency` (if given). `None` means "stay awake".
+    ///
+    /// This is the paper's heuristic. It is *not* always energy-optimal:
+    /// when a deep state's transition energy is large relative to the
+    /// hold-power gap, a lighter state can beat it even for idles past
+    /// the deep state's break-even — see
+    /// [`cheapest_within`](Self::cheapest_within).
+    pub fn deepest_within(
+        &self,
+        predicted_idle: SimDuration,
+        max_wake_latency: Option<SimDuration>,
+    ) -> Option<PowerState> {
+        self.entries
+            .iter()
+            .filter(|e| e.break_even <= predicted_idle)
+            .filter(|e| max_wake_latency.is_none_or(|max| e.wake_latency <= max))
+            .last()
+            .map(|e| e.state)
+    }
+
+    /// The state minimizing the *estimated energy* of an idle period of
+    /// `predicted_idle` (round-trip transition energy plus residency),
+    /// subject to the wake-latency cap. `None` means staying awake is the
+    /// cheapest option. Extension over the paper's deepest-profitable
+    /// heuristic.
+    pub fn cheapest_within(
+        &self,
+        predicted_idle: SimDuration,
+        max_wake_latency: Option<SimDuration>,
+    ) -> Option<PowerState> {
+        let stay_awake = self.hold_power * predicted_idle;
+        self.entries
+            .iter()
+            .filter(|e| e.transition_time <= predicted_idle)
+            .filter(|e| max_wake_latency.is_none_or(|max| e.wake_latency <= max))
+            .map(|e| (e.state, e.idle_energy(predicted_idle)))
+            .filter(|(_, energy)| *energy < stay_awake)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("energies are finite"))
+            .map(|(state, _)| state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_units::Energy;
+
+    fn setup() -> (IpPowerModel, TransitionTable) {
+        let m = IpPowerModel::default_cpu();
+        let t = TransitionTable::for_model(&m);
+        (m, t)
+    }
+
+    #[test]
+    fn break_even_never_below_transition_time() {
+        let (m, t) = setup();
+        for s in PowerState::SLEEP {
+            let down = t.cost(PowerState::On1, s);
+            let up = t.cost(s, PowerState::On1);
+            let tbe = break_even_time(
+                m.idle_power(PowerState::On1),
+                m.state_power(s),
+                down,
+                up,
+            );
+            assert!(tbe >= down.latency + up.latency, "{s}");
+        }
+    }
+
+    #[test]
+    fn useless_sleep_state_has_no_break_even() {
+        let tbe = break_even_time(
+            Power::from_milliwatts(1.0),
+            Power::from_milliwatts(2.0), // "sleep" burns more than holding
+            TransitionCost::FREE,
+            TransitionCost::FREE,
+        );
+        assert_eq!(tbe, SimDuration::MAX);
+    }
+
+    #[test]
+    fn zero_cost_transition_break_even_is_transition_time() {
+        let tbe = break_even_time(
+            Power::from_milliwatts(10.0),
+            Power::ZERO,
+            TransitionCost::FREE,
+            TransitionCost::FREE,
+        );
+        assert_eq!(tbe, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deeper_states_have_longer_break_even() {
+        let (m, t) = setup();
+        let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
+        let times: Vec<SimDuration> = table.entries().iter().map(|e| e.break_even).collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "break-even must not shrink with depth: {times:?}");
+        }
+    }
+
+    #[test]
+    fn deepest_within_picks_correct_state() {
+        let (m, t) = setup();
+        let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
+        // A very short idle: nothing pays off.
+        assert_eq!(
+            table.deepest_within(SimDuration::from_micros(1), None),
+            None
+        );
+        // A long idle: at least Sl2 pays off; result must be a sleep state
+        // at least as deep as what a medium idle returns.
+        let medium = table.deepest_within(SimDuration::from_millis(1), None);
+        let long = table.deepest_within(SimDuration::from_secs(10), None);
+        assert!(medium.is_some());
+        assert!(long.is_some());
+        assert!(long.unwrap() <= medium.unwrap(), "deeper == less wakeful");
+    }
+
+    #[test]
+    fn wake_latency_constraint_limits_depth() {
+        let (m, t) = setup();
+        let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
+        let unconstrained = table.deepest_within(SimDuration::from_secs(10), None);
+        let constrained =
+            table.deepest_within(SimDuration::from_secs(10), Some(SimDuration::from_micros(50)));
+        assert!(unconstrained.unwrap() < constrained.unwrap_or(PowerState::On1));
+        // with a 50 µs wake budget only Sl1 (10 µs wake) qualifies
+        assert_eq!(constrained, Some(PowerState::Sl1));
+    }
+
+    #[test]
+    #[should_panic(expected = "execution states")]
+    fn table_from_sleep_state_rejected() {
+        let (m, t) = setup();
+        let _ = BreakEvenTable::compute(&m, &t, PowerState::Sl1);
+    }
+
+    #[test]
+    fn cheapest_never_loses_to_deepest() {
+        let (m, t) = setup();
+        let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
+        for idle_us in [50u64, 200, 1_000, 5_000, 20_000, 100_000] {
+            let idle = SimDuration::from_micros(idle_us);
+            let cheapest = table.cheapest_within(idle, None);
+            let deepest = table.deepest_within(idle, None);
+            let energy_of = |s: Option<PowerState>| match s {
+                Some(state) => table
+                    .entries()
+                    .iter()
+                    .find(|e| e.state == state)
+                    .unwrap()
+                    .idle_energy(idle),
+                None => m.idle_power(PowerState::On1) * idle,
+            };
+            assert!(
+                energy_of(cheapest).as_joules() <= energy_of(deepest).as_joules() + 1e-15,
+                "idle {idle}: cheapest {cheapest:?} must not lose to deepest {deepest:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cheapest_beats_deepest_for_medium_idles() {
+        // For ~10 ms idles the deep states' transition energy exceeds the
+        // light states' residual hold energy, so the heuristics disagree —
+        // the motivating case for the energy-optimal selector.
+        let (m, t) = setup();
+        let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
+        let idle = SimDuration::from_millis(10);
+        let cheapest = table.cheapest_within(idle, None).unwrap();
+        let deepest = table.deepest_within(idle, None).unwrap();
+        assert!(
+            cheapest > deepest,
+            "cheapest {cheapest} should be lighter than deepest {deepest}"
+        );
+    }
+
+    #[test]
+    fn cheapest_declines_tiny_idles() {
+        let (m, t) = setup();
+        let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
+        assert_eq!(table.cheapest_within(SimDuration::from_micros(1), None), None);
+        let _ = m;
+    }
+
+    #[test]
+    fn manual_formula_crosscheck() {
+        // P_hold = 100 mW, P_sleep = 10 mW, E_tr = 1 mJ, T_tr = 1 ms
+        // T* = (1e-3 - 0.01*1e-3) / 0.09 = 11.0 ms
+        let tbe = break_even_time(
+            Power::from_milliwatts(100.0),
+            Power::from_milliwatts(10.0),
+            TransitionCost::new(SimDuration::from_micros(500), Energy::from_millijoules(0.5)),
+            TransitionCost::new(SimDuration::from_micros(500), Energy::from_millijoules(0.5)),
+        );
+        assert!((tbe.as_secs_f64() - 0.011).abs() < 1e-9, "{tbe}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Variable-voltage operating points for the execution states.
+//!
+//! The paper (§1.2): *"The voltage-scaling technique optimizes power
+//! consumption decreasing clock frequency and supply voltage in an
+//! appropriate way."* A [`DvfsLadder`] holds the four (frequency, voltage)
+//! pairs of `ON1..ON4`, validated to be monotonically decreasing.
+
+use dpm_units::{Frequency, Voltage};
+
+use crate::state::{OnLevel, PowerState};
+
+/// A single (clock frequency, supply voltage) pair.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OperatingPoint {
+    /// Clock frequency of the execution state.
+    pub frequency: Frequency,
+    /// Supply voltage of the execution state.
+    pub voltage: Voltage,
+}
+
+impl OperatingPoint {
+    /// A new operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive frequency or voltage.
+    pub fn new(frequency: Frequency, voltage: Voltage) -> Self {
+        assert!(
+            frequency.value() > 0.0 && frequency.is_finite(),
+            "operating point frequency must be positive"
+        );
+        assert!(
+            voltage.as_volts() > 0.0 && voltage.is_finite(),
+            "operating point voltage must be positive"
+        );
+        Self { frequency, voltage }
+    }
+
+    /// Relative dynamic power versus a reference point: `(V/V₀)²·(f/f₀)`.
+    pub fn dynamic_power_ratio(&self, reference: &OperatingPoint) -> f64 {
+        (self.voltage.squared() / reference.voltage.squared())
+            * (self.frequency / reference.frequency)
+    }
+
+    /// Relative energy-per-cycle versus a reference point: `(V/V₀)²`.
+    pub fn energy_per_cycle_ratio(&self, reference: &OperatingPoint) -> f64 {
+        self.voltage.squared() / reference.voltage.squared()
+    }
+}
+
+/// The four operating points of `ON1..ON4`, fastest first.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_power::{DvfsLadder, PowerState};
+///
+/// let ladder = DvfsLadder::default_cpu();
+/// let on1 = ladder.point_for(PowerState::On1).unwrap();
+/// let on4 = ladder.point_for(PowerState::On4).unwrap();
+/// assert!(on1.frequency > on4.frequency);
+/// assert!(on1.voltage > on4.voltage);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DvfsLadder {
+    points: [OperatingPoint; 4],
+}
+
+impl DvfsLadder {
+    /// A ladder from four points (`ON1` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both frequency and voltage strictly decrease from
+    /// `ON1` to `ON4` (the paper's "decreasing speed and power").
+    pub fn new(points: [OperatingPoint; 4]) -> Self {
+        for w in points.windows(2) {
+            assert!(
+                w[0].frequency > w[1].frequency,
+                "DVFS ladder frequencies must strictly decrease from ON1 to ON4"
+            );
+            assert!(
+                w[0].voltage >= w[1].voltage,
+                "DVFS ladder voltages must not increase from ON1 to ON4"
+            );
+        }
+        Self { points }
+    }
+
+    /// The default ladder used throughout the workspace: a 200 MHz-class
+    /// embedded core scaled 1.0×/0.75×/0.5×/0.25× with a 1.8 V → 1.2 V
+    /// rail. The `ON4/ON1` energy-per-cycle ratio is `(1.2/1.8)² ≈ 0.44`,
+    /// which is what makes the paper's ~55 % battery-Low saving possible.
+    pub fn default_cpu() -> Self {
+        Self::new([
+            OperatingPoint::new(Frequency::from_mega_hertz(200.0), Voltage::from_volts(1.8)),
+            OperatingPoint::new(Frequency::from_mega_hertz(150.0), Voltage::from_volts(1.6)),
+            OperatingPoint::new(Frequency::from_mega_hertz(100.0), Voltage::from_volts(1.4)),
+            OperatingPoint::new(Frequency::from_mega_hertz(50.0), Voltage::from_volts(1.2)),
+        ])
+    }
+
+    /// The operating point of execution level `level`.
+    #[inline]
+    pub fn point(&self, level: OnLevel) -> OperatingPoint {
+        self.points[(level.get() - 1) as usize]
+    }
+
+    /// The operating point for `state`, or `None` for sleep/off states.
+    #[inline]
+    pub fn point_for(&self, state: PowerState) -> Option<OperatingPoint> {
+        state.on_level().map(|l| self.point(l))
+    }
+
+    /// The clock frequency of `state` (`None` for sleep/off states).
+    #[inline]
+    pub fn frequency(&self, state: PowerState) -> Option<Frequency> {
+        self.point_for(state).map(|p| p.frequency)
+    }
+
+    /// The nominal (fastest) operating point, `ON1`.
+    #[inline]
+    pub fn nominal(&self) -> OperatingPoint {
+        self.points[0]
+    }
+
+    /// Iterates `(state, point)` pairs, `ON1` first.
+    pub fn iter(&self) -> impl Iterator<Item = (PowerState, OperatingPoint)> + '_ {
+        PowerState::EXECUTION
+            .iter()
+            .copied()
+            .zip(self.points.iter().copied())
+    }
+
+    /// Slowdown factor of `state` relative to `ON1` (`>= 1`).
+    pub fn slowdown(&self, state: PowerState) -> Option<f64> {
+        self.frequency(state)
+            .map(|f| self.nominal().frequency / f)
+    }
+}
+
+impl Default for DvfsLadder {
+    fn default() -> Self {
+        Self::default_cpu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_is_monotone() {
+        let ladder = DvfsLadder::default_cpu();
+        let freqs: Vec<f64> = ladder.iter().map(|(_, p)| p.frequency.value()).collect();
+        assert!(freqs.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn slowdown_relative_to_on1() {
+        let ladder = DvfsLadder::default_cpu();
+        assert!((ladder.slowdown(PowerState::On1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((ladder.slowdown(PowerState::On4).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(ladder.slowdown(PowerState::Sl1), None);
+    }
+
+    #[test]
+    fn dynamic_ratios_follow_cv2f() {
+        let ladder = DvfsLadder::default_cpu();
+        let on1 = ladder.nominal();
+        let on4 = ladder.point(OnLevel::new(4));
+        // (1.2/1.8)^2 * (50/200) = 0.4444 * 0.25
+        assert!((on4.dynamic_power_ratio(&on1) - 0.4444444 * 0.25).abs() < 1e-6);
+        assert!((on4.energy_per_cycle_ratio(&on1) - 0.4444444).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decrease")]
+    fn non_monotone_frequency_rejected() {
+        let p = |mhz: f64, v: f64| {
+            OperatingPoint::new(Frequency::from_mega_hertz(mhz), Voltage::from_volts(v))
+        };
+        let _ = DvfsLadder::new([p(100.0, 1.8), p(150.0, 1.6), p(50.0, 1.4), p(25.0, 1.2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_frequency_rejected() {
+        let _ = OperatingPoint::new(Frequency::ZERO, Voltage::from_volts(1.0));
+    }
+}

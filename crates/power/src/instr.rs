@@ -1,0 +1,229 @@
+//! Instruction classes and mixes.
+//!
+//! The paper (§1.2): *"During the power characterization of the IP an
+//! average energy dissipation is associated to each power state and type
+//! of instructions the IP is executing."* Instruction classes carry an
+//! energy weight (relative switched capacitance) and a CPI so that task
+//! duration and energy both depend on what the task executes.
+
+use core::fmt;
+
+/// A coarse instruction type, as produced by IP power characterization.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum InstructionClass {
+    /// Arithmetic/logic operations: cheap, single cycle.
+    Alu,
+    /// Control flow: slightly more expensive (pipeline disruption).
+    Control,
+    /// Memory accesses: multi-cycle, high switching activity.
+    Memory,
+    /// I/O and bus transactions: slowest, most energy per instruction.
+    Io,
+}
+
+impl InstructionClass {
+    /// All classes.
+    pub const ALL: [InstructionClass; 4] = [
+        InstructionClass::Alu,
+        InstructionClass::Control,
+        InstructionClass::Memory,
+        InstructionClass::Io,
+    ];
+
+    /// Dense index into [`InstructionClass::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            InstructionClass::Alu => 0,
+            InstructionClass::Control => 1,
+            InstructionClass::Memory => 2,
+            InstructionClass::Io => 3,
+        }
+    }
+
+    /// Relative switching-activity weight (energy per instruction scales
+    /// with this; `Alu` is the 1.0 reference).
+    #[inline]
+    pub const fn activity_weight(self) -> f64 {
+        match self {
+            InstructionClass::Alu => 1.0,
+            InstructionClass::Control => 1.2,
+            InstructionClass::Memory => 1.9,
+            InstructionClass::Io => 2.6,
+        }
+    }
+
+    /// Average cycles per instruction of this class.
+    #[inline]
+    pub const fn cpi(self) -> f64 {
+        match self {
+            InstructionClass::Alu => 1.0,
+            InstructionClass::Control => 1.5,
+            InstructionClass::Memory => 3.0,
+            InstructionClass::Io => 6.0,
+        }
+    }
+}
+
+impl fmt::Display for InstructionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstructionClass::Alu => "alu",
+            InstructionClass::Control => "control",
+            InstructionClass::Memory => "memory",
+            InstructionClass::Io => "io",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A normalized blend of instruction classes describing a task.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_power::{InstructionClass, InstructionMix};
+///
+/// let mix = InstructionMix::new([0.6, 0.1, 0.25, 0.05]);
+/// assert!((mix.fraction(InstructionClass::Alu) - 0.6).abs() < 1e-12);
+/// assert!(mix.average_cpi() > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InstructionMix {
+    fractions: [f64; 4],
+}
+
+impl InstructionMix {
+    /// A mix from per-class weights (`[alu, control, memory, io]`).
+    /// Weights are normalized to sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative/NaN or all weights are zero.
+    pub fn new(weights: [f64; 4]) -> Self {
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0) && sum > 0.0,
+            "instruction mix weights must be non-negative with a positive sum, got {weights:?}"
+        );
+        Self {
+            fractions: weights.map(|w| w / sum),
+        }
+    }
+
+    /// A pure single-class mix.
+    pub fn pure(class: InstructionClass) -> Self {
+        let mut w = [0.0; 4];
+        w[class.index()] = 1.0;
+        Self { fractions: w }
+    }
+
+    /// A typical compute-dominated mix.
+    pub fn typical_compute() -> Self {
+        Self::new([0.55, 0.15, 0.25, 0.05])
+    }
+
+    /// A memory/IO-heavy streaming mix.
+    pub fn typical_streaming() -> Self {
+        Self::new([0.25, 0.10, 0.40, 0.25])
+    }
+
+    /// Fraction of instructions in `class` (sums to 1 across classes).
+    #[inline]
+    pub fn fraction(&self, class: InstructionClass) -> f64 {
+        self.fractions[class.index()]
+    }
+
+    /// Mix-weighted average activity weight.
+    pub fn average_activity(&self) -> f64 {
+        InstructionClass::ALL
+            .iter()
+            .map(|c| self.fraction(*c) * c.activity_weight())
+            .sum()
+    }
+
+    /// Mix-weighted average CPI.
+    pub fn average_cpi(&self) -> f64 {
+        InstructionClass::ALL
+            .iter()
+            .map(|c| self.fraction(*c) * c.cpi())
+            .sum()
+    }
+}
+
+impl Default for InstructionMix {
+    /// The compute-dominated mix.
+    fn default() -> Self {
+        Self::typical_compute()
+    }
+}
+
+impl fmt::Display for InstructionMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "alu {:.0}% / ctl {:.0}% / mem {:.0}% / io {:.0}%",
+            self.fractions[0] * 100.0,
+            self.fractions[1] * 100.0,
+            self.fractions[2] * 100.0,
+            self.fractions[3] * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_normalize() {
+        let mix = InstructionMix::new([2.0, 2.0, 4.0, 2.0]);
+        assert!((mix.fraction(InstructionClass::Memory) - 0.4).abs() < 1e-12);
+        let total: f64 = InstructionClass::ALL.iter().map(|c| mix.fraction(*c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_mix_has_class_properties() {
+        let mix = InstructionMix::pure(InstructionClass::Io);
+        assert_eq!(mix.average_cpi(), InstructionClass::Io.cpi());
+        assert_eq!(mix.average_activity(), InstructionClass::Io.activity_weight());
+    }
+
+    #[test]
+    fn heavier_classes_cost_more() {
+        assert!(InstructionClass::Io.activity_weight() > InstructionClass::Alu.activity_weight());
+        assert!(InstructionClass::Memory.cpi() > InstructionClass::Control.cpi());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let _ = InstructionMix::new([1.0, -0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_weights_rejected() {
+        let _ = InstructionMix::new([0.0; 4]);
+    }
+
+    #[test]
+    fn streaming_is_heavier_than_compute() {
+        let c = InstructionMix::typical_compute();
+        let s = InstructionMix::typical_streaming();
+        assert!(s.average_activity() > c.average_activity());
+        assert!(s.average_cpi() > c.average_cpi());
+    }
+}

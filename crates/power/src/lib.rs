@@ -1,0 +1,60 @@
+//! Power states, DVFS operating points, energy models and break-even
+//! analysis for the DATE'05 dynamic power management architecture.
+//!
+//! The paper's Power State Machine follows the ACPI recommendation: one
+//! soft-off state, four sleep states `SL1..SL4` and four execution states
+//! `ON1..ON4` implementing the variable-voltage technique. This crate
+//! provides:
+//!
+//! * [`PowerState`] — the nine-state ACPI-style state space, ordered by
+//!   "wakefulness" (`SoftOff < SL4 < … < SL1 < ON4 < … < ON1`).
+//! * [`OperatingPoint`] / [`DvfsLadder`] — the (frequency, voltage) pairs
+//!   of the four execution states, with CMOS `C·V²·f` scaling.
+//! * [`InstructionClass`] / [`InstructionMix`] — the paper associates "an
+//!   average energy dissipation … to each power state and type of
+//!   instructions the IP is executing"; instruction classes carry both an
+//!   energy weight and a CPI (cycles per instruction).
+//! * [`IpPowerModel`] — per-state active/idle/sleep power, per-instruction
+//!   energy, and an optional temperature-dependent leakage term.
+//! * [`TransitionTable`] — delay and energy cost of every state pair (the
+//!   paper: "the DPM algorithm used considers the cost in terms of delay
+//!   and power dissipation of the transition between two power states").
+//! * [`break_even_time`] — the minimum idle time for which entering a
+//!   sleep state saves energy, used by the LEM's sleep decision.
+//! * [`EnergyMeter`] — piecewise-constant power integration with per-state
+//!   attribution, feeding the battery/thermal models and the metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_power::{IpPowerModel, PowerState, TransitionTable, break_even_time};
+//!
+//! let model = IpPowerModel::default_cpu();
+//! let table = TransitionTable::for_model(&model);
+//! let tbe = break_even_time(
+//!     model.idle_power(PowerState::On1),
+//!     model.state_power(PowerState::Sl2),
+//!     table.cost(PowerState::On1, PowerState::Sl2),
+//!     table.cost(PowerState::Sl2, PowerState::On1),
+//! );
+//! assert!(tbe > dpm_units::SimDuration::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breakeven;
+mod dvfs;
+mod instr;
+mod meter;
+mod model;
+mod state;
+mod transition;
+
+pub use breakeven::{break_even_time, BreakEvenEntry, BreakEvenTable};
+pub use dvfs::{DvfsLadder, OperatingPoint};
+pub use instr::{InstructionClass, InstructionMix};
+pub use meter::EnergyMeter;
+pub use model::{IpPowerModel, IpPowerModelBuilder, LeakageModel};
+pub use state::{OnLevel, PowerState, SleepLevel, StateKind};
+pub use transition::{TransitionCost, TransitionTable};

@@ -1,0 +1,194 @@
+//! Piecewise-constant energy integration with per-state attribution.
+
+use dpm_units::{Energy, Power, SimTime};
+
+use crate::state::PowerState;
+
+/// Integrates a piecewise-constant power trace into energy, attributing
+/// each slice to the power state the IP was in, plus impulse energies for
+/// state transitions.
+///
+/// The owner calls [`set_power`](Self::set_power) /
+/// [`set_state`](Self::set_state) at every change and
+/// [`finish`](Self::finish) (or [`advance`](Self::advance)) before reading
+/// totals.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_power::{EnergyMeter, PowerState};
+/// use dpm_units::{Power, SimTime};
+///
+/// let mut meter = EnergyMeter::new(SimTime::ZERO, PowerState::On1, Power::from_watts(1.0));
+/// meter.set_power(SimTime::from_millis(2), Power::from_watts(0.5));
+/// meter.advance(SimTime::from_millis(4));
+/// assert!((meter.total().as_joules() - 0.003).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyMeter {
+    last: SimTime,
+    power: Power,
+    state: PowerState,
+    total: Energy,
+    by_state: [Energy; 9],
+    transition: Energy,
+    transition_count: u64,
+}
+
+impl EnergyMeter {
+    /// A meter starting at `t0` in `state` drawing `power`.
+    pub fn new(t0: SimTime, state: PowerState, power: Power) -> Self {
+        Self {
+            last: t0,
+            power,
+            state,
+            total: Energy::ZERO,
+            by_state: [Energy::ZERO; 9],
+            transition: Energy::ZERO,
+            transition_count: 0,
+        }
+    }
+
+    /// Integrates up to `now` with the current power/state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last recorded instant.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now
+            .checked_duration_since(self.last)
+            .expect("energy meter driven backwards in time");
+        if !dt.is_zero() {
+            let e = self.power * dt;
+            self.total += e;
+            self.by_state[self.state.index()] += e;
+            self.last = now;
+        } else {
+            self.last = now;
+        }
+    }
+
+    /// Integrates up to `now`, then changes the drawn power.
+    pub fn set_power(&mut self, now: SimTime, power: Power) {
+        self.advance(now);
+        self.power = power;
+    }
+
+    /// Integrates up to `now`, then changes state and power attribution.
+    pub fn set_state(&mut self, now: SimTime, state: PowerState, power: Power) {
+        self.advance(now);
+        self.state = state;
+        self.power = power;
+    }
+
+    /// Adds a transition impulse energy (counted in the total and in the
+    /// separate transition bucket, not in any state's bucket).
+    pub fn add_transition(&mut self, energy: Energy) {
+        self.total += energy;
+        self.transition += energy;
+        self.transition_count += 1;
+    }
+
+    /// Integrates up to `now` and returns the grand total.
+    pub fn finish(&mut self, now: SimTime) -> Energy {
+        self.advance(now);
+        self.total
+    }
+
+    /// Total energy so far (states + transitions), up to the last advance.
+    pub fn total(&self) -> Energy {
+        self.total
+    }
+
+    /// Energy attributed to `state`.
+    pub fn by_state(&self, state: PowerState) -> Energy {
+        self.by_state[state.index()]
+    }
+
+    /// Energy attributed to transitions.
+    pub fn transition_energy(&self) -> Energy {
+        self.transition
+    }
+
+    /// Number of transition impulses recorded.
+    pub fn transition_count(&self) -> u64 {
+        self.transition_count
+    }
+
+    /// The currently drawn power.
+    pub fn current_power(&self) -> Power {
+        self.power
+    }
+
+    /// The state currently attributed.
+    pub fn current_state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Last instant integrated to.
+    pub fn last_update(&self) -> SimTime {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_units::SimDuration;
+
+    #[test]
+    fn integrates_piecewise_constant_power() {
+        let mut m = EnergyMeter::new(SimTime::ZERO, PowerState::On1, Power::from_watts(2.0));
+        m.set_power(SimTime::from_secs(1), Power::from_watts(1.0));
+        m.set_power(SimTime::from_secs(3), Power::ZERO);
+        m.advance(SimTime::from_secs(10));
+        assert!((m.total().as_joules() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attributes_by_state() {
+        let mut m = EnergyMeter::new(SimTime::ZERO, PowerState::On1, Power::from_watts(1.0));
+        m.set_state(SimTime::from_secs(2), PowerState::Sl1, Power::from_watts(0.1));
+        m.advance(SimTime::from_secs(12));
+        assert!((m.by_state(PowerState::On1).as_joules() - 2.0).abs() < 1e-12);
+        assert!((m.by_state(PowerState::Sl1).as_joules() - 1.0).abs() < 1e-12);
+        assert!((m.total().as_joules() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_impulses_count_separately() {
+        let mut m = EnergyMeter::new(SimTime::ZERO, PowerState::On1, Power::ZERO);
+        m.add_transition(Energy::from_millijoules(5.0));
+        m.add_transition(Energy::from_millijoules(3.0));
+        assert!((m.transition_energy().as_joules() - 8e-3).abs() < 1e-15);
+        assert_eq!(m.transition_count(), 2);
+        assert!((m.total().as_joules() - 8e-3).abs() < 1e-15);
+        assert_eq!(m.by_state(PowerState::On1), Energy::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_updates_are_free() {
+        let mut m = EnergyMeter::new(SimTime::ZERO, PowerState::On1, Power::from_watts(5.0));
+        m.set_power(SimTime::ZERO, Power::from_watts(1.0));
+        m.set_power(SimTime::ZERO, Power::from_watts(2.0));
+        assert_eq!(m.total(), Energy::ZERO);
+        m.advance(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!((m.total().as_joules() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards in time")]
+    fn time_reversal_is_detected() {
+        let mut m = EnergyMeter::new(SimTime::from_secs(5), PowerState::On1, Power::ZERO);
+        m.advance(SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn finish_is_advance_plus_total() {
+        let mut m = EnergyMeter::new(SimTime::ZERO, PowerState::On2, Power::from_watts(1.5));
+        let total = m.finish(SimTime::from_secs(2));
+        assert!((total.as_joules() - 3.0).abs() < 1e-12);
+        assert_eq!(m.current_state(), PowerState::On2);
+        assert_eq!(m.last_update(), SimTime::from_secs(2));
+    }
+}

@@ -1,0 +1,424 @@
+//! Per-IP power/energy models.
+//!
+//! Each IP is a black box characterized by (paper §1.2) an average energy
+//! per power state and instruction type. The model below derives those
+//! numbers from a compact physical parameterization:
+//!
+//! * dynamic power `P_dyn = C_eff · V² · f · activity`
+//! * leakage power `P_leak = P₀ · (V/V_nom) · e^{k·(T−T_ref)}`
+//!   (temperature dependence is an extension over the paper, enabled by
+//!   passing the current die temperature)
+//! * sleep-state hold power as characterized fractions of nominal leakage.
+
+use dpm_units::{Celsius, Energy, Frequency, Power, SimDuration, Voltage};
+
+use crate::dvfs::DvfsLadder;
+use crate::instr::{InstructionClass, InstructionMix};
+use crate::state::PowerState;
+
+/// Exponential-in-temperature leakage model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeakageModel {
+    /// Leakage power at nominal voltage and `t_ref`.
+    pub p0: Power,
+    /// Exponential temperature coefficient (1/K). `0.03` roughly doubles
+    /// leakage every 23 K, typical for 130 nm-class processes.
+    pub temp_coeff: f64,
+    /// Reference die temperature for `p0`.
+    pub t_ref: Celsius,
+}
+
+impl LeakageModel {
+    /// Leakage power at supply `v` (relative to `v_nom`) and temperature `t`.
+    pub fn power(&self, v: Voltage, v_nom: Voltage, t: Celsius) -> Power {
+        let v_scale = v.as_volts() / v_nom.as_volts();
+        let t_scale = (self.temp_coeff * (t - self.t_ref)).exp();
+        self.p0 * v_scale * t_scale
+    }
+}
+
+impl Default for LeakageModel {
+    fn default() -> Self {
+        Self {
+            p0: Power::from_milliwatts(20.0),
+            temp_coeff: 0.03,
+            t_ref: Celsius::new(25.0),
+        }
+    }
+}
+
+/// The power/energy characterization of one IP block.
+///
+/// Constructed with [`IpPowerModel::builder`] or the
+/// [`IpPowerModel::default_cpu`] preset used by the experiments.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_power::{InstructionClass, IpPowerModel, PowerState};
+///
+/// let m = IpPowerModel::default_cpu();
+/// // ON4 burns less power but more time per instruction than ON1:
+/// let p1 = m.active_power(PowerState::On1, InstructionClass::Alu);
+/// let p4 = m.active_power(PowerState::On4, InstructionClass::Alu);
+/// assert!(p4 < p1);
+/// // ... and less *energy* per instruction thanks to voltage scaling:
+/// let e1 = m.energy_per_instruction(PowerState::On1, InstructionClass::Alu);
+/// let e4 = m.energy_per_instruction(PowerState::On4, InstructionClass::Alu);
+/// assert!(e4 < e1);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IpPowerModel {
+    dvfs: DvfsLadder,
+    /// Effective switched capacitance per cycle at activity weight 1.0.
+    ceff_farad: f64,
+    /// Fraction of active switching that persists when idle but clocked.
+    idle_activity: f64,
+    leakage: LeakageModel,
+    /// Hold power of `Sl1..Sl4` as fractions of nominal leakage.
+    sleep_fractions: [f64; 4],
+}
+
+/// Builder for [`IpPowerModel`].
+#[derive(Debug, Clone)]
+pub struct IpPowerModelBuilder {
+    dvfs: DvfsLadder,
+    ceff_farad: f64,
+    idle_activity: f64,
+    leakage: LeakageModel,
+    sleep_fractions: [f64; 4],
+}
+
+impl IpPowerModelBuilder {
+    /// Sets the DVFS ladder.
+    pub fn dvfs(&mut self, ladder: DvfsLadder) -> &mut Self {
+        self.dvfs = ladder;
+        self
+    }
+
+    /// Sets the effective switched capacitance per cycle (farad).
+    pub fn ceff(&mut self, farad: f64) -> &mut Self {
+        self.ceff_farad = farad;
+        self
+    }
+
+    /// Sets the idle switching fraction (0..1).
+    pub fn idle_activity(&mut self, fraction: f64) -> &mut Self {
+        self.idle_activity = fraction;
+        self
+    }
+
+    /// Sets the leakage model.
+    pub fn leakage(&mut self, leakage: LeakageModel) -> &mut Self {
+        self.leakage = leakage;
+        self
+    }
+
+    /// Sets the four sleep hold-power fractions (`Sl1` first, of nominal
+    /// leakage).
+    pub fn sleep_fractions(&mut self, fractions: [f64; 4]) -> &mut Self {
+        self.sleep_fractions = fractions;
+        self
+    }
+
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-physical parameters (negative capacitance, idle
+    /// activity outside `[0, 1]`, non-decreasing sleep fractions).
+    pub fn build(&self) -> IpPowerModel {
+        assert!(
+            self.ceff_farad > 0.0 && self.ceff_farad.is_finite(),
+            "effective capacitance must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.idle_activity),
+            "idle activity must be within [0, 1]"
+        );
+        assert!(
+            self.sleep_fractions.iter().all(|f| (0.0..=1.0).contains(f)),
+            "sleep fractions must be within [0, 1]"
+        );
+        for w in self.sleep_fractions.windows(2) {
+            assert!(
+                w[0] >= w[1],
+                "deeper sleep states must not burn more power than lighter ones"
+            );
+        }
+        IpPowerModel {
+            dvfs: self.dvfs,
+            ceff_farad: self.ceff_farad,
+            idle_activity: self.idle_activity,
+            leakage: self.leakage,
+            sleep_fractions: self.sleep_fractions,
+        }
+    }
+}
+
+impl IpPowerModel {
+    /// A builder initialized with the [`default_cpu`](Self::default_cpu)
+    /// parameters.
+    pub fn builder() -> IpPowerModelBuilder {
+        IpPowerModelBuilder {
+            dvfs: DvfsLadder::default_cpu(),
+            ceff_farad: 0.4e-9,
+            idle_activity: 0.3,
+            leakage: LeakageModel::default(),
+            sleep_fractions: [0.35, 0.10, 0.03, 0.005],
+        }
+    }
+
+    /// The embedded-CPU-class preset used by the experiment harness:
+    /// 200 MHz @ 1.8 V nominal, ~250 mW active, ~20 mW leakage.
+    pub fn default_cpu() -> Self {
+        Self::builder().build()
+    }
+
+    /// The DVFS ladder of this IP.
+    pub fn dvfs(&self) -> &DvfsLadder {
+        &self.dvfs
+    }
+
+    /// The leakage model of this IP.
+    pub fn leakage_model(&self) -> &LeakageModel {
+        &self.leakage
+    }
+
+    /// The clock frequency in `state` (`None` when not executing).
+    pub fn frequency(&self, state: PowerState) -> Option<Frequency> {
+        self.dvfs.frequency(state)
+    }
+
+    fn dynamic_power(&self, state: PowerState, activity: f64) -> Power {
+        match self.dvfs.point_for(state) {
+            Some(p) => Power::from_watts(
+                self.ceff_farad * p.voltage.squared() * p.frequency.as_hertz() * activity,
+            ),
+            None => Power::ZERO,
+        }
+    }
+
+    fn leakage_power_at(&self, state: PowerState, t: Celsius) -> Power {
+        match self.dvfs.point_for(state) {
+            Some(p) => self.leakage.power(p.voltage, self.dvfs.nominal().voltage, t),
+            None => Power::ZERO,
+        }
+    }
+
+    /// Power while executing instructions of `class` in `state`, at the
+    /// leakage reference temperature. Sleep/off states return their hold
+    /// power (an IP cannot execute there).
+    pub fn active_power(&self, state: PowerState, class: InstructionClass) -> Power {
+        self.active_power_at(state, class, self.leakage.t_ref)
+    }
+
+    /// Like [`active_power`](Self::active_power) with an explicit die
+    /// temperature for the leakage term.
+    pub fn active_power_at(
+        &self,
+        state: PowerState,
+        class: InstructionClass,
+        t: Celsius,
+    ) -> Power {
+        if !state.is_execution() {
+            return self.state_power_at(state, t);
+        }
+        self.dynamic_power(state, class.activity_weight()) + self.leakage_power_at(state, t)
+    }
+
+    /// Power while executing a task with instruction mix `mix` in `state`.
+    pub fn mix_power(&self, state: PowerState, mix: &InstructionMix) -> Power {
+        self.mix_power_at(state, mix, self.leakage.t_ref)
+    }
+
+    /// Like [`mix_power`](Self::mix_power) with an explicit temperature.
+    pub fn mix_power_at(&self, state: PowerState, mix: &InstructionMix, t: Celsius) -> Power {
+        if !state.is_execution() {
+            return self.state_power_at(state, t);
+        }
+        self.dynamic_power(state, mix.average_activity()) + self.leakage_power_at(state, t)
+    }
+
+    /// Power while idle but clocked in an execution state, or the hold
+    /// power of a sleep/off state.
+    pub fn idle_power(&self, state: PowerState) -> Power {
+        self.idle_power_at(state, self.leakage.t_ref)
+    }
+
+    /// Like [`idle_power`](Self::idle_power) with an explicit temperature.
+    pub fn idle_power_at(&self, state: PowerState, t: Celsius) -> Power {
+        if !state.is_execution() {
+            return self.state_power_at(state, t);
+        }
+        self.dynamic_power(state, self.idle_activity) + self.leakage_power_at(state, t)
+    }
+
+    /// The state's hold power: idle power for execution states, residual
+    /// leakage for sleep states, zero for soft-off.
+    pub fn state_power(&self, state: PowerState) -> Power {
+        self.state_power_at(state, self.leakage.t_ref)
+    }
+
+    /// Like [`state_power`](Self::state_power) with an explicit temperature.
+    pub fn state_power_at(&self, state: PowerState, t: Celsius) -> Power {
+        match state {
+            PowerState::SoftOff => Power::ZERO,
+            s if s.is_sleep() => {
+                let frac = self.sleep_fractions[(s.sleep_level().unwrap().get() - 1) as usize];
+                // Sleep leakage still rises with temperature.
+                let t_scale = (self.leakage.temp_coeff * (t - self.leakage.t_ref)).exp();
+                self.leakage.p0 * frac * t_scale
+            }
+            s => self.idle_power_at(s, t),
+        }
+    }
+
+    /// Average energy of one instruction of `class` in `state`
+    /// (dynamic `C·V²` per cycle × CPI, plus leakage over the cycles).
+    ///
+    /// Returns zero for non-execution states.
+    pub fn energy_per_instruction(&self, state: PowerState, class: InstructionClass) -> Energy {
+        let Some(p) = self.dvfs.point_for(state) else {
+            return Energy::ZERO;
+        };
+        let cycles = class.cpi();
+        let dyn_e = self.ceff_farad * p.voltage.squared() * class.activity_weight() * cycles;
+        let leak_w = self
+            .leakage_power_at(state, self.leakage.t_ref)
+            .as_watts();
+        let leak_e = leak_w * cycles / p.frequency.as_hertz();
+        Energy::from_joules(dyn_e + leak_e)
+    }
+
+    /// Execution time of `instructions` with mix `mix` in `state`.
+    ///
+    /// Returns `None` when `state` cannot execute.
+    pub fn execution_time(
+        &self,
+        instructions: u64,
+        mix: &InstructionMix,
+        state: PowerState,
+    ) -> Option<SimDuration> {
+        let f = self.frequency(state)?;
+        let cycles = instructions as f64 * mix.average_cpi();
+        Some(SimDuration::from_secs_f64(cycles / f.as_hertz()))
+    }
+
+    /// Energy to execute `instructions` with mix `mix` in `state`
+    /// (dynamic + leakage over the execution time).
+    ///
+    /// Returns `None` when `state` cannot execute.
+    pub fn execution_energy(
+        &self,
+        instructions: u64,
+        mix: &InstructionMix,
+        state: PowerState,
+    ) -> Option<Energy> {
+        let dt = self.execution_time(instructions, mix, state)?;
+        Some(self.mix_power(state, mix) * dt)
+    }
+
+    /// Instruction throughput in `state` for mix `mix` (instructions/s).
+    pub fn throughput(&self, state: PowerState, mix: &InstructionMix) -> Option<f64> {
+        self.frequency(state)
+            .map(|f| f.as_hertz() / mix.average_cpi())
+    }
+}
+
+impl Default for IpPowerModel {
+    fn default() -> Self {
+        Self::default_cpu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cpu_is_in_the_embedded_regime() {
+        let m = IpPowerModel::default_cpu();
+        let p = m.active_power(PowerState::On1, InstructionClass::Alu);
+        assert!(p > Power::from_milliwatts(100.0) && p < Power::from_watts(1.0), "{p}");
+        let leak = m.state_power(PowerState::Sl4);
+        assert!(leak < Power::from_milliwatts(1.0), "{leak}");
+    }
+
+    #[test]
+    fn power_ordering_across_states() {
+        let m = IpPowerModel::default_cpu();
+        let mix = InstructionMix::default();
+        // active > idle within a state
+        assert!(m.mix_power(PowerState::On1, &mix) > m.idle_power(PowerState::On1));
+        // ON power decreases down the ladder
+        assert!(m.idle_power(PowerState::On1) > m.idle_power(PowerState::On4));
+        // any ON idle > any sleep hold
+        assert!(m.idle_power(PowerState::On4) > m.state_power(PowerState::Sl1));
+        // sleep power decreases with depth, off is zero
+        assert!(m.state_power(PowerState::Sl1) > m.state_power(PowerState::Sl2));
+        assert!(m.state_power(PowerState::Sl3) > m.state_power(PowerState::Sl4));
+        assert_eq!(m.state_power(PowerState::SoftOff), Power::ZERO);
+    }
+
+    #[test]
+    fn energy_per_instruction_drops_with_voltage() {
+        let m = IpPowerModel::default_cpu();
+        for class in InstructionClass::ALL {
+            let e1 = m.energy_per_instruction(PowerState::On1, class);
+            let e4 = m.energy_per_instruction(PowerState::On4, class);
+            assert!(e4 < e1, "{class}: {e4} !< {e1}");
+            // but not *too* low: the (V4/V1)^2 dynamic floor is ~0.44
+            assert!(e4.as_joules() > 0.3 * e1.as_joules());
+        }
+    }
+
+    #[test]
+    fn execution_time_scales_with_slowdown() {
+        let m = IpPowerModel::default_cpu();
+        let mix = InstructionMix::pure(InstructionClass::Alu);
+        let t1 = m.execution_time(1_000_000, &mix, PowerState::On1).unwrap();
+        let t4 = m.execution_time(1_000_000, &mix, PowerState::On4).unwrap();
+        assert!((t4 / t1 - 4.0).abs() < 1e-9);
+        assert_eq!(m.execution_time(10, &mix, PowerState::Sl1), None);
+    }
+
+    #[test]
+    fn on4_task_energy_beats_on1() {
+        // The core DVFS claim: the same task at ON4 takes 4x longer but
+        // costs less energy (V² scaling dominates the leakage increase).
+        let m = IpPowerModel::default_cpu();
+        let mix = InstructionMix::default();
+        let e1 = m.execution_energy(1_000_000, &mix, PowerState::On1).unwrap();
+        let e4 = m.execution_energy(1_000_000, &mix, PowerState::On4).unwrap();
+        assert!(e4 < e1);
+        let saving = 1.0 - e4 / e1;
+        assert!(saving > 0.3 && saving < 0.6, "saving = {saving}");
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let m = IpPowerModel::default_cpu();
+        let cold = m.idle_power_at(PowerState::On1, Celsius::new(25.0));
+        let hot = m.idle_power_at(PowerState::On1, Celsius::new(85.0));
+        assert!(hot > cold);
+        // sleep leakage too
+        let s_cold = m.state_power_at(PowerState::Sl2, Celsius::new(25.0));
+        let s_hot = m.state_power_at(PowerState::Sl2, Celsius::new(85.0));
+        assert!(s_hot > s_cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle activity")]
+    fn builder_validates_idle_activity() {
+        let _ = IpPowerModel::builder().idle_activity(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper sleep")]
+    fn builder_validates_sleep_monotonicity() {
+        let _ = IpPowerModel::builder()
+            .sleep_fractions([0.1, 0.2, 0.05, 0.01])
+            .build();
+    }
+}

@@ -1,0 +1,322 @@
+//! The ACPI-style power state space of the paper's Power State Machine.
+
+use core::fmt;
+
+use dpm_kernel::{Traceable, VcdValue};
+
+/// One of the nine power states of the Power State Machine.
+///
+/// Following the paper (§1.2): *"The PSM follows the recommendations of
+/// the ACPI standard: soft off, four sleep states (SL1, SL2, SL3, SL4),
+/// four execution states (ON1, ON2, ON3, ON4) with decreasing speed and
+/// power consumption using the variable-voltage technique."*
+///
+/// The derived order is by **wakefulness**:
+/// `SoftOff < Sl4 < Sl3 < Sl2 < Sl1 < On4 < On3 < On2 < On1`.
+/// `On1` is the fastest, most power-hungry execution state; `Sl4` the
+/// deepest sleep state (cheapest to hold, most expensive to leave).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum PowerState {
+    /// Mechanically off; only reachable/leavable through a full reboot-like
+    /// transition.
+    SoftOff,
+    /// Deepest sleep: state lost, longest wake-up.
+    Sl4,
+    /// Deep sleep.
+    Sl3,
+    /// Medium sleep.
+    Sl2,
+    /// Lightest sleep: clock gated, immediate-ish wake-up. The GEM can
+    /// force any PSM into this state.
+    Sl1,
+    /// Slowest execution state (lowest voltage/frequency).
+    On4,
+    /// Low-mid execution state.
+    On3,
+    /// High-mid execution state.
+    On2,
+    /// Fastest execution state (nominal voltage/frequency).
+    On1,
+}
+
+/// Coarse classification of a [`PowerState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateKind {
+    /// The soft-off state.
+    Off,
+    /// One of `Sl1..Sl4`.
+    Sleep,
+    /// One of `On1..On4`.
+    Execution,
+}
+
+/// Index of an execution state, `1` fastest to `4` slowest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OnLevel(u8);
+
+/// Index of a sleep state, `1` lightest to `4` deepest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SleepLevel(u8);
+
+impl OnLevel {
+    /// Creates a level; valid levels are 1..=4.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside that range.
+    pub fn new(level: u8) -> Self {
+        assert!((1..=4).contains(&level), "ON level must be 1..=4, got {level}");
+        Self(level)
+    }
+
+    /// The numeric level (1 = fastest).
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+}
+
+impl SleepLevel {
+    /// Creates a level; valid levels are 1..=4.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside that range.
+    pub fn new(level: u8) -> Self {
+        assert!(
+            (1..=4).contains(&level),
+            "sleep level must be 1..=4, got {level}"
+        );
+        Self(level)
+    }
+
+    /// The numeric level (1 = lightest).
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+}
+
+impl PowerState {
+    /// Every state, ordered by ascending wakefulness.
+    pub const ALL: [PowerState; 9] = [
+        PowerState::SoftOff,
+        PowerState::Sl4,
+        PowerState::Sl3,
+        PowerState::Sl2,
+        PowerState::Sl1,
+        PowerState::On4,
+        PowerState::On3,
+        PowerState::On2,
+        PowerState::On1,
+    ];
+
+    /// The execution states, fastest first.
+    pub const EXECUTION: [PowerState; 4] = [
+        PowerState::On1,
+        PowerState::On2,
+        PowerState::On3,
+        PowerState::On4,
+    ];
+
+    /// The sleep states, lightest first.
+    pub const SLEEP: [PowerState; 4] = [
+        PowerState::Sl1,
+        PowerState::Sl2,
+        PowerState::Sl3,
+        PowerState::Sl4,
+    ];
+
+    /// Dense index into [`PowerState::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            PowerState::SoftOff => 0,
+            PowerState::Sl4 => 1,
+            PowerState::Sl3 => 2,
+            PowerState::Sl2 => 3,
+            PowerState::Sl1 => 4,
+            PowerState::On4 => 5,
+            PowerState::On3 => 6,
+            PowerState::On2 => 7,
+            PowerState::On1 => 8,
+        }
+    }
+
+    /// Coarse kind of this state.
+    #[inline]
+    pub const fn kind(self) -> StateKind {
+        match self {
+            PowerState::SoftOff => StateKind::Off,
+            PowerState::Sl1 | PowerState::Sl2 | PowerState::Sl3 | PowerState::Sl4 => {
+                StateKind::Sleep
+            }
+            _ => StateKind::Execution,
+        }
+    }
+
+    /// `true` for any `ON` state.
+    #[inline]
+    pub const fn is_execution(self) -> bool {
+        matches!(self.kind(), StateKind::Execution)
+    }
+
+    /// `true` for any sleep state.
+    #[inline]
+    pub const fn is_sleep(self) -> bool {
+        matches!(self.kind(), StateKind::Sleep)
+    }
+
+    /// The execution level, if this is an `ON` state.
+    #[inline]
+    pub fn on_level(self) -> Option<OnLevel> {
+        match self {
+            PowerState::On1 => Some(OnLevel(1)),
+            PowerState::On2 => Some(OnLevel(2)),
+            PowerState::On3 => Some(OnLevel(3)),
+            PowerState::On4 => Some(OnLevel(4)),
+            _ => None,
+        }
+    }
+
+    /// The sleep depth, if this is a sleep state.
+    #[inline]
+    pub fn sleep_level(self) -> Option<SleepLevel> {
+        match self {
+            PowerState::Sl1 => Some(SleepLevel(1)),
+            PowerState::Sl2 => Some(SleepLevel(2)),
+            PowerState::Sl3 => Some(SleepLevel(3)),
+            PowerState::Sl4 => Some(SleepLevel(4)),
+            _ => None,
+        }
+    }
+
+    /// The execution state for a level.
+    #[inline]
+    pub fn on(level: OnLevel) -> PowerState {
+        match level.get() {
+            1 => PowerState::On1,
+            2 => PowerState::On2,
+            3 => PowerState::On3,
+            _ => PowerState::On4,
+        }
+    }
+
+    /// The sleep state for a depth.
+    #[inline]
+    pub fn sleep(level: SleepLevel) -> PowerState {
+        match level.get() {
+            1 => PowerState::Sl1,
+            2 => PowerState::Sl2,
+            3 => PowerState::Sl3,
+            _ => PowerState::Sl4,
+        }
+    }
+
+    /// Short uppercase name as used in the paper's tables.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            PowerState::SoftOff => "OFF",
+            PowerState::Sl4 => "SL4",
+            PowerState::Sl3 => "SL3",
+            PowerState::Sl2 => "SL2",
+            PowerState::Sl1 => "SL1",
+            PowerState::On4 => "ON4",
+            PowerState::On3 => "ON3",
+            PowerState::On2 => "ON2",
+            PowerState::On1 => "ON1",
+        }
+    }
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+impl Traceable for PowerState {
+    const WIDTH: u32 = 4;
+    fn vcd_value(&self) -> VcdValue {
+        VcdValue::Bits(self.index() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_wakefulness() {
+        assert!(PowerState::SoftOff < PowerState::Sl4);
+        assert!(PowerState::Sl4 < PowerState::Sl1);
+        assert!(PowerState::Sl1 < PowerState::On4);
+        assert!(PowerState::On4 < PowerState::On1);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, s) in PowerState::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn kinds_partition_the_space() {
+        let mut off = 0;
+        let mut sleep = 0;
+        let mut exec = 0;
+        for s in PowerState::ALL {
+            match s.kind() {
+                StateKind::Off => off += 1,
+                StateKind::Sleep => sleep += 1,
+                StateKind::Execution => exec += 1,
+            }
+        }
+        assert_eq!((off, sleep, exec), (1, 4, 4));
+    }
+
+    #[test]
+    fn levels_roundtrip() {
+        for s in PowerState::EXECUTION {
+            assert_eq!(PowerState::on(s.on_level().unwrap()), s);
+            assert!(s.is_execution());
+            assert!(s.sleep_level().is_none());
+        }
+        for s in PowerState::SLEEP {
+            assert_eq!(PowerState::sleep(s.sleep_level().unwrap()), s);
+            assert!(s.is_sleep());
+            assert!(s.on_level().is_none());
+        }
+        assert!(PowerState::SoftOff.on_level().is_none());
+        assert!(PowerState::SoftOff.sleep_level().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ON level must be 1..=4")]
+    fn bad_on_level_rejected() {
+        let _ = OnLevel::new(5);
+    }
+
+    #[test]
+    fn display_matches_paper_spelling() {
+        assert_eq!(PowerState::On4.to_string(), "ON4");
+        assert_eq!(PowerState::Sl1.to_string(), "SL1");
+        assert_eq!(PowerState::SoftOff.to_string(), "OFF");
+    }
+
+    #[test]
+    fn traceable_encodes_index() {
+        assert_eq!(PowerState::On1.vcd_value(), VcdValue::Bits(8));
+        assert_eq!(PowerState::SoftOff.vcd_value(), VcdValue::Bits(0));
+    }
+}

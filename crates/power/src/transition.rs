@@ -1,0 +1,279 @@
+//! Power-state transition costs.
+//!
+//! The paper (§1.2): *"The DPM algorithm used considers the cost in terms
+//! of delay and power dissipation of the transition between two power
+//! states."* The table below assigns every ordered state pair a latency
+//! and an energy; the LEM's break-even analysis and the PSM's transition
+//! sequencing both read it.
+
+use dpm_units::{Energy, Power, SimDuration};
+
+use crate::model::IpPowerModel;
+use crate::state::PowerState;
+
+/// Latency and energy of one state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct TransitionCost {
+    /// Time during which the IP can do no useful work.
+    pub latency: SimDuration,
+    /// Energy dissipated by the transition itself.
+    pub energy: Energy,
+}
+
+impl TransitionCost {
+    /// The free transition (state to itself).
+    pub const FREE: TransitionCost = TransitionCost {
+        latency: SimDuration::ZERO,
+        energy: Energy::ZERO,
+    };
+
+    /// A new cost entry.
+    pub const fn new(latency: SimDuration, energy: Energy) -> Self {
+        Self { latency, energy }
+    }
+
+    /// Component-wise sum (for composed transitions).
+    pub fn plus(self, other: TransitionCost) -> TransitionCost {
+        TransitionCost {
+            latency: self.latency + other.latency,
+            energy: self.energy + other.energy,
+        }
+    }
+}
+
+/// The full 9×9 transition cost matrix.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_power::{IpPowerModel, PowerState, TransitionTable};
+///
+/// let table = TransitionTable::for_model(&IpPowerModel::default_cpu());
+/// let light = table.cost(PowerState::Sl1, PowerState::On1);
+/// let deep = table.cost(PowerState::Sl4, PowerState::On1);
+/// assert!(deep.latency > light.latency, "deeper sleep wakes slower");
+/// assert!(deep.energy > light.energy, "deeper sleep wakes costlier");
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransitionTable {
+    costs: Vec<TransitionCost>, // row-major 9×9, [from][to]
+}
+
+/// Down-transition (enter sleep depth d, index 0 = Sl1) latencies in µs.
+const DOWN_LAT_US: [f64; 4] = [2.0, 20.0, 100.0, 500.0];
+/// Wake-up latencies per sleep depth in µs.
+const UP_LAT_US: [f64; 4] = [10.0, 100.0, 500.0, 2000.0];
+/// Down energies as multiples of (nominal power × 1 µs).
+const DOWN_E_UNITS: [f64; 4] = [1.0, 4.0, 15.0, 50.0];
+/// Wake energies as multiples of (nominal power × 1 µs).
+const UP_E_UNITS: [f64; 4] = [5.0, 20.0, 75.0, 250.0];
+/// DVFS rail-switch settle time in µs.
+const DVFS_LAT_US: f64 = 10.0;
+/// Soft-off boot latency in µs / energy units.
+const BOOT_LAT_US: f64 = 10_000.0;
+const BOOT_E_UNITS: f64 = 1_000.0;
+const SHUTDOWN_LAT_US: f64 = 1_000.0;
+const SHUTDOWN_E_UNITS: f64 = 10.0;
+
+impl TransitionTable {
+    /// Derives a physically consistent table from an IP power model:
+    /// deeper sleep states take longer and cost more to leave; DVFS
+    /// switches pay a regulator settle time; soft-off needs a boot.
+    pub fn for_model(model: &IpPowerModel) -> Self {
+        // Energy unit: nominal active power × 1 µs.
+        let p_nom = model.mix_power(PowerState::On1, &crate::instr::InstructionMix::default());
+        Self::from_energy_unit(p_nom)
+    }
+
+    /// Same shape as [`for_model`](Self::for_model) with an explicit
+    /// nominal power for the energy unit.
+    pub fn from_energy_unit(p_nom: Power) -> Self {
+        let unit = |units: f64| p_nom * SimDuration::from_micros(1) * units;
+        let us = |x: f64| SimDuration::from_secs_f64(x * 1e-6);
+
+        let mut costs = vec![TransitionCost::FREE; 81];
+        let mut set = |from: PowerState, to: PowerState, c: TransitionCost| {
+            costs[from.index() * 9 + to.index()] = c;
+        };
+
+        use PowerState::*;
+        let on = [On1, On2, On3, On4];
+        let sl = [Sl1, Sl2, Sl3, Sl4];
+
+        // ON <-> ON: DVFS switch; energy grows with the level distance.
+        for (i, &a) in on.iter().enumerate() {
+            for (j, &b) in on.iter().enumerate() {
+                if i != j {
+                    let dist = i.abs_diff(j) as f64;
+                    set(a, b, TransitionCost::new(us(DVFS_LAT_US), unit(2.0 * dist)));
+                }
+            }
+        }
+
+        // ON -> sleep and sleep -> ON.
+        for &a in &on {
+            for (d, &s) in sl.iter().enumerate() {
+                set(
+                    a,
+                    s,
+                    TransitionCost::new(us(DOWN_LAT_US[d]), unit(DOWN_E_UNITS[d])),
+                );
+                set(
+                    s,
+                    a,
+                    TransitionCost::new(us(UP_LAT_US[d]), unit(UP_E_UNITS[d])),
+                );
+            }
+        }
+
+        // Sleep <-> sleep: deepening is the cost difference of the down
+        // paths; lightening is half a wake from the deeper state.
+        for (d1, &s1) in sl.iter().enumerate() {
+            for (d2, &s2) in sl.iter().enumerate() {
+                if d2 > d1 {
+                    let lat = (DOWN_LAT_US[d2] - DOWN_LAT_US[d1]).max(1.0);
+                    let e = (DOWN_E_UNITS[d2] - DOWN_E_UNITS[d1]).max(0.5);
+                    set(s1, s2, TransitionCost::new(us(lat), unit(e)));
+                } else if d2 < d1 {
+                    set(
+                        s1,
+                        s2,
+                        TransitionCost::new(
+                            us(UP_LAT_US[d1] * 0.5),
+                            unit(UP_E_UNITS[d1] * 0.5),
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Soft-off.
+        for &a in &on {
+            set(
+                a,
+                SoftOff,
+                TransitionCost::new(us(SHUTDOWN_LAT_US), unit(SHUTDOWN_E_UNITS)),
+            );
+            set(
+                SoftOff,
+                a,
+                TransitionCost::new(us(BOOT_LAT_US), unit(BOOT_E_UNITS)),
+            );
+        }
+        for (d, &s) in sl.iter().enumerate() {
+            // off <-> sleep goes through a partial boot/shutdown
+            set(
+                s,
+                SoftOff,
+                TransitionCost::new(
+                    us(SHUTDOWN_LAT_US * 0.5),
+                    unit(SHUTDOWN_E_UNITS * 0.5),
+                ),
+            );
+            set(
+                SoftOff,
+                s,
+                TransitionCost::new(
+                    us(BOOT_LAT_US + DOWN_LAT_US[d]),
+                    unit(BOOT_E_UNITS + DOWN_E_UNITS[d]),
+                ),
+            );
+        }
+
+        Self { costs }
+    }
+
+    /// The cost of going from `from` to `to` (free when equal).
+    #[inline]
+    pub fn cost(&self, from: PowerState, to: PowerState) -> TransitionCost {
+        self.costs[from.index() * 9 + to.index()]
+    }
+
+    /// Overrides one entry (for custom characterizations and ablations).
+    pub fn set_cost(&mut self, from: PowerState, to: PowerState, cost: TransitionCost) {
+        self.costs[from.index() * 9 + to.index()] = cost;
+    }
+
+    /// Round-trip cost `from -> to -> from`.
+    pub fn round_trip(&self, from: PowerState, to: PowerState) -> TransitionCost {
+        self.cost(from, to).plus(self.cost(to, from))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TransitionTable {
+        TransitionTable::for_model(&IpPowerModel::default_cpu())
+    }
+
+    #[test]
+    fn self_transitions_are_free() {
+        let t = table();
+        for s in PowerState::ALL {
+            assert_eq!(t.cost(s, s), TransitionCost::FREE);
+        }
+    }
+
+    #[test]
+    fn wake_cost_grows_with_sleep_depth() {
+        let t = table();
+        let mut last_lat = SimDuration::ZERO;
+        let mut last_e = Energy::ZERO;
+        for s in PowerState::SLEEP {
+            let c = t.cost(s, PowerState::On1);
+            assert!(c.latency > last_lat, "{s}");
+            assert!(c.energy > last_e, "{s}");
+            last_lat = c.latency;
+            last_e = c.energy;
+        }
+    }
+
+    #[test]
+    fn entering_sleep_is_cheaper_than_leaving() {
+        let t = table();
+        for s in PowerState::SLEEP {
+            let down = t.cost(PowerState::On1, s);
+            let up = t.cost(s, PowerState::On1);
+            assert!(down.latency < up.latency, "{s}");
+            assert!(down.energy < up.energy, "{s}");
+        }
+    }
+
+    #[test]
+    fn dvfs_hop_cost_scales_with_distance() {
+        let t = table();
+        let near = t.cost(PowerState::On1, PowerState::On2);
+        let far = t.cost(PowerState::On1, PowerState::On4);
+        assert_eq!(near.latency, far.latency, "settle time is rail-bound");
+        assert!(far.energy > near.energy);
+    }
+
+    #[test]
+    fn boot_dominates_everything() {
+        let t = table();
+        let boot = t.cost(PowerState::SoftOff, PowerState::On1);
+        for s in PowerState::SLEEP {
+            assert!(boot.latency > t.cost(s, PowerState::On1).latency);
+        }
+    }
+
+    #[test]
+    fn round_trip_adds_up() {
+        let t = table();
+        let rt = t.round_trip(PowerState::On1, PowerState::Sl2);
+        let manual = t
+            .cost(PowerState::On1, PowerState::Sl2)
+            .plus(t.cost(PowerState::Sl2, PowerState::On1));
+        assert_eq!(rt, manual);
+    }
+
+    #[test]
+    fn set_cost_overrides() {
+        let mut t = table();
+        let custom = TransitionCost::new(SimDuration::from_micros(1), Energy::from_microjoules(1.0));
+        t.set_cost(PowerState::On1, PowerState::Sl1, custom);
+        assert_eq!(t.cost(PowerState::On1, PowerState::Sl1), custom);
+    }
+}

@@ -1,0 +1,20 @@
+// quick calibration harness
+use dpm_soc::experiment::{run_scenario, ScenarioId};
+use dpm_soc::report::table2_ascii;
+
+fn main() {
+    let outcomes: Vec<_> = ScenarioId::ALL.into_iter().map(run_scenario).collect();
+    println!("{}", table2_ascii(&outcomes));
+    for o in &outcomes {
+        println!(
+            "{}: dpm E={} base E={} | elev {:.2}K vs {:.2}K | dpm lat {:?} base lat {:?}",
+            o.id,
+            o.dpm.total_energy,
+            o.baseline.total_energy,
+            o.dpm.mean_temp_elevation,
+            o.baseline.mean_temp_elevation,
+            o.dpm.mean_latency(),
+            o.baseline.mean_latency()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! SoC assembly for the DATE'05 DPM architecture (paper Fig. 1).
+//!
+//! This crate wires the `dpm-core` managers to traffic-generating IP
+//! blocks, the shared bus, and the battery/thermal monitors, then runs
+//! the paper's experiments:
+//!
+//! * [`IpBlock`] — the functional IP: replays a [`dpm_workload::TaskTrace`],
+//!   sends a task request to its LEM before each task, executes grants at
+//!   the PSM-published speed (pausing through sleep states and
+//!   transitions) and publishes its instantaneous power draw.
+//! * [`Bus`] — service-request transport with occupancy accounting (the
+//!   GEM input the paper mentions).
+//! * [`SocConfig`] / [`build_soc`] — declarative SoC construction: any
+//!   number of IPs, LEM/baseline controller choice, battery model and
+//!   starting charge, thermal scenario, optional GEM, optional
+//!   cycle-accurate clock.
+//! * [`SocMetrics`] — per-IP and SoC-level results (energy by state, task
+//!   latency, temperature elevation, residency).
+//! * [`experiment`] — the paper's scenarios A1–A4, B, C and the Table 2
+//!   metric computation against the always-max-frequency baseline.
+//! * [`report`] — ASCII/Markdown/JSON renderers for the regenerated
+//!   tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod bus;
+mod config;
+pub mod experiment;
+mod ip;
+mod metrics;
+pub mod report;
+mod util;
+
+pub use build::{build_soc, SocHandles};
+pub use bus::{Bus, BusStats};
+pub use config::{BatteryKind, ControllerKind, IpConfig, LemTuning, SocConfig, ThermalScenario};
+pub use ip::{IpBlock, IpPorts, TaskRecord};
+pub use metrics::{collect_metrics, IpMetrics, SocMetrics};
+pub use util::Adder;

@@ -1,0 +1,151 @@
+//! Table rendering: regenerate the paper's tables next to its values.
+
+use crate::experiment::{paper_row, ScenarioOutcome, Table2Row};
+
+/// Renders Table 2 (measured vs paper) as an ASCII table.
+///
+/// Columns follow the paper: energy saving %, temperature reduction %,
+/// average delay overhead %; each measured value sits next to the paper's.
+pub fn table2_ascii(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "+----+-----------------+-----------------+-----------------+---------------+\n",
+    );
+    out.push_str(
+        "| id | energy saving % | temp reduction %| delay overhead %| completed     |\n",
+    );
+    out.push_str(
+        "|    |  ours   paper   |  ours   paper   |  ours    paper  | dpm/base(def) |\n",
+    );
+    out.push_str(
+        "+----+-----------------+-----------------+-----------------+---------------+\n",
+    );
+    for o in outcomes {
+        let p = paper_row(o.id);
+        out.push_str(&format!(
+            "| {:<2} | {:>6.1}  {:>6.1} | {:>6.1}  {:>6.1} | {:>7.1} {:>7.1} | {:>4}/{:<4}({:>3})|\n",
+            o.id.to_string(),
+            o.row.energy_saving_pct,
+            p.energy_saving_pct,
+            o.row.temp_reduction_pct,
+            p.temp_reduction_pct,
+            o.row.delay_overhead_pct,
+            p.delay_overhead_pct,
+            o.row.completed.0,
+            o.row.completed.1,
+            o.row.deferred,
+        ));
+    }
+    out.push_str(
+        "+----+-----------------+-----------------+-----------------+---------------+\n",
+    );
+    out
+}
+
+/// Renders Table 2 as a Markdown table (for EXPERIMENTS.md).
+pub fn table2_markdown(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::from(
+        "| id | saving % (ours) | saving % (paper) | temp red. % (ours) | temp red. % (paper) | delay % (ours) | delay % (paper) | completed (dpm/base) | deferred |\n\
+         |----|-----------------|------------------|--------------------|---------------------|----------------|-----------------|----------------------|----------|\n",
+    );
+    for o in outcomes {
+        let p = paper_row(o.id);
+        out.push_str(&format!(
+            "| {} | {:.1} | {:.0} | {:.1} | {:.0} | {:.1} | {:.0} | {}/{} | {} |\n",
+            o.id,
+            o.row.energy_saving_pct,
+            p.energy_saving_pct,
+            o.row.temp_reduction_pct,
+            p.temp_reduction_pct,
+            o.row.delay_overhead_pct,
+            p.delay_overhead_pct,
+            o.row.completed.0,
+            o.row.completed.1,
+            o.row.deferred,
+        ));
+    }
+    out
+}
+
+/// Serializes the measured rows as JSON (machine-readable archive).
+///
+/// # Errors
+///
+/// Returns any `serde_json` error.
+pub fn table2_json(outcomes: &[ScenarioOutcome]) -> Result<String, serde_json::Error> {
+    #[derive(serde::Serialize)]
+    struct Entry {
+        id: String,
+        measured: Table2Row,
+        paper: Table2Row,
+    }
+    let entries: Vec<Entry> = outcomes
+        .iter()
+        .map(|o| Entry {
+            id: o.id.to_string(),
+            measured: o.row,
+            paper: paper_row(o.id),
+        })
+        .collect();
+    serde_json::to_string_pretty(&entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ScenarioId;
+    use crate::metrics::SocMetrics;
+    use dpm_units::{Celsius, Energy, SimTime};
+
+    fn fake_outcome(id: ScenarioId) -> ScenarioOutcome {
+        let metrics = SocMetrics {
+            per_ip: Vec::new(),
+            total_energy: Energy::from_joules(1.0),
+            fan_energy: Energy::ZERO,
+            mean_temp_elevation: 10.0,
+            max_temp: Celsius::new(50.0),
+            final_soc: 0.5,
+            horizon: SimTime::from_millis(1),
+        };
+        ScenarioOutcome {
+            id,
+            dpm: metrics.clone(),
+            baseline: metrics,
+            row: Table2Row {
+                energy_saving_pct: 40.0,
+                temp_reduction_pct: 20.0,
+                delay_overhead_pct: 100.0,
+                completed: (10, 10),
+                deferred: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn ascii_contains_all_rows() {
+        let outcomes: Vec<ScenarioOutcome> =
+            ScenarioId::ALL.into_iter().map(fake_outcome).collect();
+        let table = table2_ascii(&outcomes);
+        for id in ScenarioId::ALL {
+            assert!(table.contains(&format!("| {:<2} |", id.to_string())), "{id}");
+        }
+        assert!(table.contains("339.0"), "paper values present");
+    }
+
+    #[test]
+    fn markdown_has_a_row_per_scenario() {
+        let outcomes: Vec<ScenarioOutcome> =
+            ScenarioId::ALL.into_iter().map(fake_outcome).collect();
+        let md = table2_markdown(&outcomes);
+        assert_eq!(md.lines().count(), 2 + 6);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let outcomes = vec![fake_outcome(ScenarioId::A1)];
+        let json = table2_json(&outcomes).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed[0]["id"], "A1");
+        assert_eq!(parsed[0]["paper"]["energy_saving_pct"], 39.0);
+    }
+}

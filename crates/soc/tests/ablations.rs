@@ -1,0 +1,217 @@
+//! Ablations of the design choices DESIGN.md calls out: end-of-task
+//! estimation, predictor choice, sleep gating and GEM presence.
+
+use dpm_core::predictor::PredictorKind;
+use dpm_kernel::Simulation;
+use dpm_soc::{build_soc, collect_metrics, IpConfig, SocConfig, SocMetrics};
+use dpm_units::{Ratio, SimTime};
+use dpm_workload::{
+    ActivityLevel, BurstyGenerator, PriorityWeights, TaskTrace, TraceGenerator,
+};
+
+const HORIZON: SimTime = SimTime::from_millis(100);
+
+fn trace(level: ActivityLevel, seed: u64) -> TaskTrace {
+    BurstyGenerator::for_activity(level, PriorityWeights::typical_user()).generate(HORIZON, seed)
+}
+
+fn run(cfg: &SocConfig) -> SocMetrics {
+    let mut sim = Simulation::new();
+    let handles = build_soc(&mut sim, cfg);
+    sim.run_until(HORIZON);
+    collect_metrics(&mut sim, &handles, HORIZON)
+}
+
+#[test]
+fn estimation_ablation_changes_decisions_near_boundaries() {
+    // Start right at the Medium/Low battery boundary on a fast-draining
+    // battery: with end-of-task estimation the LEM sees the post-task
+    // charge (Low -> ON4) before the sensor class flips; without it the
+    // stale Medium class picks faster states for longer. The *decision
+    // distribution* must differ, and anticipating the Low class must not
+    // cost energy (in queued systems latency effects are non-monotone, so
+    // only the energy direction is asserted).
+    let t = trace(ActivityLevel::High, 1);
+    let mut with_est = SocConfig::single_ip(t.clone());
+    with_est.initial_soc = Ratio::new(0.2505);
+    with_est.battery_capacity = dpm_units::Energy::from_joules(2.0); // drains fast
+    with_est.lem.use_estimates = true;
+    let mut without = with_est.clone();
+    without.lem.use_estimates = false;
+
+    let m_est = run(&with_est);
+    let m_raw = run(&without);
+    assert!(
+        m_est.total_energy <= m_raw.total_energy * 1.001,
+        "estimates {} vs raw {}",
+        m_est.total_energy,
+        m_raw.total_energy
+    );
+    let sel_est = m_est.per_ip[0].lem.as_ref().unwrap().selections_by_state;
+    let sel_raw = m_raw.per_ip[0].lem.as_ref().unwrap().selections_by_state;
+    assert_ne!(
+        sel_est, sel_raw,
+        "near the boundary the estimator must change selections"
+    );
+    use dpm_power::PowerState;
+    assert!(
+        sel_est[PowerState::On4.index()] >= sel_raw[PowerState::On4.index()],
+        "estimation anticipates the Low class: at least as many ON4 picks"
+    );
+}
+
+#[test]
+fn predictor_ablation_spans_the_sleep_spectrum() {
+    // "Fixed 0" never predicts enough idle to sleep; "Fixed huge" always
+    // sleeps as deep as permitted; adaptive predictors land in between.
+    let base = SocConfig::single_ip(trace(ActivityLevel::Low, 2));
+    let mut never = base.clone();
+    never.lem.predictor = PredictorKind::Fixed { value_us: 0 };
+    let mut always = base.clone();
+    always.lem.predictor = PredictorKind::Fixed { value_us: 1_000_000 };
+    let mut adaptive = base.clone();
+    adaptive.lem.predictor = PredictorKind::ExpAverage { alpha: 0.5 };
+
+    let m_never = run(&never);
+    let m_always = run(&always);
+    let m_adaptive = run(&adaptive);
+
+    assert_eq!(
+        m_never.per_ip[0].low_power_time(),
+        dpm_units::SimDuration::ZERO,
+        "a zero prediction disables sleeping"
+    );
+    assert!(m_always.per_ip[0].low_power_time() > dpm_units::SimDuration::ZERO);
+    assert!(m_always.total_energy < m_never.total_energy);
+    // the adaptive predictor is at least as good as never-sleep
+    assert!(m_adaptive.total_energy < m_never.total_energy);
+}
+
+#[test]
+fn gem_presence_only_matters_when_resources_are_scarce() {
+    let mk = |with_gem: bool, soc: f64| {
+        let ips = (0..4)
+            .map(|i| IpConfig::new(format!("ip{i}"), trace(ActivityLevel::Low, 10 + i), i as u8 + 1))
+            .collect();
+        let mut cfg = SocConfig::multi_ip(ips);
+        cfg.with_gem = with_gem;
+        cfg.initial_soc = Ratio::new(soc);
+        run(&cfg)
+    };
+    // healthy battery: the GEM enables everyone; same completions
+    let gem_healthy = mk(true, 0.9);
+    let solo_healthy = mk(false, 0.9);
+    assert_eq!(gem_healthy.completed(), solo_healthy.completed());
+    // low battery: the GEM parks the low-rank IPs; fewer completions,
+    // less energy
+    let gem_low = mk(true, 0.22);
+    let solo_low = mk(false, 0.22);
+    assert!(gem_low.completed() < solo_low.completed());
+    assert!(gem_low.total_energy < solo_low.total_energy);
+}
+
+#[test]
+fn wake_latency_cap_bounds_observed_sleep_depth() {
+    // Exactly periodic long gaps make the predictor accurate, so the
+    // depth comparison is clean (with bursty gaps, deep-sleep
+    // mispredictions can genuinely cost energy — that is the paper's
+    // argument for break-even analysis in the first place).
+    let period = dpm_units::SimDuration::from_millis(10);
+    let periodic = dpm_workload::PeriodicGenerator::exact(
+        period,
+        50_000,
+        dpm_workload::Priority::Medium,
+    )
+    .generate(HORIZON, 0);
+    let mut base = SocConfig::single_ip(periodic);
+    // use the energy-optimal selector: the *paper's* deepest-profitable
+    // heuristic can over-sleep into SL4, whose transition energy exceeds
+    // SL2's residual hold cost (see the sleep_selection ablation below)
+    base.lem.sleep_selection = dpm_core::SleepSelection::CheapestEnergy;
+    let mut shallow = base.clone();
+    shallow.lem.max_wake_latency = Some(dpm_units::SimDuration::from_micros(50)); // SL1 only
+    let mut deep = base.clone();
+    deep.lem.max_wake_latency = None;
+
+    let m_shallow = run(&shallow);
+    let m_deep = run(&deep);
+    use dpm_power::PowerState;
+    let shallow_res = m_shallow.per_ip[0].residency;
+    // with a 50 µs wake budget only SL1 (10 µs wake) is reachable
+    for s in [PowerState::Sl2, PowerState::Sl3, PowerState::Sl4, PowerState::SoftOff] {
+        assert_eq!(
+            shallow_res[s.index()],
+            dpm_units::SimDuration::ZERO,
+            "{s} must be out of reach"
+        );
+    }
+    assert!(shallow_res[PowerState::Sl1.index()] > dpm_units::SimDuration::ZERO);
+    // unconstrained sleeping reaches deeper states and saves more energy
+    let deep_res = m_deep.per_ip[0].residency;
+    let deep_sleep: dpm_units::SimDuration = [PowerState::Sl2, PowerState::Sl3, PowerState::Sl4]
+        .iter()
+        .map(|s| deep_res[s.index()])
+        .sum();
+    assert!(deep_sleep > dpm_units::SimDuration::ZERO);
+    assert!(
+        m_deep.total_energy < m_shallow.total_energy,
+        "deep {} vs shallow {}",
+        m_deep.total_energy,
+        m_shallow.total_energy
+    );
+}
+
+#[test]
+fn energy_optimal_sleep_selection_beats_the_paper_heuristic() {
+    // The paper sleeps in the deepest state whose break-even time fits
+    // the predicted idle. For ~10 ms periodic gaps that is SL4, whose
+    // round-trip transition energy exceeds what SL2 would spend holding —
+    // the energy-optimal selector (extension) finds the cheaper state.
+    let periodic = dpm_workload::PeriodicGenerator::exact(
+        dpm_units::SimDuration::from_millis(10),
+        50_000,
+        dpm_workload::Priority::Medium,
+    )
+    .generate(HORIZON, 0);
+    let mut paper = SocConfig::single_ip(periodic);
+    paper.lem.sleep_selection = dpm_core::SleepSelection::Deepest;
+    let mut optimal = paper.clone();
+    optimal.lem.sleep_selection = dpm_core::SleepSelection::CheapestEnergy;
+
+    let m_paper = run(&paper);
+    let m_optimal = run(&optimal);
+    assert!(
+        m_optimal.total_energy < m_paper.total_energy,
+        "optimal {} must beat the heuristic {}",
+        m_optimal.total_energy,
+        m_paper.total_energy
+    );
+    // both complete the same work
+    assert_eq!(m_optimal.completed(), m_paper.completed());
+    // and the optimal selector also wakes faster on average (lighter
+    // states), so it cannot lose on latency here
+    let lat_opt = m_optimal.mean_latency().unwrap();
+    let lat_paper = m_paper.mean_latency().unwrap();
+    assert!(lat_opt <= lat_paper);
+}
+
+#[test]
+fn sample_period_refines_monitor_accuracy_but_not_energy() {
+    // Energy integration is change-driven (exact for piecewise-constant
+    // power), so the sampling period must not change the totals.
+    let base = SocConfig::single_ip(trace(ActivityLevel::High, 4));
+    let mut coarse = base.clone();
+    coarse.sample_period = dpm_units::SimDuration::from_millis(5);
+    let mut fine = base.clone();
+    fine.sample_period = dpm_units::SimDuration::from_micros(100);
+    let m_coarse = run(&coarse);
+    let m_fine = run(&fine);
+    let diff = (m_coarse.total_energy.as_joules() - m_fine.total_energy.as_joules()).abs();
+    assert!(
+        diff < 0.01 * m_fine.total_energy.as_joules(),
+        "coarse {} vs fine {}",
+        m_coarse.total_energy,
+        m_fine.total_energy
+    );
+    assert_eq!(m_coarse.completed(), m_fine.completed());
+}

@@ -1,0 +1,41 @@
+//! Thermal model and temperature sensor of the DATE'05 DPM architecture.
+//!
+//! The paper develops a SystemC *"thermal sensor"* model: the LEM reads a
+//! three-class chip temperature (Low, Medium, High) and the GEM can switch
+//! on *"a supplementary fan"* when resources are critical. This crate
+//! provides:
+//!
+//! * [`ThermalNetwork`] — a lumped RC (Cauer) network: one node per IP
+//!   block coupled through a shared package node to ambient, integrated
+//!   with sub-stepped explicit Euler; the fan switches a lower
+//!   package-to-ambient resistance in parallel.
+//! * [`ThermalClass`] / [`ThermalClassifier`] — the paper's three classes
+//!   with hysteresis.
+//! * [`ThermalMonitor`] — a simulation process driving the network from
+//!   per-IP power signals and the fan state, publishing the hottest-node
+//!   temperature and its class, and accumulating the time-averaged
+//!   temperature elevation used by the Table 2 metric.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_thermal::{ThermalNetwork, ThermalNetworkConfig};
+//! use dpm_units::{Power, SimDuration};
+//!
+//! let mut net = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+//! for _ in 0..200 {
+//!     net.step(&[Power::from_milliwatts(250.0)], false, SimDuration::from_millis(10));
+//! }
+//! assert!(net.hottest() > net.ambient());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod monitor;
+mod network;
+mod sensor;
+
+pub use monitor::{ThermalMonitor, ThermalMonitorHandles};
+pub use network::{PackageParams, ThermalNetwork, ThermalNetworkConfig, ThermalNodeParams};
+pub use sensor::{ThermalClass, ThermalClassifier};

@@ -1,0 +1,341 @@
+//! Lumped RC thermal network.
+//!
+//! Topology (Cauer form):
+//!
+//! ```text
+//!  P_0 ──► [IP node 0: C₀] ──R₀──┐
+//!  P_1 ──► [IP node 1: C₁] ──R₁──┤── [package: C_p] ──R_amb──► ambient
+//!  ...                           │        ▲ (R_fan when the fan runs)
+//!  P_n ──► [IP node n: C_n] ─R_n─┘
+//! ```
+//!
+//! Each IP dissipates its instantaneous power into its own die node; heat
+//! flows through per-node spreading resistances into a shared package node
+//! and onward to ambient. The supplementary fan (GEM-controlled) switches
+//! a much lower package-to-ambient resistance in parallel.
+//!
+//! The time constants default to *scenario-scaled* values: the paper's
+//! workloads simulate fractions of a second, so package time constants of
+//! real hardware (tens of seconds) would never move. DESIGN.md documents
+//! this substitution; the *relative* temperature metrics of Table 2 are
+//! unaffected.
+
+use dpm_units::{Celsius, Power, SimDuration};
+
+/// Thermal parameters of one IP die node.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThermalNodeParams {
+    /// Heat capacitance of the node (J/K).
+    pub capacitance: f64,
+    /// Spreading resistance from the node to the package (K/W).
+    pub resistance_to_package: f64,
+}
+
+impl ThermalNodeParams {
+    /// Default die-node parameters (τ ≈ 1.5 ms, scenario-scaled).
+    pub fn default_ip() -> Self {
+        Self {
+            capacitance: 1.0e-4,
+            resistance_to_package: 15.0,
+        }
+    }
+}
+
+/// Thermal parameters of the shared package node.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PackageParams {
+    /// Heat capacitance of the package (J/K).
+    pub capacitance: f64,
+    /// Package-to-ambient resistance without fan (K/W).
+    pub resistance_to_ambient: f64,
+    /// Effective package-to-ambient resistance with the fan on (K/W).
+    pub resistance_with_fan: f64,
+}
+
+impl PackageParams {
+    /// Default package (τ ≈ 100 ms without fan, scenario-scaled).
+    pub fn default_package() -> Self {
+        Self {
+            capacitance: 2.5e-3,
+            resistance_to_ambient: 40.0,
+            resistance_with_fan: 8.0,
+        }
+    }
+}
+
+/// Full network configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThermalNetworkConfig {
+    /// Ambient temperature.
+    pub ambient: Celsius,
+    /// Initial temperature of every node (die + package).
+    pub initial: Celsius,
+    /// Per-IP node parameters.
+    pub nodes: Vec<ThermalNodeParams>,
+    /// Package parameters.
+    pub package: PackageParams,
+}
+
+impl ThermalNetworkConfig {
+    /// A default SoC with `n` identical IP nodes starting at ambient.
+    pub fn default_soc(n: usize) -> Self {
+        Self {
+            ambient: Celsius::new(25.0),
+            initial: Celsius::new(25.0),
+            nodes: vec![ThermalNodeParams::default_ip(); n],
+            package: PackageParams::default_package(),
+        }
+    }
+
+    /// Same network but starting hot (the paper's "Temperature High"
+    /// scenarios).
+    pub fn starting_at(mut self, t0: Celsius) -> Self {
+        self.initial = t0;
+        self
+    }
+}
+
+/// The integrating network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalNetwork {
+    config: ThermalNetworkConfig,
+    /// Die temperatures (°C), one per IP node.
+    node_temps: Vec<f64>,
+    package_temp: f64,
+    /// Euler sub-step, derived from the smallest time constant.
+    max_step: SimDuration,
+}
+
+impl ThermalNetwork {
+    /// Builds the network at the configured initial temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty node list or non-physical parameters.
+    pub fn new(config: ThermalNetworkConfig) -> Self {
+        assert!(
+            !config.nodes.is_empty(),
+            "thermal network needs at least one IP node"
+        );
+        for n in &config.nodes {
+            assert!(
+                n.capacitance > 0.0 && n.resistance_to_package > 0.0,
+                "node parameters must be positive"
+            );
+        }
+        let p = &config.package;
+        assert!(
+            p.capacitance > 0.0 && p.resistance_to_ambient > 0.0 && p.resistance_with_fan > 0.0,
+            "package parameters must be positive"
+        );
+        assert!(
+            p.resistance_with_fan <= p.resistance_to_ambient,
+            "the fan must not make cooling worse"
+        );
+        // Smallest time constant bounds the stable Euler step.
+        let tau_nodes = config
+            .nodes
+            .iter()
+            .map(|n| n.capacitance * n.resistance_to_package)
+            .fold(f64::INFINITY, f64::min);
+        let tau_pkg = p.capacitance * p.resistance_with_fan;
+        let tau_min = tau_nodes.min(tau_pkg);
+        let max_step = SimDuration::from_secs_f64(tau_min / 5.0);
+        let node_temps = vec![config.initial.as_celsius(); config.nodes.len()];
+        let package_temp = config.initial.as_celsius();
+        Self {
+            config,
+            node_temps,
+            package_temp,
+            max_step,
+        }
+    }
+
+    /// Number of IP nodes.
+    pub fn node_count(&self) -> usize {
+        self.config.nodes.len()
+    }
+
+    /// Ambient temperature.
+    pub fn ambient(&self) -> Celsius {
+        self.config.ambient
+    }
+
+    /// Die temperature of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node_temp(&self, i: usize) -> Celsius {
+        Celsius::new(self.node_temps[i])
+    }
+
+    /// Package temperature.
+    pub fn package_temp(&self) -> Celsius {
+        Celsius::new(self.package_temp)
+    }
+
+    /// The hottest die temperature (the "chip temperature" the sensor
+    /// reports).
+    pub fn hottest(&self) -> Celsius {
+        let t = self
+            .node_temps
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Celsius::new(t.max(self.package_temp))
+    }
+
+    /// The integration sub-step used internally.
+    pub fn integration_step(&self) -> SimDuration {
+        self.max_step
+    }
+
+    fn euler_step(&mut self, powers: &[Power], fan_on: bool, dt_s: f64) {
+        let r_amb = if fan_on {
+            self.config.package.resistance_with_fan
+        } else {
+            self.config.package.resistance_to_ambient
+        };
+        let mut into_package = 0.0;
+        for (i, node) in self.config.nodes.iter().enumerate() {
+            let flow = (self.node_temps[i] - self.package_temp) / node.resistance_to_package;
+            into_package += flow;
+            let p = powers.get(i).map_or(0.0, |p| p.as_watts());
+            self.node_temps[i] += (p - flow) * dt_s / node.capacitance;
+        }
+        let out = (self.package_temp - self.config.ambient.as_celsius()) / r_amb;
+        self.package_temp += (into_package - out) * dt_s / self.config.package.capacitance;
+    }
+
+    /// Advances the network by `dt` with constant per-node `powers` and fan
+    /// state. Extra powers beyond the node count are ignored; missing ones
+    /// are treated as zero.
+    pub fn step(&mut self, powers: &[Power], fan_on: bool, dt: SimDuration) {
+        let mut left = dt;
+        while !left.is_zero() {
+            let slice = left.min(self.max_step);
+            self.euler_step(powers, fan_on, slice.as_secs_f64());
+            left -= slice;
+        }
+    }
+
+    /// The analytic steady-state temperatures for constant inputs:
+    /// all heat flows through the package, so
+    /// `T_pkg = T_amb + R_amb·ΣP` and `T_i = T_pkg + R_i·P_i`.
+    pub fn steady_state(&self, powers: &[Power], fan_on: bool) -> (Vec<Celsius>, Celsius) {
+        let r_amb = if fan_on {
+            self.config.package.resistance_with_fan
+        } else {
+            self.config.package.resistance_to_ambient
+        };
+        let total: f64 = powers.iter().take(self.node_count()).map(|p| p.as_watts()).sum();
+        let t_pkg = self.config.ambient.as_celsius() + r_amb * total;
+        let nodes = self
+            .config
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let p = powers.get(i).map_or(0.0, |p| p.as_watts());
+                Celsius::new(t_pkg + n.resistance_to_package * p)
+            })
+            .collect();
+        (nodes, Celsius::new(t_pkg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn watts(mw: f64) -> Power {
+        Power::from_milliwatts(mw)
+    }
+
+    #[test]
+    fn heats_toward_steady_state() {
+        let mut net = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        let p = [watts(250.0)];
+        let (nodes, _) = net.steady_state(&p, false);
+        // run long enough (≈ 10 package time constants)
+        net.step(&p, false, SimDuration::from_secs(1));
+        let t = net.node_temp(0);
+        assert!((t - nodes[0]).abs() < 0.5, "got {t}, steady {}", nodes[0]);
+    }
+
+    #[test]
+    fn cools_back_to_ambient_without_power() {
+        let cfg = ThermalNetworkConfig::default_soc(2).starting_at(Celsius::new(85.0));
+        let mut net = ThermalNetwork::new(cfg);
+        net.step(&[Power::ZERO, Power::ZERO], false, SimDuration::from_secs(2));
+        assert!((net.hottest() - net.ambient()).abs() < 0.5);
+    }
+
+    #[test]
+    fn fan_lowers_steady_state() {
+        let net = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        let p = [watts(500.0)];
+        let (_, no_fan) = net.steady_state(&p, false);
+        let (_, fan) = net.steady_state(&p, true);
+        assert!(fan < no_fan);
+    }
+
+    #[test]
+    fn fan_speeds_up_cooling() {
+        let cfg = ThermalNetworkConfig::default_soc(1).starting_at(Celsius::new(90.0));
+        let mut slow = ThermalNetwork::new(cfg.clone());
+        let mut fast = ThermalNetwork::new(cfg);
+        let dt = SimDuration::from_millis(50);
+        slow.step(&[Power::ZERO], false, dt);
+        fast.step(&[Power::ZERO], true, dt);
+        assert!(fast.hottest() < slow.hottest());
+    }
+
+    #[test]
+    fn hotter_ip_is_the_loaded_one() {
+        let mut net = ThermalNetwork::new(ThermalNetworkConfig::default_soc(3));
+        net.step(
+            &[watts(50.0), watts(400.0), watts(50.0)],
+            false,
+            SimDuration::from_secs(1),
+        );
+        assert!(net.node_temp(1) > net.node_temp(0));
+        assert!(net.node_temp(1) > net.node_temp(2));
+        assert_eq!(net.hottest(), net.node_temp(1));
+    }
+
+    #[test]
+    fn temperatures_stay_bounded() {
+        // Between ambient and the steady state for any reasonable power.
+        let mut net = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        let p = [watts(800.0)];
+        let (nodes, _) = net.steady_state(&p, false);
+        for _ in 0..100 {
+            net.step(&p, false, SimDuration::from_millis(20));
+            assert!(net.node_temp(0) >= net.ambient());
+            assert!(net.node_temp(0) <= nodes[0].plus_kelvin(0.5));
+        }
+    }
+
+    #[test]
+    fn missing_power_entries_mean_zero() {
+        let mut net = ThermalNetwork::new(ThermalNetworkConfig::default_soc(2));
+        net.step(&[watts(300.0)], false, SimDuration::from_secs(1));
+        assert!(net.node_temp(0) > net.node_temp(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one IP node")]
+    fn empty_network_rejected() {
+        let _ = ThermalNetwork::new(ThermalNetworkConfig::default_soc(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not make cooling worse")]
+    fn fan_worse_than_passive_rejected() {
+        let mut cfg = ThermalNetworkConfig::default_soc(1);
+        cfg.package.resistance_with_fan = cfg.package.resistance_to_ambient * 2.0;
+        let _ = ThermalNetwork::new(cfg);
+    }
+}

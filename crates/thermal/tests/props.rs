@@ -1,0 +1,114 @@
+//! Property-based tests of the thermal network and classifier.
+
+use dpm_thermal::{ThermalClass, ThermalClassifier, ThermalNetwork, ThermalNetworkConfig};
+use dpm_units::{Celsius, Power, SimDuration};
+use proptest::prelude::*;
+
+fn power_vec(n: usize) -> impl Strategy<Value = Vec<Power>> {
+    prop::collection::vec((0.0..1.0f64).prop_map(Power::from_watts), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn temperatures_stay_within_physical_bounds(
+        n in 1usize..5,
+        seed_powers in power_vec(4),
+        steps in 1usize..50,
+    ) {
+        let powers = &seed_powers[..n.min(seed_powers.len()).max(1)];
+        let mut net = ThermalNetwork::new(ThermalNetworkConfig::default_soc(powers.len()));
+        let (steady, _) = net.steady_state(powers, false);
+        let hottest_steady = steady
+            .iter()
+            .fold(Celsius::new(f64::NEG_INFINITY), |acc, t| acc.max(*t));
+        for _ in 0..steps {
+            net.step(powers, false, SimDuration::from_millis(7));
+            prop_assert!(net.hottest() >= net.ambient().plus_kelvin(-1e-9));
+            prop_assert!(
+                net.hottest() <= hottest_steady.plus_kelvin(1e-6),
+                "{} exceeded steady {}",
+                net.hottest(),
+                hottest_steady
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_power(p1 in 0.0..1.0f64, p2 in 0.0..1.0f64, ms in 1u64..200) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let mut cool = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        let mut warm = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        cool.step(&[Power::from_watts(lo)], false, SimDuration::from_millis(ms));
+        warm.step(&[Power::from_watts(hi)], false, SimDuration::from_millis(ms));
+        prop_assert!(warm.hottest() >= cool.hottest().plus_kelvin(-1e-9));
+    }
+
+    #[test]
+    fn fan_never_hurts(p in 0.0..1.5f64, ms in 1u64..200) {
+        let mut with_fan = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        let mut without = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        with_fan.step(&[Power::from_watts(p)], true, SimDuration::from_millis(ms));
+        without.step(&[Power::from_watts(p)], false, SimDuration::from_millis(ms));
+        prop_assert!(with_fan.hottest() <= without.hottest().plus_kelvin(1e-9));
+    }
+
+    #[test]
+    fn step_composition_is_consistent(p in 0.0..1.0f64, ms in 2u64..100) {
+        // one long step == two half steps (the integrator sub-slices
+        // internally, so composition must be exact)
+        let powers = [Power::from_watts(p)];
+        let mut whole = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        let mut halves = ThermalNetwork::new(ThermalNetworkConfig::default_soc(1));
+        whole.step(&powers, false, SimDuration::from_millis(ms));
+        halves.step(&powers, false, SimDuration::from_millis(ms / 2));
+        halves.step(&powers, false, SimDuration::from_millis(ms - ms / 2));
+        prop_assert!((whole.hottest() - halves.hottest()).abs() < 0.05);
+    }
+
+    #[test]
+    fn classifier_is_stable_on_repeats(temps in prop::collection::vec(0.0..120.0f64, 1..60)) {
+        let mut c = ThermalClassifier::with_defaults();
+        for t in temps {
+            let first = c.classify(Celsius::new(t));
+            prop_assert_eq!(c.classify(Celsius::new(t)), first);
+        }
+    }
+
+    #[test]
+    fn classifier_large_jumps_land_on_raw_class(t in 0.0..120.0f64) {
+        let mut c = ThermalClassifier::with_defaults();
+        // move far away first, then to t: the hysteresis band is only
+        // ±2 K, so a > 25 K jump must resolve to the raw class
+        let far = if t < 60.0 { t + 40.0 } else { t - 40.0 };
+        let _ = c.classify(Celsius::new(far));
+        let got = c.classify(Celsius::new(t));
+        let mut fresh = ThermalClassifier::with_defaults();
+        let raw = fresh.classify(Celsius::new(t));
+        // allow a one-step difference only within the hysteresis margin
+        if (t - 50.0).abs() > 2.5 && (t - 70.0).abs() > 2.5 {
+            prop_assert_eq!(got, raw, "t={}", t);
+        }
+    }
+
+    #[test]
+    fn classes_are_ordered_with_temperature(t1 in 0.0..120.0f64, t2 in 0.0..120.0f64) {
+        let mut c1 = ThermalClassifier::with_defaults();
+        let mut c2 = ThermalClassifier::with_defaults();
+        let a = c1.classify(Celsius::new(t1));
+        let b = c2.classify(Celsius::new(t2));
+        if t1 <= t2 {
+            prop_assert!(a <= b);
+        } else {
+            prop_assert!(a >= b);
+        }
+    }
+}
+
+#[test]
+fn class_all_is_sorted() {
+    let mut sorted = ThermalClass::ALL.to_vec();
+    sorted.sort();
+    assert_eq!(sorted.as_slice(), ThermalClass::ALL.as_slice());
+}

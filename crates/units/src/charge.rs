@@ -1,0 +1,75 @@
+//! Electric charge in coulombs (battery bookkeeping).
+
+use crate::{Energy, Voltage};
+
+quantity!(
+    /// Electric charge in **coulombs**.
+    ///
+    /// Battery models track their wells in charge; multiplying by the cell
+    /// [`Voltage`] recovers [`Energy`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_units::{Charge, Voltage};
+    ///
+    /// let q = Charge::from_milliamp_hours(1000.0);
+    /// let e = q * Voltage::from_volts(3.7);
+    /// assert!((e.as_joules() - 13_320.0).abs() < 1e-6);
+    /// ```
+    Charge,
+    "C"
+);
+
+impl Charge {
+    /// Charge from a coulomb value (alias of [`Charge::new`]).
+    #[inline]
+    pub const fn from_coulombs(c: f64) -> Self {
+        Self::new(c)
+    }
+
+    /// Charge from the milliamp-hour rating printed on batteries.
+    #[inline]
+    pub const fn from_milliamp_hours(mah: f64) -> Self {
+        Self::new(mah * 3.6)
+    }
+
+    /// The value in coulombs.
+    #[inline]
+    pub const fn as_coulombs(self) -> f64 {
+        self.value()
+    }
+
+    /// The value in milliamp-hours.
+    #[inline]
+    pub const fn as_milliamp_hours(self) -> f64 {
+        self.value() / 3.6
+    }
+}
+
+impl core::ops::Mul<Voltage> for Charge {
+    type Output = Energy;
+    /// Energy released moving this charge through potential `v`.
+    #[inline]
+    fn mul(self, v: Voltage) -> Energy {
+        Energy::new(self.value() * v.as_volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mah_roundtrip() {
+        let q = Charge::from_milliamp_hours(500.0);
+        assert!((q.as_coulombs() - 1800.0).abs() < 1e-9);
+        assert!((q.as_milliamp_hours() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_times_voltage_is_energy() {
+        let e = Charge::from_coulombs(2.0) * Voltage::from_volts(1.5);
+        assert!((e.as_joules() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Energy in joules, with conversions to the power/charge/time identities.
+
+use crate::{Charge, Power, SimDuration, Voltage};
+
+quantity!(
+    /// An amount of energy in **joules**.
+    ///
+    /// In this workspace energies appear as per-instruction costs, state
+    /// transition costs and accumulated battery drain.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_units::{Energy, Power, SimDuration};
+    ///
+    /// let e = Energy::from_microjoules(10.0) + Energy::from_microjoules(5.0);
+    /// assert!((e.as_joules() - 15e-6).abs() < 1e-15);
+    /// let p: Power = e / SimDuration::from_micros(3);
+    /// assert!((p.as_watts() - 5.0).abs() < 1e-9);
+    /// ```
+    Energy,
+    "J"
+);
+
+impl Energy {
+    /// Energy from a joule value (alias of [`Energy::new`]).
+    #[inline]
+    pub const fn from_joules(j: f64) -> Self {
+        Self::new(j)
+    }
+
+    /// Energy from millijoules.
+    #[inline]
+    pub const fn from_millijoules(mj: f64) -> Self {
+        Self::new(mj * 1e-3)
+    }
+
+    /// Energy from microjoules.
+    #[inline]
+    pub const fn from_microjoules(uj: f64) -> Self {
+        Self::new(uj * 1e-6)
+    }
+
+    /// Energy from nanojoules.
+    #[inline]
+    pub const fn from_nanojoules(nj: f64) -> Self {
+        Self::new(nj * 1e-9)
+    }
+
+    /// Energy from picojoules.
+    #[inline]
+    pub const fn from_picojoules(pj: f64) -> Self {
+        Self::new(pj * 1e-12)
+    }
+
+    /// The value in joules.
+    #[inline]
+    pub const fn as_joules(self) -> f64 {
+        self.value()
+    }
+
+    /// Energy stored in a battery quoted in milliwatt-hours.
+    #[inline]
+    pub const fn from_milliwatt_hours(mwh: f64) -> Self {
+        Self::new(mwh * 3.6)
+    }
+
+    /// The value in milliwatt-hours.
+    #[inline]
+    pub const fn as_milliwatt_hours(self) -> f64 {
+        self.value() / 3.6
+    }
+}
+
+impl core::ops::Div<SimDuration> for Energy {
+    type Output = Power;
+    /// Average power delivering this energy over `dt`.
+    #[inline]
+    fn div(self, dt: SimDuration) -> Power {
+        Power::new(self.value() / dt.as_secs_f64())
+    }
+}
+
+impl core::ops::Div<Power> for Energy {
+    type Output = SimDuration;
+    /// Time needed to spend this energy at constant power `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting time is negative or not representable.
+    #[inline]
+    fn div(self, p: Power) -> SimDuration {
+        SimDuration::from_secs_f64(self.value() / p.as_watts())
+    }
+}
+
+impl core::ops::Div<Voltage> for Energy {
+    type Output = Charge;
+    /// Charge moved through a potential `v` carrying this energy.
+    #[inline]
+    fn div(self, v: Voltage) -> Charge {
+        Charge::new(self.value() / v.as_volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors() {
+        assert!((Energy::from_millijoules(2.0).as_joules() - 2e-3).abs() < 1e-15);
+        assert!((Energy::from_nanojoules(7.0).as_joules() - 7e-9).abs() < 1e-20);
+        assert!((Energy::from_picojoules(3.0).as_joules() - 3e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn milliwatt_hours_roundtrip() {
+        let e = Energy::from_milliwatt_hours(1000.0); // 1 Wh = 3600 J
+        assert!((e.as_joules() - 3600.0).abs() < 1e-9);
+        assert!((e.as_milliwatt_hours() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_over_power_gives_time() {
+        let dt = Energy::from_joules(1.0) / Power::from_watts(2.0);
+        assert_eq!(dt, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn energy_over_voltage_gives_charge() {
+        let q = Energy::from_joules(3.6) / Voltage::from_volts(1.8);
+        assert!((q.as_coulombs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Energy::from_joules(1.0);
+        let b = Energy::from_joules(2.0);
+        assert!(a < b);
+        assert_eq!((b - a).as_joules(), 1.0);
+        assert_eq!((a * 4.0).as_joules(), 4.0);
+        assert_eq!(b / a, 2.0);
+        let s: Energy = [a, b].iter().sum();
+        assert_eq!(s.as_joules(), 3.0);
+    }
+
+    #[test]
+    fn display_uses_si_prefix() {
+        assert_eq!(Energy::from_microjoules(12.5).to_string(), "12.500 uJ");
+    }
+}

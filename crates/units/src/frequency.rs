@@ -1,0 +1,120 @@
+//! Clock frequency in hertz and cycle/time conversions.
+
+use crate::SimDuration;
+
+quantity!(
+    /// Clock frequency in **hertz**.
+    ///
+    /// The execution states `ON1..ON4` run the IP clock at decreasing
+    /// frequencies; converting between instruction counts and simulation
+    /// time goes through this type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_units::{Frequency, SimDuration};
+    ///
+    /// let f = Frequency::from_mega_hertz(100.0);
+    /// assert_eq!(f.period(), SimDuration::from_nanos(10));
+    /// assert_eq!(f.duration_of_cycles(5), SimDuration::from_nanos(50));
+    /// ```
+    Frequency,
+    "Hz"
+);
+
+impl Frequency {
+    /// Frequency from a hertz value (alias of [`Frequency::new`]).
+    #[inline]
+    pub const fn from_hertz(hz: f64) -> Self {
+        Self::new(hz)
+    }
+
+    /// Frequency from kilohertz.
+    #[inline]
+    pub const fn from_kilo_hertz(khz: f64) -> Self {
+        Self::new(khz * 1e3)
+    }
+
+    /// Frequency from megahertz.
+    #[inline]
+    pub const fn from_mega_hertz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// Frequency from gigahertz.
+    #[inline]
+    pub const fn from_giga_hertz(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// The value in hertz.
+    #[inline]
+    pub const fn as_hertz(self) -> f64 {
+        self.value()
+    }
+
+    /// The clock period, rounded to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero, negative or NaN.
+    #[inline]
+    pub fn period(self) -> SimDuration {
+        assert!(
+            self.value() > 0.0,
+            "Frequency::period requires a positive frequency, got {self:?}"
+        );
+        SimDuration::from_secs_f64(1.0 / self.value())
+    }
+
+    /// Number of complete cycles elapsing in `dt` at this frequency.
+    #[inline]
+    pub fn cycles_in(self, dt: SimDuration) -> u64 {
+        (self.value() * dt.as_secs_f64()).floor() as u64
+    }
+
+    /// Time taken by `cycles` clock cycles, rounded to a picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive.
+    #[inline]
+    pub fn duration_of_cycles(self, cycles: u64) -> SimDuration {
+        assert!(
+            self.value() > 0.0,
+            "Frequency::duration_of_cycles requires a positive frequency"
+        );
+        SimDuration::from_secs_f64(cycles as f64 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_of_common_clocks() {
+        assert_eq!(Frequency::from_giga_hertz(1.0).period(), SimDuration::from_ps(1000));
+        assert_eq!(Frequency::from_mega_hertz(250.0).period(), SimDuration::from_nanos(4));
+    }
+
+    #[test]
+    fn cycles_roundtrip() {
+        let f = Frequency::from_mega_hertz(200.0);
+        let dt = f.duration_of_cycles(1_000);
+        assert_eq!(dt, SimDuration::from_micros(5));
+        assert_eq!(f.cycles_in(dt), 1_000);
+    }
+
+    #[test]
+    fn cycles_in_floors_partial_cycles() {
+        let f = Frequency::from_mega_hertz(1.0);
+        assert_eq!(f.cycles_in(SimDuration::from_nanos(2_500)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive frequency")]
+    fn period_of_zero_frequency_panics() {
+        let _ = Frequency::ZERO.period();
+    }
+}

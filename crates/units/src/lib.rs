@@ -1,0 +1,58 @@
+//! Simulation-time and physical-quantity newtypes for the `dpmsim` workspace.
+//!
+//! Dynamic power management couples *time*, *energy*, *power*, *voltage*,
+//! *frequency*, *temperature* and *charge*. Mixing those up as bare `f64`s is
+//! the classic source of silent unit bugs in EDA tooling, so every quantity
+//! in this workspace is a dedicated newtype with only the physically
+//! meaningful arithmetic implemented.
+//!
+//! Two kinds of types live here:
+//!
+//! * **Simulation time** ([`SimTime`], [`SimDuration`]) is an *integer*
+//!   number of picoseconds, mirroring SystemC's `sc_time` discrete
+//!   resolution. Integer time keeps the event queue total-ordered and the
+//!   kernel deterministic: two events at the same instant compare equal
+//!   exactly, never "almost".
+//! * **Physical quantities** ([`Energy`], [`Power`], [`Voltage`],
+//!   [`Frequency`], [`Celsius`], [`Charge`], [`Ratio`]) are `f64` newtypes in
+//!   SI base units with cross-unit operators for the identities the power
+//!   models rely on (`Energy = Power × time`, `Charge = Energy / Voltage`,
+//!   `cycles = Frequency × time`, ...).
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_units::{Energy, Frequency, Power, SimDuration};
+//!
+//! let p = Power::from_milliwatts(250.0);
+//! let dt = SimDuration::from_millis(4);
+//! let e: Energy = p * dt;
+//! assert!((e.as_joules() - 1.0e-3).abs() < 1e-12);
+//!
+//! let f = Frequency::from_mega_hertz(200.0);
+//! assert_eq!(f.cycles_in(SimDuration::from_micros(1)), 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod charge;
+mod energy;
+mod frequency;
+mod power;
+mod ratio;
+mod temperature;
+mod time;
+mod voltage;
+
+pub use charge::Charge;
+pub use energy::Energy;
+pub use frequency::Frequency;
+pub use power::Power;
+pub use ratio::Ratio;
+pub use temperature::Celsius;
+pub use time::{SimDuration, SimTime};
+pub use voltage::Voltage;

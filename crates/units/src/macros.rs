@@ -1,0 +1,217 @@
+//! Internal macro generating the boilerplate shared by every `f64`-backed
+//! physical quantity: constructors, accessors, arithmetic within the unit,
+//! scaling by dimensionless factors, ordering helpers and `Display`.
+
+/// Implements a linear `f64`-backed quantity newtype.
+///
+/// Generated API (per type `$ty` with SI base unit `$unit`):
+/// * `const ZERO`, `fn new(f64)`, `fn value(self) -> f64`
+/// * `Add`, `Sub`, `Neg`, `AddAssign`, `SubAssign`
+/// * `Mul<f64>`, `f64 × $ty`, `Div<f64>`, `Div<$ty> -> f64`
+/// * `iter::Sum`
+/// * `fn min/max/clamp/abs/is_finite`
+/// * `Display` in the base unit with SI prefix scaling
+macro_rules! quantity {
+    ($(#[$meta:meta])* $ty:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $ty(f64);
+
+        impl $ty {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates the quantity from its value in the SI base unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the value in the SI base unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Smaller of `self` and `other` (propagates NaN like `f64::min`).
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Larger of `self` and `other` (propagates NaN like `f64::max`).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the value to `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// `true` when the value is neither infinite nor NaN.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $ty {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $ty> for $ty {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                let (scaled, prefix) = crate::macros::si_scale(self.0);
+                if let Some(precision) = f.precision() {
+                    write!(f, "{scaled:.precision$} {prefix}{}", $unit)
+                } else {
+                    write!(f, "{scaled:.3} {prefix}{}", $unit)
+                }
+            }
+        }
+    };
+}
+
+/// Picks an SI prefix so the mantissa lands in `[1, 1000)` when possible.
+pub(crate) fn si_scale(value: f64) -> (f64, &'static str) {
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+    ];
+    if value == 0.0 || !value.is_finite() {
+        return (value, "");
+    }
+    let mag = value.abs();
+    for (scale, prefix) in PREFIXES {
+        if mag >= scale {
+            return (value / scale, prefix);
+        }
+    }
+    let (scale, prefix) = PREFIXES[PREFIXES.len() - 1];
+    (value / scale, prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::si_scale;
+
+    #[test]
+    fn si_scale_picks_readable_prefix() {
+        assert_eq!(si_scale(0.0), (0.0, ""));
+        assert_eq!(si_scale(1.5), (1.5, ""));
+        assert_eq!(si_scale(1500.0), (1.5, "k"));
+        assert_eq!(si_scale(2.5e6), (2.5, "M"));
+        let (v, p) = si_scale(0.004);
+        assert!((v - 4.0).abs() < 1e-12);
+        assert_eq!(p, "m");
+        let (v, p) = si_scale(-3.2e-7);
+        assert!((v + 320.0).abs() < 1e-9);
+        assert_eq!(p, "n");
+    }
+
+    #[test]
+    fn si_scale_handles_tiny_values() {
+        let (v, p) = si_scale(2e-18);
+        assert_eq!(p, "f");
+        assert!((v - 0.002).abs() < 1e-15);
+    }
+}

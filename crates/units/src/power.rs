@@ -1,0 +1,91 @@
+//! Power in watts and the `Energy = Power × time` identity.
+
+use crate::{Energy, SimDuration};
+
+quantity!(
+    /// Instantaneous power in **watts**.
+    ///
+    /// IP power models expose piecewise-constant power levels per ACPI
+    /// state; integrating them over simulation time yields [`Energy`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_units::{Power, SimDuration};
+    ///
+    /// let e = Power::from_milliwatts(40.0) * SimDuration::from_millis(25);
+    /// assert!((e.as_joules() - 1e-3).abs() < 1e-12);
+    /// ```
+    Power,
+    "W"
+);
+
+impl Power {
+    /// Power from a watt value (alias of [`Power::new`]).
+    #[inline]
+    pub const fn from_watts(w: f64) -> Self {
+        Self::new(w)
+    }
+
+    /// Power from milliwatts.
+    #[inline]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// Power from microwatts.
+    #[inline]
+    pub const fn from_microwatts(uw: f64) -> Self {
+        Self::new(uw * 1e-6)
+    }
+
+    /// The value in watts.
+    #[inline]
+    pub const fn as_watts(self) -> f64 {
+        self.value()
+    }
+}
+
+impl core::ops::Mul<SimDuration> for Power {
+    type Output = Energy;
+    /// Energy dissipated holding this power for `dt`.
+    #[inline]
+    fn mul(self, dt: SimDuration) -> Energy {
+        Energy::new(self.value() * dt.as_secs_f64())
+    }
+}
+
+impl core::ops::Mul<Power> for SimDuration {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, p: Power) -> Energy {
+        p * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(2.0) * SimDuration::from_secs(3);
+        assert!((e.as_joules() - 6.0).abs() < 1e-12);
+        let e2 = SimDuration::from_secs(3) * Power::from_watts(2.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!((Power::from_milliwatts(5.0).as_watts() - 5e-3).abs() < 1e-15);
+        assert!((Power::from_microwatts(5.0).as_watts() - 5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_power_integrates_to_zero() {
+        assert_eq!(
+            (Power::ZERO * SimDuration::from_secs(1000)).as_joules(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Chip temperature in degrees Celsius.
+//!
+//! Temperature is an *affine* quantity: adding two temperatures is
+//! meaningless, while adding a delta (in kelvin, represented as `f64`) and
+//! taking differences are well defined. [`Celsius`] therefore does not use
+//! the linear-quantity macro.
+
+use core::fmt;
+use core::ops::Sub;
+
+/// A temperature in **degrees Celsius**.
+///
+/// The thermal model integrates heat flows into per-node temperatures; the
+/// sensor quantizes them into the paper's three classes.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_units::Celsius;
+///
+/// let ambient = Celsius::new(25.0);
+/// let hot = ambient.plus_kelvin(40.0);
+/// assert_eq!(hot - ambient, 40.0);
+/// assert!(hot > ambient);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// A temperature from its Celsius value.
+    #[inline]
+    pub const fn new(deg_c: f64) -> Self {
+        Self(deg_c)
+    }
+
+    /// The value in degrees Celsius.
+    #[inline]
+    pub const fn as_celsius(self) -> f64 {
+        self.0
+    }
+
+    /// The value in kelvin.
+    #[inline]
+    pub fn as_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// This temperature shifted up by `delta_k` kelvin (negative shifts down).
+    #[inline]
+    pub fn plus_kelvin(self, delta_k: f64) -> Self {
+        Self(self.0 + delta_k)
+    }
+
+    /// Lower of two temperatures (NaN-propagating like `f64::min`).
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Higher of two temperatures.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Clamps to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// `true` when the value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Sub for Celsius {
+    type Output = f64;
+    /// Temperature difference in kelvin.
+    #[inline]
+    fn sub(self, rhs: Self) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.precision$} degC", self.0)
+        } else {
+            write!(f, "{:.2} degC", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_offset() {
+        assert!((Celsius::new(0.0).as_kelvin() - 273.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differences_are_deltas() {
+        let a = Celsius::new(60.0);
+        let b = Celsius::new(25.0);
+        assert_eq!(a - b, 35.0);
+        assert_eq!(b.plus_kelvin(35.0), a);
+        assert_eq!(a.plus_kelvin(-35.0), b);
+    }
+
+    #[test]
+    fn clamp_and_ordering() {
+        let t = Celsius::new(95.0).clamp(Celsius::new(0.0), Celsius::new(85.0));
+        assert_eq!(t, Celsius::new(85.0));
+        assert!(Celsius::new(20.0) < Celsius::new(20.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Celsius::new(42.128).to_string(), "42.13 degC");
+        assert_eq!(format!("{:.1}", Celsius::new(42.15)), "42.1 degC");
+    }
+}

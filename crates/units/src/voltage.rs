@@ -1,0 +1,65 @@
+//! Supply voltage in volts.
+
+quantity!(
+    /// Electric potential in **volts**.
+    ///
+    /// Variable-voltage operating points pair a supply [`Voltage`] with a
+    /// clock [`crate::Frequency`]; dynamic energy scales with `V²`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_units::Voltage;
+    ///
+    /// let v = Voltage::from_volts(1.8);
+    /// assert_eq!(v.squared(), 1.8 * 1.8);
+    /// ```
+    Voltage,
+    "V"
+);
+
+impl Voltage {
+    /// Voltage from a volt value (alias of [`Voltage::new`]).
+    #[inline]
+    pub const fn from_volts(v: f64) -> Self {
+        Self::new(v)
+    }
+
+    /// Voltage from millivolts.
+    #[inline]
+    pub const fn from_millivolts(mv: f64) -> Self {
+        Self::new(mv * 1e-3)
+    }
+
+    /// The value in volts.
+    #[inline]
+    pub const fn as_volts(self) -> f64 {
+        self.value()
+    }
+
+    /// `V²`, the factor dynamic CMOS energy scales with.
+    #[inline]
+    pub fn squared(self) -> f64 {
+        self.value() * self.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_matches_definition() {
+        let v = Voltage::from_millivolts(1200.0);
+        assert!((v.squared() - 1.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_energy_ratio_between_rails() {
+        // The paper's ON4 vs ON1 saving comes from (V4/V1)^2.
+        let v1 = Voltage::from_volts(1.8);
+        let v4 = Voltage::from_volts(1.2);
+        let ratio = v4.squared() / v1.squared();
+        assert!((ratio - 0.4444).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the quantity newtypes: algebraic laws the rest
+//! of the workspace silently relies on.
+
+use dpm_units::{Celsius, Charge, Energy, Frequency, Power, Ratio, SimDuration, SimTime, Voltage};
+use proptest::prelude::*;
+
+/// Finite, moderately sized f64s keep floating-point laws exact enough to
+/// assert with tight tolerances.
+fn small_f64() -> impl Strategy<Value = f64> {
+    -1e9..1e9f64
+}
+
+fn pos_f64() -> impl Strategy<Value = f64> {
+    1e-6..1e9f64
+}
+
+/// Durations up to ~1 hour, which all workloads stay below.
+fn duration() -> impl Strategy<Value = SimDuration> {
+    (0u64..3_600_000_000_000_000).prop_map(SimDuration::from_ps)
+}
+
+proptest! {
+    #[test]
+    fn energy_addition_commutes(a in small_f64(), b in small_f64()) {
+        let (x, y) = (Energy::from_joules(a), Energy::from_joules(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn energy_sub_inverts_add(a in small_f64(), b in small_f64()) {
+        let (x, y) = (Energy::from_joules(a), Energy::from_joules(b));
+        prop_assert!(((x + y - y).as_joules() - x.as_joules()).abs() <= 1e-6 * (1.0 + a.abs() + b.abs()));
+    }
+
+    #[test]
+    fn power_time_energy_consistency(w in pos_f64(), d in duration()) {
+        let p = Power::from_watts(w);
+        let e = p * d;
+        if !d.is_zero() {
+            let back = e / d;
+            prop_assert!((back.as_watts() - w).abs() <= 1e-9 * w.max(1.0));
+        }
+    }
+
+    #[test]
+    fn time_affine_roundtrip(start in 0u64..u64::MAX / 4, span in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_ps(start);
+        let d = SimDuration::from_ps(span);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn duration_since_matches_sub(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let (x, y) = (SimTime::from_ps(a), SimTime::from_ps(b));
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert_eq!(hi.checked_duration_since(lo), Some(hi - lo));
+        if lo < hi {
+            prop_assert_eq!(lo.checked_duration_since(hi), None);
+            prop_assert_eq!(lo.saturating_duration_since(hi), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn frequency_cycles_never_overestimate(mhz in 1.0..4000.0f64, d in duration()) {
+        let f = Frequency::from_mega_hertz(mhz);
+        let cycles = f.cycles_in(d);
+        // floor semantics: cycles fit within d, cycles+1 may not
+        let fit = f.duration_of_cycles(cycles);
+        prop_assert!(fit.as_ps() <= d.as_ps() + 1); // +1 ps rounding slack
+    }
+
+    #[test]
+    fn charge_voltage_energy_roundtrip(c in pos_f64(), v in 0.5..5.0f64) {
+        let q = Charge::from_coulombs(c);
+        let volt = Voltage::from_volts(v);
+        let e = q * volt;
+        let back = e / volt;
+        prop_assert!((back.as_coulombs() - c).abs() <= 1e-9 * c.max(1.0));
+    }
+
+    #[test]
+    fn celsius_delta_roundtrip(t in -50.0..150.0f64, dk in -100.0..100.0f64) {
+        let a = Celsius::new(t);
+        let b = a.plus_kelvin(dk);
+        prop_assert!(((b - a) - dk).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_clamp_is_idempotent(r in -10.0..10.0f64) {
+        let clamped = Ratio::new(r).clamp_unit();
+        prop_assert!(clamped.is_unit());
+        prop_assert_eq!(clamped.clamp_unit(), clamped);
+    }
+
+    #[test]
+    fn duration_scale_monotone(ps in 0u64..1_000_000_000_000u64, k in 0.0..1000.0f64) {
+        let d = SimDuration::from_ps(ps);
+        let scaled = d.mul_f64(k);
+        if k >= 1.0 {
+            prop_assert!(scaled >= d || ps == 0);
+        } else {
+            prop_assert!(scaled <= d + SimDuration::from_ps(1));
+        }
+    }
+
+    #[test]
+    fn display_never_panics(j in small_f64()) {
+        let _ = Energy::from_joules(j).to_string();
+        let _ = Power::from_watts(j).to_string();
+        let _ = Voltage::from_volts(j).to_string();
+    }
+}

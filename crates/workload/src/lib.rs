@@ -1,0 +1,50 @@
+//! Workload models for the DATE'05 DPM experiments.
+//!
+//! The paper's functional IPs are *"pure traffic generators"*: each IP
+//! *"executes a sequence of tasks or remains in idle state for a fixed
+//! time"*, with *"different types of input statistics … in some sequences
+//! the IP is often busy, in some it is often in idle state"*. This crate
+//! provides:
+//!
+//! * [`Priority`] — the four task priority classes (Low, Medium, High,
+//!   Very high) the LEM receives with every request.
+//! * [`TaskSpec`] / [`TaskTrace`] — pre-generated, deterministic task
+//!   sequences. Generating traces ahead of simulation is what makes the
+//!   paper's baseline comparison exact: the DPM run and the
+//!   always-max-frequency run replay *the same* arrivals.
+//! * [`Dist`] — seedable samplers (constant, uniform, exponential,
+//!   Pareto, normal) implemented via inverse-transform/Box–Muller so the
+//!   workspace needs no extra distribution crate.
+//! * [`BurstyGenerator`], [`PeriodicGenerator`], [`PoissonGenerator`] —
+//!   trace generators; [`ActivityLevel`] presets reproduce the paper's
+//!   "high activity" / "low activity" IPs.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_workload::{ActivityLevel, BurstyGenerator, PriorityWeights, TraceGenerator};
+//! use dpm_units::SimTime;
+//!
+//! let generator = BurstyGenerator::for_activity(ActivityLevel::High, PriorityWeights::uniform());
+//! let trace = generator.generate(SimTime::from_millis(50), 42);
+//! assert!(!trace.is_empty());
+//! assert!(trace.is_sorted_by_arrival());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod generator;
+mod priority;
+mod task;
+mod trace;
+
+pub use dist::Dist;
+pub use generator::{
+    ActivityLevel, BurstyGenerator, PeriodicGenerator, PoissonGenerator, PriorityWeights,
+    TraceGenerator,
+};
+pub use priority::Priority;
+pub use task::{TaskId, TaskSpec};
+pub use trace::{TaskTrace, TraceStats};

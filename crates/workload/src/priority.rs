@@ -1,0 +1,93 @@
+//! The four task priority classes.
+
+use core::fmt;
+
+/// Task priority as received by the LEM (paper §1.3: *"the task priority
+/// (coded in 4 classes: Low, Medium, High and Very high)"*).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum Priority {
+    /// Background work; latency is irrelevant.
+    Low,
+    /// Normal work.
+    Medium,
+    /// Latency-sensitive work.
+    High,
+    /// Critical work that must run even on an empty battery (Table 1
+    /// selects `ON4` for it in every emergency).
+    VeryHigh,
+}
+
+impl Priority {
+    /// All priorities, ascending.
+    pub const ALL: [Priority; 4] = [
+        Priority::Low,
+        Priority::Medium,
+        Priority::High,
+        Priority::VeryHigh,
+    ];
+
+    /// Dense index (0 = Low).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Priority::Low => 0,
+            Priority::Medium => 1,
+            Priority::High => 2,
+            Priority::VeryHigh => 3,
+        }
+    }
+
+    /// Single-letter code used in the paper's Table 1 (`L, M, H, V`).
+    pub const fn code(self) -> char {
+        match self {
+            Priority::Low => 'L',
+            Priority::Medium => 'M',
+            Priority::High => 'H',
+            Priority::VeryHigh => 'V',
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Priority::Low => "Low",
+            Priority::Medium => "Medium",
+            Priority::High => "High",
+            Priority::VeryHigh => "VeryHigh",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_codes() {
+        assert!(Priority::Low < Priority::VeryHigh);
+        let codes: String = Priority::ALL.iter().map(|p| p.code()).collect();
+        assert_eq!(codes, "LMHV");
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Priority::VeryHigh).unwrap();
+        let back: Priority = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Priority::VeryHigh);
+    }
+}

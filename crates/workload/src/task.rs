@@ -1,0 +1,123 @@
+//! Task descriptions.
+
+use core::fmt;
+
+use dpm_power::InstructionMix;
+use dpm_units::SimTime;
+
+use crate::priority::Priority;
+
+/// Identifier of a task within one IP's trace.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// One task of a traffic-generator sequence: a burst of instructions with
+/// a priority, arriving at a fixed instant.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskSpec {
+    /// Identifier, unique within the trace.
+    pub id: TaskId,
+    /// Arrival (service-request) time.
+    pub arrival: SimTime,
+    /// Number of instructions to execute.
+    pub instructions: u64,
+    /// Instruction class blend (drives energy and CPI).
+    pub mix: InstructionMix,
+    /// User-defined priority forwarded to the LEM.
+    pub priority: Priority,
+}
+
+impl TaskSpec {
+    /// A new task.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero instruction count (empty tasks break latency
+    /// accounting).
+    pub fn new(
+        id: TaskId,
+        arrival: SimTime,
+        instructions: u64,
+        mix: InstructionMix,
+        priority: Priority,
+    ) -> Self {
+        assert!(instructions > 0, "a task must execute at least one instruction");
+        Self {
+            id,
+            arrival,
+            instructions,
+            mix,
+            priority,
+        }
+    }
+}
+
+impl fmt::Display for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @{} ({} instr, {} priority)",
+            self.id, self.arrival, self.instructions, self.priority
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let t = TaskSpec::new(
+            TaskId(3),
+            SimTime::from_micros(10),
+            1000,
+            InstructionMix::default(),
+            Priority::High,
+        );
+        assert_eq!(t.to_string(), "task#3 @10 us (1000 instr, High priority)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_task_rejected() {
+        let _ = TaskSpec::new(
+            TaskId(0),
+            SimTime::ZERO,
+            0,
+            InstructionMix::default(),
+            Priority::Low,
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = TaskSpec::new(
+            TaskId(1),
+            SimTime::from_nanos(5),
+            42,
+            InstructionMix::typical_streaming(),
+            Priority::VeryHigh,
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TaskSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the workload generators and traces.
+
+use dpm_units::SimTime;
+use dpm_workload::{
+    ActivityLevel, BurstyGenerator, Dist, PeriodicGenerator, PoissonGenerator, Priority,
+    PriorityWeights, TraceGenerator,
+};
+use proptest::prelude::*;
+
+fn horizon_strategy() -> impl Strategy<Value = SimTime> {
+    (1u64..500).prop_map(SimTime::from_millis)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bursty_traces_are_valid(seed in 0u64..1000, horizon in horizon_strategy()) {
+        let g = BurstyGenerator::for_activity(ActivityLevel::High, PriorityWeights::typical_user());
+        let trace = g.generate(horizon, seed);
+        prop_assert!(trace.is_sorted_by_arrival());
+        prop_assert!(trace.tasks().iter().all(|t| t.arrival < horizon));
+        prop_assert!(trace.tasks().iter().all(|t| t.instructions > 0));
+        // ids unique and dense
+        let ids: Vec<u64> = trace.tasks().iter().map(|t| t.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_seed(seed in 0u64..1000) {
+        let g = BurstyGenerator::for_activity(ActivityLevel::Low, PriorityWeights::uniform());
+        let h = SimTime::from_millis(100);
+        prop_assert_eq!(g.generate(h, seed), g.generate(h, seed));
+    }
+
+    #[test]
+    fn longer_horizons_extend_traces_prefix_stable(seed in 0u64..200) {
+        // generating to 2x the horizon must reproduce the shorter trace as
+        // a prefix (the RNG stream is arrival-ordered)
+        let g = BurstyGenerator::for_activity(ActivityLevel::High, PriorityWeights::uniform());
+        let short = g.generate(SimTime::from_millis(50), seed);
+        let long = g.generate(SimTime::from_millis(100), seed);
+        prop_assert!(long.len() >= short.len());
+        for (a, b) in short.tasks().iter().zip(long.tasks()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_scales_with_interarrival(mean_us in 50.0..2000.0f64, seed in 0u64..100) {
+        let g = PoissonGenerator {
+            mean_interarrival_us: mean_us,
+            task_instructions: Dist::Constant(1000.0),
+            mix: dpm_power::InstructionMix::default(),
+            priorities: PriorityWeights::uniform(),
+        };
+        let horizon_ms = 400u64;
+        let trace = g.generate(SimTime::from_millis(horizon_ms), seed);
+        let expected = (horizon_ms as f64 * 1e3) / mean_us;
+        let n = trace.len() as f64;
+        // 5-sigma band of a Poisson count
+        let sigma = expected.sqrt();
+        prop_assert!((n - expected).abs() < 5.0 * sigma + 5.0, "n={n} expected={expected}");
+    }
+
+    #[test]
+    fn periodic_counts_exactly(period_us in 100u64..5000, horizon_ms in 1u64..100) {
+        let g = PeriodicGenerator::exact(
+            dpm_units::SimDuration::from_micros(period_us),
+            500,
+            Priority::Medium,
+        );
+        let horizon = SimTime::from_millis(horizon_ms);
+        let trace = g.generate(horizon, 0);
+        // arrivals at period, 2*period, ... < horizon
+        let expected = (horizon.as_ps().saturating_sub(1)) / (period_us * 1_000_000);
+        prop_assert_eq!(trace.len() as u64, expected);
+    }
+
+    #[test]
+    fn priority_only_weights_are_respected(seed in 0u64..100) {
+        for p in Priority::ALL {
+            let g = PoissonGenerator {
+                mean_interarrival_us: 200.0,
+                task_instructions: Dist::Constant(100.0),
+                mix: dpm_power::InstructionMix::default(),
+                priorities: PriorityWeights::only(p),
+            };
+            let trace = g.generate(SimTime::from_millis(20), seed);
+            prop_assert!(trace.tasks().iter().all(|t| t.priority == p));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_any_trace(seed in 0u64..200) {
+        let g = BurstyGenerator::for_activity(ActivityLevel::High, PriorityWeights::typical_user());
+        let trace = g.generate(SimTime::from_millis(30), seed);
+        let json = trace.to_json().unwrap();
+        let back = dpm_workload::TaskTrace::from_json(&json).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's multi-IP simulations B and C: four IPs under a GEM on a
+//! low battery — only the statically high-priority IPs stay enabled.
+//!
+//! ```sh
+//! cargo run --example multi_ip_gem --release
+//! ```
+
+use dpmsim::core::{Gem, Lem};
+use dpmsim::kernel::Simulation;
+use dpmsim::soc::experiment::{paper_row, run_scenario, scenario_config, ScenarioId};
+use dpmsim::soc::{build_soc, ControllerKind};
+use dpmsim::units::SimTime;
+
+fn main() {
+    for id in [ScenarioId::B, ScenarioId::C] {
+        let outcome = run_scenario(id);
+        let p = paper_row(id);
+        println!("== scenario {id} ==");
+        println!(
+            "  energy saving {:.1}% (paper {:.0}%) | temp reduction {:.1}% (paper {:.0}%) | delay {:.1}% (paper {:.0}%)",
+            outcome.row.energy_saving_pct,
+            p.energy_saving_pct,
+            outcome.row.temp_reduction_pct,
+            p.temp_reduction_pct,
+            outcome.row.delay_overhead_pct,
+            p.delay_overhead_pct,
+        );
+        for ip in &outcome.dpm.per_ip {
+            println!(
+                "  {:>4}: {:>3}/{:<3} tasks | energy {} | asleep {}",
+                ip.name,
+                ip.completed(),
+                ip.trace_len,
+                ip.energy_with_transitions(),
+                ip.low_power_time(),
+            );
+        }
+    }
+
+    // Peek inside one run: how often did the GEM intervene?
+    println!("\n== GEM activity in scenario B ==");
+    let cfg = scenario_config(ScenarioId::B);
+    debug_run(&cfg);
+    println!("\n(baseline for comparison: no GEM decisions are made)");
+    let base = cfg.with_controller(ControllerKind::AlwaysOn);
+    debug_run(&base);
+}
+
+fn debug_run(cfg: &dpmsim::soc::SocConfig) {
+    let mut sim = Simulation::new();
+    let handles = build_soc(&mut sim, cfg);
+    sim.run_until(SimTime::from_millis(200));
+    if let Some(gem) = &handles.gem {
+        let stats = sim.with_process::<Gem, _>(gem.pid, |g| g.stats().clone());
+        println!(
+            "  GEM: {} requests seen, {} enable changes, {} fan switches",
+            stats.requests_seen, stats.enable_changes, stats.fan_switches
+        );
+        for (i, ip) in handles.ips.iter().enumerate() {
+            let enabled = sim.peek(gem.enables[i]);
+            println!("  {}: enabled={enabled}", ip.name);
+        }
+    }
+    for ip in &handles.ips {
+        if matches!(ip.controller_kind, ControllerKind::Dpm) {
+            let stats = sim.with_process::<Lem, _>(ip.controller, |l| l.stats().clone());
+            println!(
+                "  {}.lem: {} granted, {} sleeps, {} wakes, {} gem blocks, {} deferrals",
+                ip.name,
+                stats.tasks_granted,
+                stats.sleeps_commanded,
+                stats.wakes_commanded,
+                stats.gem_blocks,
+                stats.rule_deferrals
+            );
+        }
+    }
+}

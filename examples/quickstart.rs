@@ -1,0 +1,51 @@
+//! Quickstart: one IP under the paper's DPM, compared with the
+//! always-max-frequency baseline.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use dpmsim::soc::{build_soc, collect_metrics, ControllerKind, SocConfig};
+use dpmsim::units::SimTime;
+use dpmsim::workload::{ActivityLevel, BurstyGenerator, PriorityWeights, TraceGenerator};
+
+fn main() {
+    let horizon = SimTime::from_millis(100);
+    // A bursty, mostly-idle workload — the case DPM exists for.
+    let trace = BurstyGenerator::for_activity(ActivityLevel::Low, PriorityWeights::typical_user())
+        .generate(horizon, 42);
+    println!("workload: {} tasks, {}", trace.len(), fmt_stats(&trace));
+
+    let dpm_cfg = SocConfig::single_ip(trace);
+    let base_cfg = dpm_cfg.clone().with_controller(ControllerKind::AlwaysOn);
+
+    let mut results = Vec::new();
+    for (label, cfg) in [("DPM (LEM + Table 1)", &dpm_cfg), ("always-ON1 baseline", &base_cfg)] {
+        let mut sim = dpmsim::kernel::Simulation::new();
+        let handles = build_soc(&mut sim, cfg);
+        sim.run_until(horizon);
+        let m = collect_metrics(&mut sim, &handles, horizon);
+        println!(
+            "{label:>22}: {:>3}/{} tasks | energy {} | mean latency {} | sleep time {}",
+            m.completed(),
+            m.total_tasks(),
+            m.total_energy,
+            m.mean_latency().map(|l| l.to_string()).unwrap_or_default(),
+            m.per_ip[0].low_power_time(),
+        );
+        results.push(m);
+    }
+
+    let saving = (1.0
+        - results[0].total_energy.as_joules() / results[1].total_energy.as_joules())
+        * 100.0;
+    println!("\nenergy saving of the DPM vs the baseline: {saving:.1} %");
+}
+
+fn fmt_stats(trace: &dpmsim::workload::TaskTrace) -> String {
+    let s = trace.stats();
+    format!(
+        "{} total instructions, mean inter-arrival {}",
+        s.total_instructions, s.mean_interarrival
+    )
+}

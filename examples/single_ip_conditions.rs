@@ -1,0 +1,44 @@
+//! The paper's single-IP simulations A1–A4: the same task sequence under
+//! the four battery/temperature conditions, each against its baseline.
+//!
+//! ```sh
+//! cargo run --example single_ip_conditions --release
+//! ```
+
+use dpmsim::soc::experiment::{paper_row, run_scenario, ScenarioId};
+
+fn main() {
+    println!("scenario  | battery  temp  | saving% (paper) | temp red% (paper) | delay% (paper)");
+    println!("----------+----------------+-----------------+-------------------+---------------");
+    for (id, batt, temp) in [
+        (ScenarioId::A1, "Full", "Low "),
+        (ScenarioId::A2, "Low ", "Low "),
+        (ScenarioId::A3, "Full", "High"),
+        (ScenarioId::A4, "Low ", "High"),
+    ] {
+        let outcome = run_scenario(id);
+        let p = paper_row(id);
+        println!(
+            "{id}        | {batt}     {temp}  | {:>6.1}  ({:>3.0})   | {:>6.1}   ({:>3.0})    | {:>7.1} ({:>3.0})",
+            outcome.row.energy_saving_pct,
+            p.energy_saving_pct,
+            outcome.row.temp_reduction_pct,
+            p.temp_reduction_pct,
+            outcome.row.delay_overhead_pct,
+            p.delay_overhead_pct,
+        );
+        // per-state residency of the DPM run: where did the time go?
+        let ip = &outcome.dpm.per_ip[0];
+        let total_states: Vec<String> = dpmsim::power::PowerState::ALL
+            .iter()
+            .filter(|s| !ip.residency[s.index()].is_zero())
+            .map(|s| format!("{s}={}", ip.residency[s.index()]))
+            .collect();
+        println!("          |   residency: {}", total_states.join(", "));
+    }
+    println!();
+    println!("The paper's qualitative claims to check:");
+    println!("  * battery Low (A2/A4) saves more energy but multiplies delay;");
+    println!("  * temperature High (A3/A4) briefly throttles (SL1) and recovers;");
+    println!("  * every condition reduces the average temperature elevation.");
+}

@@ -1,0 +1,50 @@
+//! # dpmsim — the DATE'05 dynamic power management architecture in Rust
+//!
+//! A from-scratch reproduction of *"SystemC Analysis of a New Dynamic
+//! Power Management Architecture"* (M. Conti, DATE 2005): an ACPI-style
+//! Power State Machine per IP, a rule-driven Local Energy Manager, a
+//! Global Energy Manager with a supplementary fan, and the battery /
+//! thermal / workload models needed to regenerate the paper's tables —
+//! all running on a SystemC-like discrete-event kernel written in Rust.
+//!
+//! This meta-crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`units`] | `dpm-units` | simulation time and physical quantities |
+//! | [`kernel`] | `dpm-kernel` | discrete-event kernel (signals, events, processes, VCD) |
+//! | [`power`] | `dpm-power` | ACPI power states, DVFS, transition costs, break-even |
+//! | [`battery`] | `dpm-battery` | battery models and the status monitor |
+//! | [`thermal`] | `dpm-thermal` | RC thermal network, fan, temperature sensor |
+//! | [`workload`] | `dpm-workload` | task traces and traffic generators |
+//! | [`core`] | `dpm-core` | **the paper's contribution**: PSM, LEM, GEM, policies |
+//! | [`soc`] | `dpm-soc` | SoC assembly, experiments A1–A4/B/C, reports |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpmsim::soc::{build_soc, collect_metrics, SocConfig};
+//! use dpmsim::workload::{ActivityLevel, BurstyGenerator, PriorityWeights, TraceGenerator};
+//! use dpmsim::units::SimTime;
+//!
+//! let horizon = SimTime::from_millis(50);
+//! let trace = BurstyGenerator::for_activity(ActivityLevel::Low, PriorityWeights::typical_user())
+//!     .generate(horizon, 42);
+//! let cfg = SocConfig::single_ip(trace);
+//! let mut sim = dpmsim::kernel::Simulation::new();
+//! let handles = build_soc(&mut sim, &cfg);
+//! sim.run_until(horizon);
+//! let metrics = collect_metrics(&mut sim, &handles, horizon);
+//! assert!(metrics.completed() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dpm_battery as battery;
+pub use dpm_core as core;
+pub use dpm_kernel as kernel;
+pub use dpm_power as power;
+pub use dpm_soc as soc;
+pub use dpm_thermal as thermal;
+pub use dpm_units as units;
+pub use dpm_workload as workload;

@@ -1,0 +1,57 @@
+//! Trace persistence round-trip: a workload saved to JSON and reloaded
+//! must drive a bit-identical simulation — the property that makes saved
+//! traces usable for regression pinning across machines.
+
+use dpmsim::kernel::Simulation;
+use dpmsim::soc::{build_soc, collect_metrics, SocConfig, SocMetrics};
+use dpmsim::units::SimTime;
+use dpmsim::workload::{
+    ActivityLevel, BurstyGenerator, PriorityWeights, TaskTrace, TraceGenerator,
+};
+
+const HORIZON: SimTime = SimTime::from_millis(80);
+
+fn run(trace: TaskTrace) -> SocMetrics {
+    let cfg = SocConfig::single_ip(trace);
+    let mut sim = Simulation::new();
+    let handles = build_soc(&mut sim, &cfg);
+    sim.run_until(HORIZON);
+    collect_metrics(&mut sim, &handles, HORIZON)
+}
+
+#[test]
+fn json_reloaded_trace_replays_bit_identically() {
+    let original = BurstyGenerator::for_activity(
+        ActivityLevel::High,
+        PriorityWeights::typical_user(),
+    )
+    .generate(HORIZON, 2024);
+    let json = original.to_json().expect("serialize");
+    let reloaded = TaskTrace::from_json(&json).expect("deserialize");
+    assert_eq!(original, reloaded);
+
+    let a = run(original);
+    let b = run(reloaded);
+    assert_eq!(a.total_energy, b.total_energy);
+    assert_eq!(a.completed(), b.completed());
+    assert_eq!(a.mean_temp_elevation, b.mean_temp_elevation);
+    let lat_a: Vec<_> = a.per_ip[0].records.iter().map(|r| (r.spec.id, r.latency())).collect();
+    let lat_b: Vec<_> = b.per_ip[0].records.iter().map(|r| (r.spec.id, r.latency())).collect();
+    assert_eq!(lat_a, lat_b);
+}
+
+#[test]
+fn trace_survives_a_disk_round_trip() {
+    let original = BurstyGenerator::for_activity(
+        ActivityLevel::Low,
+        PriorityWeights::uniform(),
+    )
+    .generate(HORIZON, 7);
+    let path = std::env::temp_dir().join("dpmsim_replay_test.json");
+    std::fs::write(&path, original.to_json().unwrap()).expect("write temp file");
+    let loaded =
+        TaskTrace::from_json(&std::fs::read_to_string(&path).expect("read back")).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(original, loaded);
+    assert_eq!(original.stats().total_instructions, loaded.stats().total_instructions);
+}

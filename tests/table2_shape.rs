@@ -1,0 +1,171 @@
+//! The paper's Table 2, shape-checked.
+//!
+//! Absolute percentages depend on power/thermal constants the paper never
+//! published, so this test pins the *qualitative* claims — who wins, by
+//! roughly what factor, where the regimes change (see DESIGN.md §5).
+
+use dpmsim::soc::experiment::{run_scenario, ScenarioId, ScenarioOutcome};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+fn outcomes() -> &'static HashMap<ScenarioId, ScenarioOutcome> {
+    static CELL: OnceLock<HashMap<ScenarioId, ScenarioOutcome>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        ScenarioId::ALL
+            .into_iter()
+            .map(|id| (id, run_scenario(id)))
+            .collect()
+    })
+}
+
+fn saving(id: ScenarioId) -> f64 {
+    outcomes()[&id].row.energy_saving_pct
+}
+fn delay(id: ScenarioId) -> f64 {
+    outcomes()[&id].row.delay_overhead_pct
+}
+fn temp_red(id: ScenarioId) -> f64 {
+    outcomes()[&id].row.temp_reduction_pct
+}
+
+#[test]
+fn every_scenario_saves_energy() {
+    for id in ScenarioId::ALL {
+        assert!(
+            saving(id) > 10.0,
+            "{id}: saving {} must be significant",
+            saving(id)
+        );
+        assert!(saving(id) < 100.0, "{id}: saving must be physical");
+    }
+}
+
+#[test]
+fn battery_low_saves_more_than_battery_full() {
+    // paper: A2 (55) > A1 (39), A4 (55) > A3 (39) — the ON4 V² dividend.
+    assert!(saving(ScenarioId::A2) > saving(ScenarioId::A1) + 5.0);
+    assert!(saving(ScenarioId::A4) > saving(ScenarioId::A3) + 5.0);
+}
+
+#[test]
+fn gem_scenarios_save_at_least_as_much_as_a2() {
+    // paper: B (65), C (64) >= A2 (55) — blocked low-priority IPs sleep.
+    assert!(saving(ScenarioId::B) + 2.0 >= saving(ScenarioId::A2));
+    assert!(saving(ScenarioId::C) + 2.0 >= saving(ScenarioId::A2));
+}
+
+#[test]
+fn battery_low_multiplies_delay() {
+    // paper: A2 (339) vs A1 (30) — an order of magnitude.
+    assert!(
+        delay(ScenarioId::A2) > 5.0 * delay(ScenarioId::A1),
+        "A2 {} vs A1 {}",
+        delay(ScenarioId::A2),
+        delay(ScenarioId::A1)
+    );
+    // and the paper's regime: roughly the ON1/ON4 slowdown (4x => 300%),
+    // not a saturated queue (thousands of %)
+    assert!(delay(ScenarioId::A2) > 250.0);
+    assert!(delay(ScenarioId::A2) < 800.0);
+}
+
+#[test]
+fn hot_start_delay_is_modest() {
+    // paper: A3 (37) sits between A1 (30) and A2 (339): a brief SL1
+    // cool-down, then business as usual at full speed.
+    assert!(delay(ScenarioId::A3) > delay(ScenarioId::A1));
+    assert!(delay(ScenarioId::A3) < 0.5 * delay(ScenarioId::A2));
+}
+
+#[test]
+fn battery_and_heat_combine_in_a4() {
+    // paper: A4 ≈ A2 in saving and delay (battery dominates).
+    assert!((saving(ScenarioId::A4) - saving(ScenarioId::A2)).abs() < 10.0);
+    assert!(delay(ScenarioId::A4) >= delay(ScenarioId::A2) * 0.8);
+    assert!(delay(ScenarioId::A4) <= delay(ScenarioId::A2) * 2.0);
+}
+
+#[test]
+fn temperature_reduction_everywhere() {
+    for id in ScenarioId::ALL {
+        assert!(temp_red(id) > 0.0, "{id}: temp reduction {}", temp_red(id));
+    }
+    // cool-start reduction exceeds hot-start reduction (paper: 31 vs 18):
+    // a hot die cools in both runs, shrinking the relative gap.
+    assert!(temp_red(ScenarioId::A1) > temp_red(ScenarioId::A3));
+}
+
+#[test]
+fn a_scenarios_complete_everything() {
+    for id in [ScenarioId::A1, ScenarioId::A2, ScenarioId::A3, ScenarioId::A4] {
+        let o = &outcomes()[&id];
+        assert_eq!(
+            o.row.completed.0, o.row.completed.1,
+            "{id}: DPM must complete what the baseline completes"
+        );
+        assert_eq!(o.row.deferred, 0, "{id}: nothing deferred at the horizon");
+    }
+}
+
+#[test]
+fn gem_blocks_only_low_priority_ips() {
+    let b = &outcomes()[&ScenarioId::B];
+    // IP0/IP1 (ranks 1-2) keep running; IP2/IP3 are parked in SL1.
+    let completed: Vec<usize> = b.dpm.per_ip.iter().map(|ip| ip.completed()).collect();
+    let trace: Vec<usize> = b.dpm.per_ip.iter().map(|ip| ip.trace_len).collect();
+    assert!(completed[0] > 0 && completed[1] > 0, "{completed:?}");
+    assert_eq!(completed[2], 0, "rank-3 IP must be blocked: {completed:?}");
+    assert_eq!(completed[3], 0, "rank-4 IP must be blocked: {completed:?}");
+    assert!(trace[2] > 0 && trace[3] > 0, "blocked IPs did have work");
+    // blocked IPs spend essentially the whole run in low-power states
+    for ip in &b.dpm.per_ip[2..] {
+        let low = ip.low_power_time().as_secs_f64();
+        let total = b.dpm.horizon.as_secs_f64();
+        assert!(low > 0.95 * total, "{}: {low} of {total}", ip.name);
+    }
+}
+
+#[test]
+fn c_swaps_the_victims() {
+    let c = &outcomes()[&ScenarioId::C];
+    let completed: Vec<usize> = c.dpm.per_ip.iter().map(|ip| ip.completed()).collect();
+    assert!(completed[0] > 0 && completed[1] > 0);
+    assert_eq!(completed[2] + completed[3], 0);
+    // in C the *busy* IPs are the blocked ones, so more work is deferred
+    assert!(
+        c.row.deferred > outcomes()[&ScenarioId::B].row.deferred,
+        "C defers the high-activity traces"
+    );
+}
+
+#[test]
+fn baseline_never_sleeps_and_never_transitions() {
+    for id in ScenarioId::ALL {
+        let o = &outcomes()[&id];
+        for ip in &o.baseline.per_ip {
+            assert_eq!(ip.psm.transitions, 0, "{id}/{}", ip.name);
+            assert_eq!(
+                ip.low_power_time(),
+                dpmsim::units::SimDuration::ZERO,
+                "{id}/{}",
+                ip.name
+            );
+        }
+    }
+}
+
+#[test]
+fn report_renders_all_scenarios() {
+    let all: Vec<ScenarioOutcome> = ScenarioId::ALL
+        .into_iter()
+        .map(|id| outcomes()[&id].clone())
+        .collect();
+    let ascii = dpmsim::soc::report::table2_ascii(&all);
+    let md = dpmsim::soc::report::table2_markdown(&all);
+    let json = dpmsim::soc::report::table2_json(&all).unwrap();
+    for id in ScenarioId::ALL {
+        assert!(ascii.contains(&id.to_string()));
+        assert!(md.contains(&format!("| {id} |")));
+        assert!(json.contains(&format!("\"{id}\"")));
+    }
+}
