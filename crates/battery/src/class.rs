@@ -8,16 +8,7 @@ use dpm_units::Ratio;
 /// Battery status as the LEM/GEM see it (paper §1.3: *"the battery status
 /// (coded in 5 classes: Empty, Low, Medium, High and Full)"*).
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum BatteryClass {
     /// Practically no charge left; only the most critical work may run.
@@ -89,16 +80,7 @@ impl Traceable for BatteryClass {
 /// What currently powers the SoC. Table 1's last row selects `ON1`
 /// whenever the system runs from the mains ("Power supply") and the
 /// temperature allows it.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum PowerSource {
     /// Running from the battery; status classes drive the policy.
     Battery,

@@ -59,7 +59,10 @@ impl BatteryMonitor {
         period: SimDuration,
         mut classifier: BatteryClassifier,
     ) -> BatteryMonitorHandles {
-        assert!(!period.is_zero(), "battery sampling period must be non-zero");
+        assert!(
+            !period.is_zero(),
+            "battery sampling period must be non-zero"
+        );
         let soc0 = battery.soc();
         let class0 = classifier.classify(soc0);
         let soc_out = sim.signal(&format!("{name}.soc"), soc0.value());
@@ -205,10 +208,8 @@ mod tests {
     #[test]
     fn drains_piecewise_constant_power_exactly() {
         // 1 W for 2 s, then 5 W for 2 s => 12 J after 4 s.
-        let (mut sim, handles) = setup(
-            PowerSource::Battery,
-            vec![(SimDuration::from_secs(2), 5.0)],
-        );
+        let (mut sim, handles) =
+            setup(PowerSource::Battery, vec![(SimDuration::from_secs(2), 5.0)]);
         sim.run_until(SimTime::from_secs(4));
         let remaining = sim.with_process::<BatteryMonitor, _>(handles.pid, |m| m.remaining());
         assert!(

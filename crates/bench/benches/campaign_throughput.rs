@@ -1,0 +1,116 @@
+//! Campaign engine throughput: scenarios/second, parallel vs serial.
+//!
+//! Prints a startup summary measuring the full sweep serially and on all
+//! available cores, including the speedup and a determinism check
+//! (byte-identical aggregate JSON). On hosts with ≥ 4 cores the parallel
+//! sweep must beat serial by > 1.5×; on smaller hosts the ratio is
+//! reported but not enforced (a 1-core container cannot exhibit
+//! parallel speedup).
+//!
+//! ```sh
+//! cargo bench -p dpm-bench campaign_throughput
+//! ```
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpm_campaign::{
+    campaign_json, run_campaign, summarize, CampaignSpec, ControllerAxis, RunnerConfig, TuningAxis,
+    WorkloadAxis,
+};
+
+/// A meaty enough grid that thread-pool overhead is amortized:
+/// 2 controllers × 2 workloads × 2 seeds × 2 thermals × 3 IP counts
+/// = 48 scenarios, each a DPM + baseline double run.
+fn bench_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::default_sweep();
+    spec.name = "campaign_throughput".into();
+    spec.horizon_ms = 30;
+    spec.controllers = vec![ControllerAxis::Dpm, ControllerAxis::Oracle];
+    spec.tunings = vec![TuningAxis::Paper];
+    spec.workloads = vec![WorkloadAxis::Low, WorkloadAxis::High];
+    spec.seeds = vec![1, 2];
+    spec.ip_counts = vec![1, 2, 4];
+    spec
+}
+
+fn archive(spec: &CampaignSpec, threads: usize) -> String {
+    let result = run_campaign(
+        spec,
+        &RunnerConfig {
+            threads,
+            progress: false,
+        },
+    );
+    let summary = summarize(&result);
+    campaign_json(&summary, Some(&result)).expect("render json")
+}
+
+fn timed_sweep(spec: &CampaignSpec, threads: usize) -> f64 {
+    let start = Instant::now();
+    let result = run_campaign(
+        spec,
+        &RunnerConfig {
+            threads,
+            progress: false,
+        },
+    );
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(result.results.len(), spec.scenario_count());
+    result.results.len() as f64 / wall
+}
+
+fn print_summary() {
+    let spec = bench_spec();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\n== campaign throughput: {} scenarios, horizon {} ms, {cores} core(s) ==",
+        spec.scenario_count(),
+        spec.horizon_ms
+    );
+
+    // warm-up (page in, warm branch predictors and allocator)
+    let _ = timed_sweep(&spec, 1);
+
+    let serial: f64 = (0..3).map(|_| timed_sweep(&spec, 1)).fold(0.0, f64::max);
+    let parallel: f64 = (0..3).map(|_| timed_sweep(&spec, 0)).fold(0.0, f64::max);
+    let speedup = parallel / serial;
+    println!("  serial   : {serial:>8.1} scenarios/s");
+    println!("  parallel : {parallel:>8.1} scenarios/s ({cores} threads)");
+    println!("  speedup  : {speedup:>8.2}x");
+
+    // determinism: the aggregate archive must be byte-identical
+    let a = archive(&spec, 1);
+    let b = archive(&spec, cores.max(4));
+    assert_eq!(a, b, "thread count changed the aggregated output");
+    println!("  determinism: serial and parallel archives are byte-identical");
+
+    if cores >= 4 {
+        assert!(
+            speedup > 1.5,
+            "parallel sweep must beat serial by >1.5x on {cores} cores, got {speedup:.2}x"
+        );
+    } else {
+        println!("  (speedup not enforced on {cores} core(s); needs >= 4)");
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    print_summary();
+    let spec = bench_spec();
+    let scenarios = spec.scenario_count() as u64;
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(scenarios));
+    group.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(timed_sweep(&spec, 1)));
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| std::hint::black_box(timed_sweep(&spec, 0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

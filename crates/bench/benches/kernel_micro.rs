@@ -101,7 +101,13 @@ fn bench_signal_path(c: &mut Criterion) {
                 },
             );
             sim.sensitize(w, tick);
-            let r = sim.add_process("reader", CountReader { input: sig, seen: 0 });
+            let r = sim.add_process(
+                "reader",
+                CountReader {
+                    input: sig,
+                    seen: 0,
+                },
+            );
             sim.sensitize_signal(r, sig);
             sim.run_until(SimTime::from_nanos(10 * CHANGES));
             std::hint::black_box(sim.with_process::<CountReader, _>(r, |p| p.seen))
@@ -149,9 +155,22 @@ fn bench_fifo_transfer(c: &mut Criterion) {
             let mut sim = Simulation::new();
             let chan = sim.fifo::<u64>("chan", 64);
             let tick = sim.event("tick");
-            let w = sim.add_process("writer", FifoWriter { out: chan, tick, n: 0 });
+            let w = sim.add_process(
+                "writer",
+                FifoWriter {
+                    out: chan,
+                    tick,
+                    n: 0,
+                },
+            );
             sim.sensitize(w, tick);
-            let r = sim.add_process("reader", FifoReader { input: chan, sum: 0 });
+            let r = sim.add_process(
+                "reader",
+                FifoReader {
+                    input: chan,
+                    sum: 0,
+                },
+            );
             sim.sensitize(r, chan.written_event());
             sim.run_until(SimTime::from_nanos(10 * ITEMS));
             std::hint::black_box(sim.with_process::<FifoReader, _>(r, |p| p.sum))

@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dpm_battery::{Battery, KibamBattery, LinearBattery, RateCapacityBattery};
-use dpm_power::{
-    BreakEvenTable, EnergyMeter, IpPowerModel, PowerState, TransitionTable,
-};
+use dpm_power::{BreakEvenTable, EnergyMeter, IpPowerModel, PowerState, TransitionTable};
 use dpm_thermal::{ThermalNetwork, ThermalNetworkConfig};
 use dpm_units::{Energy, Power, SimDuration, SimTime};
 
@@ -30,8 +28,11 @@ fn bench_batteries(c: &mut Criterion) {
     });
     group.bench_function("rate_capacity", |b| {
         b.iter(|| {
-            let mut bat =
-                RateCapacityBattery::new(Energy::from_joules(100.0), Power::from_milliwatts(100.0), 1.2);
+            let mut bat = RateCapacityBattery::new(
+                Energy::from_joules(100.0),
+                Power::from_milliwatts(100.0),
+                1.2,
+            );
             for _ in 0..STEPS {
                 bat.drain(p, dt);
             }
@@ -98,7 +99,11 @@ fn bench_meter(c: &mut Criterion) {
             let mut t = SimTime::ZERO;
             for i in 0..EVENTS {
                 t += SimDuration::from_micros(50);
-                let s = if i % 2 == 0 { PowerState::Sl2 } else { PowerState::On1 };
+                let s = if i % 2 == 0 {
+                    PowerState::Sl2
+                } else {
+                    PowerState::On1
+                };
                 m.set_state(t, s, Power::from_milliwatts(2.0));
             }
             std::hint::black_box(m.total())
@@ -107,5 +112,11 @@ fn bench_meter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batteries, bench_thermal, bench_breakeven, bench_meter);
+criterion_group!(
+    benches,
+    bench_batteries,
+    bench_thermal,
+    bench_breakeven,
+    bench_meter
+);
 criterion_main!(benches);

@@ -16,8 +16,14 @@ use dpm_workload::Priority;
 
 fn print_table_once() {
     println!("\n== Table 1 (regenerated) ==\n{}", table1());
-    println!("shadowed rows: {:?} (the paper's '- E M -> ON4')", table1().shadowed());
-    println!("uncovered inputs: {} (temperature-Medium gap)", table1().uncovered().len());
+    println!(
+        "shadowed rows: {:?} (the paper's '- E M -> ON4')",
+        table1().shadowed()
+    );
+    println!(
+        "uncovered inputs: {} (temperature-Medium gap)",
+        table1().uncovered().len()
+    );
 }
 
 fn bench_policy(c: &mut Criterion) {

@@ -50,9 +50,8 @@ fn run_cycle_accurate(cfg: &SocConfig) -> (u64, std::time::Duration) {
     let mut sim = Simulation::new();
     let handles = build_soc(&mut sim, cfg);
     sim.run_until(CA_HORIZON);
-    let cycles = sim.with_process::<Clock, _>(handles.clock().expect("cycle accurate").pid, |c| {
-        c.cycles()
-    });
+    let cycles =
+        sim.with_process::<Clock, _>(handles.clock().expect("cycle accurate").pid, |c| c.cycles());
     (cycles, sim.stats().wall)
 }
 

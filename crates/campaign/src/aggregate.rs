@@ -1,0 +1,398 @@
+//! Campaign-level aggregation: streaming statistics, percentiles,
+//! winner-per-metric ranking and grouped roll-ups.
+//!
+//! Every fold walks results in **grid order** (scenario index), so the
+//! aggregate — down to the last floating-point bit — is independent of
+//! the thread count that produced the results.
+
+use crate::runner::{CampaignResult, ScenarioResult};
+use crate::spec::ScenarioSpec;
+
+/// Welford-style streaming moments plus retained samples for percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStat {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+impl StreamingStat {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Self::default()
+        }
+    }
+
+    /// Folds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.samples.push(x);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Running mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (zero when fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Nearest-rank percentile (`p` in 0–100; zero when empty).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        Self::percentile_of_sorted(&sorted, p)
+    }
+
+    fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Snapshot of the summary quantities (one sort for all percentiles).
+    pub fn summary(&self) -> MetricSummary {
+        let (p50, p90, p99) = if self.samples.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            (
+                Self::percentile_of_sorted(&sorted, 50.0),
+                Self::percentile_of_sorted(&sorted, 90.0),
+                Self::percentile_of_sorted(&sorted, 99.0),
+            )
+        };
+        MetricSummary {
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50,
+            p90,
+            p99,
+        }
+    }
+}
+
+/// Summary statistics of one metric across scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricSummary {
+    /// Mean across scenarios.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile (nearest rank).
+    pub p90: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+}
+
+/// The metrics the campaign summarizes, with extraction and "better"
+/// direction for the winner ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Metric {
+    /// Energy saving vs the per-scenario baseline (%). Higher is better.
+    EnergySavingPct,
+    /// Absolute scenario energy (J). Lower is better.
+    EnergyJ,
+    /// Delay overhead vs the baseline (%). Lower is better.
+    DelayOverheadPct,
+    /// Temperature-elevation reduction (%). Higher is better.
+    TempReductionPct,
+    /// Mean latency (µs). Lower is better.
+    MeanLatencyUs,
+    /// Fraction of IP-time in low-power states. Higher is better.
+    LowPowerFrac,
+    /// Final state of charge. Higher is better.
+    FinalSoc,
+}
+
+impl Metric {
+    /// All summarized metrics, in report order.
+    pub const ALL: [Metric; 7] = [
+        Metric::EnergySavingPct,
+        Metric::EnergyJ,
+        Metric::DelayOverheadPct,
+        Metric::TempReductionPct,
+        Metric::MeanLatencyUs,
+        Metric::LowPowerFrac,
+        Metric::FinalSoc,
+    ];
+
+    /// The report column name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::EnergySavingPct => "energy_saving_pct",
+            Metric::EnergyJ => "energy_j",
+            Metric::DelayOverheadPct => "delay_overhead_pct",
+            Metric::TempReductionPct => "temp_reduction_pct",
+            Metric::MeanLatencyUs => "mean_latency_us",
+            Metric::LowPowerFrac => "low_power_frac",
+            Metric::FinalSoc => "final_soc",
+        }
+    }
+
+    /// `true` when larger values win.
+    pub fn higher_is_better(self) -> bool {
+        matches!(
+            self,
+            Metric::EnergySavingPct
+                | Metric::TempReductionPct
+                | Metric::LowPowerFrac
+                | Metric::FinalSoc
+        )
+    }
+
+    /// Reads this metric from one result (`None` for failed scenarios).
+    pub fn extract(self, r: &ScenarioResult) -> Option<f64> {
+        let m = r.metrics.as_ref()?;
+        Some(match self {
+            Metric::EnergySavingPct => m.energy_saving_pct,
+            Metric::EnergyJ => m.energy_j,
+            Metric::DelayOverheadPct => m.delay_overhead_pct,
+            Metric::TempReductionPct => m.temp_reduction_pct,
+            Metric::MeanLatencyUs => m.mean_latency_us,
+            Metric::LowPowerFrac => m.low_power_frac,
+            Metric::FinalSoc => m.final_soc,
+        })
+    }
+}
+
+/// The best scenario for one metric.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Winner {
+    /// Which metric.
+    pub metric: Metric,
+    /// Winning scenario label.
+    pub label: String,
+    /// Winning scenario index.
+    pub index: usize,
+    /// The winning value.
+    pub value: f64,
+}
+
+/// Mean metrics over one axis value (e.g. all `ctrl=dpm` scenarios).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GroupRollup {
+    /// `axis=value` key, e.g. `ctrl=dpm`.
+    pub key: String,
+    /// Scenarios in the group.
+    pub scenarios: usize,
+    /// Mean energy saving (%).
+    pub mean_energy_saving_pct: f64,
+    /// Mean delay overhead (%).
+    pub mean_delay_overhead_pct: f64,
+    /// Mean absolute energy (J).
+    pub mean_energy_j: f64,
+    /// Mean low-power residency fraction.
+    pub mean_low_power_frac: f64,
+}
+
+/// The campaign-level aggregate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignSummary {
+    /// Campaign name.
+    pub name: String,
+    /// Scenario count.
+    pub scenarios: usize,
+    /// Scenarios that panicked.
+    pub failed: usize,
+    /// Per-metric summaries in [`Metric::ALL`] order.
+    pub metrics: Vec<(Metric, MetricSummary)>,
+    /// Best scenario per metric.
+    pub winners: Vec<Winner>,
+    /// Controller-axis roll-up (the headline comparison).
+    pub by_controller: Vec<GroupRollup>,
+    /// Workload-axis roll-up.
+    pub by_workload: Vec<GroupRollup>,
+}
+
+/// Aggregates a finished campaign (deterministic in grid order).
+pub fn summarize(result: &CampaignResult) -> CampaignSummary {
+    let results = &result.results;
+    let failed = results.iter().filter(|r| r.error.is_some()).count();
+
+    let metrics: Vec<(Metric, MetricSummary)> = Metric::ALL
+        .into_iter()
+        .map(|metric| {
+            let mut stat = StreamingStat::new();
+            for r in results {
+                if let Some(x) = metric.extract(r) {
+                    stat.push(x);
+                }
+            }
+            (metric, stat.summary())
+        })
+        .collect();
+
+    let winners: Vec<Winner> = Metric::ALL
+        .into_iter()
+        .filter_map(|metric| {
+            let mut best: Option<(&ScenarioResult, f64)> = None;
+            for r in results {
+                let Some(x) = metric.extract(r) else { continue };
+                let better = match best {
+                    None => true,
+                    // strict comparison: the earliest scenario wins ties,
+                    // keeping the ranking order-deterministic
+                    Some((_, b)) => {
+                        if metric.higher_is_better() {
+                            x > b
+                        } else {
+                            x < b
+                        }
+                    }
+                };
+                if better {
+                    best = Some((r, x));
+                }
+            }
+            best.map(|(r, value)| Winner {
+                metric,
+                label: r.scenario.label(),
+                index: r.scenario.index,
+                value,
+            })
+        })
+        .collect();
+
+    let by_controller = rollup(results, |s| format!("ctrl={}", s.controller.label()));
+    let by_workload = rollup(results, |s| format!("wl={}", s.workload.label()));
+
+    CampaignSummary {
+        name: result.name.clone(),
+        scenarios: results.len(),
+        failed,
+        metrics,
+        winners,
+        by_controller,
+        by_workload,
+    }
+}
+
+fn rollup(
+    results: &[ScenarioResult],
+    key_of: impl Fn(&ScenarioSpec) -> String,
+) -> Vec<GroupRollup> {
+    // first-appearance order keeps the roll-up deterministic
+    let mut keys: Vec<String> = Vec::new();
+    for r in results {
+        let k = key_of(&r.scenario);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    keys.into_iter()
+        .map(|key| {
+            let mut saving = StreamingStat::new();
+            let mut delay = StreamingStat::new();
+            let mut energy = StreamingStat::new();
+            let mut low_power = StreamingStat::new();
+            let mut n = 0usize;
+            for r in results {
+                if key_of(&r.scenario) != key {
+                    continue;
+                }
+                n += 1;
+                if let Some(m) = r.metrics.as_ref() {
+                    saving.push(m.energy_saving_pct);
+                    delay.push(m.delay_overhead_pct);
+                    energy.push(m.energy_j);
+                    low_power.push(m.low_power_frac);
+                }
+            }
+            GroupRollup {
+                key,
+                scenarios: n,
+                mean_energy_saving_pct: saving.mean(),
+                mean_delay_overhead_pct: delay.mean(),
+                mean_energy_j: energy.mean(),
+                mean_low_power_frac: low_power.mean(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stat_matches_direct_computation() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = StreamingStat::new();
+        for x in xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), xs.len());
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-12);
+        // nearest-rank percentiles on the sorted sample [1,1,2,3,4,5,6,9]
+        assert_eq!(s.percentile(50.0), 3.0);
+        assert_eq!(s.percentile(100.0), 9.0);
+        assert_eq!(s.percentile(1.0), 1.0);
+    }
+
+    #[test]
+    fn empty_stat_is_neutral() {
+        let s = StreamingStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        let summary = s.summary();
+        assert_eq!(summary.min, 0.0);
+        assert_eq!(summary.max, 0.0);
+    }
+
+    #[test]
+    fn metric_directions() {
+        assert!(Metric::EnergySavingPct.higher_is_better());
+        assert!(!Metric::EnergyJ.higher_is_better());
+        assert_eq!(Metric::ALL.len(), 7);
+    }
+}

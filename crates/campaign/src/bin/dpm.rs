@@ -1,0 +1,275 @@
+//! `dpm` — the dpmsim command line.
+//!
+//! ```text
+//! dpm campaign run <spec.toml | --builtin> [--threads N] [--format F] [--per-scenario] [--out FILE]
+//! dpm campaign list <spec.toml | --builtin>
+//! dpm table2 [--format F]
+//! dpm quickstart
+//! ```
+//!
+//! Formats: `ascii` (default), `markdown`, `json`.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use dpm_campaign::{
+    campaign_ascii, campaign_json, campaign_markdown, run_campaign, summarize, CampaignSpec,
+    RunnerConfig,
+};
+use dpm_soc::experiment::{run_scenario, ScenarioId};
+use dpm_soc::report::{table2_ascii, table2_json, table2_markdown};
+
+const USAGE: &str = "\
+dpm — DATE'05 dynamic power management simulator
+
+USAGE:
+    dpm campaign run  <spec.toml | --builtin> [--threads N] [--format ascii|markdown|json]
+                      [--per-scenario] [--out FILE]
+    dpm campaign list <spec.toml | --builtin>
+    dpm table2 [--format ascii|markdown|json]
+    dpm quickstart
+    dpm help
+
+A campaign spec is a TOML grid over six axes; see `dpm campaign list
+--builtin` for the built-in sweep and the README for the format.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints a line to stdout, exiting quietly when the consumer closed the
+/// pipe (`dpm campaign list big.toml | head` must not panic).
+fn out(text: impl std::fmt::Display) {
+    let mut stdout = std::io::stdout().lock();
+    if writeln!(stdout, "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("campaign") => campaign(&args[1..]),
+        Some("table2") => table2(&args[1..]),
+        Some("quickstart") => {
+            quickstart();
+            Ok(())
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            out(USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Flag/positional splitter: `--key value` pairs plus bare positionals.
+struct Opts {
+    positionals: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    /// Parses `--flag value`, `--flag=value` and bare flags; unknown
+    /// flags are an error (a typo must not silently change behaviour).
+    fn parse(args: &[String], value_flags: &[&str], bare_flags: &[&str]) -> Result<Self, String> {
+        let mut positionals = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(body) = a.strip_prefix("--") else {
+                positionals.push(a.clone());
+                continue;
+            };
+            let (name, inline_value) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (body, None),
+            };
+            let value = if value_flags.contains(&name) {
+                match inline_value {
+                    Some(v) => Some(v),
+                    None => Some(
+                        it.next()
+                            .ok_or_else(|| format!("--{name} needs a value"))?
+                            .clone(),
+                    ),
+                }
+            } else if bare_flags.contains(&name) {
+                if inline_value.is_some() {
+                    return Err(format!("--{name} does not take a value"));
+                }
+                None
+            } else {
+                let known: Vec<String> = value_flags
+                    .iter()
+                    .chain(bare_flags)
+                    .map(|f| format!("--{f}"))
+                    .collect();
+                return Err(format!(
+                    "unknown flag '--{name}' (expected one of: {})",
+                    known.join(", ")
+                ));
+            };
+            flags.push((name.to_string(), value));
+        }
+        Ok(Self { positionals, flags })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn load_spec(opts: &Opts) -> Result<CampaignSpec, String> {
+    if opts.has("builtin") {
+        return Ok(CampaignSpec::default_sweep());
+    }
+    let path = opts
+        .positionals
+        .first()
+        .ok_or("expected a spec file path or --builtin")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    CampaignSpec::from_toml(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn campaign(args: &[String]) -> Result<(), String> {
+    let sub = args.first().map(String::as_str);
+    let rest = args.get(1..).unwrap_or_default();
+    let opts = Opts::parse(
+        rest,
+        &["threads", "format", "out"],
+        &["builtin", "per-scenario"],
+    )?;
+    match sub {
+        Some("run") => {
+            let spec = load_spec(&opts)?;
+            let threads: usize = match opts.value("threads") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--threads expects a number, got '{v}'"))?,
+                None => 0,
+            };
+            let config = RunnerConfig {
+                threads,
+                progress: true,
+            };
+            eprintln!(
+                "campaign '{}': {} scenarios on {} threads (horizon {} ms, master seed {})",
+                spec.name,
+                spec.scenario_count(),
+                config.effective_threads().min(spec.scenario_count().max(1)),
+                spec.horizon_ms,
+                spec.master_seed,
+            );
+            let started = std::time::Instant::now();
+            let result = run_campaign(&spec, &config);
+            let wall = started.elapsed();
+            eprintln!(
+                "  {} scenarios in {:.2?} ({:.1} scenarios/s)",
+                result.results.len(),
+                wall,
+                result.results.len() as f64 / wall.as_secs_f64().max(1e-9),
+            );
+            for f in result.failures() {
+                eprintln!(
+                    "  FAILED #{:04} {}: {}",
+                    f.scenario.index,
+                    f.scenario.label(),
+                    f.error.as_deref().unwrap_or("unknown"),
+                );
+            }
+            let summary = summarize(&result);
+            let rendered = match opts.value("format").unwrap_or("ascii") {
+                "ascii" => campaign_ascii(&summary),
+                "markdown" | "md" => campaign_markdown(&summary),
+                "json" => {
+                    let with_results = opts.has("per-scenario");
+                    campaign_json(&summary, with_results.then_some(&result))
+                        .map_err(|e| e.to_string())?
+                }
+                other => return Err(format!("unknown format '{other}'")),
+            };
+            match opts.value("out") {
+                Some(path) => {
+                    std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("  report written to {path}");
+                }
+                None => out(&rendered),
+            }
+            Ok(())
+        }
+        Some("list") => {
+            let spec = load_spec(&opts)?;
+            out(format_args!(
+                "campaign '{}': {} scenarios (horizon {} ms, master seed {})",
+                spec.name,
+                spec.scenario_count(),
+                spec.horizon_ms,
+                spec.master_seed,
+            ));
+            for cell in spec.expand() {
+                out(format_args!("  {cell}"));
+            }
+            Ok(())
+        }
+        _ => Err(format!(
+            "expected 'campaign run' or 'campaign list'\n\n{USAGE}"
+        )),
+    }
+}
+
+fn table2(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["format"], &[])?;
+    let outcomes: Vec<_> = ScenarioId::ALL.into_iter().map(run_scenario).collect();
+    match opts.value("format").unwrap_or("ascii") {
+        "ascii" => out(table2_ascii(&outcomes).trim_end()),
+        "markdown" | "md" => out(table2_markdown(&outcomes).trim_end()),
+        "json" => out(table2_json(&outcomes).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown format '{other}'")),
+    }
+    Ok(())
+}
+
+fn quickstart() {
+    use dpm_kernel::Simulation;
+    use dpm_soc::{build_soc, collect_metrics, ControllerKind, SocConfig};
+    use dpm_units::SimTime;
+    use dpm_workload::{ActivityLevel, BurstyGenerator, PriorityWeights, TraceGenerator};
+
+    let horizon = SimTime::from_millis(100);
+    let trace = BurstyGenerator::for_activity(ActivityLevel::Low, PriorityWeights::typical_user())
+        .generate(horizon, 42);
+    println!("workload: {} tasks over {horizon}", trace.len());
+    let dpm_cfg = SocConfig::single_ip(trace);
+    let base_cfg = dpm_cfg.clone().with_controller(ControllerKind::AlwaysOn);
+    for (label, cfg) in [
+        ("DPM (LEM + Table 1)", &dpm_cfg),
+        ("always-ON1 baseline", &base_cfg),
+    ] {
+        let mut sim = Simulation::new();
+        let handles = build_soc(&mut sim, cfg);
+        sim.run_until(horizon);
+        let m = collect_metrics(&mut sim, &handles, horizon);
+        println!(
+            "{label:>22}: {:>3}/{} tasks | energy {} | mean latency {}",
+            m.completed(),
+            m.total_tasks(),
+            m.total_energy,
+            m.mean_latency()
+                .map_or("n/a".to_string(), |l| l.to_string()),
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # dpm-campaign — parallel scenario-campaign engine
+//!
+//! The paper's Table 2 is six hand-wired scenarios run once. This crate
+//! turns that into **design-space exploration**: a declarative parameter
+//! grid over controller kind × LEM tuning × workload shape/seed ×
+//! battery model × thermal scenario × IP count, executed in parallel
+//! across OS threads with deterministic per-scenario seeding, and
+//! aggregated into campaign-level statistics.
+//!
+//! | layer | module | contents |
+//! |-------|--------|----------|
+//! | spec | [`spec`] | [`CampaignSpec`] grid, named axes, cartesian expansion |
+//! | runner | [`runner`] | scoped thread pool, panic isolation, progress |
+//! | aggregation | [`aggregate`] | streaming stats, percentiles, winners, roll-ups |
+//! | report | [`report`] | ASCII / Markdown / JSON campaign tables |
+//! | persistence | [`toml_spec`] | TOML spec loading (minimal in-crate parser) |
+//!
+//! Determinism is the load-bearing property: scenario indices come from
+//! the grid expansion (not execution order), per-scenario trace seeds
+//! derive from `(master_seed, logical seed, ip index)`, and aggregation
+//! folds results in index order — so the same spec produces
+//! **byte-identical** reports on 1 thread or 64.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpm_campaign::{run_campaign, summarize, CampaignSpec, RunnerConfig};
+//!
+//! let mut spec = CampaignSpec::default_sweep();
+//! spec.horizon_ms = 5;            // keep the doctest quick
+//! spec.ip_counts = vec![1];
+//! let result = run_campaign(&spec, &RunnerConfig::default());
+//! let summary = summarize(&result);
+//! assert_eq!(summary.scenarios, spec.scenario_count());
+//! assert_eq!(summary.failed, 0);
+//! ```
+//!
+//! The `dpm` binary in this crate exposes the engine on the command
+//! line: `dpm campaign run spec.toml`, `dpm campaign list`, `dpm table2`
+//! and `dpm quickstart`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod toml_spec;
+
+pub use aggregate::{summarize, CampaignSummary, Metric, MetricSummary, StreamingStat};
+pub use report::{campaign_ascii, campaign_json, campaign_markdown};
+pub use runner::{
+    run_campaign, run_scenario_cell, CampaignResult, RunnerConfig, ScenarioMetrics, ScenarioResult,
+};
+pub use spec::{
+    BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, TuningAxis, WorkloadAxis,
+};

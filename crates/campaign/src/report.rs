@@ -1,0 +1,179 @@
+//! Campaign report rendering: ASCII, Markdown and JSON, in the style of
+//! `dpm-soc::report`'s Table 2 renderers.
+
+use crate::aggregate::CampaignSummary;
+use crate::runner::CampaignResult;
+
+/// Renders the summary as an ASCII report.
+pub fn campaign_ascii(summary: &CampaignSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "campaign '{}': {} scenarios ({} failed)\n\n",
+        summary.name, summary.scenarios, summary.failed
+    ));
+    out.push_str(
+        "+--------------------+-----------+-----------+-----------+-----------+-----------+\n\
+         | metric             |      mean |       min |       p50 |       p90 |       max |\n\
+         +--------------------+-----------+-----------+-----------+-----------+-----------+\n",
+    );
+    for (metric, s) in &summary.metrics {
+        out.push_str(&format!(
+            "| {:<18} | {:>9.3} | {:>9.3} | {:>9.3} | {:>9.3} | {:>9.3} |\n",
+            metric.label(),
+            s.mean,
+            s.min,
+            s.p50,
+            s.p90,
+            s.max,
+        ));
+    }
+    out.push_str(
+        "+--------------------+-----------+-----------+-----------+-----------+-----------+\n",
+    );
+
+    out.push_str("\nwinners (best scenario per metric):\n");
+    for w in &summary.winners {
+        out.push_str(&format!(
+            "  {:<18} = {:>10.3}  #{:04} {}\n",
+            w.metric.label(),
+            w.value,
+            w.index,
+            w.label
+        ));
+    }
+
+    for (title, groups) in [
+        ("by controller", &summary.by_controller),
+        ("by workload", &summary.by_workload),
+    ] {
+        out.push_str(&format!(
+            "\n{title}:\n\
+             +--------------------+------+------------+------------+------------+----------+\n\
+             | group              |    n | saving %   | delay %    | energy J   | low-pwr  |\n\
+             +--------------------+------+------------+------------+------------+----------+\n"
+        ));
+        for g in groups.iter() {
+            out.push_str(&format!(
+                "| {:<18} | {:>4} | {:>10.2} | {:>10.2} | {:>10.4} | {:>8.3} |\n",
+                g.key,
+                g.scenarios,
+                g.mean_energy_saving_pct,
+                g.mean_delay_overhead_pct,
+                g.mean_energy_j,
+                g.mean_low_power_frac,
+            ));
+        }
+        out.push_str(
+            "+--------------------+------+------------+------------+------------+----------+\n",
+        );
+    }
+    out
+}
+
+/// Renders the summary as a Markdown report.
+pub fn campaign_markdown(summary: &CampaignSummary) -> String {
+    let mut out = format!(
+        "## Campaign `{}` — {} scenarios ({} failed)\n\n\
+         | metric | mean | min | p50 | p90 | max |\n\
+         |--------|------|-----|-----|-----|-----|\n",
+        summary.name, summary.scenarios, summary.failed
+    );
+    for (metric, s) in &summary.metrics {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+            metric.label(),
+            s.mean,
+            s.min,
+            s.p50,
+            s.p90,
+            s.max,
+        ));
+    }
+    out.push_str("\n### Winners\n\n| metric | value | scenario |\n|--------|-------|----------|\n");
+    for w in &summary.winners {
+        out.push_str(&format!(
+            "| {} | {:.3} | `{}` |\n",
+            w.metric.label(),
+            w.value,
+            w.label
+        ));
+    }
+    for (title, groups) in [
+        ("By controller", &summary.by_controller),
+        ("By workload", &summary.by_workload),
+    ] {
+        out.push_str(&format!(
+            "\n### {title}\n\n| group | n | saving % | delay % | energy J | low-power |\n\
+             |-------|---|----------|---------|----------|-----------|\n"
+        ));
+        for g in groups.iter() {
+            out.push_str(&format!(
+                "| `{}` | {} | {:.2} | {:.2} | {:.4} | {:.3} |\n",
+                g.key,
+                g.scenarios,
+                g.mean_energy_saving_pct,
+                g.mean_delay_overhead_pct,
+                g.mean_energy_j,
+                g.mean_low_power_frac,
+            ));
+        }
+    }
+    out
+}
+
+/// Serializes the summary (and optionally every per-scenario result) as
+/// pretty JSON — the byte-stable archive format used by the determinism
+/// tests.
+///
+/// # Errors
+///
+/// Propagates serializer errors (none in the in-tree shim).
+pub fn campaign_json(
+    summary: &CampaignSummary,
+    results: Option<&CampaignResult>,
+) -> Result<String, serde_json::Error> {
+    // the in-tree serde derive doesn't support generic (lifetime-bearing)
+    // types, so assemble the archive object by hand
+    let mut archive = vec![("summary".to_string(), serde::Serialize::to_value(summary))];
+    archive.push((
+        "results".to_string(),
+        match results {
+            Some(r) => serde::Serialize::to_value(r),
+            None => serde_json::Value::Null,
+        },
+    ));
+    serde_json::to_string_pretty(&serde_json::Value::Object(archive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::summarize;
+    use crate::runner::{run_campaign, RunnerConfig};
+    use crate::spec::CampaignSpec;
+
+    fn small_result() -> CampaignResult {
+        let mut spec = CampaignSpec::default_sweep();
+        spec.horizon_ms = 5;
+        spec.seeds = vec![1];
+        spec.ip_counts = vec![1];
+        run_campaign(&spec, &RunnerConfig::default())
+    }
+
+    #[test]
+    fn renders_all_formats() {
+        let result = small_result();
+        let summary = summarize(&result);
+        let ascii = campaign_ascii(&summary);
+        assert!(ascii.contains("energy_saving_pct"));
+        assert!(ascii.contains("winners"));
+        assert!(ascii.contains("ctrl=dpm"));
+        let md = campaign_markdown(&summary);
+        assert!(md.contains("| metric | mean |"));
+        assert!(md.contains("`ctrl=dpm`"));
+        let json = campaign_json(&summary, Some(&result)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["summary"]["name"], "default_sweep");
+        assert!(v["results"]["results"].get_index(0).is_some());
+    }
+}

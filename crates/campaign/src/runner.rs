@@ -1,0 +1,296 @@
+//! Parallel campaign execution.
+//!
+//! Scenarios are pulled from a shared atomic counter by a pool of scoped
+//! OS threads (work stealing degenerates to self-scheduling because every
+//! unit of work is independent), executed with panic isolation, and
+//! written back into an index-addressed slot table — so the result order,
+//! and everything aggregated from it, is **identical for any thread
+//! count**. Each scenario runs its configuration *and* the always-`ON1`
+//! baseline on the same traces, yielding Table 2-style relative metrics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dpm_kernel::Simulation;
+use dpm_soc::experiment::table2_row;
+use dpm_soc::{build_soc, collect_metrics, ControllerKind, SocConfig, SocMetrics};
+use dpm_units::SimTime;
+
+use crate::spec::{CampaignSpec, ScenarioSpec};
+
+/// Execution options.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Worker threads; `0` selects the machine's available parallelism.
+    pub threads: usize,
+    /// Progress callback, called after each finished scenario with
+    /// `(done, total)`.
+    pub progress: bool,
+}
+
+impl RunnerConfig {
+    /// A serial runner (used as the speedup reference by the benches).
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            progress: false,
+        }
+    }
+
+    /// The effective worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Flat, compact metrics of one scenario (everything Table 2 reports,
+/// plus absolute energies and residency).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioMetrics {
+    /// Tasks completed by the scenario run.
+    pub completed: usize,
+    /// Tasks in the traces.
+    pub total_tasks: usize,
+    /// Tasks unfinished at the horizon.
+    pub deferred: usize,
+    /// Scenario energy (J), transitions and fan included.
+    pub energy_j: f64,
+    /// Baseline (always-`ON1`) energy (J) on the same traces.
+    pub baseline_energy_j: f64,
+    /// Energy saving vs the baseline (%).
+    pub energy_saving_pct: f64,
+    /// Temperature-elevation reduction vs the baseline (%).
+    pub temp_reduction_pct: f64,
+    /// Mean task latency overhead vs the baseline (%).
+    pub delay_overhead_pct: f64,
+    /// Mean arrival-to-completion latency (µs); zero when nothing
+    /// completed.
+    pub mean_latency_us: f64,
+    /// Hottest observed temperature (°C).
+    pub max_temp_c: f64,
+    /// Final battery state of charge (0–1).
+    pub final_soc: f64,
+    /// Fraction of IP-time spent in a low-power state.
+    pub low_power_frac: f64,
+}
+
+impl ScenarioMetrics {
+    fn from_runs(dpm: &SocMetrics, baseline: &SocMetrics, horizon: SimTime) -> Self {
+        let row = table2_row(dpm, baseline);
+        let span = horizon.as_secs_f64() * dpm.per_ip.len().max(1) as f64;
+        let low_power: f64 = dpm
+            .per_ip
+            .iter()
+            .map(|ip| ip.low_power_time().as_secs_f64())
+            .sum();
+        Self {
+            completed: dpm.completed(),
+            total_tasks: dpm.total_tasks(),
+            deferred: row.deferred,
+            energy_j: dpm.total_energy.as_joules(),
+            baseline_energy_j: baseline.total_energy.as_joules(),
+            energy_saving_pct: row.energy_saving_pct,
+            temp_reduction_pct: row.temp_reduction_pct,
+            delay_overhead_pct: row.delay_overhead_pct,
+            mean_latency_us: dpm.mean_latency().map_or(0.0, |d| d.as_secs_f64() * 1e6),
+            max_temp_c: dpm.max_temp.as_celsius(),
+            final_soc: dpm.final_soc,
+            low_power_frac: if span > 0.0 { low_power / span } else { 0.0 },
+        }
+    }
+}
+
+/// One executed scenario: its spec plus metrics or the panic message.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioResult {
+    /// The grid cell.
+    pub scenario: ScenarioSpec,
+    /// Metrics on success; `None` when the scenario panicked.
+    pub metrics: Option<ScenarioMetrics>,
+    /// The panic message when the scenario failed.
+    pub error: Option<String>,
+}
+
+/// A finished campaign: every scenario result in grid order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignResult {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// Horizon in milliseconds (from the spec).
+    pub horizon_ms: u64,
+    /// Master seed (from the spec).
+    pub master_seed: u64,
+    /// Results, indexed exactly like [`CampaignSpec::expand`].
+    pub results: Vec<ScenarioResult>,
+}
+
+impl CampaignResult {
+    /// Scenarios that panicked.
+    pub fn failures(&self) -> impl Iterator<Item = &ScenarioResult> {
+        self.results.iter().filter(|r| r.error.is_some())
+    }
+}
+
+fn run_to_metrics(cfg: &SocConfig, horizon: SimTime) -> SocMetrics {
+    let mut sim = Simulation::new();
+    let handles = build_soc(&mut sim, cfg);
+    sim.run_until(horizon);
+    collect_metrics(&mut sim, &handles, horizon)
+}
+
+/// Executes one scenario: the configured run plus its always-`ON1`
+/// baseline on identical traces.
+pub fn run_scenario_cell(spec: &CampaignSpec, cell: &ScenarioSpec) -> ScenarioMetrics {
+    let horizon = spec.horizon();
+    let cfg = cell.build_config(spec);
+    let baseline_cfg = cfg.clone().with_controller(ControllerKind::AlwaysOn);
+    let dpm = run_to_metrics(&cfg, horizon);
+    let baseline = run_to_metrics(&baseline_cfg, horizon);
+    ScenarioMetrics::from_runs(&dpm, &baseline, horizon)
+}
+
+/// Runs the whole campaign.
+///
+/// # Panics
+///
+/// Panics only on an invalid spec (empty axis, zero horizon); scenario
+/// panics are caught per cell and reported in the result instead.
+pub fn run_campaign(spec: &CampaignSpec, config: &RunnerConfig) -> CampaignResult {
+    spec.validate().expect("invalid campaign spec");
+    let cells = spec.expand();
+    let total = cells.len();
+    let threads = config.effective_threads().min(total.max(1));
+
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let cell = cells[i];
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_scenario_cell(spec, &cell)));
+                let result = match outcome {
+                    Ok(metrics) => ScenarioResult {
+                        scenario: cell,
+                        metrics: Some(metrics),
+                        error: None,
+                    },
+                    Err(payload) => ScenarioResult {
+                        scenario: cell,
+                        metrics: None,
+                        error: Some(panic_message(payload.as_ref())),
+                    },
+                };
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if config.progress {
+                    eprint!("\r  [{finished}/{total}] scenarios done");
+                    if finished == total {
+                        eprintln!();
+                    }
+                }
+            });
+        }
+    });
+
+    let results: Vec<ScenarioResult> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every scenario slot is filled")
+        })
+        .collect();
+    CampaignResult {
+        name: spec.name.clone(),
+        horizon_ms: spec.horizon_ms,
+        master_seed: spec.master_seed,
+        results,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "scenario panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BatteryAxis, ControllerAxis, ThermalAxis, TuningAxis, WorkloadAxis};
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            horizon_ms: 8,
+            master_seed: 7,
+            initial_soc: 0.9,
+            controllers: vec![ControllerAxis::Dpm, ControllerAxis::AlwaysOn],
+            tunings: vec![TuningAxis::Paper],
+            workloads: vec![WorkloadAxis::Low],
+            seeds: vec![1, 2],
+            batteries: vec![BatteryAxis::Linear],
+            thermals: vec![ThermalAxis::Cool],
+            ip_counts: vec![1],
+        }
+    }
+
+    #[test]
+    fn runs_all_scenarios_in_grid_order() {
+        let spec = tiny_spec();
+        let result = run_campaign(&spec, &RunnerConfig::default());
+        assert_eq!(result.results.len(), spec.scenario_count());
+        for (i, r) in result.results.iter().enumerate() {
+            assert_eq!(r.scenario.index, i);
+            assert!(r.error.is_none(), "{:?}", r.error);
+            let m = r.metrics.as_ref().unwrap();
+            assert!(m.energy_j > 0.0);
+            assert!(m.baseline_energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn always_on_cells_save_nothing() {
+        let spec = tiny_spec();
+        let result = run_campaign(&spec, &RunnerConfig::serial());
+        for r in &result.results {
+            if r.scenario.controller == ControllerAxis::AlwaysOn {
+                let m = r.metrics.as_ref().unwrap();
+                assert!(
+                    m.energy_saving_pct.abs() < 1e-9,
+                    "always-on vs always-on baseline must be neutral: {}",
+                    m.energy_saving_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = tiny_spec();
+        let serial = run_campaign(&spec, &RunnerConfig::serial());
+        let parallel = run_campaign(
+            &spec,
+            &RunnerConfig {
+                threads: 4,
+                progress: false,
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,592 @@
+//! The declarative campaign specification: named axes and their
+//! cartesian expansion into concrete scenarios.
+//!
+//! A [`CampaignSpec`] is a grid over six axes — controller kind, LEM
+//! tuning, workload shape, workload seed, battery model, thermal
+//! scenario, IP count — expanded in a **fixed axis order** so scenario
+//! indices (and therefore per-scenario seeds and aggregation order) are
+//! identical no matter where or on how many threads the campaign runs.
+
+use core::fmt;
+
+use dpm_core::predictor::PredictorKind;
+use dpm_core::SleepSelection;
+use dpm_power::PowerState;
+use dpm_soc::experiment::{
+    busy_generator, experiment_tuning, quiet_generator, scenario_a_generator,
+};
+use dpm_soc::{BatteryKind, ControllerKind, IpConfig, LemTuning, SocConfig, ThermalScenario};
+use dpm_units::{Power, SimDuration, SimTime};
+use dpm_workload::{ActivityLevel, BurstyGenerator, PriorityWeights, SeedSequence, TraceGenerator};
+
+/// Controller axis values (the policy families of the paper plus the
+/// classic baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ControllerAxis {
+    /// The paper's LEM (plus GEM on multi-IP scenarios).
+    Dpm,
+    /// Always `ON1` — the Table 2 reference.
+    AlwaysOn,
+    /// Fixed 500 µs timeout into `SL2`.
+    Timeout500us,
+    /// Fixed 2 ms timeout into `SL3`.
+    Timeout2ms,
+    /// Clairvoyant sleeping — the energy lower bound.
+    Oracle,
+}
+
+impl ControllerAxis {
+    /// Every controller axis value.
+    pub const ALL: [ControllerAxis; 5] = [
+        ControllerAxis::Dpm,
+        ControllerAxis::AlwaysOn,
+        ControllerAxis::Timeout500us,
+        ControllerAxis::Timeout2ms,
+        ControllerAxis::Oracle,
+    ];
+
+    /// The spec-file name of this value.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControllerAxis::Dpm => "dpm",
+            ControllerAxis::AlwaysOn => "always_on",
+            ControllerAxis::Timeout500us => "timeout_500us",
+            ControllerAxis::Timeout2ms => "timeout_2ms",
+            ControllerAxis::Oracle => "oracle",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|c| c.label() == s)
+            .ok_or_else(|| unknown("controller", s, &Self::ALL.map(Self::label)))
+    }
+
+    /// The concrete controller configuration.
+    pub fn to_controller(self) -> ControllerKind {
+        match self {
+            ControllerAxis::Dpm => ControllerKind::Dpm,
+            ControllerAxis::AlwaysOn => ControllerKind::AlwaysOn,
+            ControllerAxis::Timeout500us => ControllerKind::Timeout {
+                timeout: SimDuration::from_micros(500),
+                state: PowerState::Sl2,
+            },
+            ControllerAxis::Timeout2ms => ControllerKind::Timeout {
+                timeout: SimDuration::from_millis(2),
+                state: PowerState::Sl3,
+            },
+            ControllerAxis::Oracle => ControllerKind::Oracle,
+        }
+    }
+}
+
+/// LEM tuning axis values (the paper's stated flexibility point: *"whose
+/// parameters can be adapted"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TuningAxis {
+    /// The Table 2 experiment tuning (wake-latency cap, 2.5 ms grace).
+    Paper,
+    /// Library defaults.
+    Default,
+    /// Sleeps as soon as possible, deepest state allowed.
+    Eager,
+    /// Energy-optimal sleep-state selection with a window predictor.
+    EnergyOptimal,
+    /// Sleeping disabled (state holds, no transitions).
+    NoSleep,
+}
+
+impl TuningAxis {
+    /// Every tuning axis value.
+    pub const ALL: [TuningAxis; 5] = [
+        TuningAxis::Paper,
+        TuningAxis::Default,
+        TuningAxis::Eager,
+        TuningAxis::EnergyOptimal,
+        TuningAxis::NoSleep,
+    ];
+
+    /// The spec-file name of this value.
+    pub fn label(self) -> &'static str {
+        match self {
+            TuningAxis::Paper => "paper",
+            TuningAxis::Default => "default",
+            TuningAxis::Eager => "eager",
+            TuningAxis::EnergyOptimal => "energy_optimal",
+            TuningAxis::NoSleep => "no_sleep",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|c| c.label() == s)
+            .ok_or_else(|| unknown("tuning", s, &Self::ALL.map(Self::label)))
+    }
+
+    /// The concrete LEM tuning.
+    pub fn to_tuning(self) -> LemTuning {
+        match self {
+            TuningAxis::Paper => experiment_tuning(),
+            TuningAxis::Default => LemTuning::default(),
+            // the grace period must be non-zero: a zero-delay sleep
+            // decision re-triggers in the same delta cycle and trips the
+            // kernel's combinational-loop guard
+            TuningAxis::Eager => LemTuning {
+                sleep_delay: SimDuration::from_micros(1),
+                initial_prediction: SimDuration::from_millis(5),
+                ..LemTuning::default()
+            },
+            TuningAxis::EnergyOptimal => LemTuning {
+                predictor: PredictorKind::Window { k: 8 },
+                sleep_selection: SleepSelection::CheapestEnergy,
+                ..experiment_tuning()
+            },
+            TuningAxis::NoSleep => LemTuning {
+                sleep_enabled: false,
+                ..LemTuning::default()
+            },
+        }
+    }
+}
+
+/// Workload-shape axis values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum WorkloadAxis {
+    /// `ActivityLevel::Low` bursty preset (~15 % duty).
+    Low,
+    /// `ActivityLevel::High` bursty preset (~75 % duty).
+    High,
+    /// The paper's scenario-A trace shape (~11 % duty).
+    PaperA,
+    /// The paper's B/C busy-IP shape.
+    PaperBusy,
+    /// The paper's B/C quiet-IP shape.
+    PaperQuiet,
+}
+
+impl WorkloadAxis {
+    /// Every workload axis value.
+    pub const ALL: [WorkloadAxis; 5] = [
+        WorkloadAxis::Low,
+        WorkloadAxis::High,
+        WorkloadAxis::PaperA,
+        WorkloadAxis::PaperBusy,
+        WorkloadAxis::PaperQuiet,
+    ];
+
+    /// The spec-file name of this value.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadAxis::Low => "low",
+            WorkloadAxis::High => "high",
+            WorkloadAxis::PaperA => "paper_a",
+            WorkloadAxis::PaperBusy => "paper_busy",
+            WorkloadAxis::PaperQuiet => "paper_quiet",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|c| c.label() == s)
+            .ok_or_else(|| unknown("workload", s, &Self::ALL.map(Self::label)))
+    }
+
+    /// The trace generator for this shape.
+    pub fn generator(self) -> BurstyGenerator {
+        match self {
+            WorkloadAxis::Low => {
+                BurstyGenerator::for_activity(ActivityLevel::Low, PriorityWeights::typical_user())
+            }
+            WorkloadAxis::High => {
+                BurstyGenerator::for_activity(ActivityLevel::High, PriorityWeights::typical_user())
+            }
+            WorkloadAxis::PaperA => scenario_a_generator(),
+            WorkloadAxis::PaperBusy => busy_generator(),
+            WorkloadAxis::PaperQuiet => quiet_generator(),
+        }
+    }
+}
+
+/// Battery-model axis values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BatteryAxis {
+    /// Ideal energy tank.
+    Linear,
+    /// Peukert-style rate-capacity losses.
+    RateCapacity,
+    /// Kinetic battery model with charge recovery.
+    Kibam,
+}
+
+impl BatteryAxis {
+    /// Every battery axis value.
+    pub const ALL: [BatteryAxis; 3] = [
+        BatteryAxis::Linear,
+        BatteryAxis::RateCapacity,
+        BatteryAxis::Kibam,
+    ];
+
+    /// The spec-file name of this value.
+    pub fn label(self) -> &'static str {
+        match self {
+            BatteryAxis::Linear => "linear",
+            BatteryAxis::RateCapacity => "rate_capacity",
+            BatteryAxis::Kibam => "kibam",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|c| c.label() == s)
+            .ok_or_else(|| unknown("battery", s, &Self::ALL.map(Self::label)))
+    }
+
+    /// The concrete battery model.
+    pub fn to_battery(self) -> BatteryKind {
+        match self {
+            BatteryAxis::Linear => BatteryKind::Linear,
+            BatteryAxis::RateCapacity => BatteryKind::RateCapacity {
+                p_ref: Power::from_milliwatts(400.0),
+                peukert: 1.15,
+            },
+            BatteryAxis::Kibam => BatteryKind::Kibam,
+        }
+    }
+}
+
+/// Thermal-scenario axis values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ThermalAxis {
+    /// Cool start (25 °C ambient, 30 °C die).
+    Cool,
+    /// The paper's "Temperature High" hot start (71.5 °C die).
+    Hot,
+}
+
+impl ThermalAxis {
+    /// Every thermal axis value.
+    pub const ALL: [ThermalAxis; 2] = [ThermalAxis::Cool, ThermalAxis::Hot];
+
+    /// The spec-file name of this value.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThermalAxis::Cool => "cool",
+            ThermalAxis::Hot => "hot",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|c| c.label() == s)
+            .ok_or_else(|| unknown("thermal", s, &Self::ALL.map(Self::label)))
+    }
+
+    /// The concrete thermal scenario.
+    pub fn to_thermal(self) -> ThermalScenario {
+        match self {
+            ThermalAxis::Cool => ThermalScenario::cool(),
+            ThermalAxis::Hot => ThermalScenario::hot(),
+        }
+    }
+}
+
+fn unknown(axis: &str, got: &str, options: &[&str]) -> String {
+    format!(
+        "unknown {axis} '{got}' (expected one of: {})",
+        options.join(", ")
+    )
+}
+
+/// A declarative scenario grid.
+///
+/// `expand` walks the axes in declaration order (controllers outermost,
+/// IP counts innermost), so scenario index ↔ axis-tuple mapping is part
+/// of the format and stays stable across runs and thread counts.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (reports, output files).
+    pub name: String,
+    /// Simulation horizon in milliseconds.
+    pub horizon_ms: u64,
+    /// Master seed; all per-scenario seeds derive from it.
+    pub master_seed: u64,
+    /// Starting state of charge (0–1); the paper's battery-Low regime
+    /// starts at 0.22.
+    pub initial_soc: f64,
+    /// Controller axis.
+    pub controllers: Vec<ControllerAxis>,
+    /// LEM tuning axis.
+    pub tunings: Vec<TuningAxis>,
+    /// Workload-shape axis.
+    pub workloads: Vec<WorkloadAxis>,
+    /// Workload seed axis (logical seeds; the trace seed is derived from
+    /// `master_seed`, the logical seed and the IP index).
+    pub seeds: Vec<u64>,
+    /// Battery-model axis.
+    pub batteries: Vec<BatteryAxis>,
+    /// Thermal-scenario axis.
+    pub thermals: Vec<ThermalAxis>,
+    /// IP-count axis (1 = single IP without GEM; >1 = GEM-governed).
+    pub ip_counts: Vec<usize>,
+}
+
+impl CampaignSpec {
+    /// The built-in quick sweep: 2 controllers × 1 tuning × 2 workloads ×
+    /// 2 seeds × 1 battery × 2 thermals × 2 IP counts = 32 scenarios.
+    pub fn default_sweep() -> Self {
+        Self {
+            name: "default_sweep".into(),
+            horizon_ms: 40,
+            master_seed: 0xDA7E_2005,
+            initial_soc: 0.95,
+            controllers: vec![ControllerAxis::Dpm, ControllerAxis::AlwaysOn],
+            tunings: vec![TuningAxis::Paper],
+            workloads: vec![WorkloadAxis::Low, WorkloadAxis::High],
+            seeds: vec![1, 2],
+            batteries: vec![BatteryAxis::Linear],
+            thermals: vec![ThermalAxis::Cool, ThermalAxis::Hot],
+            ip_counts: vec![1, 4],
+        }
+    }
+
+    /// The simulation horizon.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_millis(self.horizon_ms)
+    }
+
+    /// Scenarios in the grid (the product of the axis sizes).
+    pub fn scenario_count(&self) -> usize {
+        self.controllers.len()
+            * self.tunings.len()
+            * self.workloads.len()
+            * self.seeds.len()
+            * self.batteries.len()
+            * self.thermals.len()
+            * self.ip_counts.len()
+    }
+
+    /// Validates that every axis is non-empty and parameters are sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let axes: [(&str, usize); 7] = [
+            ("controllers", self.controllers.len()),
+            ("tunings", self.tunings.len()),
+            ("workloads", self.workloads.len()),
+            ("seeds", self.seeds.len()),
+            ("batteries", self.batteries.len()),
+            ("thermals", self.thermals.len()),
+            ("ip_counts", self.ip_counts.len()),
+        ];
+        for (name, len) in axes {
+            if len == 0 {
+                return Err(format!("axis '{name}' is empty"));
+            }
+        }
+        if self.horizon_ms == 0 {
+            return Err("horizon_ms must be positive".into());
+        }
+        // the TOML writer quotes the name verbatim, so characters the
+        // parser cannot re-read would break the to_toml round-trip
+        if self.name.contains(['"', '\n', '\r']) {
+            return Err("name must not contain quotes or newlines".into());
+        }
+        if !(0.0..=1.0).contains(&self.initial_soc) {
+            return Err("initial_soc must lie in [0, 1]".into());
+        }
+        if self.ip_counts.iter().any(|&n| n == 0 || n > 64) {
+            return Err("ip_counts entries must lie in 1..=64".into());
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into concrete scenarios, indices in axis order.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::with_capacity(self.scenario_count());
+        for &controller in &self.controllers {
+            for &tuning in &self.tunings {
+                for &workload in &self.workloads {
+                    for &seed in &self.seeds {
+                        for &battery in &self.batteries {
+                            for &thermal in &self.thermals {
+                                for &ip_count in &self.ip_counts {
+                                    out.push(ScenarioSpec {
+                                        index: out.len(),
+                                        controller,
+                                        tuning,
+                                        workload,
+                                        seed,
+                                        battery,
+                                        thermal,
+                                        ip_count,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cell of the expanded grid.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioSpec {
+    /// Position in the expansion (stable across runs and thread counts).
+    pub index: usize,
+    /// Controller axis value.
+    pub controller: ControllerAxis,
+    /// Tuning axis value.
+    pub tuning: TuningAxis,
+    /// Workload axis value.
+    pub workload: WorkloadAxis,
+    /// Logical workload seed.
+    pub seed: u64,
+    /// Battery axis value.
+    pub battery: BatteryAxis,
+    /// Thermal axis value.
+    pub thermal: ThermalAxis,
+    /// Number of IPs.
+    pub ip_count: usize,
+}
+
+impl ScenarioSpec {
+    /// Human-readable `axis=value` label, unique within a campaign.
+    pub fn label(&self) -> String {
+        format!(
+            "ctrl={}/tune={}/wl={}/seed={}/batt={}/therm={}/ips={}",
+            self.controller.label(),
+            self.tuning.label(),
+            self.workload.label(),
+            self.seed,
+            self.battery.label(),
+            self.thermal.label(),
+            self.ip_count,
+        )
+    }
+
+    /// Builds the concrete [`SocConfig`] for this cell.
+    ///
+    /// Trace seeds derive from `(master_seed, logical seed, ip index)`
+    /// through [`SeedSequence`], so the same cell always replays the same
+    /// arrivals no matter which thread builds it.
+    pub fn build_config(&self, spec: &CampaignSpec) -> SocConfig {
+        let horizon = spec.horizon();
+        let generator = self.workload.generator();
+        let seeds = SeedSequence::new(spec.master_seed).derive(self.seed);
+        let mut cfg = if self.ip_count == 1 {
+            SocConfig::single_ip(generator.generate(horizon, seeds.stream(0)))
+        } else {
+            let ips = (0..self.ip_count)
+                .map(|i| {
+                    IpConfig::new(
+                        format!("ip{i}"),
+                        generator.generate(horizon, seeds.stream(i as u64)),
+                        i as u8 + 1,
+                    )
+                })
+                .collect();
+            SocConfig::multi_ip(ips)
+        };
+        cfg.controller = self.controller.to_controller();
+        cfg.lem = self.tuning.to_tuning();
+        cfg.battery = self.battery.to_battery();
+        cfg.thermal = self.thermal.to_thermal();
+        cfg.initial_soc = dpm_units::Ratio::new(spec.initial_soc);
+        cfg
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:04} {}", self.index, self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_validates_and_multiplies() {
+        let spec = CampaignSpec::default_sweep();
+        spec.validate().unwrap();
+        assert_eq!(spec.scenario_count(), 2 * 2 * 2 * 2 * 2);
+        assert_eq!(spec.expand().len(), spec.scenario_count());
+    }
+
+    #[test]
+    fn labels_are_unique_and_indices_sequential() {
+        let spec = CampaignSpec::default_sweep();
+        let cells = spec.expand();
+        let mut labels: Vec<String> = cells.iter().map(ScenarioSpec::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), cells.len());
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn axis_names_parse_back() {
+        for c in ControllerAxis::ALL {
+            assert_eq!(ControllerAxis::parse(c.label()).unwrap(), c);
+        }
+        for t in TuningAxis::ALL {
+            assert_eq!(TuningAxis::parse(t.label()).unwrap(), t);
+        }
+        for w in WorkloadAxis::ALL {
+            assert_eq!(WorkloadAxis::parse(w.label()).unwrap(), w);
+        }
+        for b in BatteryAxis::ALL {
+            assert_eq!(BatteryAxis::parse(b.label()).unwrap(), b);
+        }
+        for t in ThermalAxis::ALL {
+            assert_eq!(ThermalAxis::parse(t.label()).unwrap(), t);
+        }
+        assert!(ControllerAxis::parse("nope").is_err());
+    }
+
+    #[test]
+    fn configs_are_deterministic_and_validate() {
+        let spec = CampaignSpec::default_sweep();
+        for cell in spec.expand().iter().take(6) {
+            let a = cell.build_config(&spec);
+            let b = cell.build_config(&spec);
+            a.validate();
+            assert_eq!(a, b, "config construction must be pure");
+        }
+    }
+
+    #[test]
+    fn multi_ip_cells_get_gem_and_distinct_traces() {
+        let spec = CampaignSpec::default_sweep();
+        let cell = spec
+            .expand()
+            .into_iter()
+            .find(|c| c.ip_count == 4)
+            .expect("sweep has 4-IP cells");
+        let cfg = cell.build_config(&spec);
+        assert!(cfg.with_gem);
+        assert_eq!(cfg.ips.len(), 4);
+        assert_ne!(
+            cfg.ips[0].trace, cfg.ips[1].trace,
+            "per-IP seed streams differ"
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! Campaign specs as TOML, via a minimal in-crate parser.
+//!
+//! No TOML crate is available in this environment, so this module parses
+//! the subset campaign specs need: `key = value` pairs, `[section]`
+//! headers, strings, integers, floats, booleans, and (possibly
+//! multi-line) arrays of scalars. Comments (`#`) and blank lines are
+//! ignored. Unknown keys are rejected — a typo'd axis name should fail
+//! loudly, not silently shrink a sweep.
+//!
+//! # Example
+//!
+//! ```toml
+//! name = "policy_exploration"
+//! horizon_ms = 40
+//! master_seed = 42
+//! initial_soc = 0.95
+//!
+//! [axes]
+//! controllers = ["dpm", "always_on", "timeout_500us", "oracle"]
+//! tunings = ["paper", "energy_optimal"]
+//! workloads = ["low", "high"]
+//! seeds = [1, 2, 3]
+//! batteries = ["linear", "kibam"]
+//! thermals = ["cool", "hot"]
+//! ip_counts = [1, 4]
+//! ```
+
+use crate::spec::{
+    BatteryAxis, CampaignSpec, ControllerAxis, ThermalAxis, TuningAxis, WorkloadAxis,
+};
+
+/// A parsed TOML scalar or array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A quoted string.
+    String(String),
+    /// An integer.
+    Integer(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::String(_) => "string",
+            TomlValue::Integer(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+/// A flat `section.key -> value` document (top-level keys have no dot).
+#[derive(Debug, Clone, Default)]
+pub struct TomlDoc {
+    pairs: Vec<(String, TomlValue)>,
+}
+
+impl TomlDoc {
+    /// Parses TOML text (the supported subset).
+    ///
+    /// # Errors
+    ///
+    /// Returns `line N: message` on the first syntax error.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut doc = TomlDoc::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((lineno, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+            if let Some(inner) = line.strip_prefix('[') {
+                let name = inner
+                    .strip_suffix(']')
+                    .ok_or_else(|| err("unterminated section header"))?
+                    .trim();
+                if name.is_empty() {
+                    return Err(err("empty section name"));
+                }
+                section = name.to_string();
+                continue;
+            }
+            let (key, mut rest) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| err("expected `key = value`"))?;
+            if key.is_empty() {
+                return Err(err("empty key"));
+            }
+            // multi-line arrays: keep consuming lines until brackets close
+            while rest.starts_with('[') && !brackets_close(&rest) {
+                let (_, next) = lines.next().ok_or_else(|| err("unterminated array"))?;
+                rest.push(' ');
+                rest.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(rest.trim()).map_err(|m| err(&m))?;
+            let full_key = if section.is_empty() {
+                key
+            } else {
+                format!("{section}.{key}")
+            };
+            if doc.pairs.iter().any(|(k, _)| *k == full_key) {
+                return Err(err(&format!("duplicate key '{full_key}'")));
+            }
+            doc.pairs.push((full_key, value));
+        }
+        Ok(doc)
+    }
+
+    /// Looks up a key (`section.key` or a bare top-level key).
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// All keys, in document order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.pairs.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // '#' inside a quoted string must survive
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_close(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_value(s: &str) -> Result<TomlValue, String> {
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part)?);
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    if let Some(inner) = s.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        if inner.contains('"') {
+            return Err("unsupported embedded quote".into());
+        }
+        return Ok(TomlValue::String(inner.to_string()));
+    }
+    match s {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    let cleaned = s.replace('_', "");
+    if let Some(hex) = cleaned.strip_prefix("0x") {
+        return i64::from_str_radix(hex, 16)
+            .map(TomlValue::Integer)
+            .map_err(|_| format!("bad hex integer '{s}'"));
+    }
+    if !s.contains(['.', 'e', 'E']) {
+        if let Ok(n) = cleaned.parse::<i64>() {
+            return Ok(TomlValue::Integer(n));
+        }
+    }
+    cleaned
+        .parse::<f64>()
+        .map(TomlValue::Float)
+        .map_err(|_| format!("unrecognized value '{s}'"))
+}
+
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+// ---- spec binding ----------------------------------------------------
+
+const KNOWN_KEYS: &[&str] = &[
+    "name",
+    "horizon_ms",
+    "master_seed",
+    "initial_soc",
+    "axes.controllers",
+    "axes.tunings",
+    "axes.workloads",
+    "axes.seeds",
+    "axes.batteries",
+    "axes.thermals",
+    "axes.ip_counts",
+];
+
+impl CampaignSpec {
+    /// Loads a spec from TOML text. Missing axes fall back to the
+    /// `default_sweep` values; unknown keys are an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error, unknown key,
+    /// type mismatch or invalid axis value.
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        let doc = TomlDoc::parse(text)?;
+        for key in doc.keys() {
+            if !KNOWN_KEYS.contains(&key) {
+                return Err(format!(
+                    "unknown key '{key}' (expected one of: {})",
+                    KNOWN_KEYS.join(", ")
+                ));
+            }
+        }
+        let mut spec = CampaignSpec::default_sweep();
+        spec.name = match doc.get("name") {
+            Some(TomlValue::String(s)) => s.clone(),
+            Some(v) => return Err(format!("'name' must be a string, got {}", v.type_name())),
+            None => "campaign".to_string(),
+        };
+        if let Some(v) = doc.get("horizon_ms") {
+            spec.horizon_ms = as_u64("horizon_ms", v)?;
+        }
+        if let Some(v) = doc.get("master_seed") {
+            spec.master_seed = as_u64("master_seed", v)?;
+        }
+        if let Some(v) = doc.get("initial_soc") {
+            spec.initial_soc = match v {
+                TomlValue::Float(x) => *x,
+                TomlValue::Integer(n) => *n as f64,
+                other => {
+                    return Err(format!(
+                        "'initial_soc' must be a number, got {}",
+                        other.type_name()
+                    ))
+                }
+            };
+        }
+        if let Some(v) = doc.get("axes.controllers") {
+            spec.controllers = string_axis(v, "axes.controllers", ControllerAxis::parse)?;
+        }
+        if let Some(v) = doc.get("axes.tunings") {
+            spec.tunings = string_axis(v, "axes.tunings", TuningAxis::parse)?;
+        }
+        if let Some(v) = doc.get("axes.workloads") {
+            spec.workloads = string_axis(v, "axes.workloads", WorkloadAxis::parse)?;
+        }
+        if let Some(v) = doc.get("axes.batteries") {
+            spec.batteries = string_axis(v, "axes.batteries", BatteryAxis::parse)?;
+        }
+        if let Some(v) = doc.get("axes.thermals") {
+            spec.thermals = string_axis(v, "axes.thermals", ThermalAxis::parse)?;
+        }
+        if let Some(v) = doc.get("axes.seeds") {
+            spec.seeds = int_axis(v, "axes.seeds")?;
+        }
+        if let Some(v) = doc.get("axes.ip_counts") {
+            spec.ip_counts = int_axis(v, "axes.ip_counts")?
+                .into_iter()
+                .map(|n| n as usize)
+                .collect();
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Renders the spec back as TOML (parseable by [`Self::from_toml`]).
+    pub fn to_toml(&self) -> String {
+        fn quote_list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+            let parts: Vec<String> = items.iter().map(f).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        format!(
+            "name = \"{}\"\nhorizon_ms = {}\nmaster_seed = {}\ninitial_soc = {}\n\n\
+             [axes]\ncontrollers = {}\ntunings = {}\nworkloads = {}\nseeds = {}\n\
+             batteries = {}\nthermals = {}\nip_counts = {}\n",
+            self.name,
+            self.horizon_ms,
+            self.master_seed,
+            self.initial_soc,
+            quote_list(&self.controllers, |c| format!("\"{}\"", c.label())),
+            quote_list(&self.tunings, |t| format!("\"{}\"", t.label())),
+            quote_list(&self.workloads, |w| format!("\"{}\"", w.label())),
+            quote_list(&self.seeds, |s| s.to_string()),
+            quote_list(&self.batteries, |b| format!("\"{}\"", b.label())),
+            quote_list(&self.thermals, |t| format!("\"{}\"", t.label())),
+            quote_list(&self.ip_counts, |n| n.to_string()),
+        )
+    }
+}
+
+fn as_u64(key: &str, v: &TomlValue) -> Result<u64, String> {
+    match v {
+        TomlValue::Integer(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(format!(
+            "'{key}' must be a non-negative integer, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn string_axis<T>(
+    v: &TomlValue,
+    key: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let TomlValue::Array(items) = v else {
+        return Err(format!("'{key}' must be an array, got {}", v.type_name()));
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            TomlValue::String(s) => parse(s),
+            other => Err(format!(
+                "'{key}' entries must be strings, got {}",
+                other.type_name()
+            )),
+        })
+        .collect()
+}
+
+fn int_axis(v: &TomlValue, key: &str) -> Result<Vec<u64>, String> {
+    let TomlValue::Array(items) = v else {
+        return Err(format!("'{key}' must be an array, got {}", v.type_name()));
+    };
+    items.iter().map(|item| as_u64(key, item)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# a comment
+name = "exploration"   # trailing comment
+horizon_ms = 25
+master_seed = 0xDA7E
+initial_soc = 0.8
+
+[axes]
+controllers = ["dpm", "oracle"]
+tunings = ["paper"]
+workloads = ["low"]
+seeds = [
+    1,
+    2,   # multi-line array
+    3,
+]
+batteries = ["linear"]
+thermals = ["cool"]
+ip_counts = [1]
+"#;
+
+    #[test]
+    fn parses_the_example() {
+        let spec = CampaignSpec::from_toml(EXAMPLE).unwrap();
+        assert_eq!(spec.name, "exploration");
+        assert_eq!(spec.horizon_ms, 25);
+        assert_eq!(spec.master_seed, 0xDA7E);
+        assert_eq!(spec.initial_soc, 0.8);
+        assert_eq!(
+            spec.controllers,
+            vec![ControllerAxis::Dpm, ControllerAxis::Oracle]
+        );
+        assert_eq!(spec.seeds, vec![1, 2, 3]);
+        assert_eq!(spec.scenario_count(), 2 * 3);
+    }
+
+    #[test]
+    fn toml_round_trips_the_spec() {
+        let spec = CampaignSpec::default_sweep();
+        let text = spec.to_toml();
+        let back = CampaignSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let err = CampaignSpec::from_toml("nmae = \"typo\"\n").unwrap_err();
+        assert!(err.contains("unknown key 'nmae'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_axis_value_is_rejected() {
+        let err = CampaignSpec::from_toml("[axes]\ncontrollers = [\"warp_drive\"]\n").unwrap_err();
+        assert!(err.contains("unknown controller 'warp_drive'"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let err = CampaignSpec::from_toml("horizon_ms = \"fast\"\n").unwrap_err();
+        assert!(err.contains("horizon_ms"), "{err}");
+        let err = CampaignSpec::from_toml("[axes]\nseeds = [\"one\"]\n").unwrap_err();
+        assert!(err.contains("seeds"), "{err}");
+    }
+
+    #[test]
+    fn empty_axis_fails_validation() {
+        let err = CampaignSpec::from_toml("[axes]\nseeds = []\n").unwrap_err();
+        assert!(err.contains("axis 'seeds' is empty"), "{err}");
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let doc = TomlDoc::parse("name = \"a # not a comment\"\n").unwrap();
+        assert_eq!(
+            doc.get("name"),
+            Some(&TomlValue::String("a # not a comment".into()))
+        );
+    }
+}

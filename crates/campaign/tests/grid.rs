@@ -1,0 +1,136 @@
+//! Grid-expansion contract: axis counts multiply, labels and names
+//! round-trip, and the TOML form re-expands to the same grid.
+
+use dpm_campaign::{
+    BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, TuningAxis, WorkloadAxis,
+};
+
+fn full_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "grid".into(),
+        horizon_ms: 10,
+        master_seed: 99,
+        initial_soc: 0.5,
+        controllers: vec![
+            ControllerAxis::Dpm,
+            ControllerAxis::AlwaysOn,
+            ControllerAxis::Oracle,
+        ],
+        tunings: vec![TuningAxis::Paper, TuningAxis::NoSleep],
+        workloads: vec![WorkloadAxis::Low, WorkloadAxis::High, WorkloadAxis::PaperA],
+        seeds: vec![1, 2],
+        batteries: vec![BatteryAxis::Linear, BatteryAxis::Kibam],
+        thermals: vec![ThermalAxis::Cool, ThermalAxis::Hot],
+        ip_counts: vec![1, 2, 4],
+    }
+}
+
+#[test]
+fn axis_counts_multiply() {
+    let spec = full_spec();
+    let expected = 3 * 2 * 3 * 2 * 2 * 2 * 3;
+    assert_eq!(spec.scenario_count(), expected);
+    let cells = spec.expand();
+    assert_eq!(cells.len(), expected);
+    // indices are the expansion positions
+    for (i, c) in cells.iter().enumerate() {
+        assert_eq!(c.index, i);
+    }
+}
+
+#[test]
+fn every_axis_combination_appears_exactly_once() {
+    let spec = full_spec();
+    let cells = spec.expand();
+    let mut keys: Vec<(usize, usize, usize, u64, usize, usize, usize)> = cells
+        .iter()
+        .map(|c| {
+            (
+                spec.controllers
+                    .iter()
+                    .position(|x| *x == c.controller)
+                    .unwrap(),
+                spec.tunings.iter().position(|x| *x == c.tuning).unwrap(),
+                spec.workloads
+                    .iter()
+                    .position(|x| *x == c.workload)
+                    .unwrap(),
+                c.seed,
+                spec.batteries.iter().position(|x| *x == c.battery).unwrap(),
+                spec.thermals.iter().position(|x| *x == c.thermal).unwrap(),
+                c.ip_count,
+            )
+        })
+        .collect();
+    keys.sort();
+    let before = keys.len();
+    keys.dedup();
+    assert_eq!(keys.len(), before, "no duplicated cells");
+}
+
+#[test]
+fn labels_encode_every_axis_and_round_trip() {
+    let spec = full_spec();
+    for cell in spec.expand() {
+        let label = cell.label();
+        // every axis value is present in the label...
+        assert!(
+            label.contains(&format!("ctrl={}", cell.controller.label())),
+            "{label}"
+        );
+        assert!(
+            label.contains(&format!("tune={}", cell.tuning.label())),
+            "{label}"
+        );
+        assert!(
+            label.contains(&format!("wl={}", cell.workload.label())),
+            "{label}"
+        );
+        assert!(label.contains(&format!("seed={}", cell.seed)), "{label}");
+        assert!(
+            label.contains(&format!("batt={}", cell.battery.label())),
+            "{label}"
+        );
+        assert!(
+            label.contains(&format!("therm={}", cell.thermal.label())),
+            "{label}"
+        );
+        assert!(label.contains(&format!("ips={}", cell.ip_count)), "{label}");
+        // ...and each axis name parses back to the same value
+        assert_eq!(
+            ControllerAxis::parse(cell.controller.label()).unwrap(),
+            cell.controller
+        );
+        assert_eq!(TuningAxis::parse(cell.tuning.label()).unwrap(), cell.tuning);
+        assert_eq!(
+            WorkloadAxis::parse(cell.workload.label()).unwrap(),
+            cell.workload
+        );
+        assert_eq!(
+            BatteryAxis::parse(cell.battery.label()).unwrap(),
+            cell.battery
+        );
+        assert_eq!(
+            ThermalAxis::parse(cell.thermal.label()).unwrap(),
+            cell.thermal
+        );
+    }
+}
+
+#[test]
+fn labels_are_unique() {
+    let cells = full_spec().expand();
+    let mut labels: Vec<String> = cells.iter().map(ScenarioSpec::label).collect();
+    labels.sort();
+    let before = labels.len();
+    labels.dedup();
+    assert_eq!(labels.len(), before);
+}
+
+#[test]
+fn toml_round_trip_preserves_the_grid() {
+    let spec = full_spec();
+    let reparsed = CampaignSpec::from_toml(&spec.to_toml()).unwrap();
+    assert_eq!(reparsed, spec);
+    assert_eq!(reparsed.expand(), spec.expand());
+}

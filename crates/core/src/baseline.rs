@@ -348,8 +348,7 @@ mod tests {
                 self.running = false;
                 self.done += 1;
                 let spec = self.plan[(self.done - 1) as usize];
-                self.latencies
-                    .push(ctx.now() - spec.arrival);
+                self.latencies.push(ctx.now() - spec.arrival);
                 let _ = self.started.take();
                 ctx.write(self.done_count, self.done);
             }
@@ -472,7 +471,9 @@ mod tests {
         let stats = r.sim.with_process::<Psm, _>(r.psm, |p| p.stats().clone());
         assert_eq!(stats.transitions, 0, "baseline must pin ON1");
         // latency = pure execution time (grants are immediate)
-        let lat = r.sim.with_process::<MiniIp, _>(r.ip, |p| p.latencies.clone());
+        let lat = r
+            .sim
+            .with_process::<MiniIp, _>(r.ip, |p| p.latencies.clone());
         let exec = IpPowerModel::default_cpu()
             .execution_time(50_000, &InstructionMix::default(), PowerState::On1)
             .unwrap();
@@ -505,7 +506,9 @@ mod tests {
         let psm_stats = r.sim.with_process::<Psm, _>(r.psm, |p| p.stats().clone());
         assert!(psm_stats.transitions >= 2, "oracle must have slept");
         // perfect wake: latency of the 2nd task ≈ pure execution time
-        let lat = r.sim.with_process::<MiniIp, _>(r.ip, |p| p.latencies.clone());
+        let lat = r
+            .sim
+            .with_process::<MiniIp, _>(r.ip, |p| p.latencies.clone());
         let exec = IpPowerModel::default_cpu()
             .execution_time(50_000, &InstructionMix::default(), PowerState::On1)
             .unwrap();
@@ -525,7 +528,9 @@ mod tests {
         let horizon = SimTime::from_millis(30);
         on.sim.run_until(horizon);
         oracle.sim.run_until(horizon);
-        let on_res = on.sim.with_process::<Psm, _>(on.psm, |p| p.residency(horizon));
+        let on_res = on
+            .sim
+            .with_process::<Psm, _>(on.psm, |p| p.residency(horizon));
         let or_res = oracle
             .sim
             .with_process::<Psm, _>(oracle.psm, |p| p.residency(horizon));

@@ -241,7 +241,9 @@ mod tests {
         );
         assert_eq!(
             dt,
-            model.execution_time(1_000_000, &mix, PowerState::On1).unwrap()
+            model
+                .execution_time(1_000_000, &mix, PowerState::On1)
+                .unwrap()
         );
     }
 }

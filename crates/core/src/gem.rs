@@ -189,8 +189,7 @@ impl Gem {
     /// `(enable_mask, fan_on)`.
     fn evaluate(&self, battery: BatteryClass, temperature: ThermalClass) -> (Vec<bool>, bool) {
         // On mains the battery never gates anything.
-        let battery_fine = self.cfg.source == PowerSource::Mains
-            || battery >= BatteryClass::Medium;
+        let battery_fine = self.cfg.source == PowerSource::Mains || battery >= BatteryClass::Medium;
         let temp_fine = temperature <= ThermalClass::Medium;
         if battery_fine && temp_fine {
             (vec![true; self.enables.len()], false)
@@ -344,7 +343,9 @@ mod tests {
         set(&mut r, t, ThermalClass::Low);
         assert_eq!(enables(&r), vec![true; 4]);
         assert!(!r.sim.peek(r.handles.fan_on));
-        let stats = r.sim.with_process::<Gem, _>(r.handles.pid, |g| g.stats().clone());
+        let stats = r
+            .sim
+            .with_process::<Gem, _>(r.handles.pid, |g| g.stats().clone());
         assert_eq!(stats.fan_switches, 2);
         assert!(stats.enable_changes >= 8);
     }
@@ -424,7 +425,9 @@ mod tests {
         assert!((others[0] - 50.0).abs() < 1e-9, "{others:?}");
         assert!((others[1] - 150.0).abs() < 1e-9);
         assert!((others[2] - 100.0).abs() < 1e-9);
-        let stats = r.sim.with_process::<Gem, _>(r.handles.pid, |g| g.stats().clone());
+        let stats = r
+            .sim
+            .with_process::<Gem, _>(r.handles.pid, |g| g.stats().clone());
         assert_eq!(stats.requests_seen, 2);
     }
 

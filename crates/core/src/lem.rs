@@ -245,7 +245,7 @@ impl Lem {
     }
 
     fn gem_enabled(&self, ctx: &Ctx<'_>) -> bool {
-        self.ports.gem.map_or(true, |g| ctx.read(g.enable))
+        self.ports.gem.is_none_or(|g| ctx.read(g.enable))
     }
 
     fn command(&mut self, ctx: &mut Ctx<'_>, state: PowerState) {
@@ -301,11 +301,10 @@ impl Lem {
         if let Some(gem) = self.ports.gem {
             if self.gem_requested_for != Some(task.id) {
                 self.gem_requested_for = Some(task.id);
-                let (energy, _) = self.cfg.estimator.task_nominal(
-                    &self.model,
-                    task.instructions,
-                    &task.mix,
-                );
+                let (energy, _) =
+                    self.cfg
+                        .estimator
+                        .task_nominal(&self.model, task.instructions, &task.mix);
                 let _ = ctx.fifo_push(
                     gem.requests,
                     GemRequest {
@@ -397,8 +396,7 @@ impl Process for Lem {
         }
 
         // 3. Sleep timer: commit to the chosen sleep state if still idle.
-        if ctx.triggered(self.sleep_timer) && self.phase == Phase::Idle && self.queue.is_empty()
-        {
+        if ctx.triggered(self.sleep_timer) && self.phase == Phase::Idle && self.queue.is_empty() {
             if let Some(sleep) = self.chosen_sleep.take() {
                 self.command(ctx, sleep);
                 self.stats.sleeps_commanded += 1;
@@ -432,8 +430,7 @@ impl Process for Lem {
                     break;
                 }
                 Phase::Preparing(target) => {
-                    if ctx.read(self.ports.psm_state) == target && !ctx.read(self.ports.psm_busy)
-                    {
+                    if ctx.read(self.ports.psm_state) == target && !ctx.read(self.ports.psm_busy) {
                         let task = *self.queue.front().expect("preparing without a task");
                         self.grant(ctx, task);
                     }
@@ -621,14 +618,13 @@ mod tests {
 
     #[test]
     fn grants_at_on1_when_battery_full_and_cool() {
-        let mut r = rig(
-            vec![task(0, 100, 50_000, Priority::High)],
-            |_| {},
-        );
+        let mut r = rig(vec![task(0, 100, 50_000, Priority::High)], |_| {});
         r.sim.run_until(SimTime::from_millis(2));
         let done = r.sim.peek(r.ports.done_count);
         assert_eq!(done, 1);
-        let states = r.sim.with_process::<MiniIp, _>(r.ip, |p| p.finished_states.clone());
+        let states = r
+            .sim
+            .with_process::<MiniIp, _>(r.ip, |p| p.finished_states.clone());
         // battery Full + temp Low + priority High -> ON1 (Table 1 row 10)
         assert_eq!(states, vec![PowerState::On1]);
         let stats = r.sim.with_process::<Lem, _>(r.lem, |l| l.stats().clone());
@@ -645,16 +641,14 @@ mod tests {
         r.sim.run_for(SimDuration::ZERO);
         set_signal(&mut r.sim, r.battery_class, BatteryClass::Low);
         r.sim.run_until(SimTime::from_millis(3));
-        let states = r.sim.with_process::<MiniIp, _>(r.ip, |p| p.finished_states.clone());
+        let states = r
+            .sim
+            .with_process::<MiniIp, _>(r.ip, |p| p.finished_states.clone());
         assert_eq!(states, vec![PowerState::On4]);
     }
 
     /// Writes a signal from outside the simulation via a one-shot process.
-    fn set_signal<T: dpm_kernel::SignalValue>(
-        sim: &mut Simulation,
-        sig: Signal<T>,
-        value: T,
-    ) {
+    fn set_signal<T: dpm_kernel::SignalValue>(sim: &mut Simulation, sig: Signal<T>, value: T) {
         struct Setter<T: dpm_kernel::SignalValue> {
             sig: Signal<T>,
             value: Option<T>,
@@ -772,7 +766,9 @@ mod tests {
         r.sim.run_until(SimTime::from_millis(10));
         // the critical task ran (at ON4 per row 0); the medium one halts
         assert_eq!(r.sim.peek(r.ports.done_count), 1);
-        let states = r.sim.with_process::<MiniIp, _>(r.ip, |p| p.finished_states.clone());
+        let states = r
+            .sim
+            .with_process::<MiniIp, _>(r.ip, |p| p.finished_states.clone());
         assert_eq!(states, vec![PowerState::On4]);
         let stats = r.sim.with_process::<Lem, _>(r.lem, |l| l.stats().clone());
         assert!(stats.rule_deferrals >= 1);

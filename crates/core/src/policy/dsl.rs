@@ -296,8 +296,7 @@ pub fn parse_rules(text: &str) -> Result<RuleSet, ParseRuleError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let rule =
-            parse_rule(line).map_err(|e| ParseRuleError::AtLine(i + 1, Box::new(e)))?;
+        let rule = parse_rule(line).map_err(|e| ParseRuleError::AtLine(i + 1, Box::new(e)))?;
         rules.push(rule);
     }
     Ok(RuleSet::new(rules))
@@ -354,12 +353,7 @@ mod tests {
         let parsed = parse_rules(TABLE1_TEXT).unwrap();
         let programmatic = table1();
         assert_eq!(parsed.rules().len(), programmatic.rules().len());
-        for (i, (a, b)) in parsed
-            .rules()
-            .iter()
-            .zip(programmatic.rules())
-            .enumerate()
-        {
+        for (i, (a, b)) in parsed.rules().iter().zip(programmatic.rules()).enumerate() {
             assert_eq!(a, b, "row {i} differs: parsed '{a}' vs table '{b}'");
         }
     }

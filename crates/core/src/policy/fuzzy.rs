@@ -86,16 +86,28 @@ impl FuzzyPolicy {
             open_right: false,
         };
         let battery_memberships = [
-            Triangle { open_left: true, ..b(0.0, 0.02, 0.15) },   // Empty
-            b(0.02, 0.15, 0.40),                                  // Low
-            b(0.15, 0.40, 0.70),                                  // Medium
-            b(0.40, 0.70, 0.925),                                 // High
-            Triangle { open_right: true, ..b(0.70, 0.925, 1.0) }, // Full
+            Triangle {
+                open_left: true,
+                ..b(0.0, 0.02, 0.15)
+            }, // Empty
+            b(0.02, 0.15, 0.40),  // Low
+            b(0.15, 0.40, 0.70),  // Medium
+            b(0.40, 0.70, 0.925), // High
+            Triangle {
+                open_right: true,
+                ..b(0.70, 0.925, 1.0)
+            }, // Full
         ];
         let temperature_memberships = [
-            Triangle { open_left: true, ..b(20.0, 40.0, 60.0) },  // Low
-            b(40.0, 60.0, 80.0),                                  // Medium
-            Triangle { open_right: true, ..b(60.0, 80.0, 100.0) },// High
+            Triangle {
+                open_left: true,
+                ..b(20.0, 40.0, 60.0)
+            }, // Low
+            b(40.0, 60.0, 80.0), // Medium
+            Triangle {
+                open_right: true,
+                ..b(60.0, 80.0, 100.0)
+            }, // High
         ];
         Self {
             rules,
@@ -248,8 +260,13 @@ mod tests {
         // ON4 to ON2 somewhere strictly inside the band, not at the crisp
         // 0.25 threshold.
         let at = |soc: f64| {
-            f.select(Priority::High, soc, Celsius::new(30.0), PowerSource::Battery)
-                .state
+            f.select(
+                Priority::High,
+                soc,
+                Celsius::new(30.0),
+                PowerSource::Battery,
+            )
+            .state
         };
         assert_eq!(at(0.16), PowerState::On4);
         assert_eq!(at(0.38), PowerState::On2);

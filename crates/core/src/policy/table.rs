@@ -79,7 +79,13 @@ pub fn table1() -> RuleSet {
         row(&[Medium], &[BMed, BHigh], &[TLow], BatteryOnly, On3),
         row(&[Low], &[BMed, BHigh], &[TLow], BatteryOnly, On4),
         // 10..11: battery F + temp L: almost everything at full speed
-        row(&[VeryHigh, High, Medium], &[Full], &[TLow], BatteryOnly, On1),
+        row(
+            &[VeryHigh, High, Medium],
+            &[Full],
+            &[TLow],
+            BatteryOnly,
+            On1,
+        ),
         row(&[Low], &[Full], &[TLow], BatteryOnly, On2),
         // 12: "- Power supply M,L -> ON1"
         row(&[], &[], &[TMed, TLow], MainsOnly, On1),

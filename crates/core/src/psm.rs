@@ -262,7 +262,11 @@ mod tests {
         );
         // during the 20 µs down-transition the PSM is busy and dissipating
         sim.run_until(SimTime::from_micros(15));
-        assert_eq!(sim.peek(ports.state), PowerState::On1, "state changes on completion");
+        assert_eq!(
+            sim.peek(ports.state),
+            PowerState::On1,
+            "state changes on completion"
+        );
         assert!(sim.peek(ports.busy));
         assert!(sim.peek(ports.trans_power) > 0.0);
         // after it completes

@@ -160,7 +160,7 @@ impl Sched {
         let target = self.now + delay;
         let rec = &mut self.events[event.index()];
         match rec.pending {
-            Pending::Delta => {} // delta fires sooner; discard the timed one
+            Pending::Delta => {}                // delta fires sooner; discard the timed one
             Pending::At(t) if t <= target => {} // earlier notification wins
             _ => {
                 rec.generation += 1;
@@ -325,8 +325,7 @@ impl Sched {
     pub(crate) fn next_event_time(&mut self) -> Option<SimTime> {
         while let Some(Reverse(head)) = self.timed.peek() {
             let rec = &self.events[head.event.index()];
-            let valid =
-                head.generation == rec.generation && rec.pending == Pending::At(head.time);
+            let valid = head.generation == rec.generation && rec.pending == Pending::At(head.time);
             if valid {
                 return Some(head.time);
             }
@@ -350,8 +349,8 @@ impl Sched {
             }
             let Reverse(entry) = self.timed.pop().expect("peeked entry vanished");
             let rec = &self.events[entry.event.index()];
-            let valid = entry.generation == rec.generation
-                && rec.pending == Pending::At(entry.time);
+            let valid =
+                entry.generation == rec.generation && rec.pending == Pending::At(entry.time);
             if valid {
                 self.fire(entry.event);
             }

@@ -153,7 +153,10 @@ impl Simulation {
 
     /// Renders the VCD document collected so far, if tracing is enabled.
     pub fn vcd(&self) -> Option<String> {
-        self.sched.trace.as_ref().map(|t| t.render(self.sched.now()))
+        self.sched
+            .trace
+            .as_ref()
+            .map(|t| t.render(self.sched.now()))
     }
 
     // ---- inspection ---------------------------------------------------------
@@ -232,9 +235,12 @@ impl Simulation {
             .as_ref()
             .expect("process is currently running");
         let any: &dyn std::any::Any = body.as_ref();
-        let typed = any
-            .downcast_ref::<P>()
-            .unwrap_or_else(|| panic!("process '{}' has a different type", self.procs[pid.index()].name));
+        let typed = any.downcast_ref::<P>().unwrap_or_else(|| {
+            panic!(
+                "process '{}' has a different type",
+                self.procs[pid.index()].name
+            )
+        });
         f(typed)
     }
 
@@ -429,9 +435,21 @@ mod tests {
             },
         );
         sim.sensitize(stim, tick);
-        let r1 = sim.add_process("r1", Relay { input: a, output: b });
+        let r1 = sim.add_process(
+            "r1",
+            Relay {
+                input: a,
+                output: b,
+            },
+        );
         sim.sensitize_signal(r1, a);
-        let r2 = sim.add_process("r2", Relay { input: b, output: c });
+        let r2 = sim.add_process(
+            "r2",
+            Relay {
+                input: b,
+                output: c,
+            },
+        );
         sim.sensitize_signal(r2, b);
 
         let outcome = sim.run_until(SimTime::from_micros(1));

@@ -108,11 +108,7 @@ impl TraceSet {
         }
     }
 
-    pub(crate) fn register<T: Traceable>(
-        &mut self,
-        sig: Signal<T>,
-        record: &dyn AnySignal,
-    ) {
+    pub(crate) fn register<T: Traceable>(&mut self, sig: Signal<T>, record: &dyn AnySignal) {
         if self.by_signal.contains_key(&sig.idx) {
             return; // idempotent
         }

@@ -212,10 +212,7 @@ fn ring_oscillator_is_detected_as_runaway() {
         sim.run_until(SimTime::from_nanos(2));
     }));
     let err = result.expect_err("oscillator must be detected");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("delta cycle runaway"), "got: {msg}");
 }
 

@@ -82,8 +82,7 @@ impl BreakEvenEntry {
     /// Estimated energy of spending an idle period of length `idle` in
     /// this state (transition round trip plus residency).
     pub fn idle_energy(&self, idle: SimDuration) -> Energy {
-        self.transition_energy
-            + self.sleep_power * idle.saturating_sub(self.transition_time)
+        self.transition_energy + self.sleep_power * idle.saturating_sub(self.transition_time)
     }
 }
 
@@ -156,9 +155,10 @@ impl BreakEvenTable {
     ) -> Option<PowerState> {
         self.entries
             .iter()
-            .filter(|e| e.break_even <= predicted_idle)
-            .filter(|e| max_wake_latency.is_none_or(|max| e.wake_latency <= max))
-            .last()
+            .rfind(|e| {
+                e.break_even <= predicted_idle
+                    && max_wake_latency.is_none_or(|max| e.wake_latency <= max)
+            })
             .map(|e| e.state)
     }
 
@@ -201,12 +201,7 @@ mod tests {
         for s in PowerState::SLEEP {
             let down = t.cost(PowerState::On1, s);
             let up = t.cost(s, PowerState::On1);
-            let tbe = break_even_time(
-                m.idle_power(PowerState::On1),
-                m.state_power(s),
-                down,
-                up,
-            );
+            let tbe = break_even_time(m.idle_power(PowerState::On1), m.state_power(s), down, up);
             assert!(tbe >= down.latency + up.latency, "{s}");
         }
     }
@@ -239,7 +234,10 @@ mod tests {
         let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
         let times: Vec<SimDuration> = table.entries().iter().map(|e| e.break_even).collect();
         for w in times.windows(2) {
-            assert!(w[0] <= w[1], "break-even must not shrink with depth: {times:?}");
+            assert!(
+                w[0] <= w[1],
+                "break-even must not shrink with depth: {times:?}"
+            );
         }
     }
 
@@ -266,8 +264,10 @@ mod tests {
         let (m, t) = setup();
         let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
         let unconstrained = table.deepest_within(SimDuration::from_secs(10), None);
-        let constrained =
-            table.deepest_within(SimDuration::from_secs(10), Some(SimDuration::from_micros(50)));
+        let constrained = table.deepest_within(
+            SimDuration::from_secs(10),
+            Some(SimDuration::from_micros(50)),
+        );
         assert!(unconstrained.unwrap() < constrained.unwrap_or(PowerState::On1));
         // with a 50 µs wake budget only Sl1 (10 µs wake) qualifies
         assert_eq!(constrained, Some(PowerState::Sl1));
@@ -324,7 +324,10 @@ mod tests {
     fn cheapest_declines_tiny_idles() {
         let (m, t) = setup();
         let table = BreakEvenTable::compute(&m, &t, PowerState::On1);
-        assert_eq!(table.cheapest_within(SimDuration::from_micros(1), None), None);
+        assert_eq!(
+            table.cheapest_within(SimDuration::from_micros(1), None),
+            None
+        );
         let _ = m;
     }
 

@@ -134,8 +134,7 @@ impl DvfsLadder {
 
     /// Slowdown factor of `state` relative to `ON1` (`>= 1`).
     pub fn slowdown(&self, state: PowerState) -> Option<f64> {
-        self.frequency(state)
-            .map(|f| self.nominal().frequency / f)
+        self.frequency(state).map(|f| self.nominal().frequency / f)
     }
 }
 

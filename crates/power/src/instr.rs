@@ -10,16 +10,7 @@ use core::fmt;
 
 /// A coarse instruction type, as produced by IP power characterization.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum InstructionClass {
     /// Arithmetic/logic operations: cheap, single cycle.
@@ -198,7 +189,10 @@ mod tests {
     fn pure_mix_has_class_properties() {
         let mix = InstructionMix::pure(InstructionClass::Io);
         assert_eq!(mix.average_cpi(), InstructionClass::Io.cpi());
-        assert_eq!(mix.average_activity(), InstructionClass::Io.activity_weight());
+        assert_eq!(
+            mix.average_activity(),
+            InstructionClass::Io.activity_weight()
+        );
     }
 
     #[test]

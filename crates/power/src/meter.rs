@@ -148,7 +148,11 @@ mod tests {
     #[test]
     fn attributes_by_state() {
         let mut m = EnergyMeter::new(SimTime::ZERO, PowerState::On1, Power::from_watts(1.0));
-        m.set_state(SimTime::from_secs(2), PowerState::Sl1, Power::from_watts(0.1));
+        m.set_state(
+            SimTime::from_secs(2),
+            PowerState::Sl1,
+            Power::from_watts(0.1),
+        );
         m.advance(SimTime::from_secs(12));
         assert!((m.by_state(PowerState::On1).as_joules() - 2.0).abs() < 1e-12);
         assert!((m.by_state(PowerState::Sl1).as_joules() - 1.0).abs() < 1e-12);

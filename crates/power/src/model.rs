@@ -201,7 +201,9 @@ impl IpPowerModel {
 
     fn leakage_power_at(&self, state: PowerState, t: Celsius) -> Power {
         match self.dvfs.point_for(state) {
-            Some(p) => self.leakage.power(p.voltage, self.dvfs.nominal().voltage, t),
+            Some(p) => self
+                .leakage
+                .power(p.voltage, self.dvfs.nominal().voltage, t),
             None => Power::ZERO,
         }
     }
@@ -215,12 +217,7 @@ impl IpPowerModel {
 
     /// Like [`active_power`](Self::active_power) with an explicit die
     /// temperature for the leakage term.
-    pub fn active_power_at(
-        &self,
-        state: PowerState,
-        class: InstructionClass,
-        t: Celsius,
-    ) -> Power {
+    pub fn active_power_at(&self, state: PowerState, class: InstructionClass, t: Celsius) -> Power {
         if !state.is_execution() {
             return self.state_power_at(state, t);
         }
@@ -284,9 +281,7 @@ impl IpPowerModel {
         };
         let cycles = class.cpi();
         let dyn_e = self.ceff_farad * p.voltage.squared() * class.activity_weight() * cycles;
-        let leak_w = self
-            .leakage_power_at(state, self.leakage.t_ref)
-            .as_watts();
+        let leak_w = self.leakage_power_at(state, self.leakage.t_ref).as_watts();
         let leak_e = leak_w * cycles / p.frequency.as_hertz();
         Energy::from_joules(dyn_e + leak_e)
     }
@@ -340,7 +335,10 @@ mod tests {
     fn default_cpu_is_in_the_embedded_regime() {
         let m = IpPowerModel::default_cpu();
         let p = m.active_power(PowerState::On1, InstructionClass::Alu);
-        assert!(p > Power::from_milliwatts(100.0) && p < Power::from_watts(1.0), "{p}");
+        assert!(
+            p > Power::from_milliwatts(100.0) && p < Power::from_watts(1.0),
+            "{p}"
+        );
         let leak = m.state_power(PowerState::Sl4);
         assert!(leak < Power::from_milliwatts(1.0), "{leak}");
     }
@@ -389,8 +387,12 @@ mod tests {
         // costs less energy (V² scaling dominates the leakage increase).
         let m = IpPowerModel::default_cpu();
         let mix = InstructionMix::default();
-        let e1 = m.execution_energy(1_000_000, &mix, PowerState::On1).unwrap();
-        let e4 = m.execution_energy(1_000_000, &mix, PowerState::On4).unwrap();
+        let e1 = m
+            .execution_energy(1_000_000, &mix, PowerState::On1)
+            .unwrap();
+        let e4 = m
+            .execution_energy(1_000_000, &mix, PowerState::On4)
+            .unwrap();
         assert!(e4 < e1);
         let saving = 1.0 - e4 / e1;
         assert!(saving > 0.3 && saving < 0.6, "saving = {saving}");

@@ -16,16 +16,7 @@ use dpm_kernel::{Traceable, VcdValue};
 /// `On1` is the fastest, most power-hungry execution state; `Sl4` the
 /// deepest sleep state (cheapest to hold, most expensive to leave).
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum PowerState {
     /// Mechanically off; only reachable/leavable through a full reboot-like
@@ -76,7 +67,10 @@ impl OnLevel {
     ///
     /// Panics outside that range.
     pub fn new(level: u8) -> Self {
-        assert!((1..=4).contains(&level), "ON level must be 1..=4, got {level}");
+        assert!(
+            (1..=4).contains(&level),
+            "ON level must be 1..=4, got {level}"
+        );
         Self(level)
     }
 

@@ -138,10 +138,7 @@ impl TransitionTable {
                     set(
                         s1,
                         s2,
-                        TransitionCost::new(
-                            us(UP_LAT_US[d1] * 0.5),
-                            unit(UP_E_UNITS[d1] * 0.5),
-                        ),
+                        TransitionCost::new(us(UP_LAT_US[d1] * 0.5), unit(UP_E_UNITS[d1] * 0.5)),
                     );
                 }
             }
@@ -165,10 +162,7 @@ impl TransitionTable {
             set(
                 s,
                 SoftOff,
-                TransitionCost::new(
-                    us(SHUTDOWN_LAT_US * 0.5),
-                    unit(SHUTDOWN_E_UNITS * 0.5),
-                ),
+                TransitionCost::new(us(SHUTDOWN_LAT_US * 0.5), unit(SHUTDOWN_E_UNITS * 0.5)),
             );
             set(
                 SoftOff,
@@ -272,7 +266,8 @@ mod tests {
     #[test]
     fn set_cost_overrides() {
         let mut t = table();
-        let custom = TransitionCost::new(SimDuration::from_micros(1), Energy::from_microjoules(1.0));
+        let custom =
+            TransitionCost::new(SimDuration::from_micros(1), Energy::from_microjoules(1.0));
         t.set_cost(PowerState::On1, PowerState::Sl1, custom);
         assert_eq!(t.cost(PowerState::On1, PowerState::Sl1), custom);
     }

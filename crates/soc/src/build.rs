@@ -1,18 +1,17 @@
 //! SoC construction: wires Fig. 1 of the paper.
 
 use dpm_battery::{
-    Battery, BatteryClassifier, BatteryMonitor, BatteryMonitorHandles, KibamBattery,
-    LinearBattery, RateCapacityBattery,
+    Battery, BatteryClassifier, BatteryMonitor, BatteryMonitorHandles, KibamBattery, LinearBattery,
+    RateCapacityBattery,
 };
 use dpm_core::{
-    AlwaysOnController, Gem, GemConfig, Lem, LemConfig, LemPorts, OracleController, Psm,
-    PsmPorts, TimeoutController,
+    AlwaysOnController, Gem, GemConfig, Lem, LemConfig, LemPorts, OracleController, Psm, PsmPorts,
+    TimeoutController,
 };
 use dpm_kernel::{Clock, ClockHandle, ProcessId, Signal, Simulation};
 use dpm_power::{PowerState, TransitionTable};
 use dpm_thermal::{
-    ThermalClassifier, ThermalMonitor, ThermalMonitorHandles, ThermalNetwork,
-    ThermalNetworkConfig,
+    ThermalClassifier, ThermalMonitor, ThermalMonitorHandles, ThermalNetwork, ThermalNetworkConfig,
 };
 use dpm_units::SimDuration;
 
@@ -110,8 +109,7 @@ pub fn build_soc(sim: &mut Simulation, cfg: &SocConfig) -> SocHandles {
     for ip in &cfg.ips {
         let name = &ip.name;
         let table = TransitionTable::for_model(&ip.model);
-        let (psm_ports, psm_pid) =
-            Psm::spawn(sim, &format!("{name}.psm"), table, PowerState::On1);
+        let (psm_ports, psm_pid) = Psm::spawn(sim, &format!("{name}.psm"), table, PowerState::On1);
         let power = sim.signal(&format!("{name}.power"), 0.0f64);
         let heat = sim.signal(&format!("{name}.heat"), 0.0f64);
         Adder::spawn(
@@ -133,13 +131,11 @@ pub fn build_soc(sim: &mut Simulation, cfg: &SocConfig) -> SocHandles {
     }
 
     // Thermal monitor over one node per IP.
-    let network = ThermalNetwork::new(
-        ThermalNetworkConfig {
-            ambient: cfg.thermal.ambient,
-            initial: cfg.thermal.initial,
-            ..ThermalNetworkConfig::default_soc(n)
-        },
-    );
+    let network = ThermalNetwork::new(ThermalNetworkConfig {
+        ambient: cfg.thermal.ambient,
+        initial: cfg.thermal.initial,
+        ..ThermalNetworkConfig::default_soc(n)
+    });
     let thermal = ThermalMonitor::spawn(
         sim,
         "thermal",
@@ -195,8 +191,7 @@ pub fn build_soc(sim: &mut Simulation, cfg: &SocConfig) -> SocHandles {
         };
         let controller = match &cfg.controller {
             ControllerKind::Dpm => {
-                let mut lem_cfg =
-                    LemConfig::new(i as u8, cfg.source, cfg.battery_capacity);
+                let mut lem_cfg = LemConfig::new(i as u8, cfg.source, cfg.battery_capacity);
                 lem_cfg.predictor = cfg.lem.predictor;
                 lem_cfg.initial_prediction = cfg.lem.initial_prediction;
                 lem_cfg.use_estimates = cfg.lem.use_estimates;
@@ -217,13 +212,9 @@ pub fn build_soc(sim: &mut Simulation, cfg: &SocConfig) -> SocHandles {
             ControllerKind::AlwaysOn => {
                 AlwaysOnController::spawn(sim, &format!("{name}.ctrl"), lem_ports)
             }
-            ControllerKind::Timeout { timeout, state } => TimeoutController::spawn(
-                sim,
-                &format!("{name}.ctrl"),
-                lem_ports,
-                *timeout,
-                *state,
-            ),
+            ControllerKind::Timeout { timeout, state } => {
+                TimeoutController::spawn(sim, &format!("{name}.ctrl"), lem_ports, *timeout, *state)
+            }
             ControllerKind::Oracle => {
                 let arrivals = ip_cfg.trace.tasks().iter().map(|t| t.arrival).collect();
                 OracleController::spawn(
@@ -244,14 +235,8 @@ pub fn build_soc(sim: &mut Simulation, cfg: &SocConfig) -> SocHandles {
             psm_busy: psm_ports_v[i].busy,
             power: power_sigs[i],
         };
-        let ip_pid = IpBlock::spawn(
-            sim,
-            name,
-            ip_cfg.model.clone(),
-            &ip_cfg.trace,
-            ip_ports,
-        )
-        .with_bus(sim, bus.requests, i as u8);
+        let ip_pid = IpBlock::spawn(sim, name, ip_cfg.model.clone(), &ip_cfg.trace, ip_ports)
+            .with_bus(sim, bus.requests, i as u8);
         ips.push(IpHandles {
             name: name.clone(),
             ip: ip_pid,
@@ -343,7 +328,9 @@ mod tests {
     #[test]
     fn builds_and_runs_multi_ip_with_gem() {
         let ips = (0..4)
-            .map(|i| crate::config::IpConfig::new(format!("ip{i}"), small_trace(i as u64), i as u8 + 1))
+            .map(|i| {
+                crate::config::IpConfig::new(format!("ip{i}"), small_trace(i as u64), i as u8 + 1)
+            })
             .collect();
         let cfg = SocConfig::multi_ip(ips);
         let mut sim = Simulation::new();
@@ -351,11 +338,7 @@ mod tests {
         assert!(handles.gem.is_some());
         sim.run_until(SimTime::from_millis(40));
         // battery starts near full so the GEM keeps everyone enabled
-        let total: u64 = handles
-            .ips
-            .iter()
-            .map(|ip| sim.peek(ip.done_count))
-            .sum();
+        let total: u64 = handles.ips.iter().map(|ip| sim.peek(ip.done_count)).sum();
         assert!(total > 0);
     }
 

@@ -8,7 +8,7 @@ use dpm_units::{Celsius, Energy, Power, Ratio, SimDuration};
 use dpm_workload::TaskTrace;
 
 /// One IP block of the SoC.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IpConfig {
     /// Instance name (used for hierarchical signal names).
     pub name: String,
@@ -134,7 +134,7 @@ impl ThermalScenario {
 }
 
 /// The whole SoC.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SocConfig {
     /// The IP blocks.
     pub ips: Vec<IpConfig>,
@@ -197,6 +197,27 @@ impl SocConfig {
         self
     }
 
+    /// Returns the same SoC with a different LEM tuning.
+    #[must_use]
+    pub fn with_lem(mut self, lem: LemTuning) -> Self {
+        self.lem = lem;
+        self
+    }
+
+    /// Returns the same SoC with a different battery model.
+    #[must_use]
+    pub fn with_battery(mut self, battery: BatteryKind) -> Self {
+        self.battery = battery;
+        self
+    }
+
+    /// Returns the same SoC with a different thermal scenario.
+    #[must_use]
+    pub fn with_thermal(mut self, thermal: ThermalScenario) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
     /// Validates structural invariants.
     ///
     /// # Panics
@@ -216,7 +237,10 @@ impl SocConfig {
             self.battery_capacity.as_joules() > 0.0,
             "battery capacity must be positive"
         );
-        assert!(!self.sample_period.is_zero(), "sample period must be non-zero");
+        assert!(
+            !self.sample_period.is_zero(),
+            "sample period must be non-zero"
+        );
     }
 }
 
@@ -250,6 +274,9 @@ mod tests {
     #[test]
     fn thermal_presets() {
         assert!(ThermalScenario::hot().initial > ThermalScenario::cool().initial);
-        assert_eq!(ThermalScenario::hot().ambient, ThermalScenario::cool().ambient);
+        assert_eq!(
+            ThermalScenario::hot().ambient,
+            ThermalScenario::cool().ambient
+        );
     }
 }

@@ -108,13 +108,19 @@ pub fn paper_row(id: ScenarioId) -> Table2Row {
 pub const HORIZON: SimTime = SimTime::from_millis(200);
 
 /// Deterministic seed of the scenario-A task sequence.
-const SEED_A: u64 = 0xDA7E_2005;
+///
+/// The value is tuned (see `crates/soc/examples/seed_search.rs`) so the
+/// generated trace leaves a quiet tail before [`HORIZON`]: the battery-Low
+/// runs execute everything at `ON4` (4× slower than the baseline's `ON1`)
+/// and must still drain their queue by the horizon for Table 2's
+/// "completed" join to cover the whole trace.
+pub const SEED_A: u64 = 0x0000_0002_16ED_1377;
 
 /// The "same sequence of tasks" executed by all four A scenarios: a
 /// bursty mixed-priority workload with ~11 % duty at `ON1`, so the
 /// battery-Low runs (everything at `ON4`) stay below saturation — the
 /// regime in which the paper's 339 % delay overhead is meaningful.
-fn scenario_a_generator() -> BurstyGenerator {
+pub fn scenario_a_generator() -> BurstyGenerator {
     BurstyGenerator {
         burst_len: Dist::Uniform { lo: 1.0, hi: 3.5 },
         task_instructions: Dist::Normal {
@@ -130,7 +136,7 @@ fn scenario_a_generator() -> BurstyGenerator {
 
 /// High-activity variant used by scenarios B and C (~1.7× the duty of the
 /// A trace, still below `ON4` saturation so queues stay bounded).
-fn busy_generator() -> BurstyGenerator {
+pub fn busy_generator() -> BurstyGenerator {
     BurstyGenerator {
         burst_len: Dist::Uniform { lo: 2.0, hi: 5.0 },
         idle_gap_us: Dist::Exponential { mean: 9_500.0 },
@@ -139,7 +145,7 @@ fn busy_generator() -> BurstyGenerator {
 }
 
 /// Low-activity variant used by scenarios B and C.
-fn quiet_generator() -> BurstyGenerator {
+pub fn quiet_generator() -> BurstyGenerator {
     BurstyGenerator {
         burst_len: Dist::Uniform { lo: 1.0, hi: 2.5 },
         idle_gap_us: Dist::Exponential { mean: 12_000.0 },
@@ -147,7 +153,8 @@ fn quiet_generator() -> BurstyGenerator {
     }
 }
 
-fn trace_a() -> TaskTrace {
+/// The scenario-A task sequence at the canonical [`SEED_A`].
+pub fn trace_a() -> TaskTrace {
     scenario_a_generator().generate(HORIZON, SEED_A)
 }
 
@@ -155,7 +162,7 @@ fn trace_a() -> TaskTrace {
 /// cap keeps sleeps within `SL3`, and the 2.5 ms sleep grace period makes
 /// the LEM sleep only through genuine inter-burst gaps — together these
 /// land the A1 saving/delay trade-off in the paper's regime (~39 % / 30 %).
-fn experiment_tuning() -> LemTuning {
+pub fn experiment_tuning() -> LemTuning {
     LemTuning {
         max_wake_latency: Some(SimDuration::from_micros(600)),
         sleep_delay: SimDuration::from_micros(2_500),
@@ -166,9 +173,15 @@ fn experiment_tuning() -> LemTuning {
 /// The DPM configuration of a scenario (derive the baseline with
 /// [`SocConfig::with_controller`]).
 pub fn scenario_config(id: ScenarioId) -> SocConfig {
+    scenario_config_seeded(id, SEED_A)
+}
+
+/// [`scenario_config`] with a caller-chosen workload seed — the hook the
+/// campaign engine uses to sweep paper scenarios across seeds.
+pub fn scenario_config_seeded(id: ScenarioId, seed: u64) -> SocConfig {
     match id {
         ScenarioId::A1 | ScenarioId::A2 | ScenarioId::A3 | ScenarioId::A4 => {
-            let mut cfg = SocConfig::single_ip(trace_a());
+            let mut cfg = SocConfig::single_ip(scenario_a_generator().generate(HORIZON, seed));
             cfg.lem = experiment_tuning();
             cfg.initial_soc = match id {
                 ScenarioId::A1 | ScenarioId::A3 => Ratio::new(0.95), // Full
@@ -194,7 +207,7 @@ pub fn scenario_config(id: ScenarioId) -> SocConfig {
                 } else {
                     quiet_generator()
                 };
-                let trace = generator.generate(HORIZON, SEED_A + 17 * (i as u64 + 1));
+                let trace = generator.generate(HORIZON, seed + 17 * (i as u64 + 1));
                 ips.push(IpConfig::new(format!("ip{i}"), trace, i as u8 + 1));
             }
             let mut cfg = SocConfig::multi_ip(ips);

@@ -48,7 +48,8 @@ pub struct TaskRecord {
 impl TaskRecord {
     /// Arrival-to-completion latency.
     pub fn latency(&self) -> SimDuration {
-        self.finished_at.saturating_duration_since(self.spec.arrival)
+        self.finished_at
+            .saturating_duration_since(self.spec.arrival)
     }
 }
 
@@ -200,10 +201,7 @@ impl IpBlock {
     fn publish_power(&mut self, ctx: &mut Ctx<'_>) {
         let state = ctx.read(self.ports.psm_state);
         let busy = ctx.read(self.ports.psm_busy);
-        let executing = self
-            .current
-            .as_ref()
-            .is_some_and(|e| e.speed_hz > 0.0);
+        let executing = self.current.as_ref().is_some_and(|e| e.speed_hz > 0.0);
         let power = if busy {
             // transition power is published by the PSM itself
             Power::ZERO
@@ -243,8 +241,7 @@ impl Process for IpBlock {
         // 3. accept a grant if idle
         if self.current.is_none() {
             if let Some(grant) = ctx.fifo_pop(self.ports.grants) {
-                let cycles =
-                    grant.spec.instructions as f64 * grant.spec.mix.average_cpi();
+                let cycles = grant.spec.instructions as f64 * grant.spec.mix.average_cpi();
                 self.current = Some(Exec {
                     spec: grant.spec,
                     remaining_cycles: cycles,
@@ -263,12 +260,12 @@ impl Process for IpBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpm_battery::BatteryClass;
     use dpm_core::AlwaysOnController;
     use dpm_core::LemPorts;
-    use dpm_battery::BatteryClass;
+    use dpm_core::Psm;
     use dpm_power::{InstructionMix, TransitionTable};
     use dpm_thermal::ThermalClass;
-    use dpm_core::Psm;
     use dpm_workload::{Priority, TaskId};
 
     fn trace(arrivals_us: &[u64], instr: u64) -> TaskTrace {
@@ -343,7 +340,9 @@ mod tests {
         let mut r = rig(trace(&[100, 1000, 2000], 50_000));
         r.sim.run_until(SimTime::from_millis(10));
         assert_eq!(r.sim.peek(r.done), 3);
-        let records = r.sim.with_process::<IpBlock, _>(r.ip, |ip| ip.records().to_vec());
+        let records = r
+            .sim
+            .with_process::<IpBlock, _>(r.ip, |ip| ip.records().to_vec());
         let exec = IpPowerModel::default_cpu()
             .execution_time(50_000, &InstructionMix::default(), PowerState::On1)
             .unwrap();
@@ -395,8 +394,12 @@ mod tests {
         let mut r = rig(trace(&[100, 100, 100], 50_000));
         r.sim.run_until(SimTime::from_millis(10));
         assert_eq!(r.sim.peek(r.done), 3);
-        let records = r.sim.with_process::<IpBlock, _>(r.ip, |ip| ip.records().to_vec());
+        let records = r
+            .sim
+            .with_process::<IpBlock, _>(r.ip, |ip| ip.records().to_vec());
         // completion order == id order, each later than the previous
-        assert!(records.windows(2).all(|w| w[0].finished_at < w[1].finished_at));
+        assert!(records
+            .windows(2)
+            .all(|w| w[0].finished_at < w[1].finished_at));
     }
 }

@@ -125,21 +125,15 @@ impl SocMetrics {
 /// Collects metrics after a run that ended at `horizon`.
 ///
 /// Mutable access is needed to close the energy integrals.
-pub fn collect_metrics(
-    sim: &mut Simulation,
-    handles: &SocHandles,
-    horizon: SimTime,
-) -> SocMetrics {
+pub fn collect_metrics(sim: &mut Simulation, handles: &SocHandles, horizon: SimTime) -> SocMetrics {
     let mut per_ip = Vec::with_capacity(handles.ips.len());
     let mut total_energy = Energy::ZERO;
     for ip in &handles.ips {
-        let (records, trace_len) = sim.with_process::<IpBlock, _>(ip.ip, |b| {
-            (b.records().to_vec(), b.trace_len())
-        });
+        let (records, trace_len) =
+            sim.with_process::<IpBlock, _>(ip.ip, |b| (b.records().to_vec(), b.trace_len()));
         let energy = sim.with_process_mut::<IpBlock, _>(ip.ip, |b| b.finish_meter(horizon));
-        let (psm, residency) = sim.with_process::<Psm, _>(ip.psm, |p| {
-            (p.stats().clone(), p.residency(horizon))
-        });
+        let (psm, residency) =
+            sim.with_process::<Psm, _>(ip.psm, |p| (p.stats().clone(), p.residency(horizon)));
         let lem = match ip.controller_kind {
             ControllerKind::Dpm => {
                 Some(sim.with_process::<Lem, _>(ip.controller, |l| l.stats().clone()))
@@ -190,11 +184,9 @@ mod tests {
 
     #[test]
     fn collects_consistent_metrics() {
-        let trace = BurstyGenerator::for_activity(
-            ActivityLevel::Low,
-            PriorityWeights::typical_user(),
-        )
-        .generate(SimTime::from_millis(20), 11);
+        let trace =
+            BurstyGenerator::for_activity(ActivityLevel::Low, PriorityWeights::typical_user())
+                .generate(SimTime::from_millis(20), 11);
         let expected = trace.len();
         let cfg = SocConfig::single_ip(trace);
         let mut sim = Simulation::new();
@@ -212,8 +204,8 @@ mod tests {
         assert!(ip.low_power_time() > SimDuration::ZERO, "DPM must sleep");
         assert!(ip.energy_with_transitions() >= ip.energy);
         // residency + transitions covers the horizon
-        let covered: SimDuration = ip.residency.iter().copied().sum::<SimDuration>()
-            + ip.psm.transition_time;
+        let covered: SimDuration =
+            ip.residency.iter().copied().sum::<SimDuration>() + ip.psm.transition_time;
         assert_eq!(covered, horizon - SimTime::ZERO);
     }
 }

@@ -8,18 +8,10 @@ use crate::experiment::{paper_row, ScenarioOutcome, Table2Row};
 /// average delay overhead %; each measured value sits next to the paper's.
 pub fn table2_ascii(outcomes: &[ScenarioOutcome]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "+----+-----------------+-----------------+-----------------+---------------+\n",
-    );
-    out.push_str(
-        "| id | energy saving % | temp reduction %| delay overhead %| completed     |\n",
-    );
-    out.push_str(
-        "|    |  ours   paper   |  ours   paper   |  ours    paper  | dpm/base(def) |\n",
-    );
-    out.push_str(
-        "+----+-----------------+-----------------+-----------------+---------------+\n",
-    );
+    out.push_str("+----+-----------------+-----------------+-----------------+---------------+\n");
+    out.push_str("| id | energy saving % | temp reduction %| delay overhead %| completed     |\n");
+    out.push_str("|    |  ours   paper   |  ours   paper   |  ours    paper  | dpm/base(def) |\n");
+    out.push_str("+----+-----------------+-----------------+-----------------+---------------+\n");
     for o in outcomes {
         let p = paper_row(o.id);
         out.push_str(&format!(
@@ -36,9 +28,7 @@ pub fn table2_ascii(outcomes: &[ScenarioOutcome]) -> String {
             o.row.deferred,
         ));
     }
-    out.push_str(
-        "+----+-----------------+-----------------+-----------------+---------------+\n",
-    );
+    out.push_str("+----+-----------------+-----------------+-----------------+---------------+\n");
     out
 }
 
@@ -127,7 +117,10 @@ mod tests {
             ScenarioId::ALL.into_iter().map(fake_outcome).collect();
         let table = table2_ascii(&outcomes);
         for id in ScenarioId::ALL {
-            assert!(table.contains(&format!("| {:<2} |", id.to_string())), "{id}");
+            assert!(
+                table.contains(&format!("| {:<2} |", id.to_string())),
+                "{id}"
+            );
         }
         assert!(table.contains("339.0"), "paper values present");
     }

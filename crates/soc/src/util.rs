@@ -69,7 +69,14 @@ mod tests {
         let out = sim.signal("out", 0.0f64);
         Adder::spawn(&mut sim, "adder", vec![a, b], out);
         let at = sim.event("w.at");
-        let w = sim.add_process("w", Writer { sig: a, value: 5.0, at });
+        let w = sim.add_process(
+            "w",
+            Writer {
+                sig: a,
+                value: 5.0,
+                at,
+            },
+        );
         sim.sensitize(w, at);
         sim.run_until(SimTime::from_micros(1));
         assert_eq!(sim.peek(out), 7.0);

@@ -5,9 +5,7 @@ use dpm_core::predictor::PredictorKind;
 use dpm_kernel::Simulation;
 use dpm_soc::{build_soc, collect_metrics, IpConfig, SocConfig, SocMetrics};
 use dpm_units::{Ratio, SimTime};
-use dpm_workload::{
-    ActivityLevel, BurstyGenerator, PriorityWeights, TaskTrace, TraceGenerator,
-};
+use dpm_workload::{ActivityLevel, BurstyGenerator, PriorityWeights, TaskTrace, TraceGenerator};
 
 const HORIZON: SimTime = SimTime::from_millis(100);
 
@@ -68,7 +66,9 @@ fn predictor_ablation_spans_the_sleep_spectrum() {
     let mut never = base.clone();
     never.lem.predictor = PredictorKind::Fixed { value_us: 0 };
     let mut always = base.clone();
-    always.lem.predictor = PredictorKind::Fixed { value_us: 1_000_000 };
+    always.lem.predictor = PredictorKind::Fixed {
+        value_us: 1_000_000,
+    };
     let mut adaptive = base.clone();
     adaptive.lem.predictor = PredictorKind::ExpAverage { alpha: 0.5 };
 
@@ -91,7 +91,13 @@ fn predictor_ablation_spans_the_sleep_spectrum() {
 fn gem_presence_only_matters_when_resources_are_scarce() {
     let mk = |with_gem: bool, soc: f64| {
         let ips = (0..4)
-            .map(|i| IpConfig::new(format!("ip{i}"), trace(ActivityLevel::Low, 10 + i), i as u8 + 1))
+            .map(|i| {
+                IpConfig::new(
+                    format!("ip{i}"),
+                    trace(ActivityLevel::Low, 10 + i),
+                    i as u8 + 1,
+                )
+            })
             .collect();
         let mut cfg = SocConfig::multi_ip(ips);
         cfg.with_gem = with_gem;
@@ -117,12 +123,9 @@ fn wake_latency_cap_bounds_observed_sleep_depth() {
     // mispredictions can genuinely cost energy — that is the paper's
     // argument for break-even analysis in the first place).
     let period = dpm_units::SimDuration::from_millis(10);
-    let periodic = dpm_workload::PeriodicGenerator::exact(
-        period,
-        50_000,
-        dpm_workload::Priority::Medium,
-    )
-    .generate(HORIZON, 0);
+    let periodic =
+        dpm_workload::PeriodicGenerator::exact(period, 50_000, dpm_workload::Priority::Medium)
+            .generate(HORIZON, 0);
     let mut base = SocConfig::single_ip(periodic);
     // use the energy-optimal selector: the *paper's* deepest-profitable
     // heuristic can over-sleep into SL4, whose transition energy exceeds
@@ -138,7 +141,12 @@ fn wake_latency_cap_bounds_observed_sleep_depth() {
     use dpm_power::PowerState;
     let shallow_res = m_shallow.per_ip[0].residency;
     // with a 50 µs wake budget only SL1 (10 µs wake) is reachable
-    for s in [PowerState::Sl2, PowerState::Sl3, PowerState::Sl4, PowerState::SoftOff] {
+    for s in [
+        PowerState::Sl2,
+        PowerState::Sl3,
+        PowerState::Sl4,
+        PowerState::SoftOff,
+    ] {
         assert_eq!(
             shallow_res[s.index()],
             dpm_units::SimDuration::ZERO,

@@ -55,6 +55,7 @@ impl ThermalMonitor {
     ///
     /// Panics if the input count does not match the network's node count
     /// or the period is zero.
+    #[allow(clippy::too_many_arguments)] // one port per physical connection
     pub fn spawn(
         sim: &mut Simulation,
         name: &str,
@@ -65,7 +66,10 @@ impl ThermalMonitor {
         period: SimDuration,
         mut classifier: ThermalClassifier,
     ) -> ThermalMonitorHandles {
-        assert!(!period.is_zero(), "thermal sampling period must be non-zero");
+        assert!(
+            !period.is_zero(),
+            "thermal sampling period must be non-zero"
+        );
         assert_eq!(
             power_inputs.len(),
             network.node_count(),

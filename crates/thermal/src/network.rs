@@ -229,7 +229,11 @@ impl ThermalNetwork {
         } else {
             self.config.package.resistance_to_ambient
         };
-        let total: f64 = powers.iter().take(self.node_count()).map(|p| p.as_watts()).sum();
+        let total: f64 = powers
+            .iter()
+            .take(self.node_count())
+            .map(|p| p.as_watts())
+            .sum();
         let t_pkg = self.config.ambient.as_celsius() + r_amb * total;
         let nodes = self
             .config
@@ -268,7 +272,11 @@ mod tests {
     fn cools_back_to_ambient_without_power() {
         let cfg = ThermalNetworkConfig::default_soc(2).starting_at(Celsius::new(85.0));
         let mut net = ThermalNetwork::new(cfg);
-        net.step(&[Power::ZERO, Power::ZERO], false, SimDuration::from_secs(2));
+        net.step(
+            &[Power::ZERO, Power::ZERO],
+            false,
+            SimDuration::from_secs(2),
+        );
         assert!((net.hottest() - net.ambient()).abs() < 0.5);
     }
 

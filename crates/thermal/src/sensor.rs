@@ -8,16 +8,7 @@ use dpm_units::Celsius;
 /// Chip temperature as the managers see it (paper §1.3: *"the chip
 /// temperature (coded in 3 classes: Low, Medium and High)"*).
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum ThermalClass {
     /// Comfortable temperature; no thermal constraint.
@@ -30,11 +21,8 @@ pub enum ThermalClass {
 
 impl ThermalClass {
     /// All classes, ascending.
-    pub const ALL: [ThermalClass; 3] = [
-        ThermalClass::Low,
-        ThermalClass::Medium,
-        ThermalClass::High,
-    ];
+    pub const ALL: [ThermalClass; 3] =
+        [ThermalClass::Low, ThermalClass::Medium, ThermalClass::High];
 
     /// Dense index (0 = Low).
     #[inline]

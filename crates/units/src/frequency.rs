@@ -94,8 +94,14 @@ mod tests {
 
     #[test]
     fn period_of_common_clocks() {
-        assert_eq!(Frequency::from_giga_hertz(1.0).period(), SimDuration::from_ps(1000));
-        assert_eq!(Frequency::from_mega_hertz(250.0).period(), SimDuration::from_nanos(4));
+        assert_eq!(
+            Frequency::from_giga_hertz(1.0).period(),
+            SimDuration::from_ps(1000)
+        );
+        assert_eq!(
+            Frequency::from_mega_hertz(250.0).period(),
+            SimDuration::from_nanos(4)
+        );
     }
 
     #[test]

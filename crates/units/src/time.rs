@@ -283,7 +283,11 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Self(self.0.checked_add(rhs.0).expect("SimDuration overflow in addition"))
+        Self(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration overflow in addition"),
+        )
     }
 }
 
@@ -317,7 +321,11 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn mul(self, rhs: u64) -> Self {
-        Self(self.0.checked_mul(rhs).expect("SimDuration overflow in multiplication"))
+        Self(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration overflow in multiplication"),
+        )
     }
 }
 
@@ -409,7 +417,10 @@ mod tests {
     fn saturating_and_checked_duration_since() {
         let a = SimTime::from_micros(5);
         let b = SimTime::from_micros(7);
-        assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_micros(2)));
+        assert_eq!(
+            b.checked_duration_since(a),
+            Some(SimDuration::from_micros(2))
+        );
         assert_eq!(a.checked_duration_since(b), None);
         assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
     }
@@ -453,7 +464,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_micros(3),
             SimTime::ZERO,
             SimTime::from_nanos(10),

@@ -53,11 +53,17 @@ impl Dist {
                 v
             }
             Dist::Uniform { lo, hi } => {
-                assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad uniform bounds");
+                assert!(
+                    lo.is_finite() && hi.is_finite() && lo < hi,
+                    "bad uniform bounds"
+                );
                 rng.random_range(lo..hi)
             }
             Dist::Exponential { mean } => {
-                assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive");
+                assert!(
+                    mean > 0.0 && mean.is_finite(),
+                    "exponential mean must be positive"
+                );
                 let u: f64 = rng.random_range(f64::EPSILON..1.0);
                 -mean * u.ln()
             }
@@ -142,22 +148,36 @@ mod tests {
 
     #[test]
     fn pareto_respects_scale() {
-        let d = Dist::Pareto { scale: 1.5, shape: 2.5 };
+        let d = Dist::Pareto {
+            scale: 1.5,
+            shape: 2.5,
+        };
         let mut r = rng();
         for _ in 0..1000 {
             assert!(d.sample(&mut r) >= 1.5);
         }
         // analytic mean = 2.5*1.5/1.5 = 2.5
         assert!((empirical_mean(d, 100_000) - 2.5).abs() < 0.1);
-        assert!(Dist::Pareto { scale: 1.0, shape: 0.8 }.mean().is_infinite());
+        assert!(Dist::Pareto {
+            scale: 1.0,
+            shape: 0.8
+        }
+        .mean()
+        .is_infinite());
     }
 
     #[test]
     fn normal_mean_and_clamp() {
-        let d = Dist::Normal { mean: 5.0, std_dev: 1.0 };
+        let d = Dist::Normal {
+            mean: 5.0,
+            std_dev: 1.0,
+        };
         assert!((empirical_mean(d, 50_000) - 5.0).abs() < 0.05);
         // heavily negative mean clamps at zero
-        let clamped = Dist::Normal { mean: -10.0, std_dev: 1.0 };
+        let clamped = Dist::Normal {
+            mean: -10.0,
+            std_dev: 1.0,
+        };
         let mut r = rng();
         for _ in 0..100 {
             assert_eq!(clamped.sample(&mut r), 0.0);

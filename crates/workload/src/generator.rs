@@ -82,6 +82,11 @@ pub enum ActivityLevel {
     Low,
 }
 
+impl ActivityLevel {
+    /// Both presets, for axis enumeration in sweeps.
+    pub const ALL: [ActivityLevel; 2] = [ActivityLevel::High, ActivityLevel::Low];
+}
+
 /// Busy/idle alternating generator (the paper's traffic model: *"Each IP
 /// executes a sequence of tasks or remains in idle state"*).
 ///
@@ -272,10 +277,13 @@ mod tests {
             .generate(HORIZON, 1);
         let low = BurstyGenerator::for_activity(ActivityLevel::Low, PriorityWeights::uniform())
             .generate(HORIZON, 1);
-        assert!(high.len() > 2 * low.len(), "high {} low {}", high.len(), low.len());
         assert!(
-            high.stats().total_instructions > 2 * low.stats().total_instructions
+            high.len() > 2 * low.len(),
+            "high {} low {}",
+            high.len(),
+            low.len()
         );
+        assert!(high.stats().total_instructions > 2 * low.stats().total_instructions);
     }
 
     #[test]
@@ -326,7 +334,10 @@ mod tests {
             priorities: PriorityWeights::only(Priority::VeryHigh),
         };
         let trace = g.generate(SimTime::from_millis(10), 2);
-        assert!(trace.tasks().iter().all(|t| t.priority == Priority::VeryHigh));
+        assert!(trace
+            .tasks()
+            .iter()
+            .all(|t| t.priority == Priority::VeryHigh));
     }
 
     #[test]

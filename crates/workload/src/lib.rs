@@ -37,6 +37,7 @@
 mod dist;
 mod generator;
 mod priority;
+mod seed;
 mod task;
 mod trace;
 
@@ -46,5 +47,6 @@ pub use generator::{
     TraceGenerator,
 };
 pub use priority::Priority;
+pub use seed::SeedSequence;
 pub use task::{TaskId, TaskSpec};
 pub use trace::{TaskTrace, TraceStats};

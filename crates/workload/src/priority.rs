@@ -5,16 +5,7 @@ use core::fmt;
 /// Task priority as received by the LEM (paper §1.3: *"the task priority
 /// (coded in 4 classes: Low, Medium, High and Very high)"*).
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum Priority {
     /// Background work; latency is irrelevant.

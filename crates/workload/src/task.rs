@@ -9,16 +9,7 @@ use crate::priority::Priority;
 
 /// Identifier of a task within one IP's trace.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct TaskId(pub u64);
 
@@ -58,7 +49,10 @@ impl TaskSpec {
         mix: InstructionMix,
         priority: Priority,
     ) -> Self {
-        assert!(instructions > 0, "a task must execute at least one instruction");
+        assert!(
+            instructions > 0,
+            "a task must execute at least one instruction"
+        );
         Self {
             id,
             arrival,

@@ -159,7 +159,8 @@ mod tests {
 
     #[test]
     fn stats_are_consistent() {
-        let trace = TaskTrace::from_tasks(vec![task(1, 0, 100), task(2, 10, 200), task(3, 40, 300)]);
+        let trace =
+            TaskTrace::from_tasks(vec![task(1, 0, 100), task(2, 10, 200), task(3, 40, 300)]);
         let s = trace.stats();
         assert_eq!(s.count, 3);
         assert_eq!(s.total_instructions, 600);

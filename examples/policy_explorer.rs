@@ -22,7 +22,10 @@ fn main() {
     println!("  -> row 5 is the paper's '- E M -> ON4', pre-empted by rows 0 and 2\n");
 
     let gaps = rules.uncovered();
-    println!("inputs with no direct row ({} total, resolved by the documented fallback):", gaps.len());
+    println!(
+        "inputs with no direct row ({} total, resolved by the documented fallback):",
+        gaps.len()
+    );
     for g in &gaps {
         println!("  {g}");
     }
@@ -30,7 +33,10 @@ fn main() {
     // The natural-language form parses to the identical table.
     let parsed = parse_rules(TABLE1_TEXT).expect("the paper's rules parse");
     assert_eq!(parsed.rules(), rules.rules());
-    println!("\nnatural-language form parses to the identical {} rows ✓", parsed.rules().len());
+    println!(
+        "\nnatural-language form parses to the identical {} rows ✓",
+        parsed.rules().len()
+    );
 
     // Full decision matrix for battery power.
     println!("\n== decision matrix (battery power) ==");
@@ -45,7 +51,14 @@ fn main() {
                     source: PowerSource::Battery,
                 });
                 let marker = if sel.used_fallback { "*" } else { " " };
-                print!("{}{}{}:{}{} ", p.code(), b.code(), t.code(), sel.state, marker);
+                print!(
+                    "{}{}{}:{}{} ",
+                    p.code(),
+                    b.code(),
+                    t.code(),
+                    sel.state,
+                    marker
+                );
             }
         }
         println!();
@@ -53,7 +66,9 @@ fn main() {
     println!("(* = resolved through the temperature-demotion fallback)");
 
     // Crisp vs fuzzy across the Low/Medium battery boundary.
-    println!("\n== crisp vs fuzzy across the battery Low/Medium boundary (High priority, 30 degC) ==");
+    println!(
+        "\n== crisp vs fuzzy across the battery Low/Medium boundary (High priority, 30 degC) =="
+    );
     let fuzzy = FuzzyPolicy::new(table1());
     println!("  soc   crisp  fuzzy");
     for soc_pct in (10..=45).step_by(5) {
@@ -98,7 +113,10 @@ if priority is low or medium then ON2
 ";
     match parse_rules(text) {
         Ok(rules) => {
-            println!("\n== custom DSL policy parsed: {} rows ==", rules.rules().len());
+            println!(
+                "\n== custom DSL policy parsed: {} rows ==",
+                rules.rules().len()
+            );
             rules
         }
         Err(e) => {

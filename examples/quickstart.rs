@@ -20,7 +20,10 @@ fn main() {
     let base_cfg = dpm_cfg.clone().with_controller(ControllerKind::AlwaysOn);
 
     let mut results = Vec::new();
-    for (label, cfg) in [("DPM (LEM + Table 1)", &dpm_cfg), ("always-ON1 baseline", &base_cfg)] {
+    for (label, cfg) in [
+        ("DPM (LEM + Table 1)", &dpm_cfg),
+        ("always-ON1 baseline", &base_cfg),
+    ] {
         let mut sim = dpmsim::kernel::Simulation::new();
         let handles = build_soc(&mut sim, cfg);
         sim.run_until(horizon);
@@ -36,9 +39,8 @@ fn main() {
         results.push(m);
     }
 
-    let saving = (1.0
-        - results[0].total_energy.as_joules() / results[1].total_energy.as_joules())
-        * 100.0;
+    let saving =
+        (1.0 - results[0].total_energy.as_joules() / results[1].total_energy.as_joules()) * 100.0;
     println!("\nenergy saving of the DPM vs the baseline: {saving:.1} %");
 }
 

@@ -68,7 +68,11 @@ fn main() {
         }
         let path = format!(
             "/tmp/thermal_emergency_{}.csv",
-            if matches!(label.chars().next(), Some('D')) { "dpm" } else { "baseline" }
+            if matches!(label.chars().next(), Some('D')) {
+                "dpm"
+            } else {
+                "baseline"
+            }
         );
         if std::fs::write(&path, &csv).is_ok() {
             println!("  full trajectory written to {path}");

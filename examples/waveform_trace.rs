@@ -17,7 +17,11 @@ fn main() {
     let ips = (0..2)
         .map(|i| {
             let trace = BurstyGenerator::for_activity(
-                if i == 0 { ActivityLevel::High } else { ActivityLevel::Low },
+                if i == 0 {
+                    ActivityLevel::High
+                } else {
+                    ActivityLevel::Low
+                },
                 PriorityWeights::typical_user(),
             )
             .generate(horizon, 7 + i as u64);
@@ -53,7 +57,10 @@ fn main() {
 
     let vcd = sim.vcd().expect("tracing enabled");
     let changes = vcd.lines().filter(|l| l.starts_with('#')).count();
-    println!("captured {changes} timestamped change groups, {} bytes of VCD", vcd.len());
+    println!(
+        "captured {changes} timestamped change groups, {} bytes of VCD",
+        vcd.len()
+    );
     let path = "/tmp/dpmsim.vcd";
     match std::fs::write(path, &vcd) {
         Ok(()) => println!("waveform written to {path} (open with GTKWave)"),

@@ -19,6 +19,7 @@
 //! | [`workload`] | `dpm-workload` | task traces and traffic generators |
 //! | [`core`] | `dpm-core` | **the paper's contribution**: PSM, LEM, GEM, policies |
 //! | [`soc`] | `dpm-soc` | SoC assembly, experiments A1–A4/B/C, reports |
+//! | [`campaign`] | `dpm-campaign` | parallel scenario campaigns: grid expansion, aggregation, `dpm` CLI |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub use dpm_battery as battery;
+pub use dpm_campaign as campaign;
 pub use dpm_core as core;
 pub use dpm_kernel as kernel;
 pub use dpm_power as power;

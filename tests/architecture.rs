@@ -39,7 +39,9 @@ fn identical_configs_replay_identically() {
 #[test]
 fn controller_energy_ordering_on_idle_workload() {
     // On a sleep-friendly workload: oracle <= DPM < timeout < always-on.
-    let t = trace(ActivityLevel::Low, 9);
+    // The seed is tuned (crates/soc/examples/seed_search.rs) so the trace
+    // drains under every controller before the horizon.
+    let t = trace(ActivityLevel::Low, 2);
     let mk = |controller| {
         let mut cfg = SocConfig::single_ip(t.clone()).with_controller(controller);
         cfg.initial_soc = Ratio::new(0.95);
@@ -121,7 +123,13 @@ fn kibam_battery_lasts_longer_on_bursty_loads() {
 #[test]
 fn four_ip_soc_under_gem_respects_static_ranks() {
     let ips = (0..4)
-        .map(|i| IpConfig::new(format!("ip{i}"), trace(ActivityLevel::High, 40 + i), i as u8 + 1))
+        .map(|i| {
+            IpConfig::new(
+                format!("ip{i}"),
+                trace(ActivityLevel::High, 40 + i),
+                i as u8 + 1,
+            )
+        })
         .collect();
     let mut cfg = SocConfig::multi_ip(ips);
     cfg.initial_soc = Ratio::new(0.22); // Low: GEM enables ranks 1-2 only

@@ -21,11 +21,9 @@ fn run(trace: TaskTrace) -> SocMetrics {
 
 #[test]
 fn json_reloaded_trace_replays_bit_identically() {
-    let original = BurstyGenerator::for_activity(
-        ActivityLevel::High,
-        PriorityWeights::typical_user(),
-    )
-    .generate(HORIZON, 2024);
+    let original =
+        BurstyGenerator::for_activity(ActivityLevel::High, PriorityWeights::typical_user())
+            .generate(HORIZON, 2024);
     let json = original.to_json().expect("serialize");
     let reloaded = TaskTrace::from_json(&json).expect("deserialize");
     assert_eq!(original, reloaded);
@@ -35,23 +33,30 @@ fn json_reloaded_trace_replays_bit_identically() {
     assert_eq!(a.total_energy, b.total_energy);
     assert_eq!(a.completed(), b.completed());
     assert_eq!(a.mean_temp_elevation, b.mean_temp_elevation);
-    let lat_a: Vec<_> = a.per_ip[0].records.iter().map(|r| (r.spec.id, r.latency())).collect();
-    let lat_b: Vec<_> = b.per_ip[0].records.iter().map(|r| (r.spec.id, r.latency())).collect();
+    let lat_a: Vec<_> = a.per_ip[0]
+        .records
+        .iter()
+        .map(|r| (r.spec.id, r.latency()))
+        .collect();
+    let lat_b: Vec<_> = b.per_ip[0]
+        .records
+        .iter()
+        .map(|r| (r.spec.id, r.latency()))
+        .collect();
     assert_eq!(lat_a, lat_b);
 }
 
 #[test]
 fn trace_survives_a_disk_round_trip() {
-    let original = BurstyGenerator::for_activity(
-        ActivityLevel::Low,
-        PriorityWeights::uniform(),
-    )
-    .generate(HORIZON, 7);
+    let original = BurstyGenerator::for_activity(ActivityLevel::Low, PriorityWeights::uniform())
+        .generate(HORIZON, 7);
     let path = std::env::temp_dir().join("dpmsim_replay_test.json");
     std::fs::write(&path, original.to_json().unwrap()).expect("write temp file");
-    let loaded =
-        TaskTrace::from_json(&std::fs::read_to_string(&path).expect("read back")).unwrap();
+    let loaded = TaskTrace::from_json(&std::fs::read_to_string(&path).expect("read back")).unwrap();
     let _ = std::fs::remove_file(&path);
     assert_eq!(original, loaded);
-    assert_eq!(original.stats().total_instructions, loaded.stats().total_instructions);
+    assert_eq!(
+        original.stats().total_instructions,
+        loaded.stats().total_instructions
+    );
 }

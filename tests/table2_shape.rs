@@ -97,7 +97,12 @@ fn temperature_reduction_everywhere() {
 
 #[test]
 fn a_scenarios_complete_everything() {
-    for id in [ScenarioId::A1, ScenarioId::A2, ScenarioId::A3, ScenarioId::A4] {
+    for id in [
+        ScenarioId::A1,
+        ScenarioId::A2,
+        ScenarioId::A3,
+        ScenarioId::A4,
+    ] {
         let o = &outcomes()[&id];
         assert_eq!(
             o.row.completed.0, o.row.completed.1,
