@@ -1,4 +1,5 @@
-//! Campaign engine throughput: scenarios/second, parallel vs serial.
+//! Campaign engine throughput: scenarios/second, parallel vs serial,
+//! and baseline dedup vs redundant baselines.
 //!
 //! Prints a startup summary measuring the full sweep serially and on all
 //! available cores, including the speedup and a determinism check
@@ -6,6 +7,11 @@
 //! sweep must beat serial by > 1.5×; on smaller hosts the ratio is
 //! reported but not enforced (a 1-core container cannot exhibit
 //! parallel speedup).
+//!
+//! Baseline dedup is different: it removes *work* (cells differing only
+//! in controller/tuning share one always-ON1 baseline run), so its
+//! ≥ 1.5× throughput gain on a policy-heavy grid is enforced on any
+//! host, single-core included.
 //!
 //! ```sh
 //! cargo bench -p dpm-bench campaign_throughput
@@ -15,8 +21,8 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dpm_campaign::{
-    campaign_json, run_campaign, summarize, CampaignSpec, ControllerAxis, RunnerConfig, TuningAxis,
-    WorkloadAxis,
+    campaign_json, run_campaign, run_campaign_with, summarize, CampaignSpec, ControllerAxis,
+    RunnerConfig, TuningAxis, WorkloadAxis,
 };
 
 /// A meaty enough grid that thread-pool overhead is amortized:
@@ -34,30 +40,60 @@ fn bench_spec() -> CampaignSpec {
     spec
 }
 
+/// A controller×tuning-heavy grid: 5 controllers × 3 tunings × 2 seeds
+/// = 30 cells in 2 baseline groups of 15. Without dedup that is 60
+/// simulations; with dedup each group runs 1 shared baseline + 12
+/// scenario sims (its 3 always-ON1 cells reuse the baseline) — 26 total,
+/// a 2.3× work reduction.
+fn policy_heavy_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::default_sweep();
+    spec.name = "policy_heavy".into();
+    spec.horizon_ms = 30;
+    spec.controllers = ControllerAxis::ALL.to_vec();
+    spec.tunings = vec![
+        TuningAxis::Paper,
+        TuningAxis::Eager,
+        TuningAxis::EnergyOptimal,
+    ];
+    spec.workloads = vec![WorkloadAxis::Low];
+    spec.seeds = vec![1, 2];
+    spec.thermals.truncate(1);
+    spec.ip_counts = vec![1];
+    spec
+}
+
+fn config(threads: usize, dedup: bool) -> RunnerConfig {
+    RunnerConfig {
+        threads,
+        progress: false,
+        dedup_baselines: dedup,
+    }
+}
+
 fn archive(spec: &CampaignSpec, threads: usize) -> String {
-    let result = run_campaign(
-        spec,
-        &RunnerConfig {
-            threads,
-            progress: false,
-        },
-    );
+    let result = run_campaign(spec, &config(threads, true));
     let summary = summarize(&result);
     campaign_json(&summary, Some(&result)).expect("render json")
 }
 
 fn timed_sweep(spec: &CampaignSpec, threads: usize) -> f64 {
     let start = Instant::now();
-    let result = run_campaign(
-        spec,
-        &RunnerConfig {
-            threads,
-            progress: false,
-        },
-    );
+    let result = run_campaign(spec, &config(threads, true));
     let wall = start.elapsed().as_secs_f64();
     assert_eq!(result.results.len(), spec.scenario_count());
     result.results.len() as f64 / wall
+}
+
+/// Serial on purpose: a parallel measurement would mix the work
+/// reduction with thread-packing effects (phase A is a barrier), letting
+/// high-core hosts compress the observed gain below the enforced bound
+/// even though the removed work is host-independent.
+fn timed_dedup(spec: &CampaignSpec, dedup: bool) -> f64 {
+    let start = Instant::now();
+    let run = run_campaign_with(spec, &config(1, dedup), None).expect("valid spec");
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(run.result.results.len(), spec.scenario_count());
+    run.result.results.len() as f64 / wall
 }
 
 fn print_summary() {
@@ -93,6 +129,55 @@ fn print_summary() {
     } else {
         println!("  (speedup not enforced on {cores} core(s); needs >= 4)");
     }
+
+    print_dedup_summary();
+}
+
+/// Baseline dedup on a controller×tuning-heavy grid: less work, same
+/// bytes. Measured serially and enforced on any host, since the gain is
+/// work removal rather than parallelism.
+fn print_dedup_summary() {
+    let spec = policy_heavy_spec();
+    println!(
+        "\n== baseline dedup: {} cells (controller x tuning heavy) ==",
+        spec.scenario_count()
+    );
+
+    let with = run_campaign_with(&spec, &config(0, true), None).expect("valid spec");
+    let without = run_campaign_with(&spec, &config(0, false), None).expect("valid spec");
+    assert_eq!(with.result, without.result, "dedup must not change results");
+    println!(
+        "  simulations: {} deduped vs {} redundant ({} shared baselines, {} always-on reuses)",
+        with.stats.simulations,
+        without.stats.simulations,
+        with.stats.baseline_groups,
+        with.stats.reused_baselines,
+    );
+
+    // the noise-free guarantee: dedup must remove >= 1.5x of the work
+    // (simulation counts are deterministic, unlike wall-clock)
+    let sim_ratio = without.stats.simulations as f64 / with.stats.simulations as f64;
+    assert!(
+        sim_ratio >= 1.5,
+        "baseline dedup must remove >=1.5x of the simulations, got {sim_ratio:.2}x"
+    );
+
+    let _ = timed_dedup(&spec, false); // warm-up
+    let dedup_on: f64 = (0..5).map(|_| timed_dedup(&spec, true)).fold(0.0, f64::max);
+    let dedup_off: f64 = (0..5)
+        .map(|_| timed_dedup(&spec, false))
+        .fold(0.0, f64::max);
+    let gain = dedup_on / dedup_off;
+    println!("  redundant : {dedup_off:>8.1} scenarios/s");
+    println!("  deduped   : {dedup_on:>8.1} scenarios/s");
+    println!("  gain      : {gain:>8.2}x ({sim_ratio:.2}x fewer simulations)");
+    assert!(
+        gain > 1.5,
+        "baseline dedup must deliver >1.5x throughput on a policy-heavy grid, got {gain:.2}x \
+         ({} vs {} simulations)",
+        with.stats.simulations,
+        without.stats.simulations
+    );
 }
 
 fn bench_campaign(c: &mut Criterion) {

@@ -244,8 +244,33 @@ pub struct CampaignSummary {
     pub winners: Vec<Winner>,
     /// Controller-axis roll-up (the headline comparison).
     pub by_controller: Vec<GroupRollup>,
+    /// Tuning-axis roll-up.
+    pub by_tuning: Vec<GroupRollup>,
     /// Workload-axis roll-up.
     pub by_workload: Vec<GroupRollup>,
+}
+
+/// Streams one metric over the cells selected by `pred`, in grid order.
+///
+/// This is the seed-averaging primitive: fix every axis but the seed in
+/// `pred` and the returned [`StreamingStat`] holds that combination's
+/// across-seed distribution (mean, spread, percentiles). Failed cells
+/// contribute nothing.
+pub fn metric_stat_where(
+    result: &CampaignResult,
+    metric: Metric,
+    pred: impl Fn(&ScenarioSpec) -> bool,
+) -> StreamingStat {
+    let mut stat = StreamingStat::new();
+    for r in &result.results {
+        if !pred(&r.scenario) {
+            continue;
+        }
+        if let Some(x) = metric.extract(r) {
+            stat.push(x);
+        }
+    }
+    stat
 }
 
 /// Aggregates a finished campaign (deterministic in grid order).
@@ -298,6 +323,7 @@ pub fn summarize(result: &CampaignResult) -> CampaignSummary {
         .collect();
 
     let by_controller = rollup(results, |s| format!("ctrl={}", s.controller.label()));
+    let by_tuning = rollup(results, |s| format!("tune={}", s.tuning.label()));
     let by_workload = rollup(results, |s| format!("wl={}", s.workload.label()));
 
     CampaignSummary {
@@ -307,6 +333,7 @@ pub fn summarize(result: &CampaignResult) -> CampaignSummary {
         metrics,
         winners,
         by_controller,
+        by_tuning,
         by_workload,
     }
 }

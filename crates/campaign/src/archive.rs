@@ -1,0 +1,314 @@
+//! Per-scenario campaign archives: resumable sweeps.
+//!
+//! A campaign directory persists one versioned JSON record per completed
+//! grid cell, plus the spec that produced it:
+//!
+//! ```text
+//! <dir>/
+//!   campaign.toml        # the spec, as written by CampaignSpec::to_toml
+//!   cells/
+//!     cell-00000.json    # one CellRecord per *successful* cell
+//!     cell-00017.json
+//! ```
+//!
+//! Records carry the archive format version, a fingerprint of the spec,
+//! and the full seed derivation (`master_seed` + the cell's
+//! [`ScenarioSpec`]), so a resume can prove each record belongs to the
+//! grid being run: anything stale — different spec, different format
+//! version, index out of range, a mismatched cell — is skipped and
+//! silently re-run. Failed (panicked) cells are never archived; a resume
+//! retries them.
+//!
+//! Because the JSON layer round-trips `f64` bit-identically (shortest
+//! representation, see the serde shim), a campaign resumed from any mix
+//! of archived and fresh cells aggregates to the **byte-identical**
+//! report a cold run produces.
+
+use std::path::{Path, PathBuf};
+
+use crate::runner::{ScenarioMetrics, ScenarioResult};
+use crate::spec::{CampaignSpec, ScenarioSpec};
+
+/// Archive format version; bump when [`CellRecord`]'s layout changes.
+/// Records with any other version are ignored on load (and re-run).
+pub const ARCHIVE_VERSION: u32 = 1;
+
+/// Stable fingerprint of a campaign spec (FNV-1a over its canonical TOML
+/// form), used to tie archived cells to the grid that produced them.
+pub fn spec_fingerprint(spec: &CampaignSpec) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in spec.to_toml().bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// One archived cell: enough context to prove it belongs to a spec, plus
+/// the metrics themselves.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CellRecord {
+    /// Archive format version ([`ARCHIVE_VERSION`] at write time).
+    pub archive_version: u32,
+    /// Fingerprint of the producing spec ([`spec_fingerprint`]).
+    pub spec_fingerprint: u64,
+    /// The spec's master seed (root of every trace-seed derivation).
+    pub master_seed: u64,
+    /// The spec's horizon in milliseconds.
+    pub horizon_ms: u64,
+    /// The grid cell, including its index and logical workload seed.
+    pub scenario: ScenarioSpec,
+    /// The cell's metrics.
+    pub metrics: ScenarioMetrics,
+}
+
+/// Outcome of loading an archive against an expanded grid.
+#[derive(Debug)]
+pub struct ArchiveLoad {
+    /// One slot per grid cell; `Some` where a valid record was found.
+    pub slots: Vec<Option<ScenarioResult>>,
+    /// Records accepted.
+    pub loaded: usize,
+    /// Record files present but rejected (stale version, foreign spec,
+    /// mismatched cell, or unparseable JSON); those cells re-run.
+    pub skipped: usize,
+}
+
+/// A campaign directory opened against a specific spec.
+#[derive(Debug, Clone)]
+pub struct CampaignArchive {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl CampaignArchive {
+    /// Opens (creating if necessary) a campaign directory for `spec`.
+    ///
+    /// A fresh directory gets `campaign.toml` written; an existing one
+    /// must have been created for the *same* spec — resuming a different
+    /// grid into it is refused.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the spec is invalid, the directory
+    /// cannot be created or written, or it already holds a different
+    /// campaign.
+    pub fn open(dir: &Path, spec: &CampaignSpec) -> Result<Self, String> {
+        // refuse to create (and fingerprint-lock) a directory for a spec
+        // that can never run
+        spec.validate()?;
+        let cells = dir.join("cells");
+        std::fs::create_dir_all(&cells)
+            .map_err(|e| format!("cannot create campaign directory {}: {e}", cells.display()))?;
+        let spec_path = dir.join("campaign.toml");
+        let toml = spec.to_toml();
+        match std::fs::read_to_string(&spec_path) {
+            Ok(existing) => {
+                let archived = CampaignSpec::from_toml(&existing)
+                    .map_err(|e| format!("{} is not a campaign spec: {e}", spec_path.display()))?;
+                if spec_fingerprint(&archived) != spec_fingerprint(spec) {
+                    return Err(format!(
+                        "archive {} holds campaign '{}' with a different grid; \
+                         refusing to resume '{}' into it",
+                        dir.display(),
+                        archived.name,
+                        spec.name,
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // tmp + rename, like cell records: a kill mid-write must
+                // not leave a truncated campaign.toml that blocks resume
+                let tmp = dir.join("campaign.toml.tmp");
+                std::fs::write(&tmp, &toml)
+                    .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+                std::fs::rename(&tmp, &spec_path)
+                    .map_err(|e| format!("cannot finalize {}: {e}", spec_path.display()))?;
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", spec_path.display())),
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            fingerprint: spec_fingerprint(spec),
+        })
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn cell_path(&self, index: usize) -> PathBuf {
+        self.dir.join("cells").join(format!("cell-{index:05}.json"))
+    }
+
+    /// Loads every valid archived record against the expanded grid.
+    /// Invalid or foreign records count as `skipped` and their cells run
+    /// fresh.
+    pub fn load(&self, spec: &CampaignSpec, cells: &[ScenarioSpec]) -> ArchiveLoad {
+        let mut slots: Vec<Option<ScenarioResult>> = vec![None; cells.len()];
+        let mut loaded = 0;
+        let mut skipped = 0;
+        for (i, cell) in cells.iter().enumerate() {
+            let Ok(text) = std::fs::read_to_string(self.cell_path(i)) else {
+                continue;
+            };
+            match serde_json::from_str::<CellRecord>(&text) {
+                Ok(rec)
+                    if rec.archive_version == ARCHIVE_VERSION
+                        && rec.spec_fingerprint == self.fingerprint
+                        && rec.master_seed == spec.master_seed
+                        && rec.horizon_ms == spec.horizon_ms
+                        && rec.scenario == *cell =>
+                {
+                    slots[i] = Some(ScenarioResult {
+                        scenario: rec.scenario,
+                        metrics: Some(rec.metrics),
+                        error: None,
+                    });
+                    loaded += 1;
+                }
+                _ => skipped += 1,
+            }
+        }
+        ArchiveLoad {
+            slots,
+            loaded,
+            skipped,
+        }
+    }
+
+    /// Persists one finished cell. Failed cells are not archived (a
+    /// resume retries them); storing them is a silent no-op.
+    ///
+    /// The record is written to a temporary file and renamed into place,
+    /// so a killed sweep never leaves a truncated record behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the record cannot be written.
+    pub fn store(&self, spec: &CampaignSpec, result: &ScenarioResult) -> Result<(), String> {
+        let Some(metrics) = result.metrics.as_ref() else {
+            return Ok(());
+        };
+        let record = CellRecord {
+            archive_version: ARCHIVE_VERSION,
+            spec_fingerprint: self.fingerprint,
+            master_seed: spec.master_seed,
+            horizon_ms: spec.horizon_ms,
+            scenario: result.scenario,
+            metrics: metrics.clone(),
+        };
+        let json = serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?;
+        let path = self.cell_path(result.scenario.index);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, &json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("cannot finalize {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_campaign, RunnerConfig};
+    use crate::spec::{BatteryAxis, ControllerAxis, ThermalAxis, TuningAxis, WorkloadAxis};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpm-archive-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "archive_tiny".into(),
+            horizon_ms: 5,
+            master_seed: 11,
+            initial_soc: 0.9,
+            controllers: vec![ControllerAxis::Dpm],
+            tunings: vec![TuningAxis::Paper],
+            workloads: vec![WorkloadAxis::Low],
+            seeds: vec![1, 2],
+            batteries: vec![BatteryAxis::Linear],
+            thermals: vec![ThermalAxis::Cool],
+            ip_counts: vec![1],
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_spec_sensitive() {
+        let spec = tiny_spec();
+        assert_eq!(spec_fingerprint(&spec), spec_fingerprint(&spec.clone()));
+        let mut other = spec.clone();
+        other.master_seed += 1;
+        assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&other));
+    }
+
+    #[test]
+    fn records_round_trip_through_the_store() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("roundtrip");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let result = run_campaign(&spec, &RunnerConfig::serial());
+        for r in &result.results {
+            archive.store(&spec, r).unwrap();
+        }
+        let load = archive.load(&spec, &spec.expand());
+        assert_eq!(load.loaded, spec.scenario_count());
+        assert_eq!(load.skipped, 0);
+        for (slot, fresh) in load.slots.iter().zip(&result.results) {
+            assert_eq!(slot.as_ref().unwrap(), fresh);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_spec_records_are_skipped_and_foreign_dirs_refused() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("foreign");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let result = run_campaign(&spec, &RunnerConfig::serial());
+        archive.store(&spec, &result.results[0]).unwrap();
+
+        // same directory, different grid: open refuses outright
+        let mut other = spec.clone();
+        other.seeds = vec![7, 8, 9];
+        let err = CampaignArchive::open(&dir, &other).unwrap_err();
+        assert!(err.contains("different grid"), "{err}");
+
+        // a record rewritten with a stale version is skipped, not loaded
+        let path = archive.cell_path(0);
+        let stale = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"archive_version\": 1", "\"archive_version\": 0");
+        std::fs::write(&path, stale).unwrap();
+        let load = archive.load(&spec, &spec.expand());
+        assert_eq!(load.loaded, 0);
+        assert_eq!(load.skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_records_are_skipped() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("corrupt");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        std::fs::write(archive.cell_path(1), "{ not json").unwrap();
+        let load = archive.load(&spec, &spec.expand());
+        assert_eq!(load.loaded, 0);
+        assert_eq!(load.skipped, 1);
+        assert!(load.slots.iter().all(Option::is_none));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_location_is_a_clear_error() {
+        let file = std::env::temp_dir().join(format!("dpm-archive-file-{}", std::process::id()));
+        std::fs::write(&file, "x").unwrap();
+        // a path *under* a regular file can never become a directory
+        let err = CampaignArchive::open(&file.join("sub"), &tiny_spec()).unwrap_err();
+        assert!(err.contains("cannot create campaign directory"), "{err}");
+        let _ = std::fs::remove_file(&file);
+    }
+}

@@ -1,7 +1,8 @@
 //! `dpm` — the dpmsim command line.
 //!
 //! ```text
-//! dpm campaign run <spec.toml | --builtin> [--threads N] [--format F] [--per-scenario] [--out FILE]
+//! dpm campaign run <spec.toml | --builtin> [--threads N] [--format F] [--per-scenario]
+//!                  [--out FILE] [--resume DIR] [--no-dedup]
 //! dpm campaign list <spec.toml | --builtin>
 //! dpm table2 [--format F]
 //! dpm quickstart
@@ -10,11 +11,12 @@
 //! Formats: `ascii` (default), `markdown`, `json`.
 
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
 
 use dpm_campaign::{
-    campaign_ascii, campaign_json, campaign_markdown, run_campaign, summarize, CampaignSpec,
-    RunnerConfig,
+    campaign_ascii, campaign_json, campaign_markdown, run_campaign_with, run_stats_line, summarize,
+    CampaignArchive, CampaignSpec, RunnerConfig,
 };
 use dpm_soc::experiment::{run_scenario, ScenarioId};
 use dpm_soc::report::{table2_ascii, table2_json, table2_markdown};
@@ -24,14 +26,17 @@ dpm — DATE'05 dynamic power management simulator
 
 USAGE:
     dpm campaign run  <spec.toml | --builtin> [--threads N] [--format ascii|markdown|json]
-                      [--per-scenario] [--out FILE]
+                      [--per-scenario] [--out FILE] [--resume DIR] [--no-dedup]
     dpm campaign list <spec.toml | --builtin>
     dpm table2 [--format ascii|markdown|json]
     dpm quickstart
     dpm help
 
 A campaign spec is a TOML grid over six axes; see `dpm campaign list
---builtin` for the built-in sweep and the README for the format.";
+--builtin` for the built-in sweep and the README for the format.
+`--resume DIR` persists per-cell archives into DIR and skips cells
+already completed there; the aggregate report is byte-identical to a
+cold run. `--no-dedup` disables shared always-ON1 baseline runs.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -150,8 +155,8 @@ fn campaign(args: &[String]) -> Result<(), String> {
     let rest = args.get(1..).unwrap_or_default();
     let opts = Opts::parse(
         rest,
-        &["threads", "format", "out"],
-        &["builtin", "per-scenario"],
+        &["threads", "format", "out", "resume"],
+        &["builtin", "per-scenario", "no-dedup"],
     )?;
     match sub {
         Some("run") => {
@@ -165,6 +170,11 @@ fn campaign(args: &[String]) -> Result<(), String> {
             let config = RunnerConfig {
                 threads,
                 progress: true,
+                dedup_baselines: !opts.has("no-dedup"),
+            };
+            let archive = match opts.value("resume") {
+                Some(dir) => Some(CampaignArchive::open(Path::new(dir), &spec)?),
+                None => None,
             };
             eprintln!(
                 "campaign '{}': {} scenarios on {} threads (horizon {} ms, master seed {})",
@@ -175,14 +185,22 @@ fn campaign(args: &[String]) -> Result<(), String> {
                 spec.master_seed,
             );
             let started = std::time::Instant::now();
-            let result = run_campaign(&spec, &config);
+            let run = run_campaign_with(&spec, &config, archive.as_ref())?;
             let wall = started.elapsed();
+            let result = run.result;
             eprintln!(
                 "  {} scenarios in {:.2?} ({:.1} scenarios/s)",
                 result.results.len(),
                 wall,
                 result.results.len() as f64 / wall.as_secs_f64().max(1e-9),
             );
+            eprintln!("  {}", run_stats_line(&run.stats));
+            for e in &run.archive_errors {
+                eprintln!(
+                    "  warning: archive write failed ({e}); \
+                     unsaved cells will re-run on the next resume"
+                );
+            }
             for f in result.failures() {
                 eprintln!(
                     "  FAILED #{:04} {}: {}",
@@ -271,5 +289,79 @@ fn quickstart() {
             m.mean_latency()
                 .map_or("n/a".to_string(), |l| l.to_string()),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dpm-cli-test-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn empty_grid_is_a_clear_error_not_a_panic() {
+        let spec = tmp_path("empty-grid.toml");
+        std::fs::write(&spec, "name = \"empty\"\n[axes]\nseeds = []\n").unwrap();
+        let err = run(&args(&["campaign", "run", spec.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("axis 'seeds' is empty"), "{err}");
+        let _ = std::fs::remove_file(&spec);
+    }
+
+    #[test]
+    fn unwritable_resume_directory_is_a_clear_error() {
+        let file = tmp_path("not-a-dir");
+        std::fs::write(&file, "x").unwrap();
+        // a campaign directory can never be created under a regular file
+        let target = file.join("camp");
+        let err = run(&args(&[
+            "campaign",
+            "run",
+            "--builtin",
+            "--resume",
+            target.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot create campaign directory"), "{err}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn unwritable_out_path_is_a_clear_error() {
+        let dir = tmp_path("out-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = CampaignSpec::default_sweep();
+        spec.horizon_ms = 2;
+        spec.seeds = vec![1];
+        spec.ip_counts = vec![1];
+        spec.thermals.truncate(1);
+        spec.workloads.truncate(1);
+        let spec_path = tmp_path("tiny-spec.toml");
+        std::fs::write(&spec_path, spec.to_toml()).unwrap();
+        // writing the report over an existing *directory* must fail loudly
+        let err = run(&args(&[
+            "campaign",
+            "run",
+            spec_path.to_str().unwrap(),
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("writing"), "{err}");
+        let _ = std::fs::remove_file(&spec_path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_flags_still_rejected_with_new_options_listed() {
+        let err = run(&args(&["campaign", "run", "--builtin", "--resumee", "x"])).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        assert!(err.contains("--no-dedup"), "{err}");
     }
 }

@@ -10,7 +10,8 @@
 //! | layer | module | contents |
 //! |-------|--------|----------|
 //! | spec | [`spec`] | [`CampaignSpec`] grid, named axes, cartesian expansion |
-//! | runner | [`runner`] | scoped thread pool, panic isolation, progress |
+//! | runner | [`runner`] | scoped thread pool, baseline dedup, panic isolation |
+//! | archive | [`archive`] | per-cell JSON records, resumable campaign directories |
 //! | aggregation | [`aggregate`] | streaming stats, percentiles, winners, roll-ups |
 //! | report | [`report`] | ASCII / Markdown / JSON campaign tables |
 //! | persistence | [`toml_spec`] | TOML spec loading (minimal in-crate parser) |
@@ -19,7 +20,8 @@
 //! the grid expansion (not execution order), per-scenario trace seeds
 //! derive from `(master_seed, logical seed, ip index)`, and aggregation
 //! folds results in index order — so the same spec produces
-//! **byte-identical** reports on 1 thread or 64.
+//! **byte-identical** reports on 1 thread or 64, with baseline dedup on
+//! or off, and when resumed from any mix of archived and fresh cells.
 //!
 //! # Quickstart
 //!
@@ -43,15 +45,20 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod archive;
 pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod toml_spec;
 
-pub use aggregate::{summarize, CampaignSummary, Metric, MetricSummary, StreamingStat};
-pub use report::{campaign_ascii, campaign_json, campaign_markdown};
+pub use aggregate::{
+    metric_stat_where, summarize, CampaignSummary, Metric, MetricSummary, StreamingStat,
+};
+pub use archive::{spec_fingerprint, ArchiveLoad, CampaignArchive, CellRecord, ARCHIVE_VERSION};
+pub use report::{campaign_ascii, campaign_json, campaign_markdown, run_stats_line};
 pub use runner::{
-    run_campaign, run_scenario_cell, CampaignResult, RunnerConfig, ScenarioMetrics, ScenarioResult,
+    run_campaign, run_campaign_with, run_scenario_cell, CampaignResult, CampaignRun, RunStats,
+    RunnerConfig, ScenarioMetrics, ScenarioResult,
 };
 pub use spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, TuningAxis, WorkloadAxis,

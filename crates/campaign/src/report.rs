@@ -2,7 +2,24 @@
 //! `dpm-soc::report`'s Table 2 renderers.
 
 use crate::aggregate::CampaignSummary;
-use crate::runner::CampaignResult;
+use crate::runner::{CampaignResult, RunStats};
+
+/// One-line human summary of a run's work accounting (resume hits,
+/// dedup savings). Printed to stderr by the CLI — deliberately kept out
+/// of the report files, whose bytes must not depend on how much work a
+/// particular run skipped.
+pub fn run_stats_line(stats: &RunStats) -> String {
+    format!(
+        "{} cells: {} archived, {} executed; {} simulations \
+         ({} shared baselines, {} always-on reuses)",
+        stats.total_cells,
+        stats.archived_cells,
+        stats.executed_cells,
+        stats.simulations,
+        stats.baseline_groups,
+        stats.reused_baselines,
+    )
+}
 
 /// Renders the summary as an ASCII report.
 pub fn campaign_ascii(summary: &CampaignSummary) -> String {
@@ -44,6 +61,7 @@ pub fn campaign_ascii(summary: &CampaignSummary) -> String {
 
     for (title, groups) in [
         ("by controller", &summary.by_controller),
+        ("by tuning", &summary.by_tuning),
         ("by workload", &summary.by_workload),
     ] {
         out.push_str(&format!(
@@ -100,6 +118,7 @@ pub fn campaign_markdown(summary: &CampaignSummary) -> String {
     }
     for (title, groups) in [
         ("By controller", &summary.by_controller),
+        ("By tuning", &summary.by_tuning),
         ("By workload", &summary.by_workload),
     ] {
         out.push_str(&format!(
@@ -175,5 +194,20 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["summary"]["name"], "default_sweep");
         assert!(v["results"]["results"].get_index(0).is_some());
+    }
+
+    #[test]
+    fn stats_line_counts_everything() {
+        let line = run_stats_line(&crate::runner::RunStats {
+            total_cells: 32,
+            archived_cells: 20,
+            executed_cells: 12,
+            simulations: 18,
+            baseline_groups: 4,
+            reused_baselines: 2,
+        });
+        for needle in ["32 cells", "20 archived", "12 executed", "18 simulations"] {
+            assert!(line.contains(needle), "{line}");
+        }
     }
 }

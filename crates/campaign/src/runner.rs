@@ -5,9 +5,20 @@
 //! unit of work is independent), executed with panic isolation, and
 //! written back into an index-addressed slot table — so the result order,
 //! and everything aggregated from it, is **identical for any thread
-//! count**. Each scenario runs its configuration *and* the always-`ON1`
-//! baseline on the same traces, yielding Table 2-style relative metrics.
+//! count**.
+//!
+//! Two optimizations sit on top of that plan, both result-preserving:
+//!
+//! * **Baseline dedup** (on by default): cells differing only in
+//!   controller/tuning share one always-`ON1` baseline run. The SoC
+//!   builder never reads the LEM tuning for non-DPM controllers, so the
+//!   shared baseline is *byte-identical* to the one each cell would have
+//!   run itself; always-`ON1` cells reuse it for their scenario run too.
+//! * **Archives** ([`crate::archive`]): completed cells persisted to a
+//!   campaign directory prefill their result slots on resume and are not
+//!   re-executed.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -17,16 +28,33 @@ use dpm_soc::experiment::table2_row;
 use dpm_soc::{build_soc, collect_metrics, ControllerKind, SocConfig, SocMetrics};
 use dpm_units::SimTime;
 
-use crate::spec::{CampaignSpec, ScenarioSpec};
+use crate::archive::CampaignArchive;
+use crate::spec::{
+    BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, WorkloadAxis,
+};
 
 /// Execution options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunnerConfig {
     /// Worker threads; `0` selects the machine's available parallelism.
     pub threads: usize,
-    /// Progress callback, called after each finished scenario with
+    /// Progress callback, called after each finished run with
     /// `(done, total)`.
     pub progress: bool,
+    /// Share one always-`ON1` baseline run across cells that differ only
+    /// in controller/tuning (default). Result-preserving; turn off only
+    /// to measure the redundancy it removes.
+    pub dedup_baselines: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            progress: false,
+            dedup_baselines: true,
+        }
+    }
 }
 
 impl RunnerConfig {
@@ -34,8 +62,14 @@ impl RunnerConfig {
     pub fn serial() -> Self {
         Self {
             threads: 1,
-            progress: false,
+            ..Self::default()
         }
+    }
+
+    /// This configuration with baseline dedup disabled.
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup_baselines = false;
+        self
     }
 
     /// The effective worker count.
@@ -136,6 +170,42 @@ impl CampaignResult {
     }
 }
 
+/// Work accounting for one campaign execution. Deliberately *not* part of
+/// [`CampaignResult`]: reports must stay byte-identical between cold and
+/// resumed runs, and these counts differ by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Cells in the grid.
+    pub total_cells: usize,
+    /// Cells satisfied from the archive (resume hits).
+    pub archived_cells: usize,
+    /// Cells executed this run.
+    pub executed_cells: usize,
+    /// Simulations actually run (scenario runs + baseline runs).
+    pub simulations: usize,
+    /// Shared always-`ON1` baseline runs (one per dedup group).
+    pub baseline_groups: usize,
+    /// Always-`ON1` cells whose scenario run was served straight from the
+    /// shared baseline.
+    pub reused_baselines: usize,
+}
+
+/// A campaign execution: the (thread-count-invariant) results plus the
+/// work accounting of this particular run.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The results, indexed in grid order.
+    pub result: CampaignResult,
+    /// How much work this run actually did.
+    pub stats: RunStats,
+    /// Archive-write failures (empty without an archive, or when every
+    /// store succeeded). The results themselves are complete and valid —
+    /// only their persistence is; the affected cells will re-run on the
+    /// next resume. Archiving stops at the first failure rather than
+    /// hammering a broken disk once per remaining cell.
+    pub archive_errors: Vec<String>,
+}
+
 fn run_to_metrics(cfg: &SocConfig, horizon: SimTime) -> SocMetrics {
     let mut sim = Simulation::new();
     let handles = build_soc(&mut sim, cfg);
@@ -154,47 +224,46 @@ pub fn run_scenario_cell(spec: &CampaignSpec, cell: &ScenarioSpec) -> ScenarioMe
     ScenarioMetrics::from_runs(&dpm, &baseline, horizon)
 }
 
-/// Runs the whole campaign.
-///
-/// # Panics
-///
-/// Panics only on an invalid spec (empty axis, zero horizon); scenario
-/// panics are caught per cell and reported in the result instead.
-pub fn run_campaign(spec: &CampaignSpec, config: &RunnerConfig) -> CampaignResult {
-    spec.validate().expect("invalid campaign spec");
-    let cells = spec.expand();
-    let total = cells.len();
-    let threads = config.effective_threads().min(total.max(1));
+/// The axes a cell's always-`ON1` baseline actually depends on —
+/// everything *except* controller and tuning (the SoC builder reads the
+/// LEM tuning only for [`ControllerKind::Dpm`]).
+type BaselineKey = (WorkloadAxis, u64, BatteryAxis, ThermalAxis, usize);
 
+fn baseline_key(cell: &ScenarioSpec) -> BaselineKey {
+    (
+        cell.workload,
+        cell.seed,
+        cell.battery,
+        cell.thermal,
+        cell.ip_count,
+    )
+}
+
+/// Self-scheduling parallel map: `job(i)` for `i in 0..n`, results in
+/// index order regardless of execution interleaving.
+fn parallel_map<T: Send>(
+    threads: usize,
+    n: usize,
+    progress: Option<(&AtomicUsize, usize)>,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
     let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
-
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
+                if i >= n {
                     break;
                 }
-                let cell = cells[i];
-                let outcome = catch_unwind(AssertUnwindSafe(|| run_scenario_cell(spec, &cell)));
-                let result = match outcome {
-                    Ok(metrics) => ScenarioResult {
-                        scenario: cell,
-                        metrics: Some(metrics),
-                        error: None,
-                    },
-                    Err(payload) => ScenarioResult {
-                        scenario: cell,
-                        metrics: None,
-                        error: Some(panic_message(payload.as_ref())),
-                    },
-                };
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if config.progress {
-                    eprint!("\r  [{finished}/{total}] scenarios done");
+                let out = job(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                if let Some((done, total)) = progress {
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprint!("\r  [{finished}/{total}] runs done");
                     if finished == total {
                         eprintln!();
                     }
@@ -202,21 +271,224 @@ pub fn run_campaign(spec: &CampaignSpec, config: &RunnerConfig) -> CampaignResul
             });
         }
     });
-
-    let results: Vec<ScenarioResult> = slots
+    slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot poisoned")
-                .expect("every scenario slot is filled")
+                .expect("every slot is filled")
         })
-        .collect();
-    CampaignResult {
-        name: spec.name.clone(),
-        horizon_ms: spec.horizon_ms,
-        master_seed: spec.master_seed,
-        results,
+        .collect()
+}
+
+fn caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(p.as_ref()))
+}
+
+/// Executes one fresh cell, optionally against a pre-run shared baseline.
+/// Error precedence mirrors the non-dedup path (scenario run first, then
+/// baseline), so dedup on/off produce identical results even on panics.
+fn execute_cell(
+    spec: &CampaignSpec,
+    cell: &ScenarioSpec,
+    shared_baseline: Option<&Result<SocMetrics, String>>,
+    sims: &AtomicUsize,
+    reused: &AtomicUsize,
+) -> ScenarioResult {
+    let horizon = spec.horizon();
+    let outcome = match shared_baseline {
+        None => {
+            // count each run as it starts: a panicking scenario run
+            // never reaches its baseline run
+            sims.fetch_add(1, Ordering::Relaxed);
+            caught(|| {
+                let cfg = cell.build_config(spec);
+                run_to_metrics(&cfg, horizon)
+            })
+            .and_then(|dpm| {
+                sims.fetch_add(1, Ordering::Relaxed);
+                caught(|| {
+                    let baseline_cfg = cell
+                        .build_config(spec)
+                        .with_controller(ControllerKind::AlwaysOn);
+                    run_to_metrics(&baseline_cfg, horizon)
+                })
+                .map(|baseline| ScenarioMetrics::from_runs(&dpm, &baseline, horizon))
+            })
+        }
+        Some(Ok(baseline)) if cell.controller == ControllerAxis::AlwaysOn => {
+            // the scenario run *is* the baseline run (tuning is unread
+            // for always-ON1), so serve it from the shared result
+            reused.fetch_add(1, Ordering::Relaxed);
+            Ok(ScenarioMetrics::from_runs(baseline, baseline, horizon))
+        }
+        Some(Ok(baseline)) => {
+            sims.fetch_add(1, Ordering::Relaxed);
+            caught(|| {
+                let cfg = cell.build_config(spec);
+                run_to_metrics(&cfg, horizon)
+            })
+            .map(|dpm| ScenarioMetrics::from_runs(&dpm, baseline, horizon))
+        }
+        Some(Err(baseline_err)) => {
+            // the baseline panicked; without dedup the scenario run would
+            // have executed (and possibly panicked) first, so replay that
+            // order for identical error messages — except for always-ON1
+            // cells, whose scenario run is the baseline run itself
+            if cell.controller == ControllerAxis::AlwaysOn {
+                Err(baseline_err.clone())
+            } else {
+                sims.fetch_add(1, Ordering::Relaxed);
+                match caught(|| {
+                    let cfg = cell.build_config(spec);
+                    run_to_metrics(&cfg, horizon)
+                }) {
+                    Ok(_) => Err(baseline_err.clone()),
+                    Err(scenario_err) => Err(scenario_err),
+                }
+            }
+        }
+    };
+    match outcome {
+        Ok(metrics) => ScenarioResult {
+            scenario: *cell,
+            metrics: Some(metrics),
+            error: None,
+        },
+        Err(message) => ScenarioResult {
+            scenario: *cell,
+            metrics: None,
+            error: Some(message),
+        },
     }
+}
+
+/// Runs a campaign, optionally resuming from (and persisting into) an
+/// archive directory.
+///
+/// The returned results are byte-identical for any thread count, with
+/// dedup on or off, and for any mix of archived and fresh cells.
+///
+/// # Errors
+///
+/// Returns a description when the spec is invalid (empty axis, zero
+/// horizon, out-of-range parameters). Scenario panics are *not* errors;
+/// they are caught per cell and reported in the result. Neither are
+/// mid-run archive-write failures: the completed results are worth more
+/// than the persistence, so they are returned with the failure recorded
+/// in [`CampaignRun::archive_errors`].
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    config: &RunnerConfig,
+    archive: Option<&CampaignArchive>,
+) -> Result<CampaignRun, String> {
+    spec.validate()?;
+    let cells = spec.expand();
+    let total = cells.len();
+
+    // resume: prefill result slots from the archive
+    let mut slots: Vec<Option<ScenarioResult>> = match archive {
+        Some(a) => a.load(spec, &cells).slots,
+        None => vec![None; total],
+    };
+    let archived_cells = slots.iter().filter(|s| s.is_some()).count();
+    let missing: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+
+    // dedup: one always-ON1 baseline per (workload, seed, battery,
+    // thermal, ip-count) group, in first-appearance order
+    let mut groups: Vec<ScenarioSpec> = Vec::new();
+    let mut group_of: HashMap<BaselineKey, usize> = HashMap::new();
+    let mut cell_group: Vec<usize> = Vec::new();
+    if config.dedup_baselines {
+        for &i in &missing {
+            let g = *group_of.entry(baseline_key(&cells[i])).or_insert_with(|| {
+                groups.push(cells[i]);
+                groups.len() - 1
+            });
+            cell_group.push(g);
+        }
+    }
+
+    let work = groups.len() + missing.len();
+    let threads = config.effective_threads().min(work.max(1));
+    let done = AtomicUsize::new(0);
+    let progress = config.progress.then_some((&done, work));
+    let sims = AtomicUsize::new(0);
+    let reused = AtomicUsize::new(0);
+    let store_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let archive_broken = std::sync::atomic::AtomicBool::new(false);
+
+    // phase A: shared baselines (build_config inside the catch — a
+    // panicking trace generator must fail the group's cells, not the
+    // whole campaign, exactly as it would without dedup)
+    let baselines: Vec<Result<SocMetrics, String>> =
+        parallel_map(threads, groups.len(), progress, |g| {
+            sims.fetch_add(1, Ordering::Relaxed);
+            caught(|| {
+                let cfg = groups[g]
+                    .build_config(spec)
+                    .with_controller(ControllerKind::AlwaysOn);
+                run_to_metrics(&cfg, spec.horizon())
+            })
+        });
+
+    // phase B: the cells themselves (storing fresh results as they land,
+    // so a killed sweep keeps everything finished so far)
+    let fresh: Vec<ScenarioResult> = parallel_map(threads, missing.len(), progress, |k| {
+        let cell = &cells[missing[k]];
+        let baseline = config.dedup_baselines.then(|| &baselines[cell_group[k]]);
+        let result = execute_cell(spec, cell, baseline, &sims, &reused);
+        if let Some(a) = archive {
+            if !archive_broken.load(Ordering::Relaxed) {
+                if let Err(e) = a.store(spec, &result) {
+                    archive_broken.store(true, Ordering::Relaxed);
+                    store_errors.lock().expect("store errors poisoned").push(e);
+                }
+            }
+        }
+        result
+    });
+
+    let archive_errors = store_errors.into_inner().expect("store errors poisoned");
+
+    for (k, result) in fresh.into_iter().enumerate() {
+        slots[missing[k]] = Some(result);
+    }
+    let results: Vec<ScenarioResult> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every scenario slot is filled"))
+        .collect();
+
+    Ok(CampaignRun {
+        result: CampaignResult {
+            name: spec.name.clone(),
+            horizon_ms: spec.horizon_ms,
+            master_seed: spec.master_seed,
+            results,
+        },
+        stats: RunStats {
+            total_cells: total,
+            archived_cells,
+            executed_cells: missing.len(),
+            simulations: sims.into_inner(),
+            baseline_groups: groups.len(),
+            reused_baselines: reused.into_inner(),
+        },
+        archive_errors,
+    })
+}
+
+/// Runs the whole campaign (no archive).
+///
+/// # Panics
+///
+/// Panics only on an invalid spec (empty axis, zero horizon); scenario
+/// panics are caught per cell and reported in the result instead. Use
+/// [`run_campaign_with`] for a non-panicking entry point.
+pub fn run_campaign(spec: &CampaignSpec, config: &RunnerConfig) -> CampaignResult {
+    run_campaign_with(spec, config, None)
+        .expect("invalid campaign spec")
+        .result
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -288,9 +560,38 @@ mod tests {
             &spec,
             &RunnerConfig {
                 threads: 4,
-                progress: false,
+                ..RunnerConfig::default()
             },
         );
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn dedup_accounting_adds_up() {
+        let spec = tiny_spec();
+        let run = run_campaign_with(&spec, &RunnerConfig::serial(), None).unwrap();
+        let s = run.stats;
+        // 4 cells over 2 seeds: 2 baseline groups, one always-ON1 cell
+        // per seed reuses its group's baseline
+        assert_eq!(s.total_cells, 4);
+        assert_eq!(s.executed_cells, 4);
+        assert_eq!(s.archived_cells, 0);
+        assert_eq!(s.baseline_groups, 2);
+        assert_eq!(s.reused_baselines, 2);
+        // 2 baselines + 2 DPM scenario runs; always-ON1 cells ran nothing
+        assert_eq!(s.simulations, 4);
+
+        let cold = run_campaign_with(&spec, &RunnerConfig::serial().without_dedup(), None).unwrap();
+        assert_eq!(cold.stats.simulations, 8, "2 sims per cell without dedup");
+        assert_eq!(cold.stats.baseline_groups, 0);
+        assert_eq!(cold.result, run.result, "dedup must not change results");
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error_not_a_panic() {
+        let mut spec = tiny_spec();
+        spec.seeds.clear();
+        let err = run_campaign_with(&spec, &RunnerConfig::default(), None).unwrap_err();
+        assert!(err.contains("axis 'seeds' is empty"), "{err}");
     }
 }

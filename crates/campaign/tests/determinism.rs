@@ -33,7 +33,7 @@ fn archive_bytes(spec: &CampaignSpec, threads: usize) -> String {
         spec,
         &RunnerConfig {
             threads,
-            progress: false,
+            ..RunnerConfig::default()
         },
     );
     let summary = summarize(&result);

@@ -1,0 +1,170 @@
+//! Archive round-trip contract: resuming a campaign from any partial
+//! archive yields the **byte-identical** aggregate a cold run produces,
+//! for any thread count.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dpm_campaign::{
+    campaign_json, run_campaign_with, summarize, BatteryAxis, CampaignArchive, CampaignResult,
+    CampaignSpec, ControllerAxis, RunnerConfig, ThermalAxis, TuningAxis, WorkloadAxis,
+};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh scratch directory under the cargo-managed tmp dir.
+fn scratch_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "resume-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec_with(master_seed: u64, seeds: Vec<u64>, two_controllers: bool) -> CampaignSpec {
+    CampaignSpec {
+        name: "resume".into(),
+        horizon_ms: 6,
+        master_seed,
+        initial_soc: 0.9,
+        controllers: if two_controllers {
+            vec![ControllerAxis::Dpm, ControllerAxis::AlwaysOn]
+        } else {
+            vec![ControllerAxis::Dpm]
+        },
+        tunings: vec![TuningAxis::Paper],
+        workloads: vec![WorkloadAxis::Low],
+        seeds,
+        batteries: vec![BatteryAxis::Linear],
+        thermals: vec![ThermalAxis::Cool],
+        ip_counts: vec![1],
+    }
+}
+
+fn config(threads: usize) -> RunnerConfig {
+    RunnerConfig {
+        threads,
+        ..RunnerConfig::default()
+    }
+}
+
+fn archive_bytes(result: &CampaignResult) -> String {
+    campaign_json(&summarize(result), Some(result)).expect("render json")
+}
+
+/// Cold-runs `spec`, seeds an archive with the cells selected by `keep`,
+/// then resumes on each requested thread count and checks byte equality.
+fn check_resume(spec: &CampaignSpec, keep: impl Fn(usize) -> bool) {
+    let cold = run_campaign_with(spec, &config(1), None).expect("cold run");
+    let reference = archive_bytes(&cold.result);
+
+    // fresh archive per thread count: a resume *writes back* the cells it
+    // completes, so a shared directory would fill up after the first pass
+    for threads in [1, 2, 8] {
+        let dir = scratch_dir();
+        let archive = CampaignArchive::open(&dir, spec).expect("open archive");
+        let mut kept = 0;
+        for (i, r) in cold.result.results.iter().enumerate() {
+            if keep(i) {
+                archive.store(spec, r).expect("store cell");
+                kept += 1;
+            }
+        }
+
+        let resumed =
+            run_campaign_with(spec, &config(threads), Some(&archive)).expect("resumed run");
+        assert_eq!(resumed.stats.archived_cells, kept);
+        assert_eq!(
+            resumed.stats.executed_cells,
+            spec.scenario_count() - kept,
+            "resume must run exactly the missing cells"
+        );
+        assert_eq!(
+            archive_bytes(&resumed.result),
+            reference,
+            "resume on {threads} threads (archive hits: {kept}) diverged from the cold run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_from_empty_partial_and_full_archives() {
+    let spec = spec_with(0xDA7E_2005, vec![1, 2, 3], true);
+    check_resume(&spec, |_| false); // empty archive: everything fresh
+    check_resume(&spec, |i| i % 2 == 0); // every other cell archived
+    check_resume(&spec, |_| true); // full archive: zero simulations
+}
+
+#[test]
+fn fully_archived_resume_runs_no_simulations() {
+    let spec = spec_with(3, vec![4, 5], true);
+    let cold = run_campaign_with(&spec, &config(1), None).unwrap();
+    let dir = scratch_dir();
+    let archive = CampaignArchive::open(&dir, &spec).unwrap();
+    for r in &cold.result.results {
+        archive.store(&spec, r).unwrap();
+    }
+    let resumed = run_campaign_with(&spec, &config(2), Some(&archive)).unwrap();
+    assert_eq!(resumed.stats.simulations, 0);
+    assert_eq!(resumed.stats.baseline_groups, 0);
+    assert_eq!(resumed.result, cold.result);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_sweep_leaves_a_resumable_archive() {
+    // a "killed" sweep is modeled by archiving only a prefix of the grid;
+    // the resumed run must also *write back* the cells it completes
+    let spec = spec_with(9, vec![1, 2], true);
+    let cold = run_campaign_with(&spec, &config(1), None).unwrap();
+    let dir = scratch_dir();
+    let archive = CampaignArchive::open(&dir, &spec).unwrap();
+    for r in cold.result.results.iter().take(2) {
+        archive.store(&spec, r).unwrap();
+    }
+    let first = run_campaign_with(&spec, &config(1), Some(&archive)).unwrap();
+    assert!(first.stats.simulations > 0);
+    // second resume: everything already on disk
+    let second = run_campaign_with(&spec, &config(4), Some(&archive)).unwrap();
+    assert_eq!(second.stats.simulations, 0);
+    assert_eq!(second.result, cold.result);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn broken_archive_mid_run_keeps_the_results() {
+    // the archive dir breaks after open (cells/ replaced by a file):
+    // stores fail, but the run still returns complete, correct results
+    let spec = spec_with(21, vec![1], true);
+    let dir = scratch_dir();
+    let archive = CampaignArchive::open(&dir, &spec).unwrap();
+    std::fs::remove_dir_all(dir.join("cells")).unwrap();
+    std::fs::write(dir.join("cells"), "in the way").unwrap();
+
+    let run = run_campaign_with(&spec, &config(2), Some(&archive)).unwrap();
+    assert!(!run.archive_errors.is_empty(), "store failures surface");
+    let cold = run_campaign_with(&spec, &config(1), None).unwrap();
+    assert_eq!(run.result, cold.result, "results survive archive failure");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Any spec, any archived subset, 1/2/8 threads: the aggregate is
+    // byte-identical to a cold run.
+    #[test]
+    fn archive_round_trip_matches_cold_run(
+        master in 0u64..u64::MAX / 2,
+        seeds in prop::collection::vec(0u64..1000, 1..3),
+        two_controllers in prop::sample::select(vec![false, true]),
+        keep_mask in prop::bits::u8::masked(0b1111_1111),
+    ) {
+        let spec = spec_with(master, seeds, two_controllers);
+        check_resume(&spec, |i| keep_mask & (1 << (i % 8)) != 0);
+    }
+}

@@ -1,12 +1,207 @@
 //! The paper's Table 2, shape-checked.
 //!
 //! Absolute percentages depend on power/thermal constants the paper never
-//! published, so this test pins the *qualitative* claims — who wins, by
+//! published, so these tests pin the *qualitative* claims — who wins, by
 //! roughly what factor, where the regimes change (see DESIGN.md §5).
+//!
+//! Two tiers:
+//!
+//! * **Seed-averaged regime tests** run each battery/thermal condition as
+//!   a small campaign grid over several *untuned* workload seeds (via
+//!   `dpm-campaign`) and assert on across-seed statistics. This replaces
+//!   the old single-seed regime assertions, which held only for seeds
+//!   hand-tuned to leave a quiet tail (see tests/README.md).
+//! * **Structural tests** (GEM blocking, baseline behaviour, report
+//!   rendering) still use the paper's six hand-wired scenarios at the
+//!   canonical `SEED_A` — they assert wiring, not seed-sensitive regimes.
 
+use dpmsim::campaign::{
+    metric_stat_where, run_campaign_with, BatteryAxis, CampaignResult, CampaignSpec,
+    ControllerAxis, Metric, RunnerConfig, StreamingStat, ThermalAxis, TuningAxis, WorkloadAxis,
+};
 use dpmsim::soc::experiment::{run_scenario, ScenarioId, ScenarioOutcome};
 use std::collections::HashMap;
 use std::sync::OnceLock;
+
+// ---- seed-averaged regime statistics ---------------------------------
+
+/// Seeds deliberately *not* tuned: the statistics below must hold on an
+/// arbitrary handful of seeds, which is the whole point of averaging.
+const SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// The paper's battery/thermal conditions, as campaign grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Condition {
+    /// A1: battery Full, temperature Low.
+    FullCool,
+    /// A2: battery Low, temperature Low.
+    LowCool,
+    /// A3: battery Full, temperature High.
+    FullHot,
+    /// A4: battery Low, temperature High.
+    LowHot,
+    /// B-like: four busy IPs under the GEM, battery Low.
+    GemLow,
+}
+
+impl Condition {
+    const ALL: [Condition; 5] = [
+        Condition::FullCool,
+        Condition::LowCool,
+        Condition::FullHot,
+        Condition::LowHot,
+        Condition::GemLow,
+    ];
+
+    fn spec(self) -> CampaignSpec {
+        let (initial_soc, thermal, workload, ip_count) = match self {
+            Condition::FullCool => (0.95, ThermalAxis::Cool, WorkloadAxis::PaperA, 1),
+            Condition::LowCool => (0.22, ThermalAxis::Cool, WorkloadAxis::PaperA, 1),
+            Condition::FullHot => (0.95, ThermalAxis::Hot, WorkloadAxis::PaperA, 1),
+            Condition::LowHot => (0.22, ThermalAxis::Hot, WorkloadAxis::PaperA, 1),
+            Condition::GemLow => (0.22, ThermalAxis::Cool, WorkloadAxis::PaperBusy, 4),
+        };
+        CampaignSpec {
+            name: format!("regime_{self:?}"),
+            horizon_ms: 200, // the paper's horizon
+            master_seed: 0xDA7E_2005,
+            initial_soc,
+            controllers: vec![ControllerAxis::Dpm],
+            tunings: vec![TuningAxis::Paper],
+            workloads: vec![workload],
+            seeds: SEEDS.to_vec(),
+            batteries: vec![BatteryAxis::Linear],
+            thermals: vec![thermal],
+            ip_counts: vec![ip_count],
+        }
+    }
+}
+
+fn campaigns() -> &'static HashMap<Condition, CampaignResult> {
+    static CELL: OnceLock<HashMap<Condition, CampaignResult>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Condition::ALL
+            .into_iter()
+            .map(|c| {
+                let run = run_campaign_with(&c.spec(), &RunnerConfig::default(), None)
+                    .expect("regime spec is valid");
+                for r in &run.result.results {
+                    assert!(r.error.is_none(), "{c:?}: {:?}", r.error);
+                }
+                (c, run.result)
+            })
+            .collect()
+    })
+}
+
+/// Across-seed distribution of one metric under one condition.
+fn stat(c: Condition, metric: Metric) -> StreamingStat {
+    metric_stat_where(&campaigns()[&c], metric, |_| true)
+}
+
+fn mean_saving(c: Condition) -> f64 {
+    stat(c, Metric::EnergySavingPct).mean()
+}
+
+fn mean_delay(c: Condition) -> f64 {
+    stat(c, Metric::DelayOverheadPct).mean()
+}
+
+/// Mean completed-task fraction across seeds.
+fn mean_completion(c: Condition) -> f64 {
+    let mut s = StreamingStat::new();
+    for r in &campaigns()[&c].results {
+        let m = r.metrics.as_ref().unwrap();
+        s.push(m.completed as f64 / m.total_tasks.max(1) as f64);
+    }
+    s.mean()
+}
+
+#[test]
+fn every_condition_saves_energy_on_average() {
+    for c in Condition::ALL {
+        let s = stat(c, Metric::EnergySavingPct);
+        assert_eq!(s.count(), SEEDS.len(), "{c:?}: one cell per seed");
+        assert!(s.mean() > 10.0, "{c:?}: mean saving {}", s.mean());
+        assert!(s.mean() < 100.0, "{c:?}: mean saving must be physical");
+        assert!(s.min() > 0.0, "{c:?}: every seed saves ({})", s.min());
+        assert!(s.max() < 100.0, "{c:?}: max saving {}", s.max());
+    }
+}
+
+#[test]
+fn battery_low_saves_more_than_battery_full() {
+    // paper: A2 (55) > A1 (39), A4 (55) > A3 (39) — the ON4 V² dividend.
+    assert!(mean_saving(Condition::LowCool) > mean_saving(Condition::FullCool) + 5.0);
+    assert!(mean_saving(Condition::LowHot) > mean_saving(Condition::FullHot) + 5.0);
+}
+
+#[test]
+fn gem_soc_saves_at_least_as_much_as_a_single_ip() {
+    // paper: B (65), C (64) >= A2 (55) — blocked low-priority IPs sleep.
+    assert!(mean_saving(Condition::GemLow) + 2.0 >= mean_saving(Condition::LowCool));
+}
+
+#[test]
+fn battery_low_multiplies_delay() {
+    // paper: A2 (339) vs A1 (30) — an order of magnitude, on average.
+    let full = mean_delay(Condition::FullCool);
+    let low = mean_delay(Condition::LowCool);
+    assert!(low > 5.0 * full, "low {low} vs full {full}");
+    // and the paper's regime: roughly the ON1/ON4 slowdown, not a
+    // saturated queue (tens of thousands of %). Median across seeds —
+    // single seeds land anywhere in a heavy-tailed distribution, which
+    // is exactly why the old single-seed bound needed a tuned seed.
+    let p50 = stat(Condition::LowCool, Metric::DelayOverheadPct).percentile(50.0);
+    assert!(p50 > 250.0, "median low-battery delay {p50}");
+    assert!(p50 < 1300.0, "median low-battery delay {p50}");
+}
+
+#[test]
+fn hot_start_delay_is_modest() {
+    // paper: A3 (37) sits between A1 (30) and A2 (339): a brief SL1
+    // cool-down, then business as usual at full speed.
+    assert!(mean_delay(Condition::FullHot) > mean_delay(Condition::FullCool));
+    assert!(mean_delay(Condition::FullHot) < 0.5 * mean_delay(Condition::LowCool));
+}
+
+#[test]
+fn battery_and_heat_combine_in_a4() {
+    // paper: A4 ≈ A2 in saving and delay (battery dominates).
+    let d_saving = (mean_saving(Condition::LowHot) - mean_saving(Condition::LowCool)).abs();
+    assert!(d_saving < 10.0, "saving gap {d_saving}");
+    let ratio = mean_delay(Condition::LowHot) / mean_delay(Condition::LowCool);
+    assert!((0.8..=2.0).contains(&ratio), "delay ratio {ratio}");
+}
+
+#[test]
+fn temperature_reduction_everywhere() {
+    for c in Condition::ALL {
+        let s = stat(c, Metric::TempReductionPct);
+        assert!(s.mean() > 0.0, "{c:?}: mean temp reduction {}", s.mean());
+        assert!(s.min() > 0.0, "{c:?}: every seed reduces ({})", s.min());
+    }
+    // cool-start reduction exceeds hot-start reduction (paper: 31 vs 18):
+    // a hot die cools in both runs, shrinking the relative gap.
+    let cool = stat(Condition::FullCool, Metric::TempReductionPct).mean();
+    let hot = stat(Condition::FullHot, Metric::TempReductionPct).mean();
+    assert!(cool > hot, "cool {cool} vs hot {hot}");
+}
+
+#[test]
+fn single_ip_conditions_complete_nearly_everything() {
+    // full battery: the LEM runs at ON1 speed and drains every queue
+    assert!(mean_completion(Condition::FullCool) > 0.999);
+    assert!(mean_completion(Condition::FullHot) > 0.999);
+    // battery Low executes at ON4 (4× slower): on *average* the queue
+    // still drains by the horizon, though individual untuned seeds may
+    // defer a handful of tail tasks — the old single-seed test needed a
+    // tuned seed precisely to make that handful zero
+    assert!(mean_completion(Condition::LowCool) > 0.9);
+    assert!(mean_completion(Condition::LowHot) > 0.9);
+}
+
+// ---- structural tests on the paper's six hand-wired scenarios --------
 
 fn outcomes() -> &'static HashMap<ScenarioId, ScenarioOutcome> {
     static CELL: OnceLock<HashMap<ScenarioId, ScenarioOutcome>> = OnceLock::new();
@@ -18,97 +213,12 @@ fn outcomes() -> &'static HashMap<ScenarioId, ScenarioOutcome> {
     })
 }
 
-fn saving(id: ScenarioId) -> f64 {
-    outcomes()[&id].row.energy_saving_pct
-}
-fn delay(id: ScenarioId) -> f64 {
-    outcomes()[&id].row.delay_overhead_pct
-}
-fn temp_red(id: ScenarioId) -> f64 {
-    outcomes()[&id].row.temp_reduction_pct
-}
-
 #[test]
-fn every_scenario_saves_energy() {
+fn hand_wired_scenarios_save_energy() {
     for id in ScenarioId::ALL {
-        assert!(
-            saving(id) > 10.0,
-            "{id}: saving {} must be significant",
-            saving(id)
-        );
-        assert!(saving(id) < 100.0, "{id}: saving must be physical");
-    }
-}
-
-#[test]
-fn battery_low_saves_more_than_battery_full() {
-    // paper: A2 (55) > A1 (39), A4 (55) > A3 (39) — the ON4 V² dividend.
-    assert!(saving(ScenarioId::A2) > saving(ScenarioId::A1) + 5.0);
-    assert!(saving(ScenarioId::A4) > saving(ScenarioId::A3) + 5.0);
-}
-
-#[test]
-fn gem_scenarios_save_at_least_as_much_as_a2() {
-    // paper: B (65), C (64) >= A2 (55) — blocked low-priority IPs sleep.
-    assert!(saving(ScenarioId::B) + 2.0 >= saving(ScenarioId::A2));
-    assert!(saving(ScenarioId::C) + 2.0 >= saving(ScenarioId::A2));
-}
-
-#[test]
-fn battery_low_multiplies_delay() {
-    // paper: A2 (339) vs A1 (30) — an order of magnitude.
-    assert!(
-        delay(ScenarioId::A2) > 5.0 * delay(ScenarioId::A1),
-        "A2 {} vs A1 {}",
-        delay(ScenarioId::A2),
-        delay(ScenarioId::A1)
-    );
-    // and the paper's regime: roughly the ON1/ON4 slowdown (4x => 300%),
-    // not a saturated queue (thousands of %)
-    assert!(delay(ScenarioId::A2) > 250.0);
-    assert!(delay(ScenarioId::A2) < 800.0);
-}
-
-#[test]
-fn hot_start_delay_is_modest() {
-    // paper: A3 (37) sits between A1 (30) and A2 (339): a brief SL1
-    // cool-down, then business as usual at full speed.
-    assert!(delay(ScenarioId::A3) > delay(ScenarioId::A1));
-    assert!(delay(ScenarioId::A3) < 0.5 * delay(ScenarioId::A2));
-}
-
-#[test]
-fn battery_and_heat_combine_in_a4() {
-    // paper: A4 ≈ A2 in saving and delay (battery dominates).
-    assert!((saving(ScenarioId::A4) - saving(ScenarioId::A2)).abs() < 10.0);
-    assert!(delay(ScenarioId::A4) >= delay(ScenarioId::A2) * 0.8);
-    assert!(delay(ScenarioId::A4) <= delay(ScenarioId::A2) * 2.0);
-}
-
-#[test]
-fn temperature_reduction_everywhere() {
-    for id in ScenarioId::ALL {
-        assert!(temp_red(id) > 0.0, "{id}: temp reduction {}", temp_red(id));
-    }
-    // cool-start reduction exceeds hot-start reduction (paper: 31 vs 18):
-    // a hot die cools in both runs, shrinking the relative gap.
-    assert!(temp_red(ScenarioId::A1) > temp_red(ScenarioId::A3));
-}
-
-#[test]
-fn a_scenarios_complete_everything() {
-    for id in [
-        ScenarioId::A1,
-        ScenarioId::A2,
-        ScenarioId::A3,
-        ScenarioId::A4,
-    ] {
-        let o = &outcomes()[&id];
-        assert_eq!(
-            o.row.completed.0, o.row.completed.1,
-            "{id}: DPM must complete what the baseline completes"
-        );
-        assert_eq!(o.row.deferred, 0, "{id}: nothing deferred at the horizon");
+        let saving = outcomes()[&id].row.energy_saving_pct;
+        assert!(saving > 10.0, "{id}: saving {saving} must be significant");
+        assert!(saving < 100.0, "{id}: saving must be physical");
     }
 }
 
