@@ -142,15 +142,18 @@ impl CampaignArchive {
         self.dir.join("cells").join(format!("cell-{index:05}.json"))
     }
 
-    /// Loads every valid archived record against the expanded grid.
-    /// Invalid or foreign records count as `skipped` and their cells run
-    /// fresh.
+    /// Loads every valid archived record against the given cells (the
+    /// full expanded grid, or any subset of it — records live under their
+    /// **grid** index, so a search evaluating scattered cells hits the
+    /// same cache an exhaustive sweep fills). Slot `i` of the result
+    /// corresponds to `cells[i]`. Invalid or foreign records count as
+    /// `skipped` and their cells run fresh.
     pub fn load(&self, spec: &CampaignSpec, cells: &[ScenarioSpec]) -> ArchiveLoad {
         let mut slots: Vec<Option<ScenarioResult>> = vec![None; cells.len()];
         let mut loaded = 0;
         let mut skipped = 0;
         for (i, cell) in cells.iter().enumerate() {
-            let Ok(text) = std::fs::read_to_string(self.cell_path(i)) else {
+            let Ok(text) = std::fs::read_to_string(self.cell_path(cell.index)) else {
                 continue;
             };
             match serde_json::from_str::<CellRecord>(&text) {

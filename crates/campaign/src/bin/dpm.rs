@@ -3,7 +3,10 @@
 //! ```text
 //! dpm campaign run <spec.toml | --builtin> [--threads N] [--format F] [--per-scenario]
 //!                  [--out FILE] [--resume DIR] [--no-dedup]
-//! dpm campaign list <spec.toml | --builtin>
+//! dpm campaign list <spec.toml | --builtin> [--format F]
+//! dpm search <spec.toml | --builtin> [--objective O] [--constraint C] [--budget N]
+//!            [--start-points N] [--threads N] [--format F] [--out FILE]
+//!            [--resume DIR] [--no-dedup]
 //! dpm table2 [--format F]
 //! dpm quickstart
 //! ```
@@ -15,8 +18,9 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use dpm_campaign::{
-    campaign_ascii, campaign_json, campaign_markdown, run_campaign_with, run_stats_line, summarize,
-    CampaignArchive, CampaignSpec, RunnerConfig,
+    campaign_ascii, campaign_json, campaign_markdown, parse_campaign_toml, run_campaign_with,
+    run_stats_line, search_ascii, search_campaign, search_json, summarize, CampaignArchive,
+    CampaignSpec, Constraint, Objective, RunnerConfig, SearchDefaults, SearchSpec,
 };
 use dpm_soc::experiment::{run_scenario, ScenarioId};
 use dpm_soc::report::{table2_ascii, table2_json, table2_markdown};
@@ -27,7 +31,10 @@ dpm — DATE'05 dynamic power management simulator
 USAGE:
     dpm campaign run  <spec.toml | --builtin> [--threads N] [--format ascii|markdown|json]
                       [--per-scenario] [--out FILE] [--resume DIR] [--no-dedup]
-    dpm campaign list <spec.toml | --builtin>
+    dpm campaign list <spec.toml | --builtin> [--format ascii|json]
+    dpm search <spec.toml | --builtin> [--objective METRIC] [--constraint METRIC<=X]
+               [--budget N] [--start-points N] [--threads N] [--format ascii|json]
+               [--out FILE] [--resume DIR] [--no-dedup]
     dpm table2 [--format ascii|markdown|json]
     dpm quickstart
     dpm help
@@ -36,7 +43,15 @@ A campaign spec is a TOML grid over six axes; see `dpm campaign list
 --builtin` for the built-in sweep and the README for the format.
 `--resume DIR` persists per-cell archives into DIR and skips cells
 already completed there; the aggregate report is byte-identical to a
-cold run. `--no-dedup` disables shared always-ON1 baseline runs.";
+cold run. `--no-dedup` disables shared always-ON1 baseline runs.
+
+`dpm search` climbs the grid adaptively instead of sweeping it: pass an
+objective (metric label or alias, optional min:/max: prefix, e.g.
+energy_saving or min:energy_j), an optional feasibility constraint, and
+an evaluation budget (default: half the grid). A spec's [search] section
+supplies per-spec defaults; flags override it. With --resume DIR the
+campaign directory doubles as a result cache — re-searching it performs
+zero fresh simulations.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +76,7 @@ fn out(text: impl std::fmt::Display) {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("campaign") => campaign(&args[1..]),
+        Some("search") => search(&args[1..]),
         Some("table2") => table2(&args[1..]),
         Some("quickstart") => {
             quickstart();
@@ -138,16 +154,66 @@ impl Opts {
     }
 }
 
-fn load_spec(opts: &Opts) -> Result<CampaignSpec, String> {
+fn load_spec_full(opts: &Opts) -> Result<(CampaignSpec, SearchDefaults), String> {
     if opts.has("builtin") {
-        return Ok(CampaignSpec::default_sweep());
+        return Ok((CampaignSpec::default_sweep(), SearchDefaults::default()));
     }
     let path = opts
         .positionals
         .first()
         .ok_or("expected a spec file path or --builtin")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    CampaignSpec::from_toml(&text).map_err(|e| format!("{path}: {e}"))
+    parse_campaign_toml(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_spec(opts: &Opts) -> Result<CampaignSpec, String> {
+    load_spec_full(opts).map(|(spec, _)| spec)
+}
+
+fn parse_usize_flag(opts: &Opts, name: &str) -> Result<Option<usize>, String> {
+    opts.value(name)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--{name} expects a number, got '{v}'"))
+        })
+        .transpose()
+}
+
+/// Like [`parse_usize_flag`], but zero is rejected (mirroring the
+/// validation the `[search]` TOML section applies to the same knobs).
+fn parse_positive_flag(opts: &Opts, name: &str) -> Result<Option<usize>, String> {
+    match parse_usize_flag(opts, name)? {
+        Some(0) => Err(format!("--{name} must be positive")),
+        other => Ok(other),
+    }
+}
+
+fn open_archive(opts: &Opts, spec: &CampaignSpec) -> Result<Option<CampaignArchive>, String> {
+    match opts.value("resume") {
+        Some(dir) => Ok(Some(CampaignArchive::open(Path::new(dir), spec)?)),
+        None => Ok(None),
+    }
+}
+
+fn warn_archive_errors(errors: &[String]) {
+    for e in errors {
+        eprintln!(
+            "  warning: archive write failed ({e}); \
+             unsaved cells will re-run on the next resume"
+        );
+    }
+}
+
+/// Writes the rendered report to `--out` (logging the path) or stdout.
+fn emit_report(opts: &Opts, rendered: &str) -> Result<(), String> {
+    match opts.value("out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("  report written to {path}");
+        }
+        None => out(rendered),
+    }
+    Ok(())
 }
 
 fn campaign(args: &[String]) -> Result<(), String> {
@@ -161,21 +227,12 @@ fn campaign(args: &[String]) -> Result<(), String> {
     match sub {
         Some("run") => {
             let spec = load_spec(&opts)?;
-            let threads: usize = match opts.value("threads") {
-                Some(v) => v
-                    .parse()
-                    .map_err(|_| format!("--threads expects a number, got '{v}'"))?,
-                None => 0,
-            };
             let config = RunnerConfig {
-                threads,
+                threads: parse_usize_flag(&opts, "threads")?.unwrap_or(0),
                 progress: true,
                 dedup_baselines: !opts.has("no-dedup"),
             };
-            let archive = match opts.value("resume") {
-                Some(dir) => Some(CampaignArchive::open(Path::new(dir), &spec)?),
-                None => None,
-            };
+            let archive = open_archive(&opts, &spec)?;
             eprintln!(
                 "campaign '{}': {} scenarios on {} threads (horizon {} ms, master seed {})",
                 spec.name,
@@ -195,12 +252,7 @@ fn campaign(args: &[String]) -> Result<(), String> {
                 result.results.len() as f64 / wall.as_secs_f64().max(1e-9),
             );
             eprintln!("  {}", run_stats_line(&run.stats));
-            for e in &run.archive_errors {
-                eprintln!(
-                    "  warning: archive write failed ({e}); \
-                     unsaved cells will re-run on the next resume"
-                );
-            }
+            warn_archive_errors(&run.archive_errors);
             for f in result.failures() {
                 eprintln!(
                     "  FAILED #{:04} {}: {}",
@@ -220,26 +272,26 @@ fn campaign(args: &[String]) -> Result<(), String> {
                 }
                 other => return Err(format!("unknown format '{other}'")),
             };
-            match opts.value("out") {
-                Some(path) => {
-                    std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
-                    eprintln!("  report written to {path}");
-                }
-                None => out(&rendered),
-            }
+            emit_report(&opts, &rendered)?;
             Ok(())
         }
         Some("list") => {
             let spec = load_spec(&opts)?;
-            out(format_args!(
-                "campaign '{}': {} scenarios (horizon {} ms, master seed {})",
-                spec.name,
-                spec.scenario_count(),
-                spec.horizon_ms,
-                spec.master_seed,
-            ));
-            for cell in spec.expand() {
-                out(format_args!("  {cell}"));
+            match opts.value("format").unwrap_or("ascii") {
+                "ascii" => {
+                    out(format_args!(
+                        "campaign '{}': {} scenarios (horizon {} ms, master seed {})",
+                        spec.name,
+                        spec.scenario_count(),
+                        spec.horizon_ms,
+                        spec.master_seed,
+                    ));
+                    for cell in spec.expand() {
+                        out(format_args!("  {cell}"));
+                    }
+                }
+                "json" => out(list_json(&spec)),
+                other => return Err(format!("unknown format '{other}'")),
             }
             Ok(())
         }
@@ -247,6 +299,144 @@ fn campaign(args: &[String]) -> Result<(), String> {
             "expected 'campaign run' or 'campaign list'\n\n{USAGE}"
         )),
     }
+}
+
+/// Machine-readable grid description: scalars, per-axis sizes and the
+/// expanded cells — so CI can assert grid shapes without scraping the
+/// human table.
+fn list_json(spec: &CampaignSpec) -> String {
+    use serde_json::Value;
+    let axes = Value::Object(vec![
+        (
+            "controllers".into(),
+            serde::Serialize::to_value(&spec.controllers.len()),
+        ),
+        (
+            "tunings".into(),
+            serde::Serialize::to_value(&spec.tunings.len()),
+        ),
+        (
+            "workloads".into(),
+            serde::Serialize::to_value(&spec.workloads.len()),
+        ),
+        (
+            "seeds".into(),
+            serde::Serialize::to_value(&spec.seeds.len()),
+        ),
+        (
+            "batteries".into(),
+            serde::Serialize::to_value(&spec.batteries.len()),
+        ),
+        (
+            "thermals".into(),
+            serde::Serialize::to_value(&spec.thermals.len()),
+        ),
+        (
+            "ip_counts".into(),
+            serde::Serialize::to_value(&spec.ip_counts.len()),
+        ),
+    ]);
+    let cells: Vec<Value> = spec
+        .expand()
+        .iter()
+        .map(|cell| {
+            Value::Object(vec![
+                ("index".into(), serde::Serialize::to_value(&cell.index)),
+                ("label".into(), Value::String(cell.label())),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("name".into(), Value::String(spec.name.clone())),
+        (
+            "scenarios".into(),
+            serde::Serialize::to_value(&spec.scenario_count()),
+        ),
+        (
+            "horizon_ms".into(),
+            serde::Serialize::to_value(&spec.horizon_ms),
+        ),
+        (
+            "master_seed".into(),
+            serde::Serialize::to_value(&spec.master_seed),
+        ),
+        ("axes".into(), axes),
+        ("cells".into(), Value::Array(cells)),
+    ]);
+    doc.to_json_pretty()
+}
+
+fn search(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "objective",
+            "constraint",
+            "budget",
+            "start-points",
+            "threads",
+            "format",
+            "out",
+            "resume",
+        ],
+        &["builtin", "no-dedup"],
+    )?;
+    let (spec, defaults) = load_spec_full(&opts)?;
+
+    // CLI flags override the spec's [search] section
+    let objective = match opts.value("objective") {
+        Some(text) => Objective::parse(text)?,
+        None => defaults
+            .objective
+            .ok_or("no objective: pass --objective or add a [search] section to the spec")?,
+    };
+    let constraint = match opts.value("constraint") {
+        Some(text) => Some(Constraint::parse(text)?),
+        None => defaults.constraint,
+    };
+    let objective = match constraint {
+        Some(c) => objective.with_constraint(c),
+        None => objective,
+    };
+    let grid = spec.scenario_count();
+    let budget = parse_positive_flag(&opts, "budget")?
+        .or(defaults.budget)
+        .unwrap_or_else(|| grid.div_ceil(2));
+    let mut search_spec = SearchSpec::new(objective, budget);
+    if let Some(points) = parse_positive_flag(&opts, "start-points")?.or(defaults.start_points) {
+        search_spec.start_points = points;
+    }
+
+    let config = RunnerConfig {
+        threads: parse_usize_flag(&opts, "threads")?.unwrap_or(0),
+        progress: false,
+        dedup_baselines: !opts.has("no-dedup"),
+    };
+    let archive = open_archive(&opts, &spec)?;
+    eprintln!(
+        "search '{}': {} over a {}-cell grid, budget {}",
+        spec.name,
+        search_spec.objective.describe(),
+        grid,
+        search_spec.budget,
+    );
+    let started = std::time::Instant::now();
+    let outcome = search_campaign(&spec, &search_spec, &config, archive.as_ref())?;
+    eprintln!(
+        "  {} cells evaluated in {} rounds in {:.2?}; {}",
+        outcome.report.evaluated,
+        outcome.report.rounds,
+        started.elapsed(),
+        run_stats_line(&outcome.stats),
+    );
+    warn_archive_errors(&outcome.archive_errors);
+    let rendered = match opts.value("format").unwrap_or("ascii") {
+        "ascii" => search_ascii(&outcome.report),
+        "json" => search_json(&outcome.report).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format '{other}'")),
+    };
+    emit_report(&opts, &rendered)?;
+    Ok(())
 }
 
 fn table2(args: &[String]) -> Result<(), String> {
@@ -363,5 +553,84 @@ mod tests {
         let err = run(&args(&["campaign", "run", "--builtin", "--resumee", "x"])).unwrap_err();
         assert!(err.contains("--resume"), "{err}");
         assert!(err.contains("--no-dedup"), "{err}");
+    }
+
+    #[test]
+    fn search_without_an_objective_is_a_clear_error() {
+        let err = run(&args(&["search", "--builtin", "--budget", "2"])).unwrap_err();
+        assert!(err.contains("no objective"), "{err}");
+    }
+
+    #[test]
+    fn search_rejects_bad_objectives_budgets_and_formats() {
+        let err = run(&args(&["search", "--builtin", "--objective", "warp"])).unwrap_err();
+        assert!(err.contains("unknown metric"), "{err}");
+        let err = run(&args(&[
+            "search",
+            "--builtin",
+            "--objective",
+            "energy_saving",
+            "--budget",
+            "two",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--budget expects a number"), "{err}");
+        let err = run(&args(&[
+            "search",
+            "--builtin",
+            "--objective",
+            "energy_saving",
+            "--budget",
+            "2",
+            "--format",
+            "yaml",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown format"), "{err}");
+    }
+
+    #[test]
+    fn search_rejects_zero_budget_and_start_points_like_the_toml_layer() {
+        for flag in ["--budget", "--start-points"] {
+            let err = run(&args(&[
+                "search",
+                "--builtin",
+                "--objective",
+                "energy_saving",
+                flag,
+                "0",
+            ]))
+            .unwrap_err();
+            assert!(err.contains("must be positive"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn search_picks_up_spec_search_defaults() {
+        let spec_path = tmp_path("search-defaults.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"defaulted\"\nhorizon_ms = 2\n\n[axes]\nworkloads = [\"low\"]\n\
+             seeds = [1]\nthermals = [\"cool\"]\nip_counts = [1]\n\n\
+             [search]\nobjective = \"energy_saving\"\nbudget = 2\n",
+        )
+        .unwrap();
+        let out_path = tmp_path("search-defaults.json");
+        run(&args(&[
+            "search",
+            spec_path.to_str().unwrap(),
+            "--format",
+            "json",
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["budget"].as_u64(), Some(2));
+        assert_eq!(v["evaluated"].as_u64(), Some(2));
+        assert_eq!(v["objective"].as_str(), Some("maximize energy_saving_pct"));
+        let _ = std::fs::remove_file(&spec_path);
+        let _ = std::fs::remove_file(&out_path);
     }
 }

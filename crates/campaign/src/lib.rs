@@ -12,8 +12,10 @@
 //! | spec | [`spec`] | [`CampaignSpec`] grid, named axes, cartesian expansion |
 //! | runner | [`runner`] | scoped thread pool, baseline dedup, panic isolation |
 //! | archive | [`archive`] | per-cell JSON records, resumable campaign directories |
+//! | objective | [`objective`] | search objectives: metric, direction, constraints |
+//! | search | [`search`] | budgeted adaptive neighborhood search over the grid |
 //! | aggregation | [`aggregate`] | streaming stats, percentiles, winners, roll-ups |
-//! | report | [`report`] | ASCII / Markdown / JSON campaign tables |
+//! | report | [`report`] | ASCII / Markdown / JSON campaign + search reports |
 //! | persistence | [`toml_spec`] | TOML spec loading (minimal in-crate parser) |
 //!
 //! Determinism is the load-bearing property: scenario indices come from
@@ -46,8 +48,10 @@
 
 pub mod aggregate;
 pub mod archive;
+pub mod objective;
 pub mod report;
 pub mod runner;
+pub mod search;
 pub mod spec;
 pub mod toml_spec;
 
@@ -55,11 +59,19 @@ pub use aggregate::{
     metric_stat_where, summarize, CampaignSummary, Metric, MetricSummary, StreamingStat,
 };
 pub use archive::{spec_fingerprint, ArchiveLoad, CampaignArchive, CellRecord, ARCHIVE_VERSION};
-pub use report::{campaign_ascii, campaign_json, campaign_markdown, run_stats_line};
+pub use objective::{parse_metric, CellScore, Constraint, ConstraintOp, Direction, Objective};
+pub use report::{
+    campaign_ascii, campaign_json, campaign_markdown, run_stats_line, search_ascii, search_json,
+};
 pub use runner::{
-    run_campaign, run_campaign_with, run_scenario_cell, CampaignResult, CampaignRun, RunStats,
-    RunnerConfig, ScenarioMetrics, ScenarioResult,
+    run_campaign, run_campaign_with, run_cells_with, run_scenario_cell, BaselineCache,
+    CampaignResult, CampaignRun, RunStats, RunnerConfig, ScenarioMetrics, ScenarioResult,
+};
+pub use search::{
+    search_campaign, Evaluation, SearchBest, SearchOutcome, SearchReport, SearchSpec,
+    DEFAULT_START_POINTS,
 };
 pub use spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, TuningAxis, WorkloadAxis,
 };
+pub use toml_spec::{parse_campaign_toml, SearchDefaults};

@@ -1,0 +1,384 @@
+//! Search objectives: what "best cell" means.
+//!
+//! An [`Objective`] names a metric, a direction (maximize or minimize —
+//! defaulting to the metric's natural "better" direction), and an
+//! optional [`Constraint`] (e.g. *energy saving subject to mean delay
+//! overhead ≤ 5 %*). Cells violating the constraint are **infeasible**:
+//! any feasible cell outranks every infeasible one, and infeasible cells
+//! still compare by objective value so a search can climb back into the
+//! feasible region. Failed (panicked) cells score as `None` and rank
+//! below everything.
+//!
+//! All comparisons are strict; callers break ties by **grid index**, so
+//! a search and an exhaustive sweep agree on the winner bit for bit.
+
+use core::fmt;
+
+use crate::aggregate::Metric;
+use crate::runner::ScenarioResult;
+
+/// Whether larger or smaller objective values win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Direction {
+    /// Larger values win.
+    Maximize,
+    /// Smaller values win.
+    Minimize,
+}
+
+/// Comparison operator of a [`Constraint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ConstraintOp {
+    /// Metric must be `<=` the bound.
+    Le,
+    /// Metric must be `>=` the bound.
+    Ge,
+}
+
+/// A feasibility bound on one metric, e.g. `delay_overhead_pct <= 5`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Constraint {
+    /// The constrained metric.
+    pub metric: Metric,
+    /// The comparison direction.
+    pub op: ConstraintOp,
+    /// The bound.
+    pub bound: f64,
+}
+
+impl Constraint {
+    /// Parses `metric<=bound` or `metric>=bound` (e.g.
+    /// `delay_overhead_pct<=5`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the operator is missing, the metric is
+    /// unknown, or the bound is not a number.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (metric_name, op, bound_text) = if let Some((m, b)) = s.split_once("<=") {
+            (m, ConstraintOp::Le, b)
+        } else if let Some((m, b)) = s.split_once(">=") {
+            (m, ConstraintOp::Ge, b)
+        } else {
+            return Err(format!(
+                "constraint '{s}' must look like 'metric<=bound' or 'metric>=bound'"
+            ));
+        };
+        let metric = parse_metric(metric_name.trim())?;
+        let bound: f64 = bound_text
+            .trim()
+            .parse()
+            .map_err(|_| format!("constraint bound '{}' is not a number", bound_text.trim()))?;
+        Ok(Self { metric, op, bound })
+    }
+
+    /// `true` when `value` satisfies the bound.
+    pub fn holds(&self, value: f64) -> bool {
+        match self.op {
+            ConstraintOp::Le => value <= self.bound,
+            ConstraintOp::Ge => value >= self.bound,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+        };
+        write!(f, "{} {op} {}", self.metric.label(), self.bound)
+    }
+}
+
+/// What the search optimizes: a metric, a direction, and an optional
+/// feasibility constraint.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Objective {
+    /// The optimized metric.
+    pub metric: Metric,
+    /// Whether larger or smaller values win.
+    pub direction: Direction,
+    /// Optional feasibility bound on a (possibly different) metric.
+    pub constraint: Option<Constraint>,
+}
+
+/// One evaluated cell's standing under an objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellScore {
+    /// The objective metric's value.
+    pub value: f64,
+    /// `true` when the constraint (if any) holds.
+    pub feasible: bool,
+}
+
+impl Objective {
+    /// An unconstrained objective in the metric's natural direction
+    /// (its [`Metric::higher_is_better`]).
+    pub fn for_metric(metric: Metric) -> Self {
+        Self {
+            metric,
+            direction: if metric.higher_is_better() {
+                Direction::Maximize
+            } else {
+                Direction::Minimize
+            },
+            constraint: None,
+        }
+    }
+
+    /// Parses an objective expression: a metric name (label or alias,
+    /// see [`parse_metric`]) with an optional `min:`/`max:` prefix, e.g.
+    /// `energy_saving`, `min:energy_j`, `max:final_soc`. Without a
+    /// prefix the metric's natural direction applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the metric name is unknown.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (direction, name) = match s.split_once(':') {
+            Some(("min", rest)) => (Some(Direction::Minimize), rest),
+            Some(("max", rest)) => (Some(Direction::Maximize), rest),
+            Some((other, _)) => {
+                return Err(format!(
+                    "unknown objective prefix '{other}:' (expected 'min:' or 'max:')"
+                ))
+            }
+            None => (None, s),
+        };
+        let mut objective = Self::for_metric(parse_metric(name.trim())?);
+        if let Some(d) = direction {
+            objective.direction = d;
+        }
+        Ok(objective)
+    }
+
+    /// This objective with a feasibility constraint attached.
+    pub fn with_constraint(mut self, constraint: Constraint) -> Self {
+        self.constraint = Some(constraint);
+        self
+    }
+
+    /// Scores one result; `None` for failed (panicked) cells.
+    pub fn score(&self, result: &ScenarioResult) -> Option<CellScore> {
+        let value = self.metric.extract(result)?;
+        let feasible = match self.constraint {
+            Some(c) => c.holds(c.metric.extract(result)?),
+            None => true,
+        };
+        Some(CellScore { value, feasible })
+    }
+
+    /// Strictly-better comparison: feasible beats infeasible, then the
+    /// objective value decides in this objective's direction. Ties are
+    /// *not* better — callers resolve them by grid index.
+    pub fn better(&self, a: CellScore, b: CellScore) -> bool {
+        if a.feasible != b.feasible {
+            return a.feasible;
+        }
+        match self.direction {
+            Direction::Maximize => a.value.total_cmp(&b.value) == std::cmp::Ordering::Greater,
+            Direction::Minimize => a.value.total_cmp(&b.value) == std::cmp::Ordering::Less,
+        }
+    }
+
+    /// The best cell of a result set: the exhaustive-campaign reference
+    /// the search must reproduce. Ties go to the lowest grid index;
+    /// `None` when every cell failed.
+    pub fn argbest<'a>(
+        &self,
+        results: impl IntoIterator<Item = &'a ScenarioResult>,
+    ) -> Option<&'a ScenarioResult> {
+        let mut best: Option<(&ScenarioResult, CellScore)> = None;
+        for r in results {
+            let Some(score) = self.score(r) else { continue };
+            let wins = match &best {
+                None => true,
+                Some((br, bs)) => {
+                    self.better(score, *bs)
+                        || (!self.better(*bs, score) && r.scenario.index < br.scenario.index)
+                }
+            };
+            if wins {
+                best = Some((r, score));
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Human-readable form, e.g.
+    /// `maximize energy_saving_pct s.t. delay_overhead_pct <= 5`.
+    pub fn describe(&self) -> String {
+        let verb = match self.direction {
+            Direction::Maximize => "maximize",
+            Direction::Minimize => "minimize",
+        };
+        match &self.constraint {
+            Some(c) => format!("{verb} {} s.t. {c}", self.metric.label()),
+            None => format!("{verb} {}", self.metric.label()),
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Short CLI-friendly aliases for the metric labels.
+const METRIC_ALIASES: &[(&str, Metric)] = &[
+    ("energy_saving", Metric::EnergySavingPct),
+    ("energy", Metric::EnergyJ),
+    ("delay", Metric::DelayOverheadPct),
+    ("temp_reduction", Metric::TempReductionPct),
+    ("latency", Metric::MeanLatencyUs),
+    ("low_power", Metric::LowPowerFrac),
+    ("soc", Metric::FinalSoc),
+];
+
+/// Parses a metric by its report label (`energy_saving_pct`, …) or a
+/// short alias (`energy_saving`, `energy`, `delay`, `temp_reduction`,
+/// `latency`, `low_power`, `soc`).
+///
+/// # Errors
+///
+/// Returns a description listing the accepted names.
+pub fn parse_metric(s: &str) -> Result<Metric, String> {
+    if let Some(m) = Metric::ALL.into_iter().find(|m| m.label() == s) {
+        return Ok(m);
+    }
+    if let Some((_, m)) = METRIC_ALIASES.iter().find(|(alias, _)| *alias == s) {
+        return Ok(*m);
+    }
+    let labels: Vec<&str> = Metric::ALL.iter().map(|m| m.label()).collect();
+    let aliases: Vec<&str> = METRIC_ALIASES.iter().map(|(a, _)| *a).collect();
+    Err(format!(
+        "unknown metric '{s}' (expected one of: {}; aliases: {})",
+        labels.join(", "),
+        aliases.join(", ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn result_with(index: usize, saving: f64, delay: f64) -> ScenarioResult {
+        let spec = CampaignSpec::default_sweep();
+        let mut cell = spec.cell_at(0);
+        cell.index = index;
+        let mut metrics = crate::runner::ScenarioMetrics {
+            completed: 1,
+            total_tasks: 1,
+            deferred: 0,
+            energy_j: 1.0,
+            baseline_energy_j: 1.0,
+            energy_saving_pct: saving,
+            temp_reduction_pct: 0.0,
+            delay_overhead_pct: delay,
+            mean_latency_us: 10.0,
+            max_temp_c: 30.0,
+            final_soc: 0.9,
+            low_power_frac: 0.5,
+        };
+        metrics.energy_j = 100.0 - saving;
+        ScenarioResult {
+            scenario: cell,
+            metrics: Some(metrics),
+            error: None,
+        }
+    }
+
+    #[test]
+    fn parse_labels_aliases_and_prefixes() {
+        assert_eq!(
+            Objective::parse("energy_saving_pct").unwrap(),
+            Objective::for_metric(Metric::EnergySavingPct)
+        );
+        assert_eq!(
+            Objective::parse("energy_saving").unwrap().metric,
+            Metric::EnergySavingPct
+        );
+        let min_saving = Objective::parse("min:energy_saving").unwrap();
+        assert_eq!(min_saving.direction, Direction::Minimize);
+        let max_energy = Objective::parse("max:energy_j").unwrap();
+        assert_eq!(max_energy.direction, Direction::Maximize);
+        assert!(Objective::parse("warp_factor")
+            .unwrap_err()
+            .contains("unknown metric"));
+        assert!(Objective::parse("most:energy")
+            .unwrap_err()
+            .contains("prefix"));
+    }
+
+    #[test]
+    fn natural_directions_follow_the_metric() {
+        assert_eq!(
+            Objective::for_metric(Metric::EnergyJ).direction,
+            Direction::Minimize
+        );
+        assert_eq!(
+            Objective::for_metric(Metric::EnergySavingPct).direction,
+            Direction::Maximize
+        );
+    }
+
+    #[test]
+    fn constraints_parse_and_gate_feasibility() {
+        let c = Constraint::parse("delay_overhead_pct<=5").unwrap();
+        assert!(c.holds(5.0) && !c.holds(5.1));
+        let c = Constraint::parse(" final_soc >= 0.5 ").unwrap();
+        assert!(c.holds(0.5) && !c.holds(0.4));
+        assert!(Constraint::parse("delay_overhead_pct=5")
+            .unwrap_err()
+            .contains("must look like"));
+        assert!(Constraint::parse("nope<=5")
+            .unwrap_err()
+            .contains("unknown metric"));
+        assert!(Constraint::parse("final_soc<=lots")
+            .unwrap_err()
+            .contains("not a number"));
+    }
+
+    #[test]
+    fn feasible_cells_outrank_better_infeasible_ones() {
+        let objective = Objective::parse("energy_saving")
+            .unwrap()
+            .with_constraint(Constraint::parse("delay_overhead_pct<=3").unwrap());
+        let feasible = result_with(0, 10.0, 1.0);
+        let infeasible = result_with(1, 50.0, 9.0);
+        let best = objective.argbest([&infeasible, &feasible]).unwrap();
+        assert_eq!(best.scenario.index, 0);
+        // without the constraint the bigger saving wins
+        let best = Objective::parse("energy_saving")
+            .unwrap()
+            .argbest([&infeasible, &feasible])
+            .unwrap();
+        assert_eq!(best.scenario.index, 1);
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_grid_index() {
+        let objective = Objective::parse("energy_saving").unwrap();
+        let a = result_with(7, 10.0, 1.0);
+        let b = result_with(3, 10.0, 1.0);
+        assert_eq!(objective.argbest([&a, &b]).unwrap().scenario.index, 3);
+        assert_eq!(objective.argbest([&b, &a]).unwrap().scenario.index, 3);
+    }
+
+    #[test]
+    fn failed_cells_never_win() {
+        let objective = Objective::parse("energy_saving").unwrap();
+        let ok = result_with(5, 1.0, 1.0);
+        let failed = ScenarioResult {
+            scenario: ok.scenario,
+            metrics: None,
+            error: Some("boom".into()),
+        };
+        assert!(objective.score(&failed).is_none());
+        assert_eq!(objective.argbest([&failed, &ok]).unwrap().scenario.index, 5);
+        assert!(objective.argbest([&failed]).is_none());
+    }
+}

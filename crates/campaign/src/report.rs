@@ -3,6 +3,7 @@
 
 use crate::aggregate::CampaignSummary;
 use crate::runner::{CampaignResult, RunStats};
+use crate::search::SearchReport;
 
 /// One-line human summary of a run's work accounting (resume hits,
 /// dedup savings). Printed to stderr by the CLI — deliberately kept out
@@ -164,6 +165,63 @@ pub fn campaign_json(
     serde_json::to_string_pretty(&serde_json::Value::Object(archive))
 }
 
+/// Renders a search report as ASCII: objective, budget accounting, the
+/// winning cell with its headline metrics, and the improvement
+/// trajectory.
+pub fn search_ascii(report: &SearchReport) -> String {
+    let mut out = format!(
+        "search '{}': {}\n  {} of {} grid cells evaluated in {} rounds (budget {}, {:.1}% of the grid)\n",
+        report.name,
+        report.objective,
+        report.evaluated,
+        report.grid_cells,
+        report.rounds,
+        report.budget,
+        100.0 * report.evaluated as f64 / report.grid_cells.max(1) as f64,
+    );
+    match &report.best {
+        Some(best) => {
+            out.push_str(&format!(
+                "\nbest cell: #{:04} {}\n  objective = {:.4}{}\n  saving {:.2}% | delay {:.2}% | energy {:.4} J | temp -{:.2}% | low-power {:.3} | final soc {:.3}\n",
+                best.index,
+                best.label,
+                best.value,
+                if best.feasible { "" } else { "  (INFEASIBLE — no evaluated cell met the constraint)" },
+                best.metrics.energy_saving_pct,
+                best.metrics.delay_overhead_pct,
+                best.metrics.energy_j,
+                best.metrics.temp_reduction_pct,
+                best.metrics.low_power_frac,
+                best.metrics.final_soc,
+            ));
+        }
+        None => out.push_str("\nbest cell: none (every evaluated cell failed)\n"),
+    }
+    out.push_str("\ntrajectory (improvements only):\n");
+    for e in report.trajectory.iter().filter(|e| e.improved) {
+        out.push_str(&format!(
+            "  round {:>3}: #{:04} {} = {:.4}{}\n",
+            e.round,
+            e.index,
+            e.label,
+            e.value.unwrap_or(f64::NAN),
+            if e.feasible { "" } else { "  (infeasible)" },
+        ));
+    }
+    out
+}
+
+/// Serializes a search report as pretty JSON. Byte-identical across
+/// thread counts and archived/fresh mixes (work accounting is kept out
+/// of the report for exactly this reason).
+///
+/// # Errors
+///
+/// Propagates serializer errors (none in the in-tree shim).
+pub fn search_json(report: &SearchReport) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +252,33 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["summary"]["name"], "default_sweep");
         assert!(v["results"]["results"].get_index(0).is_some());
+    }
+
+    #[test]
+    fn search_report_renders_and_round_trips() {
+        use crate::aggregate::Metric;
+        use crate::objective::Objective;
+        use crate::search::{search_campaign, SearchSpec};
+        use crate::spec::CampaignSpec;
+
+        let mut spec = CampaignSpec::default_sweep();
+        spec.horizon_ms = 5;
+        spec.seeds = vec![1];
+        spec.ip_counts = vec![1];
+        let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 4);
+        let out = search_campaign(&spec, &search, &RunnerConfig::serial(), None).unwrap();
+        let ascii = search_ascii(&out.report);
+        assert!(ascii.contains("maximize energy_saving_pct"), "{ascii}");
+        assert!(ascii.contains("best cell: #"), "{ascii}");
+        assert!(ascii.contains("trajectory"), "{ascii}");
+        let json = search_json(&out.report).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["grid_cells"].as_u64(), Some(8));
+        assert!(v["best"]["label"].as_str().is_some());
+        assert!(
+            v.get("stats").is_none(),
+            "work accounting stays out of the report"
+        );
     }
 
     #[test]

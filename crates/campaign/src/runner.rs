@@ -190,6 +190,53 @@ pub struct RunStats {
     pub reused_baselines: usize,
 }
 
+impl RunStats {
+    /// Folds another run's work accounting into this one, field by field.
+    /// Used by multi-batch drivers (the search loop) to report the total
+    /// work of a sequence of partial runs; callers owning a fixed grid
+    /// overwrite `total_cells` afterwards rather than letting batches sum.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.total_cells += other.total_cells;
+        self.archived_cells += other.archived_cells;
+        self.executed_cells += other.executed_cells;
+        self.simulations += other.simulations;
+        self.baseline_groups += other.baseline_groups;
+        self.reused_baselines += other.reused_baselines;
+    }
+}
+
+/// Cross-run cache of shared always-`ON1` baseline results, keyed by the
+/// axes a baseline depends on (everything but controller/tuning).
+///
+/// One exhaustive sweep computes each baseline group exactly once; a
+/// *sequence* of partial runs over the same spec — the adaptive search
+/// evaluating one batch of cells per round — would recompute a group
+/// every time a batch touches it. Threading one `BaselineCache` through
+/// the sequence restores the exhaustive sharing: a group simulates on
+/// first use and is served from memory afterwards. Results are
+/// deterministic, so serving from the cache never changes any metric.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    map: HashMap<BaselineKey, Result<SocMetrics, String>>,
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Baseline groups cached so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no group has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// A campaign execution: the (thread-count-invariant) results plus the
 /// work accounting of this particular run.
 #[derive(Debug, Clone)]
@@ -383,12 +430,38 @@ pub fn run_campaign_with(
     archive: Option<&CampaignArchive>,
 ) -> Result<CampaignRun, String> {
     spec.validate()?;
-    let cells = spec.expand();
+    run_cells_with(spec, &spec.expand(), config, archive, None)
+}
+
+/// Runs an arbitrary subset of a campaign's cells (the search engine's
+/// batch primitive), with the same archive and dedup machinery as a full
+/// run. Results come back in `cells` order; archive records are keyed by
+/// **grid** index, so batches and exhaustive sweeps share one cache.
+///
+/// An optional [`BaselineCache`] carries shared always-`ON1` baselines
+/// across calls: groups already cached are served from memory instead of
+/// re-simulating, which restores exhaustive-sweep sharing to a sequence
+/// of batches. All determinism guarantees of [`run_campaign_with`] hold
+/// per batch.
+///
+/// # Errors
+///
+/// Returns a description when the spec is invalid; scenario panics and
+/// archive-write failures are reported in the result, as in
+/// [`run_campaign_with`].
+pub fn run_cells_with(
+    spec: &CampaignSpec,
+    cells: &[ScenarioSpec],
+    config: &RunnerConfig,
+    archive: Option<&CampaignArchive>,
+    cache: Option<&mut BaselineCache>,
+) -> Result<CampaignRun, String> {
+    spec.validate()?;
     let total = cells.len();
 
     // resume: prefill result slots from the archive
     let mut slots: Vec<Option<ScenarioResult>> = match archive {
-        Some(a) => a.load(spec, &cells).slots,
+        Some(a) => a.load(spec, cells).slots,
         None => vec![None; total],
     };
     let archived_cells = slots.iter().filter(|s| s.is_some()).count();
@@ -409,7 +482,20 @@ pub fn run_campaign_with(
         }
     }
 
-    let work = groups.len() + missing.len();
+    // groups already in the cross-call cache are served from memory;
+    // only the rest simulate
+    let mut baselines: Vec<Option<Result<SocMetrics, String>>> = match &cache {
+        Some(c) => groups
+            .iter()
+            .map(|g| c.map.get(&baseline_key(g)).cloned())
+            .collect(),
+        None => vec![None; groups.len()],
+    };
+    let to_run: Vec<usize> = (0..groups.len())
+        .filter(|&g| baselines[g].is_none())
+        .collect();
+
+    let work = to_run.len() + missing.len();
     let threads = config.effective_threads().min(work.max(1));
     let done = AtomicUsize::new(0);
     let progress = config.progress.then_some((&done, work));
@@ -421,16 +507,28 @@ pub fn run_campaign_with(
     // phase A: shared baselines (build_config inside the catch — a
     // panicking trace generator must fail the group's cells, not the
     // whole campaign, exactly as it would without dedup)
-    let baselines: Vec<Result<SocMetrics, String>> =
-        parallel_map(threads, groups.len(), progress, |g| {
+    let fresh_baselines: Vec<Result<SocMetrics, String>> =
+        parallel_map(threads, to_run.len(), progress, |k| {
             sims.fetch_add(1, Ordering::Relaxed);
             caught(|| {
-                let cfg = groups[g]
+                let cfg = groups[to_run[k]]
                     .build_config(spec)
                     .with_controller(ControllerKind::AlwaysOn);
                 run_to_metrics(&cfg, spec.horizon())
             })
         });
+    for (k, result) in fresh_baselines.into_iter().enumerate() {
+        baselines[to_run[k]] = Some(result);
+    }
+    let baselines: Vec<Result<SocMetrics, String>> = baselines
+        .into_iter()
+        .map(|b| b.expect("every baseline group is resolved"))
+        .collect();
+    if let Some(c) = cache {
+        for &g in &to_run {
+            c.map.insert(baseline_key(&groups[g]), baselines[g].clone());
+        }
+    }
 
     // phase B: the cells themselves (storing fresh results as they land,
     // so a killed sweep keeps everything finished so far)
@@ -471,7 +569,7 @@ pub fn run_campaign_with(
             archived_cells,
             executed_cells: missing.len(),
             simulations: sims.into_inner(),
-            baseline_groups: groups.len(),
+            baseline_groups: to_run.len(),
             reused_baselines: reused.into_inner(),
         },
         archive_errors,

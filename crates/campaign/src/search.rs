@@ -1,0 +1,386 @@
+//! Adaptive campaign search: a budgeted, deterministic neighborhood
+//! climber over a [`CampaignSpec`] grid.
+//!
+//! Instead of simulating the full cartesian product, the search
+//!
+//! 1. evaluates a **start frontier** of cells spread evenly across the
+//!    grid (even spacing beats corner-seeding on monotone axes and costs
+//!    nothing in determinism),
+//! 2. repeatedly expands the best evaluated-but-unexpanded cell's
+//!    **single-axis neighbors** ([`CampaignSpec::neighbors_of`]),
+//! 3. **restarts** from the lowest-index unevaluated cell when every
+//!    evaluated cell's neighborhood is exhausted (a local optimum), and
+//! 4. stops when the evaluation **budget** is spent or the grid is
+//!    fully evaluated.
+//!
+//! The restart rule makes the search *complete*: with `budget >= grid
+//! size` it degenerates to an exhaustive sweep and returns exactly the
+//! campaign argmax (same comparator, same grid-index tie-break).
+//!
+//! Batches run through [`run_cells_with`], so everything the campaign
+//! runner guarantees carries over: results are thread-count invariant, a
+//! campaign archive acts as a **result cache** (re-searching a directory
+//! never re-simulates an archived cell), and a [`BaselineCache`] shares
+//! always-`ON1` baselines across rounds the way one exhaustive sweep
+//! would. The [`SearchReport`] is therefore byte-identical across thread
+//! counts and archived/fresh mixes; only [`SearchOutcome::stats`] (work
+//! actually done) differs, which is why it is not part of the report.
+
+use crate::archive::CampaignArchive;
+use crate::objective::{CellScore, Objective};
+use crate::runner::{run_cells_with, BaselineCache, RunStats, RunnerConfig, ScenarioMetrics};
+use crate::spec::{CampaignSpec, ScenarioSpec};
+
+/// Default number of start-frontier cells.
+pub const DEFAULT_START_POINTS: usize = 4;
+
+/// What to search for and how hard: the objective plus the evaluation
+/// budget (distinct cells scored, archived hits included — a cache hit
+/// spends budget but no simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpec {
+    /// What "best" means.
+    pub objective: Objective,
+    /// Maximum distinct cells to evaluate (clamped to the grid size).
+    pub budget: usize,
+    /// Start-frontier size (clamped to the budget and the grid).
+    pub start_points: usize,
+}
+
+impl SearchSpec {
+    /// A search with the default start frontier.
+    pub fn new(objective: Objective, budget: usize) -> Self {
+        Self {
+            objective,
+            budget,
+            start_points: DEFAULT_START_POINTS,
+        }
+    }
+}
+
+/// One scored cell in evaluation order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Evaluation {
+    /// Search round (0 = start frontier).
+    pub round: usize,
+    /// Grid index of the cell.
+    pub index: usize,
+    /// Human-readable cell label.
+    pub label: String,
+    /// Objective value; `None` when the cell failed (panicked).
+    pub value: Option<f64>,
+    /// Whether the constraint held (vacuously `true` without one,
+    /// `false` for failed cells).
+    pub feasible: bool,
+    /// `true` when this evaluation became the best cell so far.
+    pub improved: bool,
+}
+
+/// The winning cell.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SearchBest {
+    /// Grid index.
+    pub index: usize,
+    /// Human-readable cell label.
+    pub label: String,
+    /// Objective value.
+    pub value: f64,
+    /// Whether the constraint held (`false` means *no* evaluated cell
+    /// was feasible; the least-bad infeasible cell is reported).
+    pub feasible: bool,
+    /// The cell's full metrics.
+    pub metrics: ScenarioMetrics,
+}
+
+/// The deterministic search result: byte-identical for any thread count
+/// and any archived/fresh mix (work accounting deliberately lives in
+/// [`SearchOutcome::stats`] instead).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SearchReport {
+    /// Campaign name.
+    pub name: String,
+    /// Human-readable objective ([`Objective::describe`]).
+    pub objective: String,
+    /// Cells in the full grid.
+    pub grid_cells: usize,
+    /// The requested evaluation budget.
+    pub budget: usize,
+    /// Distinct cells actually evaluated.
+    pub evaluated: usize,
+    /// Search rounds executed.
+    pub rounds: usize,
+    /// The winner; `None` only when every evaluated cell failed.
+    pub best: Option<SearchBest>,
+    /// Every evaluation, in order.
+    pub trajectory: Vec<Evaluation>,
+}
+
+/// A finished search: the deterministic report plus this run's work
+/// accounting.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// The (run-invariant) search report.
+    pub report: SearchReport,
+    /// Work done by this particular run, summed over all batches;
+    /// `total_cells` is the grid size, so `simulations` vs
+    /// `2 * total_cells` is the saving over a dedup-free exhaustive
+    /// sweep.
+    pub stats: RunStats,
+    /// Archive-write failures, as in [`crate::runner::CampaignRun`].
+    pub archive_errors: Vec<String>,
+}
+
+/// Per-cell search state.
+struct Scoreboard<'a> {
+    objective: &'a Objective,
+    /// `None` = unevaluated; `Some(None)` = evaluated but failed.
+    scores: Vec<Option<Option<CellScore>>>,
+    expanded: Vec<bool>,
+    best: Option<(usize, CellScore)>,
+    evaluated: usize,
+}
+
+impl<'a> Scoreboard<'a> {
+    fn new(objective: &'a Objective, n: usize) -> Self {
+        Self {
+            objective,
+            scores: vec![None; n],
+            expanded: vec![false; n],
+            best: None,
+            evaluated: 0,
+        }
+    }
+
+    /// Records a score; returns `true` when the cell became the new best
+    /// (strictly better, or equal with a lower grid index).
+    fn record(&mut self, index: usize, score: Option<CellScore>) -> bool {
+        debug_assert!(self.scores[index].is_none(), "cell evaluated twice");
+        self.scores[index] = Some(score);
+        self.evaluated += 1;
+        let Some(score) = score else { return false };
+        let wins = match self.best {
+            None => true,
+            Some((bi, bs)) => {
+                self.objective.better(score, bs)
+                    || (!self.objective.better(bs, score) && index < bi)
+            }
+        };
+        if wins {
+            self.best = Some((index, score));
+        }
+        wins
+    }
+
+    fn is_evaluated(&self, index: usize) -> bool {
+        self.scores[index].is_some()
+    }
+
+    /// The best evaluated, not-yet-expanded, non-failed cell (ties to
+    /// the lowest index), or `None` when the whole evaluated set has
+    /// been expanded.
+    fn best_unexpanded(&self) -> Option<usize> {
+        let mut best: Option<(usize, CellScore)> = None;
+        for (i, slot) in self.scores.iter().enumerate() {
+            if self.expanded[i] {
+                continue;
+            }
+            let Some(Some(score)) = slot else { continue };
+            let wins = match best {
+                None => true,
+                Some((_, bs)) => self.objective.better(*score, bs),
+            };
+            if wins {
+                best = Some((i, *score));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// The lowest-index unevaluated cell (the restart point).
+    fn first_unevaluated(&self) -> Option<usize> {
+        self.scores.iter().position(Option::is_none)
+    }
+}
+
+/// Evenly-spread start frontier: `count` cells at indices `k * n /
+/// count` — deterministic and strictly increasing for `count <= n`.
+fn start_frontier(n: usize, count: usize) -> Vec<usize> {
+    (0..count).map(|k| k * n / count).collect()
+}
+
+/// The next batch of unevaluated cells: the best unexpanded cell's
+/// unevaluated single-axis neighbors, falling back through
+/// progressively worse unexpanded cells, then to a restart from the
+/// lowest-index unevaluated cell. Empty only when the grid is fully
+/// evaluated.
+fn next_batch(spec: &CampaignSpec, board: &mut Scoreboard<'_>) -> Vec<usize> {
+    while let Some(center) = board.best_unexpanded() {
+        board.expanded[center] = true;
+        let fresh: Vec<usize> = spec
+            .neighbors_of(center)
+            .into_iter()
+            .filter(|&j| !board.is_evaluated(j))
+            .collect();
+        if !fresh.is_empty() {
+            return fresh;
+        }
+    }
+    board.first_unevaluated().into_iter().collect()
+}
+
+/// Runs an adaptive search over `spec`'s grid.
+///
+/// With an archive, evaluated cells are read from (and written back to)
+/// the campaign directory exactly like a resumed campaign — re-running a
+/// search against a populated directory performs **zero** simulations
+/// and returns the byte-identical report.
+///
+/// # Errors
+///
+/// Returns a description when the spec is invalid or the budget is zero.
+/// Scenario panics are not errors; failed cells simply score as failed.
+pub fn search_campaign(
+    spec: &CampaignSpec,
+    search: &SearchSpec,
+    config: &RunnerConfig,
+    archive: Option<&CampaignArchive>,
+) -> Result<SearchOutcome, String> {
+    spec.validate()?;
+    if search.budget == 0 {
+        return Err("search budget must be positive".into());
+    }
+    let n = spec.scenario_count();
+    let budget = search.budget.min(n);
+
+    let mut board = Scoreboard::new(&search.objective, n);
+    let mut trajectory: Vec<Evaluation> = Vec::new();
+    let mut stats = RunStats::default();
+    let mut archive_errors = Vec::new();
+    let mut baselines = BaselineCache::new();
+    let mut rounds = 0;
+
+    let mut best: Option<SearchBest> = None;
+
+    let mut batch = start_frontier(n, search.start_points.clamp(1, budget));
+    while !batch.is_empty() {
+        batch.truncate(budget - board.evaluated);
+        let cells: Vec<ScenarioSpec> = batch.iter().map(|&i| spec.cell_at(i)).collect();
+        let run = run_cells_with(spec, &cells, config, archive, Some(&mut baselines))?;
+        stats.absorb(&run.stats);
+        archive_errors.extend(run.archive_errors);
+        for result in &run.result.results {
+            let index = result.scenario.index;
+            let score = search.objective.score(result);
+            let improved = board.record(index, score);
+            if improved {
+                // record() only declares a winner when score (and thus
+                // metrics) exist
+                let score = score.expect("winning cells are scored");
+                best = Some(SearchBest {
+                    index,
+                    label: result.scenario.label(),
+                    value: score.value,
+                    feasible: score.feasible,
+                    metrics: result.metrics.clone().expect("winning cells have metrics"),
+                });
+            }
+            trajectory.push(Evaluation {
+                round: rounds,
+                index,
+                label: result.scenario.label(),
+                value: score.map(|s| s.value),
+                feasible: score.is_some_and(|s| s.feasible),
+                improved,
+            });
+        }
+        rounds += 1;
+        if board.evaluated >= budget {
+            break;
+        }
+        batch = next_batch(spec, &mut board);
+    }
+
+    stats.total_cells = n;
+    Ok(SearchOutcome {
+        report: SearchReport {
+            name: spec.name.clone(),
+            objective: search.objective.describe(),
+            grid_cells: n,
+            budget: search.budget,
+            evaluated: board.evaluated,
+            rounds,
+            best,
+            trajectory,
+        },
+        stats,
+        archive_errors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Metric;
+    use crate::spec::{BatteryAxis, ControllerAxis, ThermalAxis, TuningAxis, WorkloadAxis};
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "search_tiny".into(),
+            horizon_ms: 5,
+            master_seed: 13,
+            initial_soc: 0.9,
+            controllers: vec![ControllerAxis::Dpm, ControllerAxis::AlwaysOn],
+            tunings: vec![TuningAxis::Paper],
+            workloads: vec![WorkloadAxis::Low],
+            seeds: vec![1, 2],
+            batteries: vec![BatteryAxis::Linear],
+            thermals: vec![ThermalAxis::Cool],
+            ip_counts: vec![1],
+        }
+    }
+
+    #[test]
+    fn start_frontier_is_spread_and_strictly_increasing() {
+        assert_eq!(start_frontier(8, 4), vec![0, 2, 4, 6]);
+        assert_eq!(start_frontier(5, 1), vec![0]);
+        let f = start_frontier(7, 3);
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+        assert!(f.iter().all(|&i| i < 7));
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 0);
+        let err =
+            search_campaign(&tiny_spec(), &search, &RunnerConfig::serial(), None).unwrap_err();
+        assert!(err.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn budget_one_evaluates_exactly_one_cell() {
+        let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 1);
+        let out = search_campaign(&tiny_spec(), &search, &RunnerConfig::serial(), None).unwrap();
+        assert_eq!(out.report.evaluated, 1);
+        assert_eq!(out.report.trajectory.len(), 1);
+        assert_eq!(out.report.best.as_ref().unwrap().index, 0);
+        assert!(out.stats.simulations >= 1);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_oversized_budget_sweeps_the_grid() {
+        let spec = tiny_spec();
+        for budget in [2, 3, 100] {
+            let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), budget);
+            let out = search_campaign(&spec, &search, &RunnerConfig::serial(), None).unwrap();
+            assert!(out.report.evaluated <= budget.min(spec.scenario_count()));
+            if budget >= spec.scenario_count() {
+                assert_eq!(out.report.evaluated, spec.scenario_count());
+            }
+            // every evaluation is a distinct cell
+            let mut seen: Vec<usize> = out.report.trajectory.iter().map(|e| e.index).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), out.report.evaluated);
+        }
+    }
+}

@@ -412,6 +412,98 @@ impl CampaignSpec {
         Ok(())
     }
 
+    /// Axis lengths in declaration order (controllers outermost,
+    /// IP counts innermost) — the mixed radix of the grid indices.
+    pub fn axis_sizes(&self) -> [usize; 7] {
+        [
+            self.controllers.len(),
+            self.tunings.len(),
+            self.workloads.len(),
+            self.seeds.len(),
+            self.batteries.len(),
+            self.thermals.len(),
+            self.ip_counts.len(),
+        ]
+    }
+
+    /// Decodes a grid index into per-axis coordinates (the inverse of the
+    /// `expand` ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside the grid.
+    pub fn coords_of(&self, index: usize) -> [usize; 7] {
+        assert!(index < self.scenario_count(), "index outside the grid");
+        let sizes = self.axis_sizes();
+        let mut coords = [0usize; 7];
+        let mut rest = index;
+        for axis in (0..7).rev() {
+            coords[axis] = rest % sizes[axis];
+            rest /= sizes[axis];
+        }
+        coords
+    }
+
+    /// Encodes per-axis coordinates back into the grid index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any coordinate is outside its axis.
+    pub fn index_of(&self, coords: [usize; 7]) -> usize {
+        let sizes = self.axis_sizes();
+        let mut index = 0;
+        for axis in 0..7 {
+            assert!(coords[axis] < sizes[axis], "coordinate outside its axis");
+            index = index * sizes[axis] + coords[axis];
+        }
+        index
+    }
+
+    /// Builds the single cell at `index` without expanding the whole grid
+    /// (identical to `expand()[index]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside the grid.
+    pub fn cell_at(&self, index: usize) -> ScenarioSpec {
+        let c = self.coords_of(index);
+        ScenarioSpec {
+            index,
+            controller: self.controllers[c[0]],
+            tuning: self.tunings[c[1]],
+            workload: self.workloads[c[2]],
+            seed: self.seeds[c[3]],
+            battery: self.batteries[c[4]],
+            thermal: self.thermals[c[5]],
+            ip_count: self.ip_counts[c[6]],
+        }
+    }
+
+    /// Grid indices one step away from `index` along a **single axis**
+    /// (the hill-climbing neighborhood), in ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside the grid.
+    pub fn neighbors_of(&self, index: usize) -> Vec<usize> {
+        let sizes = self.axis_sizes();
+        let coords = self.coords_of(index);
+        let mut out = Vec::new();
+        for axis in 0..7 {
+            for step in [-1isize, 1] {
+                let pos = coords[axis] as isize + step;
+                if pos < 0 || pos as usize >= sizes[axis] {
+                    continue;
+                }
+                let mut c = coords;
+                c[axis] = pos as usize;
+                out.push(self.index_of(c));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Expands the grid into concrete scenarios, indices in axis order.
     pub fn expand(&self) -> Vec<ScenarioSpec> {
         let mut out = Vec::with_capacity(self.scenario_count());
@@ -570,6 +662,36 @@ mod tests {
             let b = cell.build_config(&spec);
             a.validate();
             assert_eq!(a, b, "config construction must be pure");
+        }
+    }
+
+    #[test]
+    fn cell_at_agrees_with_expand_and_coords_round_trip() {
+        let spec = CampaignSpec::default_sweep();
+        for (i, cell) in spec.expand().into_iter().enumerate() {
+            assert_eq!(spec.cell_at(i), cell);
+            assert_eq!(spec.index_of(spec.coords_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn neighbors_differ_on_exactly_one_axis() {
+        let spec = CampaignSpec::default_sweep();
+        let n = spec.scenario_count();
+        for i in 0..n {
+            let here = spec.coords_of(i);
+            let neighbors = spec.neighbors_of(i);
+            assert!(!neighbors.is_empty());
+            assert!(neighbors.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            for &j in &neighbors {
+                assert_ne!(j, i);
+                assert!(j < n);
+                let there = spec.coords_of(j);
+                let moved: Vec<usize> = (0..7).filter(|&a| here[a] != there[a]).collect();
+                assert_eq!(moved.len(), 1, "single-axis move");
+                let a = moved[0];
+                assert_eq!(here[a].abs_diff(there[a]), 1, "one step along axis {a}");
+            }
         }
     }
 

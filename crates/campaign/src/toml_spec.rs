@@ -23,8 +23,18 @@
 //! batteries = ["linear", "kibam"]
 //! thermals = ["cool", "hot"]
 //! ip_counts = [1, 4]
+//!
+//! [search]                          # optional: defaults for `dpm search`
+//! objective = "energy_saving"       # metric label/alias, opt. min:/max: prefix
+//! constraint = "delay_overhead_pct<=5"
+//! budget = 40                       # cells to evaluate
 //! ```
+//!
+//! The `[search]` section never reaches [`CampaignSpec`] (or its archive
+//! fingerprint): editing the objective or budget keeps a campaign
+//! directory's cached cells valid.
 
+use crate::objective::{Constraint, Objective};
 use crate::spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ThermalAxis, TuningAxis, WorkloadAxis,
 };
@@ -232,78 +242,155 @@ const KNOWN_KEYS: &[&str] = &[
     "axes.batteries",
     "axes.thermals",
     "axes.ip_counts",
+    "search.objective",
+    "search.constraint",
+    "search.budget",
+    "search.start_points",
 ];
+
+/// The optional `[search]` section of a spec file: per-spec defaults for
+/// `dpm search`, each overridable from the command line.
+///
+/// Deliberately **not** part of [`CampaignSpec`]: the grid fingerprint
+/// ([`crate::archive::spec_fingerprint`]) covers only the grid, so
+/// changing the objective or budget of a spec keeps its campaign
+/// archive — and the cached cell results — valid.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchDefaults {
+    /// `search.objective`, e.g. `"energy_saving"` or `"min:energy_j"`.
+    pub objective: Option<Objective>,
+    /// `search.constraint`, e.g. `"delay_overhead_pct<=5"`.
+    pub constraint: Option<Constraint>,
+    /// `search.budget` (cells to evaluate).
+    pub budget: Option<usize>,
+    /// `search.start_points` (start-frontier size).
+    pub start_points: Option<usize>,
+}
+
+/// Parses a spec file into the campaign grid plus its `[search]`
+/// defaults (empty when the section is absent).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error, unknown key, type
+/// mismatch or invalid axis/search value.
+pub fn parse_campaign_toml(text: &str) -> Result<(CampaignSpec, SearchDefaults), String> {
+    let doc = TomlDoc::parse(text)?;
+    for key in doc.keys() {
+        if !KNOWN_KEYS.contains(&key) {
+            return Err(format!(
+                "unknown key '{key}' (expected one of: {})",
+                KNOWN_KEYS.join(", ")
+            ));
+        }
+    }
+    let spec = spec_from_doc(&doc)?;
+    let mut search = SearchDefaults::default();
+    if let Some(v) = doc.get("search.objective") {
+        let TomlValue::String(s) = v else {
+            return Err(format!(
+                "'search.objective' must be a string, got {}",
+                v.type_name()
+            ));
+        };
+        search.objective = Some(Objective::parse(s).map_err(|e| format!("search.objective: {e}"))?);
+    }
+    if let Some(v) = doc.get("search.constraint") {
+        let TomlValue::String(s) = v else {
+            return Err(format!(
+                "'search.constraint' must be a string, got {}",
+                v.type_name()
+            ));
+        };
+        search.constraint =
+            Some(Constraint::parse(s).map_err(|e| format!("search.constraint: {e}"))?);
+    }
+    if let Some(v) = doc.get("search.budget") {
+        let budget = as_u64("search.budget", v)? as usize;
+        if budget == 0 {
+            return Err("'search.budget' must be positive".into());
+        }
+        search.budget = Some(budget);
+    }
+    if let Some(v) = doc.get("search.start_points") {
+        let points = as_u64("search.start_points", v)? as usize;
+        if points == 0 {
+            return Err("'search.start_points' must be positive".into());
+        }
+        search.start_points = Some(points);
+    }
+    Ok((spec, search))
+}
 
 impl CampaignSpec {
     /// Loads a spec from TOML text. Missing axes fall back to the
-    /// `default_sweep` values; unknown keys are an error.
+    /// `default_sweep` values; unknown keys are an error. A `[search]`
+    /// section, if present, is validated and dropped (use
+    /// [`parse_campaign_toml`] to keep it).
     ///
     /// # Errors
     ///
     /// Returns a description of the first syntax error, unknown key,
     /// type mismatch or invalid axis value.
     pub fn from_toml(text: &str) -> Result<Self, String> {
-        let doc = TomlDoc::parse(text)?;
-        for key in doc.keys() {
-            if !KNOWN_KEYS.contains(&key) {
-                return Err(format!(
-                    "unknown key '{key}' (expected one of: {})",
-                    KNOWN_KEYS.join(", ")
-                ));
-            }
-        }
-        let mut spec = CampaignSpec::default_sweep();
-        spec.name = match doc.get("name") {
-            Some(TomlValue::String(s)) => s.clone(),
-            Some(v) => return Err(format!("'name' must be a string, got {}", v.type_name())),
-            None => "campaign".to_string(),
-        };
-        if let Some(v) = doc.get("horizon_ms") {
-            spec.horizon_ms = as_u64("horizon_ms", v)?;
-        }
-        if let Some(v) = doc.get("master_seed") {
-            spec.master_seed = as_u64("master_seed", v)?;
-        }
-        if let Some(v) = doc.get("initial_soc") {
-            spec.initial_soc = match v {
-                TomlValue::Float(x) => *x,
-                TomlValue::Integer(n) => *n as f64,
-                other => {
-                    return Err(format!(
-                        "'initial_soc' must be a number, got {}",
-                        other.type_name()
-                    ))
-                }
-            };
-        }
-        if let Some(v) = doc.get("axes.controllers") {
-            spec.controllers = string_axis(v, "axes.controllers", ControllerAxis::parse)?;
-        }
-        if let Some(v) = doc.get("axes.tunings") {
-            spec.tunings = string_axis(v, "axes.tunings", TuningAxis::parse)?;
-        }
-        if let Some(v) = doc.get("axes.workloads") {
-            spec.workloads = string_axis(v, "axes.workloads", WorkloadAxis::parse)?;
-        }
-        if let Some(v) = doc.get("axes.batteries") {
-            spec.batteries = string_axis(v, "axes.batteries", BatteryAxis::parse)?;
-        }
-        if let Some(v) = doc.get("axes.thermals") {
-            spec.thermals = string_axis(v, "axes.thermals", ThermalAxis::parse)?;
-        }
-        if let Some(v) = doc.get("axes.seeds") {
-            spec.seeds = int_axis(v, "axes.seeds")?;
-        }
-        if let Some(v) = doc.get("axes.ip_counts") {
-            spec.ip_counts = int_axis(v, "axes.ip_counts")?
-                .into_iter()
-                .map(|n| n as usize)
-                .collect();
-        }
-        spec.validate()?;
-        Ok(spec)
+        parse_campaign_toml(text).map(|(spec, _)| spec)
     }
+}
 
+fn spec_from_doc(doc: &TomlDoc) -> Result<CampaignSpec, String> {
+    let mut spec = CampaignSpec::default_sweep();
+    spec.name = match doc.get("name") {
+        Some(TomlValue::String(s)) => s.clone(),
+        Some(v) => return Err(format!("'name' must be a string, got {}", v.type_name())),
+        None => "campaign".to_string(),
+    };
+    if let Some(v) = doc.get("horizon_ms") {
+        spec.horizon_ms = as_u64("horizon_ms", v)?;
+    }
+    if let Some(v) = doc.get("master_seed") {
+        spec.master_seed = as_u64("master_seed", v)?;
+    }
+    if let Some(v) = doc.get("initial_soc") {
+        spec.initial_soc = match v {
+            TomlValue::Float(x) => *x,
+            TomlValue::Integer(n) => *n as f64,
+            other => {
+                return Err(format!(
+                    "'initial_soc' must be a number, got {}",
+                    other.type_name()
+                ))
+            }
+        };
+    }
+    if let Some(v) = doc.get("axes.controllers") {
+        spec.controllers = string_axis(v, "axes.controllers", ControllerAxis::parse)?;
+    }
+    if let Some(v) = doc.get("axes.tunings") {
+        spec.tunings = string_axis(v, "axes.tunings", TuningAxis::parse)?;
+    }
+    if let Some(v) = doc.get("axes.workloads") {
+        spec.workloads = string_axis(v, "axes.workloads", WorkloadAxis::parse)?;
+    }
+    if let Some(v) = doc.get("axes.batteries") {
+        spec.batteries = string_axis(v, "axes.batteries", BatteryAxis::parse)?;
+    }
+    if let Some(v) = doc.get("axes.thermals") {
+        spec.thermals = string_axis(v, "axes.thermals", ThermalAxis::parse)?;
+    }
+    if let Some(v) = doc.get("axes.seeds") {
+        spec.seeds = int_axis(v, "axes.seeds")?;
+    }
+    if let Some(v) = doc.get("axes.ip_counts") {
+        spec.ip_counts = int_axis(v, "axes.ip_counts")?
+            .into_iter()
+            .map(|n| n as usize)
+            .collect();
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+impl CampaignSpec {
     /// Renders the spec back as TOML (parseable by [`Self::from_toml`]).
     pub fn to_toml(&self) -> String {
         fn quote_list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
@@ -438,6 +525,49 @@ ip_counts = [1]
     fn empty_axis_fails_validation() {
         let err = CampaignSpec::from_toml("[axes]\nseeds = []\n").unwrap_err();
         assert!(err.contains("axis 'seeds' is empty"), "{err}");
+    }
+
+    #[test]
+    fn search_section_parses_and_stays_out_of_the_spec() {
+        use crate::aggregate::Metric;
+        use crate::objective::{ConstraintOp, Direction};
+
+        let text = format!(
+            "{EXAMPLE}\n[search]\nobjective = \"min:energy_j\"\n\
+             constraint = \"delay_overhead_pct<=5\"\nbudget = 4\nstart_points = 2\n"
+        );
+        let (spec, search) = parse_campaign_toml(&text).unwrap();
+        let objective = search.objective.unwrap();
+        assert_eq!(objective.metric, Metric::EnergyJ);
+        assert_eq!(objective.direction, Direction::Minimize);
+        let constraint = search.constraint.unwrap();
+        assert_eq!(constraint.metric, Metric::DelayOverheadPct);
+        assert_eq!(constraint.op, ConstraintOp::Le);
+        assert_eq!(search.budget, Some(4));
+        assert_eq!(search.start_points, Some(2));
+        // the grid (and thus the archive fingerprint) ignores [search]
+        assert_eq!(spec, CampaignSpec::from_toml(EXAMPLE).unwrap());
+        assert_eq!(
+            spec.to_toml(),
+            CampaignSpec::from_toml(EXAMPLE).unwrap().to_toml()
+        );
+        // absent section -> all defaults empty
+        let (_, empty) = parse_campaign_toml(EXAMPLE).unwrap();
+        assert_eq!(empty, SearchDefaults::default());
+    }
+
+    #[test]
+    fn search_section_mistakes_fail_loudly() {
+        let err = parse_campaign_toml("[search]\nobjectiv = \"energy\"\n").unwrap_err();
+        assert!(err.contains("unknown key 'search.objectiv'"), "{err}");
+        let err = parse_campaign_toml("[search]\nobjective = \"warp\"\n").unwrap_err();
+        assert!(err.contains("unknown metric"), "{err}");
+        let err = parse_campaign_toml("[search]\nbudget = 0\n").unwrap_err();
+        assert!(err.contains("must be positive"), "{err}");
+        let err = parse_campaign_toml("[search]\nconstraint = \"energy_j=5\"\n").unwrap_err();
+        assert!(err.contains("must look like"), "{err}");
+        let err = parse_campaign_toml("[search]\nbudget = \"lots\"\n").unwrap_err();
+        assert!(err.contains("search.budget"), "{err}");
     }
 
     #[test]
