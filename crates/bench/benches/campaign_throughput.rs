@@ -67,6 +67,7 @@ fn config(threads: usize, dedup: bool) -> RunnerConfig {
         threads,
         progress: false,
         dedup_baselines: dedup,
+        ..RunnerConfig::default()
     }
 }
 

@@ -1,14 +1,18 @@
-//! Per-scenario campaign archives: resumable sweeps.
+//! Per-scenario campaign archives: resumable sweeps **and** the
+//! coordination medium for multi-process execution.
 //!
 //! A campaign directory persists one versioned JSON record per completed
-//! grid cell, plus the spec that produced it:
+//! grid cell, plus the spec that produced it and the work leases of any
+//! in-flight workers:
 //!
 //! ```text
 //! <dir>/
-//!   campaign.toml        # the spec, as written by CampaignSpec::to_toml
+//!   campaign.toml          # the spec, as written by CampaignSpec::to_toml
 //!   cells/
-//!     cell-00000.json    # one CellRecord per *successful* cell
+//!     cell-00000.json      # one CellRecord per *successful* cell
 //!     cell-00017.json
+//!   leases/
+//!     group-00003.lease    # one LeaseRecord per in-flight baseline group
 //! ```
 //!
 //! Records carry the archive format version, a fingerprint of the spec,
@@ -23,8 +27,35 @@
 //! representation, see the serde shim), a campaign resumed from any mix
 //! of archived and fresh cells aggregates to the **byte-identical**
 //! report a cold run produces.
+//!
+//! # Work leases
+//!
+//! Any number of independently launched processes can drain one campaign
+//! directory; the only coordination primitive is the **lease record**: a
+//! claim file created with `O_EXCL` semantics (`create_new`), carrying
+//! the holder id, the spec fingerprint and a heartbeat timestamp. The
+//! claim unit is a whole **baseline group** ([`CampaignSpec::group_of`]:
+//! the cells sharing every axis an always-`ON1` baseline depends on), so
+//! a group's shared baseline simulates in exactly one process and the
+//! summed work across workers equals a single-process run.
+//!
+//! Failure semantics, in order of importance:
+//!
+//! * **Results are never corrupted.** Cell records are written to a
+//!   temporary file and renamed into place; a worker dying mid-cell
+//!   leaves a reclaimable lease, never a truncated record.
+//! * **Work is never lost.** A lease whose heartbeat is older than the
+//!   TTL is *stale*: any worker may take it over (atomic rename to a
+//!   per-claimant tombstone, then a fresh `create_new`) and re-run the
+//!   group's missing cells.
+//! * **Duplication is bounded, not impossible.** Staleness is judged
+//!   from a clock, so a pathologically delayed holder and its reclaimer
+//!   can overlap; both then store the byte-identical record (simulations
+//!   are deterministic), wasting work but changing nothing. Leases are a
+//!   work-partitioning mechanism; correctness never depends on them.
 
 use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::runner::{ScenarioMetrics, ScenarioResult};
 use crate::spec::{CampaignSpec, ScenarioSpec};
@@ -32,6 +63,27 @@ use crate::spec::{CampaignSpec, ScenarioSpec};
 /// Archive format version; bump when [`CellRecord`]'s layout changes.
 /// Records with any other version are ignored on load (and re-run).
 pub const ARCHIVE_VERSION: u32 = 1;
+
+/// Lease record version; bump when [`LeaseRecord`]'s layout changes.
+/// Leases with any other version are treated as stale (reclaimable).
+pub const LEASE_VERSION: u32 = 1;
+
+/// Default lease time-to-live. Holders refresh their heartbeat between
+/// executor chunks, so the TTL only needs to comfortably exceed one
+/// chunk (roughly one simulation per worker thread); an expired lease
+/// only risks duplicated work, never wrong results.
+pub const DEFAULT_LEASE_TTL_MS: u64 = 60_000;
+
+/// Default interval between archive polls while waiting for cells that
+/// other workers hold.
+pub const DEFAULT_LEASE_POLL_MS: u64 = 20;
+
+/// Milliseconds since the Unix epoch (the lease heartbeat clock).
+fn epoch_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
 
 /// Stable fingerprint of a campaign spec (FNV-1a over its canonical TOML
 /// form), used to tie archived cells to the grid that produced them.
@@ -60,6 +112,134 @@ pub struct CellRecord {
     pub scenario: ScenarioSpec,
     /// The cell's metrics.
     pub metrics: ScenarioMetrics,
+}
+
+/// One work lease on disk: a claim on a whole baseline group, created
+/// with `create_new` so exactly one claimant wins.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeaseRecord {
+    /// Lease format version ([`LEASE_VERSION`] at write time).
+    pub lease_version: u32,
+    /// Fingerprint of the campaign being worked ([`spec_fingerprint`]).
+    pub spec_fingerprint: u64,
+    /// The claimed baseline group ([`CampaignSpec::group_of`]).
+    pub group: usize,
+    /// Unique id of the claiming worker.
+    pub holder: String,
+    /// Milliseconds since the Unix epoch at claim/refresh time; a lease
+    /// older than the TTL is stale and may be taken over.
+    pub heartbeat_ms: u64,
+}
+
+/// Cross-process coordination parameters (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseConfig {
+    /// Unique id of this worker (holder of its leases).
+    pub holder: String,
+    /// Heartbeats older than this are stale and reclaimable.
+    pub ttl_ms: u64,
+    /// Interval between archive polls while waiting on foreign cells.
+    pub poll_ms: u64,
+}
+
+impl LeaseConfig {
+    /// A config with a process-unique holder id and default timing.
+    pub fn for_process() -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        Self {
+            holder: format!(
+                "pid{}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed),
+                epoch_ms(),
+            ),
+            ttl_ms: DEFAULT_LEASE_TTL_MS,
+            poll_ms: DEFAULT_LEASE_POLL_MS,
+        }
+    }
+
+    /// This config with a different TTL.
+    pub fn with_ttl_ms(mut self, ttl_ms: u64) -> Self {
+        self.ttl_ms = ttl_ms;
+        self
+    }
+
+    /// This config with a different poll interval.
+    pub fn with_poll_ms(mut self, poll_ms: u64) -> Self {
+        self.poll_ms = poll_ms;
+        self
+    }
+}
+
+/// A held claim on one baseline group. Deliberately **not** released on
+/// drop: a worker dying with a lease in hand must leave the file behind
+/// for staleness-based reclaim, and tests simulate exactly that.
+#[derive(Debug)]
+pub struct WorkLease {
+    group: usize,
+    path: PathBuf,
+}
+
+impl WorkLease {
+    /// The claimed baseline group.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+}
+
+/// Observed state of a group's lease file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeaseState {
+    /// No lease file exists.
+    Free,
+    /// A live claim by `holder`.
+    Held {
+        /// The claiming worker.
+        holder: String,
+    },
+    /// A claim whose heartbeat exceeded the TTL (or whose record is
+    /// foreign/unreadable); reclaimable.
+    Stale,
+}
+
+/// Lifecycle state of one grid cell, derived from its record and its
+/// group's lease (`dpm campaign list --format json` over a directory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellState {
+    /// A valid record exists.
+    Archived,
+    /// No record, but the cell's group is under a live lease.
+    Leased,
+    /// No record and no live lease.
+    Pending,
+}
+
+impl CellState {
+    /// The JSON/report name of this state.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellState::Archived => "archived",
+            CellState::Leased => "leased",
+            CellState::Pending => "pending",
+        }
+    }
+}
+
+/// What `gc` found and removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Valid cell records kept.
+    pub records_kept: usize,
+    /// Stale/foreign/corrupt cell records removed.
+    pub records_removed: usize,
+    /// Live leases left in place.
+    pub leases_active: usize,
+    /// Expired, foreign or unreadable leases (and takeover tombstones)
+    /// removed.
+    pub leases_removed: usize,
+    /// Orphaned temporary files removed.
+    pub tmp_removed: usize,
 }
 
 /// Outcome of loading an archive against an expanded grid.
@@ -133,13 +313,80 @@ impl CampaignArchive {
         })
     }
 
+    /// Opens a campaign directory that already exists, recovering the
+    /// spec from its `campaign.toml` — the entry point for worker
+    /// processes, which receive only the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the directory or its `campaign.toml`
+    /// cannot be read, or the stored spec does not parse.
+    pub fn open_existing(dir: &Path) -> Result<(Self, CampaignSpec), String> {
+        let spec_path = dir.join("campaign.toml");
+        let text = std::fs::read_to_string(&spec_path).map_err(|e| {
+            format!(
+                "{} is not a campaign directory (cannot read {}: {e})",
+                dir.display(),
+                spec_path.display(),
+            )
+        })?;
+        let spec = CampaignSpec::from_toml(&text)
+            .map_err(|e| format!("{} is not a campaign spec: {e}", spec_path.display()))?;
+        let archive = Self::open(dir, &spec)?;
+        Ok((archive, spec))
+    }
+
     /// The campaign directory.
     pub fn dir(&self) -> &Path {
         &self.dir
     }
 
+    /// The fingerprint of the spec this archive was opened for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     fn cell_path(&self, index: usize) -> PathBuf {
         self.dir.join("cells").join(format!("cell-{index:05}.json"))
+    }
+
+    /// The lease file guarding one baseline group (public for
+    /// inspection and crash-simulation in tests).
+    pub fn lease_path(&self, group: usize) -> PathBuf {
+        self.dir
+            .join("leases")
+            .join(format!("group-{group:05}.lease"))
+    }
+
+    /// Validates one record's text against the cell it should hold.
+    fn record_from(
+        &self,
+        spec: &CampaignSpec,
+        cell: &ScenarioSpec,
+        text: &str,
+    ) -> Option<ScenarioResult> {
+        match serde_json::from_str::<CellRecord>(text) {
+            Ok(rec)
+                if rec.archive_version == ARCHIVE_VERSION
+                    && rec.spec_fingerprint == self.fingerprint
+                    && rec.master_seed == spec.master_seed
+                    && rec.horizon_ms == spec.horizon_ms
+                    && rec.scenario == *cell =>
+            {
+                Some(ScenarioResult {
+                    scenario: rec.scenario,
+                    metrics: Some(rec.metrics),
+                    error: None,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Loads one cell's record, if a valid one exists.
+    pub fn load_cell(&self, spec: &CampaignSpec, cell: &ScenarioSpec) -> Option<ScenarioResult> {
+        let text = std::fs::read_to_string(self.cell_path(cell.index)).ok()?;
+        self.record_from(spec, cell, &text)
     }
 
     /// Loads every valid archived record against the given cells (the
@@ -156,22 +403,12 @@ impl CampaignArchive {
             let Ok(text) = std::fs::read_to_string(self.cell_path(cell.index)) else {
                 continue;
             };
-            match serde_json::from_str::<CellRecord>(&text) {
-                Ok(rec)
-                    if rec.archive_version == ARCHIVE_VERSION
-                        && rec.spec_fingerprint == self.fingerprint
-                        && rec.master_seed == spec.master_seed
-                        && rec.horizon_ms == spec.horizon_ms
-                        && rec.scenario == *cell =>
-                {
-                    slots[i] = Some(ScenarioResult {
-                        scenario: rec.scenario,
-                        metrics: Some(rec.metrics),
-                        error: None,
-                    });
+            match self.record_from(spec, cell, &text) {
+                Some(result) => {
+                    slots[i] = Some(result);
                     loaded += 1;
                 }
-                _ => skipped += 1,
+                None => skipped += 1,
             }
         }
         ArchiveLoad {
@@ -207,6 +444,256 @@ impl CampaignArchive {
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, &json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &path).map_err(|e| format!("cannot finalize {}: {e}", path.display()))
+    }
+
+    // ---- work leases -------------------------------------------------
+
+    /// The parsed lease of `group`, judged against `ttl_ms`.
+    pub fn lease_state(&self, group: usize, ttl_ms: u64) -> LeaseState {
+        let path = self.lease_path(group);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LeaseState::Free,
+            // unreadable (permissions, transient I/O): reclaimable — a
+            // takeover on a truly broken filesystem fails loudly anyway
+            Err(_) => return LeaseState::Stale,
+        };
+        match serde_json::from_str::<LeaseRecord>(&text) {
+            Ok(rec)
+                if rec.lease_version == LEASE_VERSION
+                    && rec.spec_fingerprint == self.fingerprint =>
+            {
+                // judged symmetrically: a heartbeat more than a TTL in
+                // the *future* (cross-host clock skew, or a corrupt
+                // timestamp) must not pin the lease Held forever
+                let now = epoch_ms();
+                if now.abs_diff(rec.heartbeat_ms) > ttl_ms {
+                    LeaseState::Stale
+                } else {
+                    LeaseState::Held { holder: rec.holder }
+                }
+            }
+            // a *parseable* lease with a foreign format version or
+            // fingerprint can never be completed into this grid by its
+            // writer: reclaimable right away (so an old binary's
+            // leftovers never wedge a new one)
+            Ok(_) => LeaseState::Stale,
+            // unparseable (possibly a torn read of a just-created
+            // lease): stale only once the *file* is old
+            Err(_) => match std::fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| SystemTime::now().duration_since(t).ok())
+            {
+                Some(age) if (age.as_millis() as u64) <= ttl_ms => LeaseState::Held {
+                    holder: "<unreadable>".into(),
+                },
+                _ => LeaseState::Stale,
+            },
+        }
+    }
+
+    /// Tries to claim `group`: creates its lease file with `create_new`
+    /// (so exactly one claimant wins), taking over a stale lease first if
+    /// one is in the way. Returns `None` when another worker holds a
+    /// live lease.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the leases directory cannot be created
+    /// or the lease cannot be written.
+    pub fn try_claim(
+        &self,
+        group: usize,
+        config: &LeaseConfig,
+    ) -> Result<Option<WorkLease>, String> {
+        use std::io::Write as _;
+        let path = self.lease_path(group);
+        let leases = self.dir.join("leases");
+        std::fs::create_dir_all(&leases)
+            .map_err(|e| format!("cannot create {}: {e}", leases.display()))?;
+        // one takeover attempt per call: claim, or remove a stale lease
+        // and claim again; a second AlreadyExists means someone else won
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let record = LeaseRecord {
+                        lease_version: LEASE_VERSION,
+                        spec_fingerprint: self.fingerprint,
+                        group,
+                        holder: config.holder.clone(),
+                        heartbeat_ms: epoch_ms(),
+                    };
+                    let json = serde_json::to_string(&record).map_err(|e| e.to_string())?;
+                    file.write_all(json.as_bytes())
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    return Ok(Some(WorkLease { group, path }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if attempt > 0 || self.lease_state(group, config.ttl_ms) != LeaseState::Stale {
+                        return Ok(None);
+                    }
+                    // stale: take it over via an atomic rename to a
+                    // per-claimant tombstone — exactly one reclaimer wins
+                    // the rename; losers see NotFound and re-race the
+                    // create_new above. The holder is sanitized here so
+                    // an id containing path separators cannot point the
+                    // tombstone outside the leases directory.
+                    let safe_holder: String = config
+                        .holder
+                        .chars()
+                        .map(|c| if c == '/' || c == '\\' { '-' } else { c })
+                        .collect();
+                    let tombstone = path.with_extension(format!("stale-{safe_holder}"));
+                    if std::fs::rename(&path, &tombstone).is_err() {
+                        continue;
+                    }
+                    let _ = std::fs::remove_file(&tombstone);
+                }
+                Err(e) => return Err(format!("cannot claim {}: {e}", path.display())),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Refreshes a held lease's heartbeat (temp file + atomic rename, so
+    /// readers never see a torn record).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the refreshed lease cannot be written.
+    pub fn refresh(&self, lease: &WorkLease, config: &LeaseConfig) -> Result<(), String> {
+        let record = LeaseRecord {
+            lease_version: LEASE_VERSION,
+            spec_fingerprint: self.fingerprint,
+            group: lease.group,
+            holder: config.holder.clone(),
+            heartbeat_ms: epoch_ms(),
+        };
+        let json = serde_json::to_string(&record).map_err(|e| e.to_string())?;
+        let tmp = lease
+            .path
+            .with_extension(format!("refresh-{}", std::process::id()));
+        std::fs::write(&tmp, &json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &lease.path)
+            .map_err(|e| format!("cannot refresh {}: {e}", lease.path.display()))
+    }
+
+    /// Releases a held lease. Best-effort: the group's records exist by
+    /// now, so a lingering lease file only delays (never blocks) other
+    /// workers — they reclaim it after the TTL.
+    pub fn release(&self, lease: WorkLease) {
+        let _ = std::fs::remove_file(&lease.path);
+    }
+
+    /// The lifecycle state of every grid cell: its record, else its
+    /// group's lease, else pending.
+    pub fn cell_states(&self, spec: &CampaignSpec, ttl_ms: u64) -> Vec<CellState> {
+        let cells = spec.expand();
+        let load = self.load(spec, &cells);
+        let lease_live: Vec<bool> = (0..spec.group_count())
+            .map(|g| matches!(self.lease_state(g, ttl_ms), LeaseState::Held { .. }))
+            .collect();
+        cells
+            .iter()
+            .zip(&load.slots)
+            .map(|(cell, slot)| {
+                if slot.is_some() {
+                    CellState::Archived
+                } else if lease_live[spec.group_of(cell.index)] {
+                    CellState::Leased
+                } else {
+                    CellState::Pending
+                }
+            })
+            .collect()
+    }
+
+    /// Archive hygiene: removes cell records that can never be loaded
+    /// for `spec` (foreign fingerprint, stale version, corrupt JSON,
+    /// out-of-range index), expired/foreign lease files and takeover
+    /// tombstones, and orphaned temporary files. Live leases and valid
+    /// records are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when a directory listing or a removal
+    /// fails (a missing `cells/` or `leases/` directory is fine).
+    pub fn gc(&self, spec: &CampaignSpec, ttl_ms: u64) -> Result<GcReport, String> {
+        let mut report = GcReport::default();
+        let remove = |path: &Path| -> Result<(), String> {
+            std::fs::remove_file(path).map_err(|e| format!("cannot remove {}: {e}", path.display()))
+        };
+        let n = spec.scenario_count();
+        for entry in read_dir_or_empty(&self.dir.join("cells"))? {
+            let path = entry?;
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".tmp") {
+                remove(&path)?;
+                report.tmp_removed += 1;
+                continue;
+            }
+            let Some(index) = name
+                .strip_prefix("cell-")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|digits| digits.parse::<usize>().ok())
+            else {
+                continue; // not ours; leave unknown files alone
+            };
+            let valid = index < n
+                && std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|text| self.record_from(spec, &spec.cell_at(index), &text))
+                    .is_some();
+            if valid {
+                report.records_kept += 1;
+            } else {
+                remove(&path)?;
+                report.records_removed += 1;
+            }
+        }
+        for entry in read_dir_or_empty(&self.dir.join("leases"))? {
+            let path = entry?;
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let group = name
+                .strip_prefix("group-")
+                .and_then(|rest| rest.strip_suffix(".lease"))
+                .and_then(|digits| digits.parse::<usize>().ok());
+            match group {
+                Some(g) if matches!(self.lease_state(g, ttl_ms), LeaseState::Held { .. }) => {
+                    report.leases_active += 1;
+                }
+                Some(_) => {
+                    remove(&path)?;
+                    report.leases_removed += 1;
+                }
+                // takeover tombstones and refresh temp files
+                None if name.contains(".stale-") || name.contains(".refresh-") => {
+                    remove(&path)?;
+                    report.leases_removed += 1;
+                }
+                None => {}
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Directory entries as paths; a missing directory yields nothing.
+fn read_dir_or_empty(dir: &Path) -> Result<Vec<Result<PathBuf, String>>, String> {
+    match std::fs::read_dir(dir) {
+        Ok(entries) => Ok(entries
+            .map(|e| {
+                e.map(|e| e.path())
+                    .map_err(|e| format!("cannot list {}: {e}", dir.display()))
+            })
+            .collect()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("cannot list {}: {e}", dir.display())),
     }
 }
 
@@ -302,6 +789,223 @@ mod tests {
         assert_eq!(load.loaded, 0);
         assert_eq!(load.skipped, 1);
         assert!(load.slots.iter().all(Option::is_none));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn test_lease() -> LeaseConfig {
+        LeaseConfig::for_process()
+            .with_ttl_ms(60_000)
+            .with_poll_ms(1)
+    }
+
+    #[test]
+    fn open_existing_recovers_the_spec_from_the_directory() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("open-existing");
+        let _ = CampaignArchive::open(&dir, &spec).unwrap();
+        let (archive, recovered) = CampaignArchive::open_existing(&dir).unwrap();
+        assert_eq!(recovered, spec);
+        assert_eq!(archive.fingerprint(), spec_fingerprint(&spec));
+        let err = CampaignArchive::open_existing(&dir.join("nope")).unwrap_err();
+        assert!(err.contains("not a campaign directory"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claims_are_exclusive_until_released() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("claims");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let cfg = test_lease();
+        let lease = archive
+            .try_claim(0, &cfg)
+            .unwrap()
+            .expect("first claim wins");
+        assert_eq!(lease.group(), 0);
+        match archive.lease_state(0, cfg.ttl_ms) {
+            LeaseState::Held { holder } => assert_eq!(holder, cfg.holder),
+            other => panic!("expected a held lease, got {other:?}"),
+        }
+        // a second claimant is refused while the lease is fresh
+        let other = LeaseConfig::for_process();
+        assert!(archive.try_claim(0, &other).unwrap().is_none());
+        // other groups are independent
+        assert!(archive.try_claim(1, &other).unwrap().is_some());
+        archive.release(lease);
+        assert_eq!(archive.lease_state(0, cfg.ttl_ms), LeaseState::Free);
+        assert!(archive.try_claim(0, &other).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_leases_are_taken_over() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("stale-lease");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let dead = test_lease();
+        let lease = archive.try_claim(0, &dead).unwrap().expect("claimed");
+        // simulate a killed worker: freeze the heartbeat in the distant past
+        let stale = LeaseRecord {
+            lease_version: LEASE_VERSION,
+            spec_fingerprint: archive.fingerprint(),
+            group: 0,
+            holder: dead.holder.clone(),
+            heartbeat_ms: 0,
+        };
+        std::fs::write(
+            archive.lease_path(0),
+            serde_json::to_string(&stale).unwrap(),
+        )
+        .unwrap();
+        drop(lease); // never released
+        assert_eq!(archive.lease_state(0, 1_000), LeaseState::Stale);
+        let survivor = LeaseConfig::for_process().with_ttl_ms(1_000);
+        let reclaimed = archive
+            .try_claim(0, &survivor)
+            .unwrap()
+            .expect("stale lease is reclaimable");
+        match archive.lease_state(0, survivor.ttl_ms) {
+            LeaseState::Held { holder } => assert_eq!(holder, survivor.holder),
+            other => panic!("expected the survivor to hold, got {other:?}"),
+        }
+        archive.release(reclaimed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_version_leases_are_stale_immediately() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("foreign-lease");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        // parseable, fresh heartbeat, but written by a future binary:
+        // must be reclaimable now, not after a TTL of mtime grace
+        let future = LeaseRecord {
+            lease_version: LEASE_VERSION + 1,
+            spec_fingerprint: archive.fingerprint(),
+            group: 0,
+            holder: "future".into(),
+            heartbeat_ms: u64::MAX / 2,
+        };
+        std::fs::create_dir_all(dir.join("leases")).unwrap();
+        std::fs::write(
+            archive.lease_path(0),
+            serde_json::to_string(&future).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(archive.lease_state(0, 60_000), LeaseState::Stale);
+        // ... and a claimant takes it over despite the fresh file
+        let cfg = test_lease();
+        let lease = archive.try_claim(0, &cfg).unwrap();
+        assert!(lease.is_some(), "foreign-version lease must be reclaimable");
+        archive.release(lease.unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn takeover_survives_holders_with_path_separators() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("hostile-holder");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let dead = LeaseRecord {
+            lease_version: LEASE_VERSION,
+            spec_fingerprint: archive.fingerprint(),
+            group: 0,
+            holder: "dead".into(),
+            heartbeat_ms: 0,
+        };
+        std::fs::create_dir_all(dir.join("leases")).unwrap();
+        std::fs::write(archive.lease_path(0), serde_json::to_string(&dead).unwrap()).unwrap();
+        let hostile = LeaseConfig::for_process().with_ttl_ms(1_000);
+        let hostile = LeaseConfig {
+            holder: "host/worker\\1".into(),
+            ..hostile
+        };
+        let lease = archive.try_claim(0, &hostile).unwrap();
+        assert!(lease.is_some(), "sanitized tombstone must allow takeover");
+        archive.release(lease.unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_keeps_a_lease_alive() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("refresh");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let cfg = test_lease();
+        let lease = archive.try_claim(1, &cfg).unwrap().expect("claimed");
+        archive.refresh(&lease, &cfg).unwrap();
+        assert!(matches!(
+            archive.lease_state(1, cfg.ttl_ms),
+            LeaseState::Held { .. }
+        ));
+        archive.release(lease);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_valid_state_and_removes_garbage() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("gc");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let result = run_campaign(&spec, &RunnerConfig::serial());
+        for r in &result.results {
+            archive.store(&spec, r).unwrap();
+        }
+        // garbage: a corrupt record, an orphan tmp, an expired lease
+        std::fs::write(archive.cell_path(1), "{ corrupt").unwrap();
+        std::fs::write(dir.join("cells").join("cell-00000.json.tmp"), "x").unwrap();
+        let cfg = test_lease();
+        let live = archive.try_claim(0, &cfg).unwrap().expect("claimed");
+        let expired = LeaseRecord {
+            lease_version: LEASE_VERSION,
+            spec_fingerprint: archive.fingerprint(),
+            group: 1,
+            holder: "dead".into(),
+            heartbeat_ms: 0,
+        };
+        std::fs::write(
+            archive.lease_path(1),
+            serde_json::to_string(&expired).unwrap(),
+        )
+        .unwrap();
+
+        let report = archive.gc(&spec, cfg.ttl_ms).unwrap();
+        assert_eq!(report.records_kept, spec.scenario_count() - 1);
+        assert_eq!(report.records_removed, 1);
+        assert_eq!(report.leases_active, 1);
+        assert_eq!(report.leases_removed, 1);
+        assert_eq!(report.tmp_removed, 1);
+        // the live lease and the valid records survived
+        assert!(matches!(
+            archive.lease_state(0, cfg.ttl_ms),
+            LeaseState::Held { .. }
+        ));
+        let load = archive.load(&spec, &spec.expand());
+        assert_eq!(load.loaded, spec.scenario_count() - 1);
+        assert_eq!(load.skipped, 0, "gc removed everything unloadable");
+        archive.release(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_states_reflect_records_and_leases() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("cell-states");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let result = run_campaign(&spec, &RunnerConfig::serial());
+        archive.store(&spec, &result.results[0]).unwrap();
+        let cfg = test_lease();
+        let lease = archive
+            .try_claim(spec.group_of(1), &cfg)
+            .unwrap()
+            .expect("claimed");
+        let states = archive.cell_states(&spec, cfg.ttl_ms);
+        assert_eq!(states[0], CellState::Archived);
+        assert_eq!(states[1], CellState::Leased);
+        assert_eq!(states.len(), spec.scenario_count());
+        archive.release(lease);
+        let states = archive.cell_states(&spec, cfg.ttl_ms);
+        assert_eq!(states[1], CellState::Pending);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,12 +1,14 @@
 //! `dpm` — the dpmsim command line.
 //!
 //! ```text
-//! dpm campaign run <spec.toml | --builtin> [--threads N] [--format F] [--per-scenario]
-//!                  [--out FILE] [--resume DIR] [--no-dedup]
-//! dpm campaign list <spec.toml | --builtin> [--format F]
+//! dpm campaign run <spec.toml | --builtin> [--threads N] [--workers N] [--format F]
+//!                  [--per-scenario] [--out FILE] [--resume DIR] [--no-dedup] [--ttl-ms N]
+//! dpm campaign list <spec.toml | DIR | --builtin> [--format F]
+//! dpm campaign gc <DIR> [--ttl-ms N]
+//! dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
 //! dpm search <spec.toml | --builtin> [--objective O] [--constraint C] [--budget N]
 //!            [--start-points N] [--threads N] [--format F] [--out FILE]
-//!            [--resume DIR] [--no-dedup]
+//!            [--resume DIR] [--coordinate] [--no-dedup]
 //! dpm table2 [--format F]
 //! dpm quickstart
 //! ```
@@ -14,13 +16,15 @@
 //! Formats: `ascii` (default), `markdown`, `json`.
 
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dpm_campaign::{
-    campaign_ascii, campaign_json, campaign_markdown, parse_campaign_toml, run_campaign_with,
-    run_stats_line, search_ascii, search_campaign, search_json, summarize, CampaignArchive,
-    CampaignSpec, Constraint, Objective, RunnerConfig, SearchDefaults, SearchSpec,
+    campaign_ascii, campaign_json, campaign_markdown, parse_campaign_toml, run_stats_line,
+    run_worker, search_ascii, search_campaign, search_json, search_markdown, summarize,
+    CampaignArchive, CampaignExecutor, CampaignSpec, Constraint, Executor as _, LeaseConfig,
+    Objective, RunnerConfig, SearchDefaults, SearchSpec, ThreadPool, WorkerOptions, WorkerPool,
+    DEFAULT_LEASE_TTL_MS,
 };
 use dpm_soc::experiment::{run_scenario, ScenarioId};
 use dpm_soc::report::{table2_ascii, table2_json, table2_markdown};
@@ -29,12 +33,16 @@ const USAGE: &str = "\
 dpm — DATE'05 dynamic power management simulator
 
 USAGE:
-    dpm campaign run  <spec.toml | --builtin> [--threads N] [--format ascii|markdown|json]
-                      [--per-scenario] [--out FILE] [--resume DIR] [--no-dedup]
-    dpm campaign list <spec.toml | --builtin> [--format ascii|json]
+    dpm campaign run  <spec.toml | --builtin> [--threads N] [--workers N]
+                      [--format ascii|markdown|json] [--per-scenario] [--out FILE]
+                      [--resume DIR] [--no-dedup] [--ttl-ms N]
+    dpm campaign list <spec.toml | DIR | --builtin> [--format ascii|json]
+    dpm campaign gc   <DIR> [--ttl-ms N]
+    dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
     dpm search <spec.toml | --builtin> [--objective METRIC] [--constraint METRIC<=X]
-               [--budget N] [--start-points N] [--threads N] [--format ascii|json]
-               [--out FILE] [--resume DIR] [--no-dedup]
+               [--budget N] [--start-points N] [--threads N]
+               [--format ascii|markdown|json] [--out FILE] [--resume DIR]
+               [--coordinate] [--no-dedup]
     dpm table2 [--format ascii|markdown|json]
     dpm quickstart
     dpm help
@@ -45,13 +53,24 @@ A campaign spec is a TOML grid over six axes; see `dpm campaign list
 already completed there; the aggregate report is byte-identical to a
 cold run. `--no-dedup` disables shared always-ON1 baseline runs.
 
+`--workers N` executes the campaign on N child worker processes that
+coordinate purely through the campaign directory (atomic work leases;
+a killed worker's cells are reclaimed by the survivors), then
+aggregates when the grid drains — the report is byte-identical to the
+single-process run. `dpm worker DIR` joins a campaign directory by
+hand; launch as many as you like, on any host sharing the filesystem.
+`dpm campaign gc DIR` removes unloadable records, expired leases and
+orphaned temp files. `dpm campaign list DIR --format json` reports each
+cell's state (archived / leased / pending).
+
 `dpm search` climbs the grid adaptively instead of sweeping it: pass an
 objective (metric label or alias, optional min:/max: prefix, e.g.
 energy_saving or min:energy_j), an optional feasibility constraint, and
 an evaluation budget (default: half the grid). A spec's [search] section
 supplies per-spec defaults; flags override it. With --resume DIR the
 campaign directory doubles as a result cache — re-searching it performs
-zero fresh simulations.";
+zero fresh simulations — and --coordinate lets several search processes
+share one climb through the directory's work leases.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +95,7 @@ fn out(text: impl std::fmt::Display) {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("campaign") => campaign(&args[1..]),
+        Some("worker") => worker(&args[1..]),
         Some("search") => search(&args[1..]),
         Some("table2") => table2(&args[1..]),
         Some("quickstart") => {
@@ -87,6 +107,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Removes an ephemeral campaign directory on drop — success *and*
+/// error paths alike, so a failed `--workers` run leaves no litter.
+struct EphemeralDir(Option<PathBuf>);
+
+impl Drop for EphemeralDir {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.0 {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 }
 
@@ -216,95 +248,288 @@ fn emit_report(opts: &Opts, rendered: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The report format shared by `campaign run` and `search`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Ascii,
+    Markdown,
+    Json,
+}
+
+/// Parses `--format` (validated *before* any simulation runs).
+fn output_format(opts: &Opts) -> Result<OutputFormat, String> {
+    match opts.value("format").unwrap_or("ascii") {
+        "ascii" => Ok(OutputFormat::Ascii),
+        "markdown" | "md" => Ok(OutputFormat::Markdown),
+        "json" => Ok(OutputFormat::Json),
+        other => Err(format!("unknown format '{other}'")),
+    }
+}
+
+/// The one report-emission path: renders with the matching closure and
+/// writes to `--out` or stdout. `campaign run` and `search` both go
+/// through here, so format handling cannot drift between them.
+fn render_report(
+    opts: &Opts,
+    format: OutputFormat,
+    ascii: impl FnOnce() -> String,
+    markdown: impl FnOnce() -> String,
+    json: impl FnOnce() -> Result<String, serde_json::Error>,
+) -> Result<(), String> {
+    let rendered = match format {
+        OutputFormat::Ascii => ascii(),
+        OutputFormat::Markdown => markdown(),
+        OutputFormat::Json => json().map_err(|e| e.to_string())?,
+    };
+    emit_report(opts, &rendered)
+}
+
+/// Parses a `--flag MILLIS` value (lease timing knobs).
+fn parse_ms_flag(opts: &Opts, name: &str, default: u64) -> Result<u64, String> {
+    Ok(parse_usize_flag(opts, name)?.map_or(default, |n| n as u64))
+}
+
+/// The lease config for this process, with CLI overrides applied.
+fn lease_from_flags(opts: &Opts) -> Result<LeaseConfig, String> {
+    let mut lease = LeaseConfig::for_process();
+    lease.ttl_ms = parse_ms_flag(opts, "ttl-ms", lease.ttl_ms)?;
+    lease.poll_ms = parse_ms_flag(opts, "poll-ms", lease.poll_ms)?;
+    if let Some(holder) = opts.value("holder") {
+        if holder.is_empty() || holder.contains(['/', '\\']) {
+            return Err("--holder must be a non-empty name without path separators".into());
+        }
+        lease.holder = holder.to_string();
+    }
+    Ok(lease)
+}
+
 fn campaign(args: &[String]) -> Result<(), String> {
-    let sub = args.first().map(String::as_str);
     let rest = args.get(1..).unwrap_or_default();
-    let opts = Opts::parse(
-        rest,
-        &["threads", "format", "out", "resume"],
-        &["builtin", "per-scenario", "no-dedup"],
-    )?;
-    match sub {
-        Some("run") => {
-            let spec = load_spec(&opts)?;
-            let config = RunnerConfig {
-                threads: parse_usize_flag(&opts, "threads")?.unwrap_or(0),
-                progress: true,
-                dedup_baselines: !opts.has("no-dedup"),
-            };
-            let archive = open_archive(&opts, &spec)?;
-            eprintln!(
-                "campaign '{}': {} scenarios on {} threads (horizon {} ms, master seed {})",
-                spec.name,
-                spec.scenario_count(),
-                config.effective_threads().min(spec.scenario_count().max(1)),
-                spec.horizon_ms,
-                spec.master_seed,
-            );
-            let started = std::time::Instant::now();
-            let run = run_campaign_with(&spec, &config, archive.as_ref())?;
-            let wall = started.elapsed();
-            let result = run.result;
-            eprintln!(
-                "  {} scenarios in {:.2?} ({:.1} scenarios/s)",
-                result.results.len(),
-                wall,
-                result.results.len() as f64 / wall.as_secs_f64().max(1e-9),
-            );
-            eprintln!("  {}", run_stats_line(&run.stats));
-            warn_archive_errors(&run.archive_errors);
-            for f in result.failures() {
-                eprintln!(
-                    "  FAILED #{:04} {}: {}",
-                    f.scenario.index,
-                    f.scenario.label(),
-                    f.error.as_deref().unwrap_or("unknown"),
-                );
-            }
-            let summary = summarize(&result);
-            let rendered = match opts.value("format").unwrap_or("ascii") {
-                "ascii" => campaign_ascii(&summary),
-                "markdown" | "md" => campaign_markdown(&summary),
-                "json" => {
-                    let with_results = opts.has("per-scenario");
-                    campaign_json(&summary, with_results.then_some(&result))
-                        .map_err(|e| e.to_string())?
-                }
-                other => return Err(format!("unknown format '{other}'")),
-            };
-            emit_report(&opts, &rendered)?;
-            Ok(())
-        }
-        Some("list") => {
-            let spec = load_spec(&opts)?;
-            match opts.value("format").unwrap_or("ascii") {
-                "ascii" => {
-                    out(format_args!(
-                        "campaign '{}': {} scenarios (horizon {} ms, master seed {})",
-                        spec.name,
-                        spec.scenario_count(),
-                        spec.horizon_ms,
-                        spec.master_seed,
-                    ));
-                    for cell in spec.expand() {
-                        out(format_args!("  {cell}"));
-                    }
-                }
-                "json" => out(list_json(&spec)),
-                other => return Err(format!("unknown format '{other}'")),
-            }
-            Ok(())
-        }
+    match args.first().map(String::as_str) {
+        Some("run") => campaign_run(rest),
+        Some("list") => campaign_list(rest),
+        Some("gc") => campaign_gc(rest),
         _ => Err(format!(
-            "expected 'campaign run' or 'campaign list'\n\n{USAGE}"
+            "expected 'campaign run', 'campaign list' or 'campaign gc'\n\n{USAGE}"
         )),
     }
 }
 
+fn campaign_run(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["threads", "workers", "format", "out", "resume", "ttl-ms"],
+        &["builtin", "per-scenario", "no-dedup"],
+    )?;
+    let format = output_format(&opts)?;
+    let spec = load_spec(&opts)?;
+    let threads = parse_usize_flag(&opts, "threads")?.unwrap_or(0);
+    let workers = parse_positive_flag(&opts, "workers")?;
+    if workers.is_none() && opts.value("ttl-ms").is_some() {
+        return Err("--ttl-ms only applies with --workers (leases exist \
+                    only on the multi-process backend)"
+            .into());
+    }
+    let config = RunnerConfig {
+        threads,
+        progress: true,
+        dedup_baselines: !opts.has("no-dedup"),
+        lease: None,
+    };
+
+    // the multi-process backend needs a directory to coordinate through;
+    // without --resume it gets an ephemeral one — uniquely named (pid
+    // reuse must not collide with a leftover) and removed on *every*
+    // exit path by the guard's Drop
+    let resume_dir = opts.value("resume").map(PathBuf::from);
+    let ephemeral = workers.is_some() && resume_dir.is_none();
+    let dir = resume_dir.or_else(|| {
+        ephemeral.then(|| {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos());
+            std::env::temp_dir().join(format!("dpm-campaign-{}-{nanos}", std::process::id()))
+        })
+    });
+    let _ephemeral_guard = ephemeral.then(|| EphemeralDir(dir.clone()));
+    let archive = match &dir {
+        Some(d) => Some(CampaignArchive::open(d, &spec)?),
+        None => None,
+    };
+
+    let executor = match workers {
+        None => CampaignExecutor::Threads(ThreadPool::new(threads)),
+        Some(n) => {
+            let mut pool = WorkerPool::new(n);
+            pool.threads_per_worker = threads;
+            pool.ttl_ms = parse_ms_flag(&opts, "ttl-ms", DEFAULT_LEASE_TTL_MS)?;
+            pool.no_dedup = opts.has("no-dedup");
+            CampaignExecutor::Workers(pool)
+        }
+    };
+    match &executor {
+        CampaignExecutor::Threads(pool) => eprintln!(
+            "campaign '{}': {} scenarios on {} threads (horizon {} ms, master seed {})",
+            spec.name,
+            spec.scenario_count(),
+            pool.parallelism().min(spec.scenario_count().max(1)),
+            spec.horizon_ms,
+            spec.master_seed,
+        ),
+        CampaignExecutor::Workers(pool) => eprintln!(
+            "campaign '{}': {} scenarios on {} worker processes × {} threads \
+             (horizon {} ms, master seed {})",
+            spec.name,
+            spec.scenario_count(),
+            pool.workers,
+            pool.effective_child_threads(),
+            spec.horizon_ms,
+            spec.master_seed,
+        ),
+    }
+
+    let started = std::time::Instant::now();
+    let executed = executor.run(&spec, &config, archive.as_ref())?;
+    let wall = started.elapsed();
+    for summary in &executed.workers {
+        eprintln!(
+            "  worker {}: {}",
+            summary.holder,
+            run_stats_line(&summary.stats)
+        );
+    }
+    for failure in &executed.worker_failures {
+        eprintln!("  warning: {failure}");
+    }
+    if !executed.worker_failures.is_empty() {
+        // honest accounting: the aggregation pass below back-fills any
+        // cell no worker completed, in *this* process — the stats line
+        // shows how much distributed execution actually degraded
+        eprintln!(
+            "  warning: cells left behind by failed workers (if any) \
+             were executed by the aggregation pass in this process"
+        );
+    }
+    let run = executed.run;
+    let result = run.result;
+    eprintln!(
+        "  {} scenarios in {:.2?} ({:.1} scenarios/s)",
+        result.results.len(),
+        wall,
+        result.results.len() as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    eprintln!("  {}", run_stats_line(&run.stats));
+    warn_archive_errors(&run.archive_errors);
+    for f in result.failures() {
+        eprintln!(
+            "  FAILED #{:04} {}: {}",
+            f.scenario.index,
+            f.scenario.label(),
+            f.error.as_deref().unwrap_or("unknown"),
+        );
+    }
+    let summary = summarize(&result);
+    render_report(
+        &opts,
+        format,
+        || campaign_ascii(&summary),
+        || campaign_markdown(&summary),
+        || campaign_json(&summary, opts.has("per-scenario").then_some(&result)),
+    )?;
+    Ok(())
+}
+
+fn campaign_list(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["format", "ttl-ms"], &["builtin"])?;
+    // a campaign *directory* lists with per-cell state; a spec file (or
+    // --builtin) lists the bare grid
+    let (spec, archive) = match opts.positionals.first() {
+        Some(path) if Path::new(path).is_dir() => {
+            let (archive, spec) = CampaignArchive::open_existing(Path::new(path))?;
+            (spec, Some(archive))
+        }
+        _ => (load_spec(&opts)?, None),
+    };
+    let ttl_ms = parse_ms_flag(&opts, "ttl-ms", DEFAULT_LEASE_TTL_MS)?;
+    let states = archive.map(|a| a.cell_states(&spec, ttl_ms));
+    match opts.value("format").unwrap_or("ascii") {
+        "ascii" => {
+            out(format_args!(
+                "campaign '{}': {} scenarios (horizon {} ms, master seed {})",
+                spec.name,
+                spec.scenario_count(),
+                spec.horizon_ms,
+                spec.master_seed,
+            ));
+            for cell in spec.expand() {
+                match &states {
+                    Some(s) => out(format_args!("  {cell} [{}]", s[cell.index].label())),
+                    None => out(format_args!("  {cell}")),
+                }
+            }
+        }
+        "json" => out(list_json(&spec, states.as_deref())),
+        other => return Err(format!("unknown format '{other}'")),
+    }
+    Ok(())
+}
+
+fn campaign_gc(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["ttl-ms"], &[])?;
+    let dir = opts
+        .positionals
+        .first()
+        .ok_or("expected a campaign directory")?;
+    let ttl_ms = parse_ms_flag(&opts, "ttl-ms", DEFAULT_LEASE_TTL_MS)?;
+    let (archive, spec) = CampaignArchive::open_existing(Path::new(dir))?;
+    let report = archive.gc(&spec, ttl_ms)?;
+    out(format_args!(
+        "gc {dir}: kept {} records, removed {} stale/foreign records, \
+         removed {} expired leases, removed {} temp files; {} active leases",
+        report.records_kept,
+        report.records_removed,
+        report.leases_removed,
+        report.tmp_removed,
+        report.leases_active,
+    ));
+    Ok(())
+}
+
+fn worker(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["threads", "ttl-ms", "poll-ms", "holder"],
+        &["no-dedup"],
+    )?;
+    let dir = opts
+        .positionals
+        .first()
+        .ok_or("expected a campaign directory (created by 'campaign run --resume DIR')")?;
+    let options = WorkerOptions {
+        threads: parse_usize_flag(&opts, "threads")?.unwrap_or(0),
+        dedup_baselines: !opts.has("no-dedup"),
+        lease: lease_from_flags(&opts)?,
+    };
+    eprintln!(
+        "worker {} joining campaign directory {dir}",
+        options.lease.holder
+    );
+    let outcome = run_worker(Path::new(dir), &options)?;
+    eprintln!(
+        "  campaign '{}' drained: {}",
+        outcome.spec.name,
+        run_stats_line(&outcome.summary.stats),
+    );
+    warn_archive_errors(&outcome.run.archive_errors);
+    out(serde_json::to_string_pretty(&outcome.summary).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
 /// Machine-readable grid description: scalars, per-axis sizes and the
 /// expanded cells — so CI can assert grid shapes without scraping the
-/// human table.
-fn list_json(spec: &CampaignSpec) -> String {
+/// human table. When listing a campaign *directory*, each cell also
+/// carries its lifecycle `state` (archived / leased / pending).
+fn list_json(spec: &CampaignSpec, states: Option<&[dpm_campaign::CellState]>) -> String {
     use serde_json::Value;
     let axes = Value::Object(vec![
         (
@@ -340,10 +565,17 @@ fn list_json(spec: &CampaignSpec) -> String {
         .expand()
         .iter()
         .map(|cell| {
-            Value::Object(vec![
+            let mut fields = vec![
                 ("index".into(), serde::Serialize::to_value(&cell.index)),
                 ("label".into(), Value::String(cell.label())),
-            ])
+            ];
+            if let Some(states) = states {
+                fields.push((
+                    "state".into(),
+                    Value::String(states[cell.index].label().to_string()),
+                ));
+            }
+            Value::Object(fields)
         })
         .collect();
     let doc = Value::Object(vec![
@@ -378,9 +610,13 @@ fn search(args: &[String]) -> Result<(), String> {
             "format",
             "out",
             "resume",
+            "ttl-ms",
+            "poll-ms",
+            "holder",
         ],
-        &["builtin", "no-dedup"],
+        &["builtin", "no-dedup", "coordinate"],
     )?;
+    let format = output_format(&opts)?;
     let (spec, defaults) = load_spec_full(&opts)?;
 
     // CLI flags override the spec's [search] section
@@ -407,10 +643,29 @@ fn search(args: &[String]) -> Result<(), String> {
         search_spec.start_points = points;
     }
 
+    // --coordinate: claim batch-level work leases so several search
+    // processes can share one climb over the same campaign directory
+    if !opts.has("coordinate") {
+        for flag in ["ttl-ms", "poll-ms", "holder"] {
+            if opts.value(flag).is_some() {
+                return Err(format!("--{flag} only applies with --coordinate"));
+            }
+        }
+    }
+    let lease = opts
+        .has("coordinate")
+        .then(|| lease_from_flags(&opts))
+        .transpose()?;
+    if lease.is_some() && !opts.has("resume") {
+        return Err("--coordinate needs --resume DIR (the campaign \
+                    directory is the work-sharing medium)"
+            .into());
+    }
     let config = RunnerConfig {
         threads: parse_usize_flag(&opts, "threads")?.unwrap_or(0),
         progress: false,
         dedup_baselines: !opts.has("no-dedup"),
+        lease,
     };
     let archive = open_archive(&opts, &spec)?;
     eprintln!(
@@ -430,13 +685,13 @@ fn search(args: &[String]) -> Result<(), String> {
         run_stats_line(&outcome.stats),
     );
     warn_archive_errors(&outcome.archive_errors);
-    let rendered = match opts.value("format").unwrap_or("ascii") {
-        "ascii" => search_ascii(&outcome.report),
-        "json" => search_json(&outcome.report).map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown format '{other}'")),
-    };
-    emit_report(&opts, &rendered)?;
-    Ok(())
+    render_report(
+        &opts,
+        format,
+        || search_ascii(&outcome.report),
+        || search_markdown(&outcome.report),
+        || search_json(&outcome.report),
+    )
 }
 
 fn table2(args: &[String]) -> Result<(), String> {
@@ -603,6 +858,88 @@ mod tests {
             .unwrap_err();
             assert!(err.contains("must be positive"), "{flag}: {err}");
         }
+    }
+
+    #[test]
+    fn worker_and_gc_need_a_campaign_directory() {
+        let err = run(&args(&["worker"])).unwrap_err();
+        assert!(err.contains("expected a campaign directory"), "{err}");
+        let dir = tmp_path("not-a-campaign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run(&args(&["worker", dir.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("not a campaign directory"), "{err}");
+        let err = run(&args(&["campaign", "gc", dir.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("not a campaign directory"), "{err}");
+        let err = run(&args(&["campaign", "gc"])).unwrap_err();
+        assert!(err.contains("expected a campaign directory"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_rejects_holders_that_break_lease_filenames() {
+        let err = run(&args(&["worker", "/tmp/x", "--holder", "a/b"])).unwrap_err();
+        assert!(err.contains("path separators"), "{err}");
+    }
+
+    #[test]
+    fn coordinate_without_resume_is_a_clear_error() {
+        let err = run(&args(&[
+            "search",
+            "--builtin",
+            "--objective",
+            "energy_saving",
+            "--coordinate",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--coordinate needs --resume"), "{err}");
+    }
+
+    #[test]
+    fn workers_flag_rejects_zero() {
+        let err = run(&args(&["campaign", "run", "--builtin", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("--workers must be positive"), "{err}");
+    }
+
+    #[test]
+    fn bad_formats_fail_before_any_simulation_runs() {
+        // an invalid spec would also error, so use a path that does not
+        // even exist: the format must be rejected first
+        let err = run(&args(&[
+            "campaign",
+            "run",
+            "/nonexistent-spec.toml",
+            "--format",
+            "yaml",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown format 'yaml'"), "{err}");
+    }
+
+    #[test]
+    fn search_renders_markdown() {
+        let spec_path = tmp_path("search-md.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"md\"\nhorizon_ms = 2\n\n[axes]\nworkloads = [\"low\"]\n\
+             seeds = [1]\nthermals = [\"cool\"]\nip_counts = [1]\n\n\
+             [search]\nobjective = \"energy_saving\"\nbudget = 2\n",
+        )
+        .unwrap();
+        let out_path = tmp_path("search-md.md");
+        run(&args(&[
+            "search",
+            spec_path.to_str().unwrap(),
+            "--format",
+            "markdown",
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        assert!(text.contains("## Search `md`"), "{text}");
+        assert!(text.contains("### Best cell"), "{text}");
+        let _ = std::fs::remove_file(&spec_path);
+        let _ = std::fs::remove_file(&out_path);
     }
 
     #[test]

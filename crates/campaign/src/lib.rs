@@ -10,8 +10,10 @@
 //! | layer | module | contents |
 //! |-------|--------|----------|
 //! | spec | [`spec`] | [`CampaignSpec`] grid, named axes, cartesian expansion |
-//! | runner | [`runner`] | scoped thread pool, baseline dedup, panic isolation |
-//! | archive | [`archive`] | per-cell JSON records, resumable campaign directories |
+//! | executor | [`executor`] | pluggable backends: in-process thread pool, multi-process worker pool |
+//! | runner | [`runner`] | work-unit dispatch, baseline dedup, panic isolation, lease loop |
+//! | worker | [`worker`] | the `dpm worker` loop: claim, simulate, store, reclaim |
+//! | archive | [`archive`] | per-cell JSON records, work leases, gc — the coordination medium |
 //! | objective | [`objective`] | search objectives: metric, direction, constraints |
 //! | search | [`search`] | budgeted adaptive neighborhood search over the grid |
 //! | aggregation | [`aggregate`] | streaming stats, percentiles, winners, roll-ups |
@@ -23,7 +25,30 @@
 //! derive from `(master_seed, logical seed, ip index)`, and aggregation
 //! folds results in index order — so the same spec produces
 //! **byte-identical** reports on 1 thread or 64, with baseline dedup on
-//! or off, and when resumed from any mix of archived and fresh cells.
+//! or off, when resumed from any mix of archived and fresh cells, and
+//! across execution backends (1 or N worker processes).
+//!
+//! # Execution layers
+//!
+//! Execution is stacked, and each layer is oblivious to the ones above:
+//!
+//! 1. **Work units** ([`executor::Executor`]): independent,
+//!    index-addressed jobs. The [`executor::ThreadPool`] schedules them
+//!    over scoped OS threads via a shared atomic counter.
+//! 2. **Batches** ([`runner::run_cells_with`]): resume-from-archive,
+//!    shared-baseline dedup and panic isolation around a set of cells;
+//!    with a [`archive::LeaseConfig`] it claims whole baseline groups
+//!    through atomic lease records and polls the archive for cells other
+//!    processes hold.
+//! 3. **Campaigns** ([`executor::CampaignExecutor`]): one entry point,
+//!    two backends — run every cell in-process, or spawn a
+//!    [`executor::WorkerPool`] of `dpm worker` processes that coordinate
+//!    purely through the campaign directory and aggregate when the grid
+//!    drains.
+//!
+//! The archive directory is the only shared medium: cell records are the
+//! results, lease records are the scheduler, and crash recovery is
+//! staleness-based reclaim ([`archive`] has the failure semantics).
 //!
 //! # Quickstart
 //!
@@ -48,20 +73,30 @@
 
 pub mod aggregate;
 pub mod archive;
+pub mod executor;
 pub mod objective;
 pub mod report;
 pub mod runner;
 pub mod search;
 pub mod spec;
 pub mod toml_spec;
+pub mod worker;
 
 pub use aggregate::{
     metric_stat_where, summarize, CampaignSummary, Metric, MetricSummary, StreamingStat,
 };
-pub use archive::{spec_fingerprint, ArchiveLoad, CampaignArchive, CellRecord, ARCHIVE_VERSION};
+pub use archive::{
+    spec_fingerprint, ArchiveLoad, CampaignArchive, CellRecord, CellState, GcReport, LeaseConfig,
+    LeaseRecord, LeaseState, WorkLease, ARCHIVE_VERSION, DEFAULT_LEASE_POLL_MS,
+    DEFAULT_LEASE_TTL_MS, LEASE_VERSION,
+};
+pub use executor::{
+    map_units, CampaignExecutor, ExecutedCampaign, Executor, ThreadPool, WorkerPool,
+};
 pub use objective::{parse_metric, CellScore, Constraint, ConstraintOp, Direction, Objective};
 pub use report::{
     campaign_ascii, campaign_json, campaign_markdown, run_stats_line, search_ascii, search_json,
+    search_markdown,
 };
 pub use runner::{
     run_campaign, run_campaign_with, run_cells_with, run_scenario_cell, BaselineCache,
@@ -75,3 +110,4 @@ pub use spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, TuningAxis, WorkloadAxis,
 };
 pub use toml_spec::{parse_campaign_toml, SearchDefaults};
+pub use worker::{run_worker, WorkerOptions, WorkerOutcome, WorkerSummary};

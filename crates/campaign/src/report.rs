@@ -211,6 +211,63 @@ pub fn search_ascii(report: &SearchReport) -> String {
     out
 }
 
+/// Renders a search report as Markdown, mirroring [`search_ascii`]'s
+/// content: budget accounting, the winning cell, and the improvement
+/// trajectory.
+pub fn search_markdown(report: &SearchReport) -> String {
+    let mut out = format!(
+        "## Search `{}` — {}\n\n{} of {} grid cells evaluated in {} rounds \
+         (budget {}, {:.1}% of the grid)\n",
+        report.name,
+        report.objective,
+        report.evaluated,
+        report.grid_cells,
+        report.rounds,
+        report.budget,
+        100.0 * report.evaluated as f64 / report.grid_cells.max(1) as f64,
+    );
+    match &report.best {
+        Some(best) => {
+            out.push_str(&format!(
+                "\n### Best cell\n\n`#{:04} {}`{}\n\n\
+                 | objective | saving % | delay % | energy J | temp red % | low-power | final soc |\n\
+                 |-----------|----------|---------|----------|------------|-----------|----------|\n\
+                 | {:.4} | {:.2} | {:.2} | {:.4} | {:.2} | {:.3} | {:.3} |\n",
+                best.index,
+                best.label,
+                if best.feasible {
+                    ""
+                } else {
+                    " — **INFEASIBLE** (no evaluated cell met the constraint)"
+                },
+                best.value,
+                best.metrics.energy_saving_pct,
+                best.metrics.delay_overhead_pct,
+                best.metrics.energy_j,
+                best.metrics.temp_reduction_pct,
+                best.metrics.low_power_frac,
+                best.metrics.final_soc,
+            ));
+        }
+        None => out.push_str("\n### Best cell\n\nnone (every evaluated cell failed)\n"),
+    }
+    out.push_str(
+        "\n### Trajectory (improvements only)\n\n\
+         | round | cell | value |\n|-------|------|-------|\n",
+    );
+    for e in report.trajectory.iter().filter(|e| e.improved) {
+        out.push_str(&format!(
+            "| {} | `#{:04} {}` | {:.4}{} |\n",
+            e.round,
+            e.index,
+            e.label,
+            e.value.unwrap_or(f64::NAN),
+            if e.feasible { "" } else { " (infeasible)" },
+        ));
+    }
+    out
+}
+
 /// Serializes a search report as pretty JSON. Byte-identical across
 /// thread counts and archived/fresh mixes (work accounting is kept out
 /// of the report for exactly this reason).
@@ -271,6 +328,10 @@ mod tests {
         assert!(ascii.contains("maximize energy_saving_pct"), "{ascii}");
         assert!(ascii.contains("best cell: #"), "{ascii}");
         assert!(ascii.contains("trajectory"), "{ascii}");
+        let md = search_markdown(&out.report);
+        assert!(md.contains("## Search"), "{md}");
+        assert!(md.contains("### Best cell"), "{md}");
+        assert!(md.contains("| round | cell | value |"), "{md}");
         let json = search_json(&out.report).unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["grid_cells"].as_u64(), Some(8));

@@ -1,11 +1,16 @@
 //! Parallel campaign execution.
 //!
-//! Scenarios are pulled from a shared atomic counter by a pool of scoped
-//! OS threads (work stealing degenerates to self-scheduling because every
-//! unit of work is independent), executed with panic isolation, and
-//! written back into an index-addressed slot table — so the result order,
-//! and everything aggregated from it, is **identical for any thread
-//! count**.
+//! Work units are dispatched through the [`crate::executor`] layer (the
+//! runner no longer owns a thread loop): simulations run with panic
+//! isolation and are written back into an index-addressed slot table —
+//! so the result order, and everything aggregated from it, is
+//! **identical for any thread count, worker count or backend**.
+//!
+//! With [`RunnerConfig::lease`] set and an archive attached, execution
+//! switches to the cross-process path: whole baseline groups are claimed
+//! via atomic lease records in the campaign directory, foreign cells are
+//! polled from the archive, and stale leases (dead workers) are
+//! reclaimed — see [`crate::archive`] for the failure semantics.
 //!
 //! Two optimizations sit on top of that plan, both result-preserving:
 //!
@@ -18,7 +23,7 @@
 //!   campaign directory prefill their result slots on resume and are not
 //!   re-executed.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -28,7 +33,8 @@ use dpm_soc::experiment::table2_row;
 use dpm_soc::{build_soc, collect_metrics, ControllerKind, SocConfig, SocMetrics};
 use dpm_units::SimTime;
 
-use crate::archive::CampaignArchive;
+use crate::archive::{CampaignArchive, LeaseConfig};
+use crate::executor::{map_units, ThreadPool};
 use crate::spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, WorkloadAxis,
 };
@@ -45,6 +51,11 @@ pub struct RunnerConfig {
     /// in controller/tuning (default). Result-preserving; turn off only
     /// to measure the redundancy it removes.
     pub dedup_baselines: bool,
+    /// Cross-process coordination: claim per-group work leases in the
+    /// campaign archive before executing, and poll the archive for cells
+    /// other workers hold (requires an archive). `None` (default) means
+    /// this process owns every cell.
+    pub lease: Option<LeaseConfig>,
 }
 
 impl Default for RunnerConfig {
@@ -53,6 +64,7 @@ impl Default for RunnerConfig {
             threads: 0,
             progress: false,
             dedup_baselines: true,
+            lease: None,
         }
     }
 }
@@ -69,6 +81,12 @@ impl RunnerConfig {
     /// This configuration with baseline dedup disabled.
     pub fn without_dedup(mut self) -> Self {
         self.dedup_baselines = false;
+        self
+    }
+
+    /// This configuration with cross-process lease coordination enabled.
+    pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
+        self.lease = Some(lease);
         self
     }
 
@@ -172,8 +190,9 @@ impl CampaignResult {
 
 /// Work accounting for one campaign execution. Deliberately *not* part of
 /// [`CampaignResult`]: reports must stay byte-identical between cold and
-/// resumed runs, and these counts differ by construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// resumed runs, and these counts differ by construction. Serializable so
+/// `dpm worker` can hand its accounting back to the spawning pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct RunStats {
     /// Cells in the grid.
     pub total_cells: usize,
@@ -286,46 +305,33 @@ fn baseline_key(cell: &ScenarioSpec) -> BaselineKey {
     )
 }
 
-/// Self-scheduling parallel map: `job(i)` for `i in 0..n`, results in
-/// index order regardless of execution interleaving.
-fn parallel_map<T: Send>(
-    threads: usize,
-    n: usize,
-    progress: Option<(&AtomicUsize, usize)>,
-    job: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = job(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
-                if let Some((done, total)) = progress {
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    eprint!("\r  [{finished}/{total}] runs done");
-                    if finished == total {
-                        eprintln!();
-                    }
-                }
-            });
+/// Shared progress line over the phases of one run: bumps a counter and
+/// rewrites the stderr line each time a simulation unit finishes.
+struct Progress {
+    enabled: bool,
+    done: AtomicUsize,
+    total: usize,
+}
+
+impl Progress {
+    fn new(enabled: bool, total: usize) -> Self {
+        Self {
+            enabled,
+            done: AtomicUsize::new(0),
+            total,
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every slot is filled")
-        })
-        .collect()
+    }
+
+    fn tick(&self) {
+        if !self.enabled {
+            return;
+        }
+        let finished = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprint!("\r  [{finished}/{}] runs done", self.total);
+        if finished == self.total {
+            eprintln!();
+        }
+    }
 }
 
 fn caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
@@ -457,6 +463,25 @@ pub fn run_cells_with(
     cache: Option<&mut BaselineCache>,
 ) -> Result<CampaignRun, String> {
     spec.validate()?;
+    match (&config.lease, archive) {
+        (Some(lease), Some(a)) => run_cells_leased(spec, cells, config, &lease.clone(), a, cache),
+        (Some(_), None) => Err("lease coordination needs a campaign directory \
+             (the archive is the work-sharing medium)"
+            .into()),
+        (None, _) => run_cells_local(spec, cells, config, archive, cache),
+    }
+}
+
+/// The single-process execution path: resume from the archive, run the
+/// missing cells on the configured [`ThreadPool`] executor (shared
+/// baselines first, then the cells), store fresh records.
+fn run_cells_local(
+    spec: &CampaignSpec,
+    cells: &[ScenarioSpec],
+    config: &RunnerConfig,
+    archive: Option<&CampaignArchive>,
+    cache: Option<&mut BaselineCache>,
+) -> Result<CampaignRun, String> {
     let total = cells.len();
 
     // resume: prefill result slots from the archive
@@ -496,9 +521,8 @@ pub fn run_cells_with(
         .collect();
 
     let work = to_run.len() + missing.len();
-    let threads = config.effective_threads().min(work.max(1));
-    let done = AtomicUsize::new(0);
-    let progress = config.progress.then_some((&done, work));
+    let pool = ThreadPool::new(config.effective_threads().min(work.max(1)));
+    let progress = Progress::new(config.progress, work);
     let sims = AtomicUsize::new(0);
     let reused = AtomicUsize::new(0);
     let store_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
@@ -507,16 +531,17 @@ pub fn run_cells_with(
     // phase A: shared baselines (build_config inside the catch — a
     // panicking trace generator must fail the group's cells, not the
     // whole campaign, exactly as it would without dedup)
-    let fresh_baselines: Vec<Result<SocMetrics, String>> =
-        parallel_map(threads, to_run.len(), progress, |k| {
-            sims.fetch_add(1, Ordering::Relaxed);
-            caught(|| {
-                let cfg = groups[to_run[k]]
-                    .build_config(spec)
-                    .with_controller(ControllerKind::AlwaysOn);
-                run_to_metrics(&cfg, spec.horizon())
-            })
+    let fresh_baselines: Vec<Result<SocMetrics, String>> = map_units(&pool, to_run.len(), |k| {
+        sims.fetch_add(1, Ordering::Relaxed);
+        let out = caught(|| {
+            let cfg = groups[to_run[k]]
+                .build_config(spec)
+                .with_controller(ControllerKind::AlwaysOn);
+            run_to_metrics(&cfg, spec.horizon())
         });
+        progress.tick();
+        out
+    });
     for (k, result) in fresh_baselines.into_iter().enumerate() {
         baselines[to_run[k]] = Some(result);
     }
@@ -532,7 +557,7 @@ pub fn run_cells_with(
 
     // phase B: the cells themselves (storing fresh results as they land,
     // so a killed sweep keeps everything finished so far)
-    let fresh: Vec<ScenarioResult> = parallel_map(threads, missing.len(), progress, |k| {
+    let fresh: Vec<ScenarioResult> = map_units(&pool, missing.len(), |k| {
         let cell = &cells[missing[k]];
         let baseline = config.dedup_baselines.then(|| &baselines[cell_group[k]]);
         let result = execute_cell(spec, cell, baseline, &sims, &reused);
@@ -540,14 +565,20 @@ pub fn run_cells_with(
             if !archive_broken.load(Ordering::Relaxed) {
                 if let Err(e) = a.store(spec, &result) {
                     archive_broken.store(true, Ordering::Relaxed);
-                    store_errors.lock().expect("store errors poisoned").push(e);
+                    store_errors
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(e);
                 }
             }
         }
+        progress.tick();
         result
     });
 
-    let archive_errors = store_errors.into_inner().expect("store errors poisoned");
+    let archive_errors = store_errors
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
 
     for (k, result) in fresh.into_iter().enumerate() {
         slots[missing[k]] = Some(result);
@@ -572,6 +603,163 @@ pub fn run_cells_with(
             baseline_groups: to_run.len(),
             reused_baselines: reused.into_inner(),
         },
+        archive_errors,
+    })
+}
+
+/// The cross-process execution path: claim whole baseline groups via
+/// archive leases, run the claimed cells locally, and poll the archive
+/// for cells other workers hold — reclaiming any group whose lease goes
+/// stale. Returns only when every requested cell has a result, so any
+/// surviving worker can complete a campaign its peers abandoned.
+///
+/// Work accounting semantics across workers: `executed_cells`,
+/// `simulations`, `baseline_groups` and `reused_baselines` sum to the
+/// single-process totals (each group runs in exactly one worker);
+/// `archived_cells` counts the cells this worker received from the
+/// archive, whether they predate the run or were stored by a peer.
+///
+/// One asymmetry with the local path: *failed* (panicked) cells are
+/// never archived, so every waiting worker eventually claims and re-runs
+/// them itself — duplicated work, but identical error results.
+fn run_cells_leased(
+    spec: &CampaignSpec,
+    cells: &[ScenarioSpec],
+    config: &RunnerConfig,
+    lease_cfg: &LeaseConfig,
+    archive: &CampaignArchive,
+    cache: Option<&mut BaselineCache>,
+) -> Result<CampaignRun, String> {
+    let total = cells.len();
+    let load = archive.load(spec, cells);
+    let mut slots = load.slots;
+    let mut stats = RunStats {
+        total_cells: total,
+        archived_cells: load.loaded,
+        ..RunStats::default()
+    };
+    let mut archive_errors = Vec::new();
+
+    // one baseline cache across every claimed batch, so a sequence of
+    // group batches shares baselines the way one exhaustive sweep would
+    let mut local_cache = BaselineCache::new();
+    let cache: &mut BaselineCache = match cache {
+        Some(c) => c,
+        None => &mut local_cache,
+    };
+    let mut inner = config.clone();
+    inner.lease = None; // the batches below run on the local path
+    let mut idle_ticks = 0u32;
+
+    loop {
+        // claim and run every group we can get a lease on
+        let mut ran_any = false;
+        let missing: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+        if missing.is_empty() {
+            break;
+        }
+        let mut by_group: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &i in &missing {
+            by_group
+                .entry(spec.group_of(cells[i].index))
+                .or_default()
+                .push(i);
+        }
+        for (group, positions) in by_group {
+            let Some(lease) = archive.try_claim(group, lease_cfg)? else {
+                continue;
+            };
+            // double-check under the lease: a previous holder may have
+            // stored some of these cells before dying or releasing
+            let mut fresh: Vec<usize> = Vec::new();
+            for &p in &positions {
+                match archive.load_cell(spec, &cells[p]) {
+                    Some(result) => {
+                        slots[p] = Some(result);
+                        stats.archived_cells += 1;
+                    }
+                    None => fresh.push(p),
+                }
+            }
+            if !fresh.is_empty() {
+                // run in thread-sized chunks, refreshing the lease
+                // heartbeat between chunks so a long group never goes
+                // stale under its living holder (the baseline cache
+                // makes chunking work-neutral: the group's baseline
+                // simulates in the first chunk and is served from
+                // memory afterwards)
+                let chunk_size = inner.effective_threads().max(1);
+                for (k, chunk) in fresh.chunks(chunk_size).enumerate() {
+                    if k > 0 {
+                        // best-effort: a failed refresh only risks a
+                        // peer duplicating this group's remaining work
+                        let _ = archive.refresh(&lease, lease_cfg);
+                    }
+                    let batch: Vec<ScenarioSpec> = chunk.iter().map(|&p| cells[p]).collect();
+                    let run = run_cells_local(spec, &batch, &inner, Some(archive), Some(cache))?;
+                    stats.archived_cells += run.stats.archived_cells;
+                    stats.executed_cells += run.stats.executed_cells;
+                    stats.simulations += run.stats.simulations;
+                    stats.baseline_groups += run.stats.baseline_groups;
+                    stats.reused_baselines += run.stats.reused_baselines;
+                    archive_errors.extend(run.archive_errors);
+                    for (j, result) in run.result.results.into_iter().enumerate() {
+                        slots[chunk[j]] = Some(result);
+                    }
+                }
+                ran_any = true;
+            }
+            archive.release(lease);
+        }
+
+        // whatever is still missing is held by other workers: absorb
+        // their stored records, and wait before re-trying claims (their
+        // leases become stale — and claimable above — if they died)
+        let mut still_missing = false;
+        let mut absorbed_any = false;
+        for i in 0..total {
+            if slots[i].is_none() {
+                match archive.load_cell(spec, &cells[i]) {
+                    Some(result) => {
+                        slots[i] = Some(result);
+                        stats.archived_cells += 1;
+                        absorbed_any = true;
+                    }
+                    None => still_missing = true,
+                }
+            }
+        }
+        if !still_missing {
+            break;
+        }
+        if ran_any || absorbed_any {
+            idle_ticks = 0;
+        }
+        if !ran_any {
+            // exponential backoff while nothing moves: polling a large
+            // foreign-held grid must not hammer a (possibly networked)
+            // filesystem once per poll_ms forever
+            let base = lease_cfg.poll_ms.max(1);
+            let wait = base
+                .saturating_mul(1 << idle_ticks.min(5))
+                .min(base.max(1_000));
+            idle_ticks += 1;
+            std::thread::sleep(std::time::Duration::from_millis(wait));
+        }
+    }
+
+    let results: Vec<ScenarioResult> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every scenario slot is filled"))
+        .collect();
+    Ok(CampaignRun {
+        result: CampaignResult {
+            name: spec.name.clone(),
+            horizon_ms: spec.horizon_ms,
+            master_seed: spec.master_seed,
+            results,
+        },
+        stats,
         archive_errors,
     })
 }

@@ -25,6 +25,16 @@
 //! would. The [`SearchReport`] is therefore byte-identical across thread
 //! counts and archived/fresh mixes; only [`SearchOutcome::stats`] (work
 //! actually done) differs, which is why it is not part of the report.
+//!
+//! **Distributed search**: with [`RunnerConfig::lease`] set and an
+//! archive attached, each batch claims its cells' baseline groups
+//! through the archive's work leases before simulating — so any number
+//! of `dpm search --resume DIR` processes can climb the same grid
+//! concurrently without duplicating a simulation. The search trajectory
+//! is deterministic, so concurrent searchers request the same batches:
+//! whoever claims a batch's groups first simulates them, the others
+//! absorb the stored records and move on in lockstep, and every
+//! searcher finishes with the byte-identical report.
 
 use crate::archive::CampaignArchive;
 use crate::objective::{CellScore, Objective};

@@ -479,6 +479,32 @@ impl CampaignSpec {
         }
     }
 
+    /// Number of **baseline groups** in the grid: cells of one group share
+    /// every inner axis (workload, seed, battery, thermal, IP count) and
+    /// differ only in controller/tuning — exactly the axes an always-`ON1`
+    /// baseline run does not depend on. Because controllers and tunings
+    /// are the two outermost `expand` axes, a group is one block of inner
+    /// coordinates and its id is `index % group_count()`.
+    pub fn group_count(&self) -> usize {
+        self.workloads.len()
+            * self.seeds.len()
+            * self.batteries.len()
+            * self.thermals.len()
+            * self.ip_counts.len()
+    }
+
+    /// The baseline-group id of a grid index (see [`Self::group_count`]).
+    /// Work leases claim whole groups so that a group's shared baseline is
+    /// simulated by exactly one worker process.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside the grid.
+    pub fn group_of(&self, index: usize) -> usize {
+        assert!(index < self.scenario_count(), "index outside the grid");
+        index % self.group_count()
+    }
+
     /// Grid indices one step away from `index` along a **single axis**
     /// (the hill-climbing neighborhood), in ascending index order.
     ///
@@ -693,6 +719,29 @@ mod tests {
                 assert_eq!(here[a].abs_diff(there[a]), 1, "one step along axis {a}");
             }
         }
+    }
+
+    #[test]
+    fn groups_partition_the_grid_along_the_inner_axes() {
+        let spec = CampaignSpec::default_sweep();
+        let cells = spec.expand();
+        // workloads × seeds × batteries × thermals × ip_counts
+        assert_eq!(spec.group_count(), 16);
+        for cell in &cells {
+            let g = spec.group_of(cell.index);
+            assert!(g < spec.group_count());
+            // every cell of the group shares the baseline-relevant axes
+            for other in cells.iter().filter(|c| spec.group_of(c.index) == g) {
+                assert_eq!(cell.workload, other.workload);
+                assert_eq!(cell.seed, other.seed);
+                assert_eq!(cell.battery, other.battery);
+                assert_eq!(cell.thermal, other.thermal);
+                assert_eq!(cell.ip_count, other.ip_count);
+            }
+        }
+        // each group holds one cell per (controller, tuning) pair
+        let per_group = cells.len() / spec.group_count();
+        assert_eq!(per_group, spec.controllers.len() * spec.tunings.len());
     }
 
     #[test]

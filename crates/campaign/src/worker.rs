@@ -1,0 +1,174 @@
+//! The campaign worker loop: join a campaign directory, claim work,
+//! drain the grid.
+//!
+//! A worker is handed nothing but a campaign directory. It recovers the
+//! spec from `campaign.toml`, then runs the leased execution path of the
+//! runner: claim a baseline group (atomic lease record), simulate its
+//! missing cells, store their records, release the lease, repeat — and
+//! when nothing is claimable, poll the archive for the cells other
+//! workers hold, reclaiming any group whose lease goes stale. The worker
+//! returns once **every** cell has a result, so each worker ends holding
+//! the complete campaign and any one of them could render the report.
+//!
+//! `dpm worker <DIR>` is a thin CLI wrapper over [`run_worker`]; the
+//! multi-process pool ([`crate::executor::WorkerPool`]) spawns N of
+//! them. Because coordination happens purely through the directory,
+//! workers may equally be launched by hand, on a schedule, or on other
+//! hosts sharing a filesystem.
+
+use std::path::Path;
+
+use crate::archive::{CampaignArchive, LeaseConfig};
+use crate::runner::{run_campaign_with, CampaignRun, RunStats, RunnerConfig};
+use crate::spec::CampaignSpec;
+
+/// Options for one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// In-worker simulation threads; `0` = the machine's parallelism.
+    pub threads: usize,
+    /// Share always-`ON1` baselines within this worker (default on).
+    pub dedup_baselines: bool,
+    /// Lease identity and timing.
+    pub lease: LeaseConfig,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            dedup_baselines: true,
+            lease: LeaseConfig::for_process(),
+        }
+    }
+}
+
+/// What one worker did, serialized over stdout to the spawning pool.
+///
+/// Summed across all workers of a drained campaign, `executed_cells`,
+/// `simulations`, `baseline_groups` and `reused_baselines` equal the
+/// single-process totals: leases partition the grid by baseline group,
+/// so no cell — and no shared baseline — is simulated twice.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkerSummary {
+    /// The worker's lease holder id.
+    pub holder: String,
+    /// The worker's local work accounting.
+    pub stats: RunStats,
+}
+
+/// A drained campaign as seen by one worker: the recovered spec, the
+/// complete run, and the worker's summary.
+#[derive(Debug)]
+pub struct WorkerOutcome {
+    /// The spec recovered from the directory's `campaign.toml`.
+    pub spec: CampaignSpec,
+    /// The complete campaign (identical across all workers).
+    pub run: CampaignRun,
+    /// This worker's accounting.
+    pub summary: WorkerSummary,
+}
+
+/// Joins the campaign in `dir` and works until the grid is drained.
+///
+/// # Errors
+///
+/// Returns a description when `dir` is not a campaign directory, its
+/// spec is invalid, or the archive cannot be read or written. Scenario
+/// panics are not errors (they are per-cell results), and a peer worker
+/// dying never is — its leases go stale and this worker reclaims them.
+pub fn run_worker(dir: &Path, options: &WorkerOptions) -> Result<WorkerOutcome, String> {
+    let (archive, spec) = CampaignArchive::open_existing(dir)?;
+    let config = RunnerConfig {
+        threads: options.threads,
+        progress: false,
+        dedup_baselines: options.dedup_baselines,
+        lease: Some(options.lease.clone()),
+    };
+    let run = run_campaign_with(&spec, &config, Some(&archive))?;
+    let summary = WorkerSummary {
+        holder: options.lease.holder.clone(),
+        stats: run.stats,
+    };
+    Ok(WorkerOutcome { spec, run, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BatteryAxis, ControllerAxis, ThermalAxis, TuningAxis, WorkloadAxis};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpm-worker-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "worker_tiny".into(),
+            horizon_ms: 5,
+            master_seed: 21,
+            initial_soc: 0.9,
+            controllers: vec![ControllerAxis::Dpm, ControllerAxis::AlwaysOn],
+            tunings: vec![TuningAxis::Paper],
+            workloads: vec![WorkloadAxis::Low],
+            seeds: vec![1, 2],
+            batteries: vec![BatteryAxis::Linear],
+            thermals: vec![ThermalAxis::Cool],
+            ip_counts: vec![1],
+        }
+    }
+
+    #[test]
+    fn a_single_worker_drains_the_grid() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("drain");
+        let _ = CampaignArchive::open(&dir, &spec).unwrap();
+        let options = WorkerOptions {
+            threads: 1,
+            ..WorkerOptions::default()
+        };
+        let outcome = run_worker(&dir, &options).unwrap();
+        assert_eq!(outcome.spec, spec);
+        assert_eq!(outcome.run.result.results.len(), spec.scenario_count());
+        assert_eq!(outcome.summary.stats.executed_cells, spec.scenario_count());
+        // every record landed; no lease left behind
+        let (archive, _) = CampaignArchive::open_existing(&dir).unwrap();
+        let load = archive.load(&spec, &spec.expand());
+        assert_eq!(load.loaded, spec.scenario_count());
+        let gc = archive.gc(&spec, options.lease.ttl_ms).unwrap();
+        assert_eq!(gc.leases_active, 0);
+        assert_eq!(gc.leases_removed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_directory_without_a_campaign_is_a_clear_error() {
+        let dir = tmp_dir("not-a-campaign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_worker(&dir, &WorkerOptions::default()).unwrap_err();
+        assert!(err.contains("not a campaign directory"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_summaries_round_trip_as_json() {
+        let summary = WorkerSummary {
+            holder: "pid1-0-42".into(),
+            stats: RunStats {
+                total_cells: 8,
+                archived_cells: 3,
+                executed_cells: 5,
+                simulations: 7,
+                baseline_groups: 2,
+                reused_baselines: 1,
+            },
+        };
+        let json = serde_json::to_string_pretty(&summary).unwrap();
+        let back: WorkerSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+    }
+}

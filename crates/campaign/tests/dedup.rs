@@ -36,6 +36,7 @@ fn run(spec: &CampaignSpec, threads: usize, dedup: bool) -> CampaignRun {
         threads,
         progress: false,
         dedup_baselines: dedup,
+        ..RunnerConfig::default()
     };
     run_campaign_with(spec, &config, None).expect("valid spec")
 }

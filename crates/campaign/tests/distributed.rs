@@ -1,0 +1,308 @@
+//! Distributed-execution contract: any number of lease-coordinated
+//! workers over one campaign directory produce the **byte-identical**
+//! report of a single-process run, with the **same total work** (no cell
+//! and no shared baseline simulated twice), and a worker dying
+//! mid-campaign never loses a cell — survivors reclaim its stale lease
+//! and complete it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dpm_campaign::{
+    campaign_json, run_campaign_with, run_cells_with, run_worker, search_campaign, search_json,
+    summarize, BatteryAxis, CampaignArchive, CampaignResult, CampaignSpec, ControllerAxis,
+    LeaseConfig, LeaseRecord, Metric, Objective, RunStats, RunnerConfig, ScenarioSpec, SearchSpec,
+    ThermalAxis, TuningAxis, WorkerOptions, WorkloadAxis, LEASE_VERSION,
+};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh scratch directory under the cargo-managed tmp dir.
+fn scratch_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "distributed-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec_with(seeds: Vec<u64>) -> CampaignSpec {
+    CampaignSpec {
+        name: "distributed".into(),
+        horizon_ms: 5,
+        master_seed: 0xD157,
+        initial_soc: 0.9,
+        controllers: vec![ControllerAxis::Dpm, ControllerAxis::AlwaysOn],
+        tunings: vec![TuningAxis::Paper],
+        workloads: vec![WorkloadAxis::Low],
+        seeds,
+        batteries: vec![BatteryAxis::Linear],
+        thermals: vec![ThermalAxis::Cool],
+        ip_counts: vec![1],
+    }
+}
+
+fn serial() -> RunnerConfig {
+    RunnerConfig {
+        threads: 1,
+        ..RunnerConfig::default()
+    }
+}
+
+fn fast_lease() -> LeaseConfig {
+    LeaseConfig::for_process().with_poll_ms(1)
+}
+
+fn report_bytes(result: &CampaignResult) -> String {
+    campaign_json(&summarize(result), Some(result)).expect("render json")
+}
+
+/// Overwrites a group's lease with a heartbeat frozen at the epoch — the
+/// on-disk state a killed worker leaves behind (claim, no result).
+fn kill_holder(archive: &CampaignArchive, group: usize, holder: &str) {
+    let dead = LeaseRecord {
+        lease_version: LEASE_VERSION,
+        spec_fingerprint: archive.fingerprint(),
+        group,
+        holder: holder.into(),
+        heartbeat_ms: 0,
+    };
+    std::fs::write(
+        archive.lease_path(group),
+        serde_json::to_string(&dead).expect("serialize lease"),
+    )
+    .expect("write stale lease");
+}
+
+#[test]
+fn two_workers_split_the_grid_and_match_single_process_bytes() {
+    let spec = spec_with(vec![1, 2, 3]);
+    let cold = run_campaign_with(&spec, &serial(), None).expect("cold run");
+    let reference = report_bytes(&cold.result);
+
+    let dir = scratch_dir();
+    let _ = CampaignArchive::open(&dir, &spec).expect("create campaign dir");
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    let options = WorkerOptions {
+                        threads: 1,
+                        dedup_baselines: true,
+                        lease: fast_lease(),
+                    };
+                    run_worker(&dir, &options).expect("worker")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    // every worker ends holding the complete, byte-identical campaign
+    for outcome in &outcomes {
+        assert_eq!(report_bytes(&outcome.run.result), reference);
+    }
+    // ... and the work sums to exactly the single-process totals: the
+    // grid partitioned by baseline group, nothing simulated twice
+    let mut sum = RunStats::default();
+    for outcome in &outcomes {
+        sum.absorb(&outcome.summary.stats);
+    }
+    assert_eq!(sum.executed_cells, spec.scenario_count());
+    assert_eq!(sum.simulations, cold.stats.simulations);
+    assert_eq!(sum.baseline_groups, cold.stats.baseline_groups);
+    assert_eq!(sum.reused_baselines, cold.stats.reused_baselines);
+    // cross-fed cells arrive via the archive
+    assert_eq!(
+        sum.archived_cells + sum.executed_cells,
+        2 * spec.scenario_count()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_killed_workers_group_is_reclaimed_and_completed() {
+    let spec = spec_with(vec![1, 2]);
+    let cold = run_campaign_with(&spec, &serial(), None).expect("cold run");
+    let reference = report_bytes(&cold.result);
+
+    let dir = scratch_dir();
+    let archive = CampaignArchive::open(&dir, &spec).expect("create campaign dir");
+    // the doomed worker claims group 0, stores *none* of its cells
+    // (killed mid-cell), and its heartbeat freezes in the past
+    let doomed = fast_lease();
+    let lease = archive
+        .try_claim(0, &doomed)
+        .expect("claim")
+        .expect("group 0 free");
+    kill_holder(&archive, lease.group(), &doomed.holder);
+    drop(lease); // never released — the process is gone
+
+    // a surviving worker must reclaim the stale lease and finish
+    let survivor = WorkerOptions {
+        threads: 1,
+        dedup_baselines: true,
+        lease: fast_lease(),
+    };
+    let outcome = run_worker(&dir, &survivor).expect("survivor drains the grid");
+    assert_eq!(report_bytes(&outcome.run.result), reference);
+    assert_eq!(outcome.summary.stats.executed_cells, spec.scenario_count());
+
+    // the grid is fully archived and no lease (stale or live) remains
+    let load = archive.load(&spec, &spec.expand());
+    assert_eq!(load.loaded, spec.scenario_count());
+    let gc = archive.gc(&spec, survivor.lease.ttl_ms).expect("gc");
+    assert_eq!(gc.leases_active, 0);
+    assert_eq!(gc.records_removed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_coordinated_searches_share_one_climb() {
+    let spec = spec_with(vec![1, 2, 3, 4]);
+    let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 6);
+    let reference = search_campaign(&spec, &search, &serial(), None).expect("reference search");
+    let reference_bytes = search_json(&reference.report).expect("render");
+
+    let dir = scratch_dir();
+    let _ = CampaignArchive::open(&dir, &spec).expect("create campaign dir");
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let dir = dir.clone();
+                let spec = &spec;
+                let search = &search;
+                scope.spawn(move || {
+                    let archive = CampaignArchive::open(&dir, spec).expect("open archive");
+                    let config = serial().with_lease(fast_lease());
+                    search_campaign(spec, search, &config, Some(&archive)).expect("search")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    let mut executed = 0;
+    for outcome in &outcomes {
+        assert_eq!(
+            search_json(&outcome.report).expect("render"),
+            reference_bytes,
+            "coordinated searches must report byte-identically"
+        );
+        executed += outcome.stats.executed_cells;
+    }
+    // the climbs share the directory: each evaluated cell simulated once
+    assert_eq!(executed, reference.stats.executed_cells);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One simulated worker of the interleaving model: it may hold one
+/// lease at a time.
+struct ModelWorker {
+    lease_cfg: LeaseConfig,
+    held: Option<dpm_campaign::WorkLease>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Any interleaving of claim / complete / crash over a small grid
+    // never loses a cell and never double-counts one: summed RunStats
+    // execute each cell exactly once, and the drained archive aggregates
+    // byte-identically to a cold run.
+    #[test]
+    fn claim_complete_crash_interleavings_never_lose_or_double_count(
+        ops in prop::collection::vec((0usize..2, 0usize..3, 0usize..4), 0..10),
+    ) {
+        let spec = spec_with(vec![1, 2]);
+        let cells = spec.expand();
+        let cold = run_campaign_with(&spec, &serial(), None).expect("cold run");
+        let reference = report_bytes(&cold.result);
+
+        let dir = scratch_dir();
+        let archive = CampaignArchive::open(&dir, &spec).expect("create campaign dir");
+        let mut workers: Vec<ModelWorker> = (0..2)
+            .map(|_| ModelWorker { lease_cfg: fast_lease(), held: None })
+            .collect();
+        let mut executed_total = 0;
+
+        for (w, action, group) in ops {
+            let group = group % spec.group_count();
+            match action {
+                // claim: take the group's lease if free/stale and the
+                // worker's hands are empty
+                0 => {
+                    if workers[w].held.is_none() {
+                        workers[w].held = archive
+                            .try_claim(group, &workers[w].lease_cfg)
+                            .expect("claim io");
+                    }
+                }
+                // complete: run the held group's missing cells, store
+                // their records, release the lease
+                1 => {
+                    if let Some(lease) = workers[w].held.take() {
+                        let missing: Vec<ScenarioSpec> = cells
+                            .iter()
+                            .filter(|c| {
+                                spec.group_of(c.index) == lease.group()
+                                    && archive.load_cell(&spec, c).is_none()
+                            })
+                            .copied()
+                            .collect();
+                        if !missing.is_empty() {
+                            let run = run_cells_with(
+                                &spec, &missing, &serial(), Some(&archive), None,
+                            )
+                            .expect("batch");
+                            executed_total += run.stats.executed_cells;
+                        }
+                        archive.release(lease);
+                    }
+                }
+                // crash: die with the lease in hand — the file stays,
+                // the heartbeat never advances
+                _ => {
+                    if let Some(lease) = workers[w].held.take() {
+                        kill_holder(&archive, lease.group(), &workers[w].lease_cfg.holder);
+                        drop(lease);
+                    }
+                }
+            }
+        }
+        // any survivor still holding a lease at the end dies too
+        for w in &mut workers {
+            if let Some(lease) = w.held.take() {
+                kill_holder(&archive, lease.group(), &w.lease_cfg.holder);
+                drop(lease);
+            }
+        }
+
+        // a final worker drains whatever the interleaving left behind
+        let drain = WorkerOptions {
+            threads: 1,
+            dedup_baselines: true,
+            lease: fast_lease(),
+        };
+        let outcome = run_worker(&dir, &drain).expect("drain");
+        executed_total += outcome.summary.stats.executed_cells;
+
+        // no cell lost, none double-counted, bytes identical
+        prop_assert_eq!(executed_total, spec.scenario_count());
+        let load = archive.load(&spec, &cells);
+        prop_assert_eq!(load.loaded, spec.scenario_count());
+        prop_assert_eq!(load.skipped, 0);
+        prop_assert_eq!(report_bytes(&outcome.run.result), reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
