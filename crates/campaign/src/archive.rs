@@ -68,10 +68,11 @@ pub const ARCHIVE_VERSION: u32 = 1;
 /// Leases with any other version are treated as stale (reclaimable).
 pub const LEASE_VERSION: u32 = 1;
 
-/// Default lease time-to-live. Holders refresh their heartbeat between
-/// executor chunks, so the TTL only needs to comfortably exceed one
-/// chunk (roughly one simulation per worker thread); an expired lease
-/// only risks duplicated work, never wrong results.
+/// Default lease time-to-live. Holders refresh their heartbeat as each
+/// cell of a claimed group finishes (throttled to a quarter TTL), so
+/// the TTL only needs to comfortably exceed one **simulation** — not a
+/// whole chunk or group; an expired lease only risks duplicated work,
+/// never wrong results.
 pub const DEFAULT_LEASE_TTL_MS: u64 = 60_000;
 
 /// Default interval between archive polls while waiting for cells that
@@ -79,7 +80,7 @@ pub const DEFAULT_LEASE_TTL_MS: u64 = 60_000;
 pub const DEFAULT_LEASE_POLL_MS: u64 = 20;
 
 /// Milliseconds since the Unix epoch (the lease heartbeat clock).
-fn epoch_ms() -> u64 {
+pub(crate) fn epoch_ms() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_millis() as u64)
@@ -575,9 +576,15 @@ impl CampaignArchive {
             heartbeat_ms: epoch_ms(),
         };
         let json = serde_json::to_string(&record).map_err(|e| e.to_string())?;
-        let tmp = lease
-            .path
-            .with_extension(format!("refresh-{}", std::process::id()));
+        // the temp name carries a per-process sequence number: refreshes
+        // can now fire from worker threads as cells finish, and two
+        // in-flight refreshes must not share a temp file
+        static REFRESH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = lease.path.with_extension(format!(
+            "refresh-{}-{}",
+            std::process::id(),
+            REFRESH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
         std::fs::write(&tmp, &json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &lease.path)
             .map_err(|e| format!("cannot refresh {}: {e}", lease.path.display()))

@@ -6,9 +6,10 @@
 //! dpm campaign list <spec.toml | DIR | --builtin> [--format F]
 //! dpm campaign gc <DIR> [--ttl-ms N]
 //! dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
-//! dpm search <spec.toml | --builtin> [--objective O] [--constraint C] [--budget N]
-//!            [--start-points N] [--threads N] [--format F] [--out FILE]
-//!            [--resume DIR] [--coordinate] [--no-dedup]
+//! dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto] [--objective O]
+//!            [--constraint C] [--budget N] [--start-points N] [--threads N]
+//!            [--initial-temp T] [--cooling F] [--anneal-seed N]
+//!            [--format F] [--out FILE] [--resume DIR] [--coordinate] [--no-dedup]
 //! dpm table2 [--format F]
 //! dpm quickstart
 //! ```
@@ -20,10 +21,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dpm_campaign::{
-    campaign_ascii, campaign_json, campaign_markdown, parse_campaign_toml, run_stats_line,
-    run_worker, search_ascii, search_campaign, search_json, search_markdown, summarize,
-    CampaignArchive, CampaignExecutor, CampaignSpec, Constraint, Executor as _, LeaseConfig,
-    Objective, RunnerConfig, SearchDefaults, SearchSpec, ThreadPool, WorkerOptions, WorkerPool,
+    campaign_ascii, campaign_json, campaign_markdown, pareto_ascii, pareto_campaign, pareto_json,
+    pareto_markdown, parse_campaign_toml, run_stats_line, run_worker, search_ascii,
+    search_campaign, search_json, search_markdown, summarize, CampaignArchive, CampaignExecutor,
+    CampaignSpec, Constraint, Executor as _, LeaseConfig, MultiObjective, Objective, ParetoSpec,
+    RunnerConfig, SearchDefaults, SearchSpec, StrategyKind, ThreadPool, WorkerOptions, WorkerPool,
     DEFAULT_LEASE_TTL_MS,
 };
 use dpm_soc::experiment::{run_scenario, ScenarioId};
@@ -39,8 +41,10 @@ USAGE:
     dpm campaign list <spec.toml | DIR | --builtin> [--format ascii|json]
     dpm campaign gc   <DIR> [--ttl-ms N]
     dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
-    dpm search <spec.toml | --builtin> [--objective METRIC] [--constraint METRIC<=X]
+    dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto]
+               [--objective METRIC[,METRIC...]] [--constraint METRIC<=X]
                [--budget N] [--start-points N] [--threads N]
+               [--initial-temp T] [--cooling F] [--anneal-seed N]
                [--format ascii|markdown|json] [--out FILE] [--resume DIR]
                [--coordinate] [--no-dedup]
     dpm table2 [--format ascii|markdown|json]
@@ -63,14 +67,19 @@ hand; launch as many as you like, on any host sharing the filesystem.
 orphaned temp files. `dpm campaign list DIR --format json` reports each
 cell's state (archived / leased / pending).
 
-`dpm search` climbs the grid adaptively instead of sweeping it: pass an
-objective (metric label or alias, optional min:/max: prefix, e.g.
+`dpm search` explores the grid adaptively instead of sweeping it: pass
+an objective (metric label or alias, optional min:/max: prefix, e.g.
 energy_saving or min:energy_j), an optional feasibility constraint, and
 an evaluation budget (default: half the grid). A spec's [search] section
-supplies per-spec defaults; flags override it. With --resume DIR the
-campaign directory doubles as a result cache — re-searching it performs
-zero fresh simulations — and --coordinate lets several search processes
-share one climb through the directory's work leases.";
+supplies per-spec defaults; flags override it. --strategy selects the
+exploration: 'climb' (deterministic neighborhood climbing, the
+default), 'anneal' (seeded simulated annealing; tune --initial-temp,
+--cooling and --anneal-seed), or 'pareto' (multi-objective front
+expansion; pass two or more comma-separated --objective metrics and get
+the non-dominated front instead of a single winner). With --resume DIR
+the campaign directory doubles as a result cache — re-searching it
+performs zero fresh simulations — and --coordinate lets several search
+processes share one exploration through the directory's work leases.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -598,15 +607,29 @@ fn list_json(spec: &CampaignSpec, states: Option<&[dpm_campaign::CellState]>) ->
     doc.to_json_pretty()
 }
 
+/// Parses a `--flag FLOAT` value.
+fn parse_f64_flag(opts: &Opts, name: &str) -> Result<Option<f64>, String> {
+    opts.value(name)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--{name} expects a number, got '{v}'"))
+        })
+        .transpose()
+}
+
 fn search(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
         &[
+            "strategy",
             "objective",
             "constraint",
             "budget",
             "start-points",
             "threads",
+            "initial-temp",
+            "cooling",
+            "anneal-seed",
             "format",
             "out",
             "resume",
@@ -620,31 +643,30 @@ fn search(args: &[String]) -> Result<(), String> {
     let (spec, defaults) = load_spec_full(&opts)?;
 
     // CLI flags override the spec's [search] section
-    let objective = match opts.value("objective") {
-        Some(text) => Objective::parse(text)?,
-        None => defaults
-            .objective
-            .ok_or("no objective: pass --objective or add a [search] section to the spec")?,
+    let strategy = match opts.value("strategy") {
+        Some(text) => StrategyKind::parse(text)?,
+        None => defaults.strategy.unwrap_or(StrategyKind::Climb),
     };
+    if strategy != StrategyKind::Anneal {
+        for flag in ["initial-temp", "cooling", "anneal-seed"] {
+            if opts.value(flag).is_some() {
+                return Err(format!("--{flag} only applies with --strategy anneal"));
+            }
+        }
+    }
     let constraint = match opts.value("constraint") {
         Some(text) => Some(Constraint::parse(text)?),
         None => defaults.constraint,
-    };
-    let objective = match constraint {
-        Some(c) => objective.with_constraint(c),
-        None => objective,
     };
     let grid = spec.scenario_count();
     let budget = parse_positive_flag(&opts, "budget")?
         .or(defaults.budget)
         .unwrap_or_else(|| grid.div_ceil(2));
-    let mut search_spec = SearchSpec::new(objective, budget);
-    if let Some(points) = parse_positive_flag(&opts, "start-points")?.or(defaults.start_points) {
-        search_spec.start_points = points;
-    }
+    let start_points = parse_positive_flag(&opts, "start-points")?.or(defaults.start_points);
 
     // --coordinate: claim batch-level work leases so several search
-    // processes can share one climb over the same campaign directory
+    // processes can share one exploration over the same campaign
+    // directory
     if !opts.has("coordinate") {
         for flag in ["ttl-ms", "poll-ms", "holder"] {
             if opts.value(flag).is_some() {
@@ -668,14 +690,104 @@ fn search(args: &[String]) -> Result<(), String> {
         lease,
     };
     let archive = open_archive(&opts, &spec)?;
+    let started = std::time::Instant::now();
+
+    if strategy == StrategyKind::Pareto {
+        // two or more comma-separated objectives form the front axes
+        let objectives = match opts.value("objective") {
+            Some(text) => MultiObjective::parse(text)?,
+            None => match defaults.objectives {
+                Some(list) => MultiObjective::new(list)?,
+                None => {
+                    return Err("strategy 'pareto' needs at least two objectives: pass \
+                         comma-separated --objective metrics or add 'objectives' to \
+                         the spec's [search] section"
+                        .into())
+                }
+            },
+        };
+        let objectives = match constraint {
+            Some(c) => objectives.with_constraint(c),
+            None => objectives,
+        };
+        let mut pareto_spec = ParetoSpec::new(objectives, budget);
+        if let Some(points) = start_points {
+            pareto_spec.start_points = points;
+        }
+        eprintln!(
+            "search '{}' (pareto): {} over a {}-cell grid, budget {}",
+            spec.name,
+            pareto_spec.objectives.describe(),
+            grid,
+            pareto_spec.budget,
+        );
+        let outcome = pareto_campaign(&spec, &pareto_spec, &config, archive.as_ref())?;
+        eprintln!(
+            "  {} cells evaluated in {} rounds in {:.2?}; front size {}; {}",
+            outcome.report.evaluated,
+            outcome.report.rounds,
+            started.elapsed(),
+            outcome.report.front.len(),
+            run_stats_line(&outcome.stats),
+        );
+        warn_archive_errors(&outcome.archive_errors);
+        return render_report(
+            &opts,
+            format,
+            || pareto_ascii(&outcome.report),
+            || pareto_markdown(&outcome.report),
+            || pareto_json(&outcome.report),
+        );
+    }
+
+    let objective = match opts.value("objective") {
+        Some(text) if text.contains(',') => {
+            return Err(format!(
+                "strategy '{}' takes a single objective (comma-separated \
+                 lists are for --strategy pareto)",
+                strategy.label()
+            ))
+        }
+        Some(text) => Objective::parse(text)?,
+        None => defaults
+            .objective
+            .ok_or("no objective: pass --objective or add a [search] section to the spec")?,
+    };
+    let objective = match constraint {
+        Some(c) => objective.with_constraint(c),
+        None => objective,
+    };
+    let mut search_spec = SearchSpec::new(objective, budget).with_strategy(strategy);
+    if let Some(points) = start_points {
+        search_spec.start_points = points;
+    }
+    if let Some(temp) = parse_f64_flag(&opts, "initial-temp")?.or(defaults.initial_temp) {
+        search_spec.anneal.initial_temp = temp;
+    }
+    if let Some(cooling) = parse_f64_flag(&opts, "cooling")?.or(defaults.cooling) {
+        search_spec.anneal.cooling = cooling;
+    }
+    // parsed as u64 (not usize) so the full seed range works on any
+    // target, exactly like the TOML `anneal_seed` key
+    let seed_flag = opts
+        .value("anneal-seed")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--anneal-seed expects a number, got '{v}'"))
+        })
+        .transpose()?;
+    if let Some(seed) = seed_flag.or(defaults.anneal_seed) {
+        search_spec.anneal.seed = seed;
+    }
+    search_spec.anneal.validate()?;
     eprintln!(
-        "search '{}': {} over a {}-cell grid, budget {}",
+        "search '{}' ({}): {} over a {}-cell grid, budget {}",
         spec.name,
+        strategy.label(),
         search_spec.objective.describe(),
         grid,
         search_spec.budget,
     );
-    let started = std::time::Instant::now();
     let outcome = search_campaign(&spec, &search_spec, &config, archive.as_ref())?;
     eprintln!(
         "  {} cells evaluated in {} rounds in {:.2?}; {}",
@@ -858,6 +970,121 @@ mod tests {
             .unwrap_err();
             assert!(err.contains("must be positive"), "{flag}: {err}");
         }
+    }
+
+    #[test]
+    fn search_rejects_bad_strategy_combinations() {
+        let err = run(&args(&[
+            "search",
+            "--builtin",
+            "--objective",
+            "energy_saving",
+            "--strategy",
+            "warp",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
+        // anneal knobs only apply to anneal
+        let err = run(&args(&[
+            "search",
+            "--builtin",
+            "--objective",
+            "energy_saving",
+            "--initial-temp",
+            "2.0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--initial-temp only applies"), "{err}");
+        // comma lists are pareto-only
+        let err = run(&args(&[
+            "search",
+            "--builtin",
+            "--objective",
+            "energy_saving,min:delay",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("single objective"), "{err}");
+        // pareto needs at least two objectives
+        let err = run(&args(&[
+            "search",
+            "--builtin",
+            "--strategy",
+            "pareto",
+            "--objective",
+            "energy_saving",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least two"), "{err}");
+        let err = run(&args(&["search", "--builtin", "--strategy", "pareto"])).unwrap_err();
+        assert!(err.contains("needs at least two objectives"), "{err}");
+        // out-of-range schedule values fail before any simulation
+        let err = run(&args(&[
+            "search",
+            "--builtin",
+            "--objective",
+            "energy_saving",
+            "--strategy",
+            "anneal",
+            "--cooling",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cooling"), "{err}");
+    }
+
+    #[test]
+    fn search_runs_anneal_and_pareto_end_to_end() {
+        let spec_path = tmp_path("search-strategies.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"strategies\"\nhorizon_ms = 2\n\n[axes]\nworkloads = [\"low\"]\n\
+             seeds = [1]\nthermals = [\"cool\"]\nip_counts = [1]\n",
+        )
+        .unwrap();
+        let out_path = tmp_path("search-strategies.json");
+        run(&args(&[
+            "search",
+            spec_path.to_str().unwrap(),
+            "--strategy",
+            "anneal",
+            "--objective",
+            "energy_saving",
+            "--budget",
+            "2",
+            "--anneal-seed",
+            "7",
+            "--format",
+            "json",
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(v["strategy"].as_str(), Some("anneal"));
+        assert_eq!(v["evaluated"].as_u64(), Some(2));
+
+        run(&args(&[
+            "search",
+            spec_path.to_str().unwrap(),
+            "--strategy",
+            "pareto",
+            "--objective",
+            "energy_saving,min:delay",
+            "--budget",
+            "2",
+            "--format",
+            "json",
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(v["strategy"].as_str(), Some("pareto"));
+        assert!(v["front"].get_index(0).is_some());
+        let _ = std::fs::remove_file(&spec_path);
+        let _ = std::fs::remove_file(&out_path);
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! | runner | [`runner`] | work-unit dispatch, baseline dedup, panic isolation, lease loop |
 //! | worker | [`worker`] | the `dpm worker` loop: claim, simulate, store, reclaim |
 //! | archive | [`archive`] | per-cell JSON records, work leases, gc — the coordination medium |
-//! | objective | [`objective`] | search objectives: metric, direction, constraints |
-//! | search | [`search`] | budgeted adaptive neighborhood search over the grid |
+//! | objective | [`objective`] | search objectives: metric, direction, constraints, Pareto dominance |
+//! | search | [`search`] | pluggable budgeted strategies: climb, simulated annealing, Pareto fronts |
 //! | aggregation | [`aggregate`] | streaming stats, percentiles, winners, roll-ups |
 //! | report | [`report`] | ASCII / Markdown / JSON campaign + search reports |
 //! | persistence | [`toml_spec`] | TOML spec loading (minimal in-crate parser) |
@@ -93,18 +93,23 @@ pub use archive::{
 pub use executor::{
     map_units, CampaignExecutor, ExecutedCampaign, Executor, ThreadPool, WorkerPool,
 };
-pub use objective::{parse_metric, CellScore, Constraint, ConstraintOp, Direction, Objective};
+pub use objective::{
+    parse_metric, CellScore, Constraint, ConstraintOp, Direction, MultiObjective, MultiScore,
+    Objective,
+};
 pub use report::{
-    campaign_ascii, campaign_json, campaign_markdown, run_stats_line, search_ascii, search_json,
-    search_markdown,
+    campaign_ascii, campaign_json, campaign_markdown, pareto_ascii, pareto_json, pareto_markdown,
+    run_stats_line, search_ascii, search_json, search_markdown,
 };
 pub use runner::{
     run_campaign, run_campaign_with, run_cells_with, run_scenario_cell, BaselineCache,
     CampaignResult, CampaignRun, RunStats, RunnerConfig, ScenarioMetrics, ScenarioResult,
 };
 pub use search::{
-    search_campaign, Evaluation, SearchBest, SearchOutcome, SearchReport, SearchSpec,
-    DEFAULT_START_POINTS,
+    drive_strategy, pareto_campaign, search_campaign, AnnealSchedule, AnnealStrategy,
+    ClimbStrategy, Evaluation, Exploration, ParetoOutcome, ParetoPoint, ParetoReport, ParetoRound,
+    ParetoSpec, ParetoStrategy, SearchBest, SearchOutcome, SearchReport, SearchSpec, Strategy,
+    StrategyKind, DEFAULT_START_POINTS,
 };
 pub use spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, TuningAxis, WorkloadAxis,

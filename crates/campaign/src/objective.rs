@@ -9,6 +9,13 @@
 //! feasible region. Failed (panicked) cells score as `None` and rank
 //! below everything.
 //!
+//! A [`MultiObjective`] bundles **two or more** objectives for Pareto
+//! exploration: cells compare by [`MultiObjective::dominates`] (feasible
+//! dominates infeasible; among equals, componentwise no-worse and
+//! strictly-better-somewhere), and the "best" of a result set is its
+//! **non-dominated front** ([`MultiObjective::front`]) rather than a
+//! single winner.
+//!
 //! All comparisons are strict; callers break ties by **grid index**, so
 //! a search and an exhaustive sweep agree on the winner bit for bit.
 
@@ -182,6 +189,15 @@ impl Objective {
         }
     }
 
+    /// The **argmax comparator**, shared by every consumer that ranks
+    /// whole cells: `(a, ai)` outranks `(b, bi)` when `a` is strictly
+    /// better, or tied with the lower grid index. Keeping this in one
+    /// place is what lets the search strategies provably agree with the
+    /// exhaustive campaign bit for bit.
+    pub fn wins(&self, a: CellScore, ai: usize, b: CellScore, bi: usize) -> bool {
+        self.better(a, b) || (!self.better(b, a) && ai < bi)
+    }
+
     /// The best cell of a result set: the exhaustive-campaign reference
     /// the search must reproduce. Ties go to the lowest grid index;
     /// `None` when every cell failed.
@@ -194,10 +210,7 @@ impl Objective {
             let Some(score) = self.score(r) else { continue };
             let wins = match &best {
                 None => true,
-                Some((br, bs)) => {
-                    self.better(score, *bs)
-                        || (!self.better(*bs, score) && r.scenario.index < br.scenario.index)
-                }
+                Some((br, bs)) => self.wins(score, r.scenario.index, *bs, br.scenario.index),
             };
             if wins {
                 best = Some((r, score));
@@ -221,6 +234,168 @@ impl Objective {
 }
 
 impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Two or more objectives optimized **jointly**: the Pareto search's
+/// notion of "best" is the non-dominated front, not a single winner.
+///
+/// Each component [`Objective`] keeps its own direction and (optional)
+/// per-metric constraint; an additional shared [`Constraint`] can gate
+/// feasibility of the whole cell. A cell is feasible only when *every*
+/// constraint holds, and any feasible cell dominates every infeasible
+/// one.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MultiObjective {
+    /// The jointly optimized objectives (at least two).
+    pub objectives: Vec<Objective>,
+    /// Optional shared feasibility bound on top of the per-objective
+    /// constraints.
+    pub constraint: Option<Constraint>,
+}
+
+/// One evaluated cell's standing under a [`MultiObjective`]: the
+/// objective values in declaration order, plus joint feasibility.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MultiScore {
+    /// Objective metric values, one per [`MultiObjective::objectives`]
+    /// entry, in declaration order.
+    pub values: Vec<f64>,
+    /// `true` when every constraint (shared and per-objective) holds.
+    pub feasible: bool,
+}
+
+impl MultiObjective {
+    /// Builds a multi-objective from its components.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when fewer than two objectives are given —
+    /// a single objective is a scalar search, not a front.
+    pub fn new(objectives: Vec<Objective>) -> Result<Self, String> {
+        if objectives.len() < 2 {
+            return Err(format!(
+                "a Pareto front needs at least two objectives, got {}",
+                objectives.len()
+            ));
+        }
+        Ok(Self {
+            objectives,
+            constraint: None,
+        })
+    }
+
+    /// Parses a comma-separated list of objective expressions, e.g.
+    /// `max:energy_saving, min:delay` (each component as in
+    /// [`Objective::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when any component fails to parse or fewer
+    /// than two are given.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let objectives: Vec<Objective> = s
+            .split(',')
+            .map(|part| Objective::parse(part.trim()))
+            .collect::<Result<_, _>>()?;
+        Self::new(objectives)
+    }
+
+    /// This multi-objective with a shared feasibility constraint.
+    pub fn with_constraint(mut self, constraint: Constraint) -> Self {
+        self.constraint = Some(constraint);
+        self
+    }
+
+    /// Scores one result; `None` for failed (panicked) cells.
+    pub fn score(&self, result: &ScenarioResult) -> Option<MultiScore> {
+        let mut values = Vec::with_capacity(self.objectives.len());
+        let mut feasible = match self.constraint {
+            Some(c) => c.holds(c.metric.extract(result)?),
+            None => true,
+        };
+        for objective in &self.objectives {
+            let score = objective.score(result)?;
+            values.push(score.value);
+            feasible &= score.feasible;
+        }
+        Some(MultiScore { values, feasible })
+    }
+
+    /// Strict Pareto dominance: feasible dominates infeasible; among
+    /// cells of equal feasibility, `a` dominates `b` when it is no worse
+    /// in **every** objective (each in its own direction) and strictly
+    /// better in at least one. Equal score vectors dominate neither way,
+    /// so duplicated optima all stay on the front.
+    pub fn dominates(&self, a: &MultiScore, b: &MultiScore) -> bool {
+        if a.feasible != b.feasible {
+            return a.feasible;
+        }
+        let mut strictly_better = false;
+        for (objective, (&va, &vb)) in self.objectives.iter().zip(a.values.iter().zip(&b.values)) {
+            let cmp = va.total_cmp(&vb);
+            let (better, worse) = match objective.direction {
+                Direction::Maximize => (std::cmp::Ordering::Greater, std::cmp::Ordering::Less),
+                Direction::Minimize => (std::cmp::Ordering::Less, std::cmp::Ordering::Greater),
+            };
+            if cmp == worse {
+                return false;
+            }
+            if cmp == better {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    }
+
+    /// The **one** non-dominated filter every front consumer shares
+    /// (brute-force reference, search strategy, trajectory accounting):
+    /// flag `i` is `true` when some other score dominates `scores[i]`.
+    /// O(n²), fine at search scales; a future dominance variant
+    /// (epsilon, hypervolume) changes exactly this function.
+    pub fn dominated_flags(&self, scores: &[&MultiScore]) -> Vec<bool> {
+        scores
+            .iter()
+            .map(|s| scores.iter().any(|other| self.dominates(other, s)))
+            .collect()
+    }
+
+    /// The non-dominated front of a result set — the brute-force
+    /// reference a full-budget Pareto search must reproduce. Failed
+    /// cells never appear; the front comes back sorted by grid index.
+    pub fn front<'a>(
+        &self,
+        results: impl IntoIterator<Item = &'a ScenarioResult>,
+    ) -> Vec<&'a ScenarioResult> {
+        let scored: Vec<(&ScenarioResult, MultiScore)> = results
+            .into_iter()
+            .filter_map(|r| self.score(r).map(|s| (r, s)))
+            .collect();
+        let flags = self.dominated_flags(&scored.iter().map(|(_, s)| s).collect::<Vec<_>>());
+        let mut front: Vec<&ScenarioResult> = scored
+            .iter()
+            .zip(&flags)
+            .filter(|(_, dominated)| !**dominated)
+            .map(|((r, _), _)| *r)
+            .collect();
+        front.sort_by_key(|r| r.scenario.index);
+        front
+    }
+
+    /// Human-readable form, e.g. `maximize energy_saving_pct, minimize
+    /// delay_overhead_pct s.t. final_soc >= 0.5`.
+    pub fn describe(&self) -> String {
+        let parts: Vec<String> = self.objectives.iter().map(Objective::describe).collect();
+        match &self.constraint {
+            Some(c) => format!("{} s.t. {c}", parts.join(", ")),
+            None => parts.join(", "),
+        }
+    }
+}
+
+impl fmt::Display for MultiObjective {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.describe())
     }
@@ -366,6 +541,75 @@ mod tests {
         let b = result_with(3, 10.0, 1.0);
         assert_eq!(objective.argbest([&a, &b]).unwrap().scenario.index, 3);
         assert_eq!(objective.argbest([&b, &a]).unwrap().scenario.index, 3);
+    }
+
+    #[test]
+    fn multi_objective_needs_two_components_and_parses_lists() {
+        assert!(MultiObjective::parse("energy_saving")
+            .unwrap_err()
+            .contains("at least two"));
+        let multi = MultiObjective::parse("max:energy_saving, min:delay").unwrap();
+        assert_eq!(multi.objectives.len(), 2);
+        assert_eq!(multi.objectives[0].metric, Metric::EnergySavingPct);
+        assert_eq!(multi.objectives[1].metric, Metric::DelayOverheadPct);
+        assert_eq!(multi.objectives[1].direction, Direction::Minimize);
+        assert!(MultiObjective::parse("energy_saving,warp")
+            .unwrap_err()
+            .contains("unknown metric"));
+        assert!(multi.describe().contains("maximize energy_saving_pct"));
+        assert!(multi.describe().contains("minimize delay_overhead_pct"));
+    }
+
+    #[test]
+    fn dominance_is_componentwise_strict_and_feasibility_first() {
+        let multi = MultiObjective::parse("energy_saving,min:delay").unwrap();
+        let score = |saving: f64, delay: f64, feasible: bool| MultiScore {
+            values: vec![saving, delay],
+            feasible,
+        };
+        // better in both
+        assert!(multi.dominates(&score(10.0, 1.0, true), &score(5.0, 2.0, true)));
+        // better in one, equal in the other
+        assert!(multi.dominates(&score(10.0, 1.0, true), &score(10.0, 2.0, true)));
+        // trade-off: neither dominates
+        assert!(!multi.dominates(&score(10.0, 2.0, true), &score(5.0, 1.0, true)));
+        assert!(!multi.dominates(&score(5.0, 1.0, true), &score(10.0, 2.0, true)));
+        // equal vectors: neither dominates (duplicated optima co-exist)
+        assert!(!multi.dominates(&score(5.0, 1.0, true), &score(5.0, 1.0, true)));
+        // feasible dominates infeasible regardless of values
+        assert!(multi.dominates(&score(0.0, 9.0, true), &score(99.0, 0.0, false)));
+        assert!(!multi.dominates(&score(99.0, 0.0, false), &score(0.0, 9.0, true)));
+    }
+
+    #[test]
+    fn front_keeps_exactly_the_non_dominated_cells() {
+        let multi = MultiObjective::parse("energy_saving,min:delay").unwrap();
+        let a = result_with(0, 10.0, 5.0); // dominated by c
+        let b = result_with(1, 30.0, 9.0); // front (best saving)
+        let c = result_with(2, 20.0, 2.0); // front (trade-off)
+        let d = result_with(3, 5.0, 1.0); // front (best delay)
+        let failed = ScenarioResult {
+            scenario: result_with(4, 0.0, 0.0).scenario,
+            metrics: None,
+            error: Some("boom".into()),
+        };
+        let front = multi.front([&b, &failed, &d, &a, &c]);
+        let indices: Vec<usize> = front.iter().map(|r| r.scenario.index).collect();
+        assert_eq!(indices, vec![1, 2, 3], "sorted by grid index");
+    }
+
+    #[test]
+    fn shared_constraint_gates_the_whole_front() {
+        let multi = MultiObjective::parse("energy_saving,min:delay")
+            .unwrap()
+            .with_constraint(Constraint::parse("delay_overhead_pct<=3").unwrap());
+        let feasible = result_with(0, 10.0, 2.0);
+        let infeasible = result_with(1, 50.0, 9.0); // better saving, violates bound
+        assert!(multi.score(&feasible).unwrap().feasible);
+        assert!(!multi.score(&infeasible).unwrap().feasible);
+        let front = multi.front([&infeasible, &feasible]);
+        let indices: Vec<usize> = front.iter().map(|r| r.scenario.index).collect();
+        assert_eq!(indices, vec![0], "feasible cells dominate infeasible ones");
     }
 
     #[test]

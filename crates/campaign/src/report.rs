@@ -3,7 +3,7 @@
 
 use crate::aggregate::CampaignSummary;
 use crate::runner::{CampaignResult, RunStats};
-use crate::search::SearchReport;
+use crate::search::{ParetoReport, SearchReport};
 
 /// One-line human summary of a run's work accounting (resume hits,
 /// dedup savings). Printed to stderr by the CLI — deliberately kept out
@@ -170,8 +170,9 @@ pub fn campaign_json(
 /// trajectory.
 pub fn search_ascii(report: &SearchReport) -> String {
     let mut out = format!(
-        "search '{}': {}\n  {} of {} grid cells evaluated in {} rounds (budget {}, {:.1}% of the grid)\n",
+        "search '{}' ({}): {}\n  {} of {} grid cells evaluated in {} rounds (budget {}, {:.1}% of the grid)\n",
         report.name,
+        report.strategy,
         report.objective,
         report.evaluated,
         report.grid_cells,
@@ -216,9 +217,10 @@ pub fn search_ascii(report: &SearchReport) -> String {
 /// trajectory.
 pub fn search_markdown(report: &SearchReport) -> String {
     let mut out = format!(
-        "## Search `{}` — {}\n\n{} of {} grid cells evaluated in {} rounds \
+        "## Search `{}` ({}) — {}\n\n{} of {} grid cells evaluated in {} rounds \
          (budget {}, {:.1}% of the grid)\n",
         report.name,
+        report.strategy,
         report.objective,
         report.evaluated,
         report.grid_cells,
@@ -279,6 +281,112 @@ pub fn search_json(report: &SearchReport) -> Result<String, serde_json::Error> {
     serde_json::to_string_pretty(report)
 }
 
+/// Renders a Pareto report as ASCII: the joint objectives, budget
+/// accounting, every front cell with its objective values, and the
+/// round-by-round dominated-count trajectory.
+pub fn pareto_ascii(report: &ParetoReport) -> String {
+    let mut out = format!(
+        "pareto search '{}': {}\n  {} of {} grid cells evaluated in {} rounds (budget {}, {:.1}% of the grid)\n",
+        report.name,
+        report.objectives,
+        report.evaluated,
+        report.grid_cells,
+        report.rounds,
+        report.budget,
+        100.0 * report.evaluated as f64 / report.grid_cells.max(1) as f64,
+    );
+    if report.front.is_empty() {
+        out.push_str("\nfront: empty (every evaluated cell failed)\n");
+    } else {
+        out.push_str(&format!(
+            "\nfront ({} non-dominated cells):\n",
+            report.front.len()
+        ));
+        for p in &report.front {
+            let values: Vec<String> = report
+                .objective_labels
+                .iter()
+                .zip(&p.values)
+                .map(|(label, v)| format!("{label} = {v:.4}"))
+                .collect();
+            out.push_str(&format!(
+                "  #{:04} {}\n        {}{}\n",
+                p.index,
+                p.label,
+                values.join(" | "),
+                if p.feasible { "" } else { "  (infeasible)" },
+            ));
+        }
+    }
+    out.push_str("\ntrajectory (evaluated / front / dominated):\n");
+    for r in &report.trajectory {
+        out.push_str(&format!(
+            "  round {:>3}: {:>4} evaluated, {:>4} on the front, {:>4} dominated\n",
+            r.round, r.evaluated, r.front, r.dominated,
+        ));
+    }
+    out
+}
+
+/// Renders a Pareto report as Markdown, mirroring [`pareto_ascii`]'s
+/// content: budget accounting, the front table, and the dominated-count
+/// trajectory.
+pub fn pareto_markdown(report: &ParetoReport) -> String {
+    let mut out = format!(
+        "## Pareto search `{}` — {}\n\n{} of {} grid cells evaluated in {} rounds \
+         (budget {}, {:.1}% of the grid)\n",
+        report.name,
+        report.objectives,
+        report.evaluated,
+        report.grid_cells,
+        report.rounds,
+        report.budget,
+        100.0 * report.evaluated as f64 / report.grid_cells.max(1) as f64,
+    );
+    if report.front.is_empty() {
+        out.push_str("\n### Front\n\nempty (every evaluated cell failed)\n");
+    } else {
+        out.push_str(&format!(
+            "\n### Front ({} non-dominated cells)\n\n| cell | {} | feasible |\n|------|{}----------|\n",
+            report.front.len(),
+            report.objective_labels.join(" | "),
+            "------|".repeat(report.objective_labels.len()),
+        ));
+        for p in &report.front {
+            let values: Vec<String> = p.values.iter().map(|v| format!("{v:.4}")).collect();
+            out.push_str(&format!(
+                "| `#{:04} {}` | {} | {} |\n",
+                p.index,
+                p.label,
+                values.join(" | "),
+                if p.feasible { "yes" } else { "no" },
+            ));
+        }
+    }
+    out.push_str(
+        "\n### Trajectory\n\n| round | evaluated | front | dominated |\n\
+         |-------|-----------|-------|-----------|\n",
+    );
+    for r in &report.trajectory {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            r.round, r.evaluated, r.front, r.dominated,
+        ));
+    }
+    out
+}
+
+/// Serializes a Pareto report as pretty JSON — byte-identical across
+/// thread counts, archived/fresh mixes and worker counts, like
+/// [`search_json`].
+///
+/// # Errors
+///
+/// Propagates serializer errors (none in the in-tree shim).
+pub fn pareto_json(report: &ParetoReport) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +444,47 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["grid_cells"].as_u64(), Some(8));
         assert!(v["best"]["label"].as_str().is_some());
+        assert!(
+            v.get("stats").is_none(),
+            "work accounting stays out of the report"
+        );
+    }
+
+    #[test]
+    fn pareto_report_renders_and_round_trips() {
+        use crate::objective::MultiObjective;
+        use crate::search::{pareto_campaign, ParetoSpec};
+        use crate::spec::CampaignSpec;
+
+        let mut spec = CampaignSpec::default_sweep();
+        spec.horizon_ms = 5;
+        spec.seeds = vec![1];
+        spec.ip_counts = vec![1];
+        let objectives = MultiObjective::parse("energy_saving,min:delay").unwrap();
+        let out = pareto_campaign(
+            &spec,
+            &ParetoSpec::new(objectives, 4),
+            &RunnerConfig::serial(),
+            None,
+        )
+        .unwrap();
+        let ascii = pareto_ascii(&out.report);
+        assert!(ascii.contains("pareto search"), "{ascii}");
+        assert!(ascii.contains("non-dominated cells"), "{ascii}");
+        assert!(ascii.contains("energy_saving_pct ="), "{ascii}");
+        assert!(ascii.contains("dominated"), "{ascii}");
+        let md = pareto_markdown(&out.report);
+        assert!(md.contains("## Pareto search"), "{md}");
+        assert!(md.contains("### Front"), "{md}");
+        assert!(
+            md.contains("| round | evaluated | front | dominated |"),
+            "{md}"
+        );
+        let json = pareto_json(&out.report).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["strategy"].as_str(), Some("pareto"));
+        assert_eq!(v["grid_cells"].as_u64(), Some(8));
+        assert!(v["front"].get_index(0).is_some());
         assert!(
             v.get("stats").is_none(),
             "work accounting stays out of the report"

@@ -25,7 +25,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dpm_kernel::Simulation;
@@ -468,9 +468,14 @@ pub fn run_cells_with(
         (Some(_), None) => Err("lease coordination needs a campaign directory \
              (the archive is the work-sharing medium)"
             .into()),
-        (None, _) => run_cells_local(spec, cells, config, archive, cache),
+        (None, _) => run_cells_local(spec, cells, config, archive, cache, None),
     }
 }
+
+/// Called (from worker threads) after every finished simulation unit —
+/// the leased path hangs its heartbeat refresher here so a long batch
+/// keeps its lease alive cell by cell, not just at batch boundaries.
+type UnitHook<'a> = Option<&'a (dyn Fn() + Sync)>;
 
 /// The single-process execution path: resume from the archive, run the
 /// missing cells on the configured [`ThreadPool`] executor (shared
@@ -481,6 +486,7 @@ fn run_cells_local(
     config: &RunnerConfig,
     archive: Option<&CampaignArchive>,
     cache: Option<&mut BaselineCache>,
+    on_unit: UnitHook<'_>,
 ) -> Result<CampaignRun, String> {
     let total = cells.len();
 
@@ -540,6 +546,9 @@ fn run_cells_local(
             run_to_metrics(&cfg, spec.horizon())
         });
         progress.tick();
+        if let Some(hook) = on_unit {
+            hook();
+        }
         out
     });
     for (k, result) in fresh_baselines.into_iter().enumerate() {
@@ -573,6 +582,9 @@ fn run_cells_local(
             }
         }
         progress.tick();
+        if let Some(hook) = on_unit {
+            hook();
+        }
         result
     });
 
@@ -682,21 +694,43 @@ fn run_cells_leased(
                 }
             }
             if !fresh.is_empty() {
-                // run in thread-sized chunks, refreshing the lease
-                // heartbeat between chunks so a long group never goes
-                // stale under its living holder (the baseline cache
-                // makes chunking work-neutral: the group's baseline
-                // simulates in the first chunk and is served from
-                // memory afterwards)
+                // run in thread-sized chunks (the baseline cache makes
+                // chunking work-neutral: the group's baseline simulates
+                // in the first chunk and is served from memory
+                // afterwards), refreshing the lease heartbeat both
+                // between chunks and — via the per-unit hook — *between
+                // cells inside a chunk*, throttled to a quarter TTL, so
+                // a group of very long cells never goes stale under its
+                // living holder. Refreshes are best-effort: a failure
+                // only risks a peer duplicating this group's remaining
+                // work, never wrong results.
+                let last_refresh = AtomicU64::new(crate::archive::epoch_ms());
+                let refresh_after = (lease_cfg.ttl_ms / 4).max(1);
+                let refresher = || {
+                    let now = crate::archive::epoch_ms();
+                    let last = last_refresh.load(Ordering::Relaxed);
+                    if now.saturating_sub(last) >= refresh_after
+                        && last_refresh
+                            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        let _ = archive.refresh(&lease, lease_cfg);
+                    }
+                };
                 let chunk_size = inner.effective_threads().max(1);
                 for (k, chunk) in fresh.chunks(chunk_size).enumerate() {
                     if k > 0 {
-                        // best-effort: a failed refresh only risks a
-                        // peer duplicating this group's remaining work
                         let _ = archive.refresh(&lease, lease_cfg);
                     }
                     let batch: Vec<ScenarioSpec> = chunk.iter().map(|&p| cells[p]).collect();
-                    let run = run_cells_local(spec, &batch, &inner, Some(archive), Some(cache))?;
+                    let run = run_cells_local(
+                        spec,
+                        &batch,
+                        &inner,
+                        Some(archive),
+                        Some(cache),
+                        Some(&refresher),
+                    )?;
                     stats.archived_cells += run.stats.archived_cells;
                     stats.executed_cells += run.stats.executed_cells;
                     stats.simulations += run.stats.simulations;

@@ -1,52 +1,149 @@
-//! Adaptive campaign search: a budgeted, deterministic neighborhood
-//! climber over a [`CampaignSpec`] grid.
+//! Adaptive campaign search: pluggable, budgeted, deterministic
+//! exploration strategies over a [`CampaignSpec`] grid.
 //!
-//! Instead of simulating the full cartesian product, the search
+//! The search layer is split into two halves:
 //!
-//! 1. evaluates a **start frontier** of cells spread evenly across the
-//!    grid (even spacing beats corner-seeding on monotone axes and costs
-//!    nothing in determinism),
-//! 2. repeatedly expands the best evaluated-but-unexpanded cell's
-//!    **single-axis neighbors** ([`CampaignSpec::neighbors_of`]),
-//! 3. **restarts** from the lowest-index unevaluated cell when every
-//!    evaluated cell's neighborhood is exhausted (a local optimum), and
-//! 4. stops when the evaluation **budget** is spent or the grid is
-//!    fully evaluated.
+//! * a **[`Strategy`]** decides *which cells to look at next*: it
+//!   proposes batches of unevaluated grid indices and observes each
+//!   evaluated cell's result. Three strategies ship in-tree —
+//!   [`ClimbStrategy`] (the original neighborhood climber),
+//!   [`AnnealStrategy`] (seeded simulated annealing over the same
+//!   single-axis neighbor primitive), and [`ParetoStrategy`]
+//!   (multi-objective non-dominated front expansion);
+//! * the **driver** ([`drive_strategy`]) owns everything else: budget
+//!   accounting, batch execution through
+//!   [`crate::runner::run_cells_with`], the cross-batch
+//!   [`BaselineCache`], archive resume/store, and [`RunStats`]
+//!   aggregation. Strategies never touch the executor, so every
+//!   guarantee of the runner carries over to every strategy: results
+//!   are thread-count invariant, a campaign archive acts as a **result
+//!   cache** (re-searching a directory never re-simulates an archived
+//!   cell), and with [`RunnerConfig::lease`] set any number of
+//!   coordinated processes share one exploration through the archive's
+//!   work leases.
 //!
-//! The restart rule makes the search *complete*: with `budget >= grid
-//! size` it degenerates to an exhaustive sweep and returns exactly the
-//! campaign argmax (same comparator, same grid-index tie-break).
+//! Every strategy is **complete**: when its local move pool is
+//! exhausted it restarts from the lowest-index unevaluated cell, so
+//! with `budget >= grid size` the exploration degenerates to an
+//! exhaustive sweep. The scalar strategies then provably return the
+//! campaign argmax (same comparator, same grid-index tie-break), and
+//! the Pareto strategy returns exactly the brute-force non-dominated
+//! set ([`MultiObjective::front`]).
 //!
-//! Batches run through [`run_cells_with`], so everything the campaign
-//! runner guarantees carries over: results are thread-count invariant, a
-//! campaign archive acts as a **result cache** (re-searching a directory
-//! never re-simulates an archived cell), and a [`BaselineCache`] shares
-//! always-`ON1` baselines across rounds the way one exhaustive sweep
-//! would. The [`SearchReport`] is therefore byte-identical across thread
-//! counts and archived/fresh mixes; only [`SearchOutcome::stats`] (work
-//! actually done) differs, which is why it is not part of the report.
-//!
-//! **Distributed search**: with [`RunnerConfig::lease`] set and an
-//! archive attached, each batch claims its cells' baseline groups
-//! through the archive's work leases before simulating — so any number
-//! of `dpm search --resume DIR` processes can climb the same grid
-//! concurrently without duplicating a simulation. The search trajectory
-//! is deterministic, so concurrent searchers request the same batches:
-//! whoever claims a batch's groups first simulates them, the others
-//! absorb the stored records and move on in lockstep, and every
-//! searcher finishes with the byte-identical report.
+//! Every strategy is also **byte-deterministic**: the climber and the
+//! Pareto expansion are deterministic by construction, and the annealer
+//! draws from a [`SplitMix64`](https://prng.di.unimi.it/splitmix64.c)
+//! stream seeded from its [`AnnealSchedule`] — so reports are
+//! byte-identical across thread counts, archived/fresh mixes, and
+//! coordinated multi-process runs; only [`SearchOutcome::stats`] (work
+//! actually done) differs, which is why it is not part of any report.
 
 use crate::archive::CampaignArchive;
-use crate::objective::{CellScore, Objective};
-use crate::runner::{run_cells_with, BaselineCache, RunStats, RunnerConfig, ScenarioMetrics};
+use crate::objective::{CellScore, MultiObjective, MultiScore, Objective};
+use crate::runner::{
+    run_cells_with, BaselineCache, RunStats, RunnerConfig, ScenarioMetrics, ScenarioResult,
+};
 use crate::spec::{CampaignSpec, ScenarioSpec};
 
 /// Default number of start-frontier cells.
 pub const DEFAULT_START_POINTS: usize = 4;
 
+/// Which exploration strategy drives the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StrategyKind {
+    /// Deterministic best-first neighborhood climbing (the default).
+    Climb,
+    /// Seeded simulated annealing over the same neighbor primitive.
+    Anneal,
+    /// Multi-objective non-dominated front expansion.
+    Pareto,
+}
+
+impl StrategyKind {
+    /// Every strategy kind.
+    pub const ALL: [StrategyKind; 3] = [
+        StrategyKind::Climb,
+        StrategyKind::Anneal,
+        StrategyKind::Pareto,
+    ];
+
+    /// The CLI/spec-file name of this strategy.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Climb => "climb",
+            StrategyKind::Anneal => "anneal",
+            StrategyKind::Pareto => "pareto",
+        }
+    }
+
+    /// Parses a CLI/spec-file name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description listing the accepted names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown strategy '{s}' (expected one of: {})",
+                    Self::ALL.map(Self::label).join(", ")
+                )
+            })
+    }
+}
+
+/// The annealer's temperature schedule and random stream.
+///
+/// Temperature is in **objective units**: a move that worsens the
+/// objective by `d` is accepted with probability `exp(-d / temp)`,
+/// after which `temp` is multiplied by `cooling`. The stream is a
+/// SplitMix64 generator seeded with `seed`, so the whole walk is a pure
+/// function of the schedule and the (deterministic) cell metrics.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnnealSchedule {
+    /// Starting temperature (objective units, > 0).
+    pub initial_temp: f64,
+    /// Geometric cooling factor applied after every annealing step
+    /// (0 < cooling < 1).
+    pub cooling: f64,
+    /// Seed of the proposal/acceptance stream.
+    pub seed: u64,
+}
+
+impl Default for AnnealSchedule {
+    fn default() -> Self {
+        Self {
+            initial_temp: 5.0,
+            cooling: 0.9,
+            seed: 0x5EED_DA7E,
+        }
+    }
+}
+
+impl AnnealSchedule {
+    /// Validates the schedule parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the temperature is not positive and
+    /// finite or the cooling factor lies outside `(0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.initial_temp > 0.0 && self.initial_temp.is_finite()) {
+            return Err("anneal initial_temp must be positive and finite".into());
+        }
+        if !(self.cooling > 0.0 && self.cooling < 1.0) {
+            return Err("anneal cooling must lie strictly between 0 and 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// What to search for and how hard: the objective plus the evaluation
 /// budget (distinct cells scored, archived hits included — a cache hit
-/// spends budget but no simulation).
+/// spends budget but no simulation) and the scalar strategy driving the
+/// exploration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchSpec {
     /// What "best" means.
@@ -55,13 +152,49 @@ pub struct SearchSpec {
     pub budget: usize,
     /// Start-frontier size (clamped to the budget and the grid).
     pub start_points: usize,
+    /// The exploration strategy ([`StrategyKind::Pareto`] is rejected
+    /// here — a front is not a scalar winner; use [`pareto_campaign`]).
+    pub strategy: StrategyKind,
+    /// The annealing schedule (read only by [`StrategyKind::Anneal`]).
+    pub anneal: AnnealSchedule,
 }
 
 impl SearchSpec {
-    /// A search with the default start frontier.
+    /// A climbing search with the default start frontier.
     pub fn new(objective: Objective, budget: usize) -> Self {
         Self {
             objective,
+            budget,
+            start_points: DEFAULT_START_POINTS,
+            strategy: StrategyKind::Climb,
+            anneal: AnnealSchedule::default(),
+        }
+    }
+
+    /// This search with a different scalar strategy.
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// What a Pareto search explores: the joint objectives plus the same
+/// budget semantics as [`SearchSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoSpec {
+    /// The jointly optimized objectives.
+    pub objectives: MultiObjective,
+    /// Maximum distinct cells to evaluate (clamped to the grid size).
+    pub budget: usize,
+    /// Start-frontier size (clamped to the budget and the grid).
+    pub start_points: usize,
+}
+
+impl ParetoSpec {
+    /// A Pareto search with the default start frontier.
+    pub fn new(objectives: MultiObjective, budget: usize) -> Self {
+        Self {
+            objectives,
             budget,
             start_points: DEFAULT_START_POINTS,
         }
@@ -109,6 +242,8 @@ pub struct SearchBest {
 pub struct SearchReport {
     /// Campaign name.
     pub name: String,
+    /// The strategy that drove the exploration ([`StrategyKind::label`]).
+    pub strategy: String,
     /// Human-readable objective ([`Objective::describe`]).
     pub objective: String,
     /// Cells in the full grid.
@@ -140,45 +275,131 @@ pub struct SearchOutcome {
     pub archive_errors: Vec<String>,
 }
 
-/// Per-cell search state.
-struct Scoreboard<'a> {
-    objective: &'a Objective,
+/// One cell of a Pareto front.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ParetoPoint {
+    /// Grid index.
+    pub index: usize,
+    /// Human-readable cell label.
+    pub label: String,
+    /// Objective values, in [`MultiObjective::objectives`] order.
+    pub values: Vec<f64>,
+    /// Whether every constraint held.
+    pub feasible: bool,
+    /// The cell's full metrics.
+    pub metrics: ScenarioMetrics,
+}
+
+/// One round of a Pareto search: how the front grew while cells
+/// accumulated (the dominated-count trajectory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ParetoRound {
+    /// Search round (0 = start frontier).
+    pub round: usize,
+    /// Distinct cells evaluated so far.
+    pub evaluated: usize,
+    /// Non-dominated cells after this round.
+    pub front: usize,
+    /// Evaluated (non-failed) cells dominated by some other cell.
+    pub dominated: usize,
+}
+
+/// The deterministic Pareto search result: byte-identical for any
+/// thread count, archived/fresh mix and worker count, like
+/// [`SearchReport`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ParetoReport {
+    /// Campaign name.
+    pub name: String,
+    /// Always `"pareto"` (so reports self-identify like [`SearchReport`]).
+    pub strategy: String,
+    /// Human-readable objectives ([`MultiObjective::describe`]).
+    pub objectives: String,
+    /// Per-objective metric labels, in [`ParetoPoint::values`] order.
+    pub objective_labels: Vec<String>,
+    /// Cells in the full grid.
+    pub grid_cells: usize,
+    /// The requested evaluation budget.
+    pub budget: usize,
+    /// Distinct cells actually evaluated.
+    pub evaluated: usize,
+    /// Search rounds executed.
+    pub rounds: usize,
+    /// The non-dominated front over every evaluated cell, sorted by
+    /// grid index. With `budget >= grid_cells` this is exactly the
+    /// brute-force non-dominated set of the whole campaign.
+    pub front: Vec<ParetoPoint>,
+    /// Front growth and dominated counts, round by round.
+    pub trajectory: Vec<ParetoRound>,
+}
+
+/// A finished Pareto search: the deterministic report plus this run's
+/// work accounting.
+#[derive(Debug)]
+pub struct ParetoOutcome {
+    /// The (run-invariant) Pareto report.
+    pub report: ParetoReport,
+    /// Work done by this particular run (see [`SearchOutcome::stats`]).
+    pub stats: RunStats,
+    /// Archive-write failures, as in [`crate::runner::CampaignRun`].
+    pub archive_errors: Vec<String>,
+}
+
+// ---- the strategy abstraction ---------------------------------------
+
+/// A pluggable exploration strategy: proposes batches of unevaluated
+/// cells and observes their results.
+///
+/// The contract with [`drive_strategy`]:
+///
+/// * `propose` returns grid indices the strategy has **not yet been
+///   shown** (the driver filters and `debug_assert`s duplicates); an
+///   empty batch ends the search;
+/// * every proposed cell that fits the remaining budget is executed and
+///   fed back through `observe`, in ascending-index batch order, before
+///   the next `propose`;
+/// * strategies never execute anything themselves — budget, caching,
+///   archives and leases belong to the driver, which is how every
+///   strategy inherits the runner's determinism and distribution
+///   guarantees.
+pub trait Strategy {
+    /// The next cells to evaluate; empty ends the search.
+    fn propose(&mut self, spec: &CampaignSpec) -> Vec<usize>;
+
+    /// One evaluated cell's outcome.
+    fn observe(&mut self, index: usize, result: &ScenarioResult);
+}
+
+/// Evenly-spread start frontier: `count` cells at indices `k * n /
+/// count` — deterministic and strictly increasing for `count <= n`.
+fn start_frontier(n: usize, count: usize) -> Vec<usize> {
+    (0..count).map(|k| k * n / count).collect()
+}
+
+/// Per-cell scalar search state shared by the scalar strategies.
+/// Best-so-far tracking deliberately does **not** live here: the report
+/// derives it in [`assemble_scalar`] through [`Objective::wins`], the
+/// one comparator shared with [`Objective::argbest`].
+struct Scoreboard {
+    objective: Objective,
     /// `None` = unevaluated; `Some(None)` = evaluated but failed.
     scores: Vec<Option<Option<CellScore>>>,
     expanded: Vec<bool>,
-    best: Option<(usize, CellScore)>,
-    evaluated: usize,
 }
 
-impl<'a> Scoreboard<'a> {
-    fn new(objective: &'a Objective, n: usize) -> Self {
+impl Scoreboard {
+    fn new(objective: Objective, n: usize) -> Self {
         Self {
             objective,
             scores: vec![None; n],
             expanded: vec![false; n],
-            best: None,
-            evaluated: 0,
         }
     }
 
-    /// Records a score; returns `true` when the cell became the new best
-    /// (strictly better, or equal with a lower grid index).
-    fn record(&mut self, index: usize, score: Option<CellScore>) -> bool {
+    /// Records a cell's score.
+    fn record(&mut self, index: usize, score: Option<CellScore>) {
         debug_assert!(self.scores[index].is_none(), "cell evaluated twice");
         self.scores[index] = Some(score);
-        self.evaluated += 1;
-        let Some(score) = score else { return false };
-        let wins = match self.best {
-            None => true,
-            Some((bi, bs)) => {
-                self.objective.better(score, bs)
-                    || (!self.objective.better(bs, score) && index < bi)
-            }
-        };
-        if wins {
-            self.best = Some((index, score));
-        }
-        wins
     }
 
     fn is_evaluated(&self, index: usize) -> bool {
@@ -212,33 +433,436 @@ impl<'a> Scoreboard<'a> {
     }
 }
 
-/// Evenly-spread start frontier: `count` cells at indices `k * n /
-/// count` — deterministic and strictly increasing for `count <= n`.
-fn start_frontier(n: usize, count: usize) -> Vec<usize> {
-    (0..count).map(|k| k * n / count).collect()
+/// The original deterministic neighborhood climber: evaluate an
+/// evenly-spread start frontier, then repeatedly expand the best
+/// evaluated-but-unexpanded cell's single-axis neighbors
+/// ([`CampaignSpec::neighbors_of`]), restarting from the lowest-index
+/// unevaluated cell when every neighborhood is exhausted.
+pub struct ClimbStrategy {
+    board: Scoreboard,
+    start_points: usize,
+    started: bool,
 }
 
-/// The next batch of unevaluated cells: the best unexpanded cell's
-/// unevaluated single-axis neighbors, falling back through
-/// progressively worse unexpanded cells, then to a restart from the
-/// lowest-index unevaluated cell. Empty only when the grid is fully
-/// evaluated.
-fn next_batch(spec: &CampaignSpec, board: &mut Scoreboard<'_>) -> Vec<usize> {
-    while let Some(center) = board.best_unexpanded() {
-        board.expanded[center] = true;
-        let fresh: Vec<usize> = spec
-            .neighbors_of(center)
-            .into_iter()
-            .filter(|&j| !board.is_evaluated(j))
-            .collect();
-        if !fresh.is_empty() {
-            return fresh;
+impl ClimbStrategy {
+    /// A climber over `spec`'s grid.
+    pub fn new(spec: &CampaignSpec, objective: Objective, start_points: usize) -> Self {
+        Self {
+            board: Scoreboard::new(objective, spec.scenario_count()),
+            start_points,
+            started: false,
         }
     }
-    board.first_unevaluated().into_iter().collect()
 }
 
-/// Runs an adaptive search over `spec`'s grid.
+impl Strategy for ClimbStrategy {
+    fn propose(&mut self, spec: &CampaignSpec) -> Vec<usize> {
+        let n = spec.scenario_count();
+        if !self.started {
+            self.started = true;
+            return start_frontier(n, self.start_points.clamp(1, n));
+        }
+        while let Some(center) = self.board.best_unexpanded() {
+            self.board.expanded[center] = true;
+            let fresh: Vec<usize> = spec
+                .neighbors_of(center)
+                .into_iter()
+                .filter(|&j| !self.board.is_evaluated(j))
+                .collect();
+            if !fresh.is_empty() {
+                return fresh;
+            }
+        }
+        self.board.first_unevaluated().into_iter().collect()
+    }
+
+    fn observe(&mut self, index: usize, result: &ScenarioResult) {
+        let score = self.board.objective.score(result);
+        self.board.record(index, score);
+    }
+}
+
+/// A tiny deterministic SplitMix64 stream (the annealer's only source
+/// of randomness — no platform or thread dependence anywhere).
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` (53 mantissa bits).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `0..n` (modulo bias is irrelevant at neighborhood
+    /// sizes of at most 14).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Seeded simulated annealing over the single-axis neighbor primitive:
+/// after the start frontier, each round proposes one random unevaluated
+/// neighbor of the walker's current cell and moves there when it is
+/// better — or, with probability `exp(-worsening / temp)`, even when it
+/// is worse — cooling the temperature geometrically after every step.
+/// When the current neighborhood is exhausted the walker jumps to the
+/// lowest-index unevaluated cell (which keeps the strategy complete:
+/// full budget ⇒ exhaustive sweep ⇒ the argmax, because the **best**
+/// cell is tracked globally over everything evaluated, independent of
+/// where the walker wanders).
+///
+/// Walker policy details (documented because they are part of the
+/// byte-deterministic behavior): failed cells are never moved to;
+/// moves from a feasible cell to an infeasible one are always rejected
+/// (the walk never leaves the feasible region voluntarily); restart
+/// jumps are unconditional.
+pub struct AnnealStrategy {
+    board: Scoreboard,
+    start_points: usize,
+    rng: SplitMix64,
+    temp: f64,
+    cooling: f64,
+    current: Option<(usize, CellScore)>,
+    /// The cell proposed as an annealing step (None for frontier or
+    /// restart batches).
+    pending: Option<usize>,
+    /// The cell proposed as a restart jump.
+    jump: Option<usize>,
+    started: bool,
+}
+
+impl AnnealStrategy {
+    /// An annealer over `spec`'s grid.
+    pub fn new(
+        spec: &CampaignSpec,
+        objective: Objective,
+        start_points: usize,
+        schedule: &AnnealSchedule,
+    ) -> Self {
+        Self {
+            board: Scoreboard::new(objective, spec.scenario_count()),
+            start_points,
+            rng: SplitMix64(schedule.seed),
+            temp: schedule.initial_temp,
+            cooling: schedule.cooling,
+            current: None,
+            pending: None,
+            jump: None,
+            started: false,
+        }
+    }
+}
+
+impl Strategy for AnnealStrategy {
+    fn propose(&mut self, spec: &CampaignSpec) -> Vec<usize> {
+        let n = spec.scenario_count();
+        if !self.started {
+            self.started = true;
+            return start_frontier(n, self.start_points.clamp(1, n));
+        }
+        let fresh: Vec<usize> = match self.current {
+            Some((cur, _)) => spec
+                .neighbors_of(cur)
+                .into_iter()
+                .filter(|&j| !self.board.is_evaluated(j))
+                .collect(),
+            // every cell so far failed: no position to walk from
+            None => Vec::new(),
+        };
+        if fresh.is_empty() {
+            // neighborhood exhausted (or no walker yet): restart from
+            // the lowest-index unevaluated cell
+            let Some(j) = self.board.first_unevaluated() else {
+                return Vec::new();
+            };
+            self.jump = Some(j);
+            return vec![j];
+        }
+        let j = fresh[self.rng.below(fresh.len())];
+        self.pending = Some(j);
+        vec![j]
+    }
+
+    fn observe(&mut self, index: usize, result: &ScenarioResult) {
+        let score = self.board.objective.score(result);
+        self.board.record(index, score);
+        let step = self.pending.take() == Some(index);
+        let jumped = self.jump.take() == Some(index);
+        let accept = match (self.current, score) {
+            (_, None) => false, // failed cells are never moved to
+            (None, Some(_)) => true,
+            (Some(_), Some(_)) if jumped => true, // restarts always move
+            (Some((_, cs)), Some(s)) if step => {
+                if self.board.objective.better(s, cs) {
+                    true
+                } else if cs.feasible && !s.feasible {
+                    false // never voluntarily leave the feasible region
+                } else {
+                    let worsening = (s.value - cs.value).abs();
+                    self.rng.next_f64() < (-worsening / self.temp.max(1e-300)).exp()
+                }
+            }
+            // frontier (batch) observations move greedily and spend no
+            // randomness — the walk depends only on annealing steps
+            (Some((_, cs)), Some(s)) => self.board.objective.better(s, cs),
+        };
+        if accept {
+            self.current = Some((index, score.expect("accepted cells are scored")));
+        }
+        if step {
+            self.temp *= self.cooling;
+        }
+    }
+}
+
+/// Multi-objective front expansion: evaluate the start frontier, then
+/// each round expand the unevaluated single-axis neighbors of every
+/// not-yet-expanded cell of the current **non-dominated front**,
+/// restarting from the lowest-index unevaluated cell when the whole
+/// front is expanded. Complete by the same argument as the scalar
+/// strategies, so full budget ⇒ the front over every evaluated cell is
+/// the brute-force non-dominated set of the campaign.
+pub struct ParetoStrategy {
+    objectives: MultiObjective,
+    /// `None` = unevaluated; `Some(None)` = evaluated but failed.
+    scores: Vec<Option<Option<MultiScore>>>,
+    expanded: Vec<bool>,
+    start_points: usize,
+    started: bool,
+}
+
+impl ParetoStrategy {
+    /// A front expander over `spec`'s grid.
+    pub fn new(spec: &CampaignSpec, objectives: MultiObjective, start_points: usize) -> Self {
+        let n = spec.scenario_count();
+        Self {
+            objectives,
+            scores: vec![None; n],
+            expanded: vec![false; n],
+            start_points,
+            started: false,
+        }
+    }
+
+    /// Indices of the current non-dominated front (non-failed evaluated
+    /// cells no other evaluated cell dominates), ascending — through
+    /// the one shared filter, [`MultiObjective::dominated_flags`].
+    fn front_indices(&self) -> Vec<usize> {
+        let scored: Vec<(usize, &MultiScore)> = self
+            .scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Some(Some(score)) => Some((i, score)),
+                _ => None,
+            })
+            .collect();
+        let flags = self
+            .objectives
+            .dominated_flags(&scored.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        scored
+            .iter()
+            .zip(&flags)
+            .filter(|(_, dominated)| !**dominated)
+            .map(|((i, _), _)| *i)
+            .collect()
+    }
+}
+
+impl Strategy for ParetoStrategy {
+    fn propose(&mut self, spec: &CampaignSpec) -> Vec<usize> {
+        let n = spec.scenario_count();
+        if !self.started {
+            self.started = true;
+            return start_frontier(n, self.start_points.clamp(1, n));
+        }
+        loop {
+            let unexpanded: Vec<usize> = self
+                .front_indices()
+                .into_iter()
+                .filter(|&i| !self.expanded[i])
+                .collect();
+            if unexpanded.is_empty() {
+                // the whole front is expanded: restart (or finish)
+                return self
+                    .scores
+                    .iter()
+                    .position(Option::is_none)
+                    .into_iter()
+                    .collect();
+            }
+            let mut batch: Vec<usize> = Vec::new();
+            for center in unexpanded {
+                self.expanded[center] = true;
+                batch.extend(
+                    spec.neighbors_of(center)
+                        .into_iter()
+                        .filter(|&j| self.scores[j].is_none()),
+                );
+            }
+            batch.sort_unstable();
+            batch.dedup();
+            if !batch.is_empty() {
+                return batch;
+            }
+            // every neighbor was already evaluated; the next iteration
+            // either finds newly unexpanded front cells (none — we just
+            // expanded them all) or restarts
+        }
+    }
+
+    fn observe(&mut self, index: usize, result: &ScenarioResult) {
+        debug_assert!(self.scores[index].is_none(), "cell evaluated twice");
+        self.scores[index] = Some(self.objectives.score(result));
+    }
+}
+
+// ---- the driver ------------------------------------------------------
+
+/// What [`drive_strategy`] hands back: every evaluated cell (tagged
+/// with its round) plus the run's work accounting.
+pub struct Exploration {
+    /// `(round, result)` for every evaluated cell, in evaluation order.
+    pub evaluations: Vec<(usize, ScenarioResult)>,
+    /// Batches executed.
+    pub rounds: usize,
+    /// Work done by this run (`total_cells` set to the grid size).
+    pub stats: RunStats,
+    /// Archive-write failures, as in [`crate::runner::CampaignRun`].
+    pub archive_errors: Vec<String>,
+}
+
+/// Runs `strategy` over `spec`'s grid until the budget is spent or the
+/// strategy stops proposing, executing each batch through
+/// [`run_cells_with`] (archive resume/store, baseline dedup, lease
+/// coordination — everything the campaign runner guarantees).
+///
+/// # Errors
+///
+/// Returns a description when the spec is invalid or the budget is
+/// zero. Scenario panics are not errors; failed cells are handed to the
+/// strategy like any other result.
+pub fn drive_strategy(
+    spec: &CampaignSpec,
+    strategy: &mut dyn Strategy,
+    budget: usize,
+    config: &RunnerConfig,
+    archive: Option<&CampaignArchive>,
+) -> Result<Exploration, String> {
+    spec.validate()?;
+    if budget == 0 {
+        return Err("search budget must be positive".into());
+    }
+    let n = spec.scenario_count();
+    let budget = budget.min(n);
+
+    let mut evaluated = vec![false; n];
+    let mut evaluations: Vec<(usize, ScenarioResult)> = Vec::new();
+    let mut stats = RunStats::default();
+    let mut archive_errors = Vec::new();
+    let mut baselines = BaselineCache::new();
+    let mut rounds = 0;
+
+    while evaluations.len() < budget {
+        let mut batch = strategy.propose(spec);
+        debug_assert!(
+            batch.iter().all(|&i| !evaluated[i]),
+            "strategies must propose unevaluated cells"
+        );
+        batch.retain(|&i| !evaluated[i]);
+        if batch.is_empty() {
+            break;
+        }
+        batch.truncate(budget - evaluations.len());
+        let cells: Vec<ScenarioSpec> = batch.iter().map(|&i| spec.cell_at(i)).collect();
+        let run = run_cells_with(spec, &cells, config, archive, Some(&mut baselines))?;
+        stats.absorb(&run.stats);
+        archive_errors.extend(run.archive_errors);
+        for result in run.result.results {
+            let index = result.scenario.index;
+            evaluated[index] = true;
+            strategy.observe(index, &result);
+            evaluations.push((rounds, result));
+        }
+        rounds += 1;
+    }
+
+    stats.total_cells = n;
+    Ok(Exploration {
+        evaluations,
+        rounds,
+        stats,
+        archive_errors,
+    })
+}
+
+// ---- report assembly -------------------------------------------------
+
+/// Replays an exploration under a scalar objective into the
+/// trajectory/best shape of a [`SearchReport`].
+fn assemble_scalar(
+    spec: &CampaignSpec,
+    search: &SearchSpec,
+    exploration: Exploration,
+) -> SearchOutcome {
+    let objective = &search.objective;
+    let mut best: Option<SearchBest> = None;
+    let mut best_score: Option<(usize, CellScore)> = None;
+    let mut trajectory = Vec::with_capacity(exploration.evaluations.len());
+    for (round, result) in &exploration.evaluations {
+        let index = result.scenario.index;
+        let score = objective.score(result);
+        let improved = match (score, best_score) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(s), Some((bi, bs))) => objective.wins(s, index, bs, bi),
+        };
+        if improved {
+            let score = score.expect("winning cells are scored");
+            best_score = Some((index, score));
+            best = Some(SearchBest {
+                index,
+                label: result.scenario.label(),
+                value: score.value,
+                feasible: score.feasible,
+                metrics: result.metrics.clone().expect("winning cells have metrics"),
+            });
+        }
+        trajectory.push(Evaluation {
+            round: *round,
+            index,
+            label: result.scenario.label(),
+            value: score.map(|s| s.value),
+            feasible: score.is_some_and(|s| s.feasible),
+            improved,
+        });
+    }
+    SearchOutcome {
+        report: SearchReport {
+            name: spec.name.clone(),
+            strategy: search.strategy.label().to_string(),
+            objective: objective.describe(),
+            grid_cells: spec.scenario_count(),
+            budget: search.budget,
+            evaluated: trajectory.len(),
+            rounds: exploration.rounds,
+            best,
+            trajectory,
+        },
+        stats: exploration.stats,
+        archive_errors: exploration.archive_errors,
+    }
+}
+
+/// Runs a scalar (climb or anneal) search over `spec`'s grid.
 ///
 /// With an archive, evaluated cells are read from (and written back to)
 /// the campaign directory exactly like a resumed campaign — re-running a
@@ -247,7 +871,9 @@ fn next_batch(spec: &CampaignSpec, board: &mut Scoreboard<'_>) -> Vec<usize> {
 ///
 /// # Errors
 ///
-/// Returns a description when the spec is invalid or the budget is zero.
+/// Returns a description when the spec is invalid, the budget is zero,
+/// the annealing schedule is out of range, or the strategy is
+/// [`StrategyKind::Pareto`] (fronts come from [`pareto_campaign`]).
 /// Scenario panics are not errors; failed cells simply score as failed.
 pub fn search_campaign(
     spec: &CampaignSpec,
@@ -255,75 +881,119 @@ pub fn search_campaign(
     config: &RunnerConfig,
     archive: Option<&CampaignArchive>,
 ) -> Result<SearchOutcome, String> {
-    spec.validate()?;
-    if search.budget == 0 {
-        return Err("search budget must be positive".into());
-    }
-    let n = spec.scenario_count();
-    let budget = search.budget.min(n);
-
-    let mut board = Scoreboard::new(&search.objective, n);
-    let mut trajectory: Vec<Evaluation> = Vec::new();
-    let mut stats = RunStats::default();
-    let mut archive_errors = Vec::new();
-    let mut baselines = BaselineCache::new();
-    let mut rounds = 0;
-
-    let mut best: Option<SearchBest> = None;
-
-    let mut batch = start_frontier(n, search.start_points.clamp(1, budget));
-    while !batch.is_empty() {
-        batch.truncate(budget - board.evaluated);
-        let cells: Vec<ScenarioSpec> = batch.iter().map(|&i| spec.cell_at(i)).collect();
-        let run = run_cells_with(spec, &cells, config, archive, Some(&mut baselines))?;
-        stats.absorb(&run.stats);
-        archive_errors.extend(run.archive_errors);
-        for result in &run.result.results {
-            let index = result.scenario.index;
-            let score = search.objective.score(result);
-            let improved = board.record(index, score);
-            if improved {
-                // record() only declares a winner when score (and thus
-                // metrics) exist
-                let score = score.expect("winning cells are scored");
-                best = Some(SearchBest {
-                    index,
-                    label: result.scenario.label(),
-                    value: score.value,
-                    feasible: score.feasible,
-                    metrics: result.metrics.clone().expect("winning cells have metrics"),
-                });
-            }
-            trajectory.push(Evaluation {
-                round: rounds,
-                index,
-                label: result.scenario.label(),
-                value: score.map(|s| s.value),
-                feasible: score.is_some_and(|s| s.feasible),
-                improved,
-            });
+    // clamp the frontier to the budget *before* the strategy spreads it,
+    // so a small budget still gets evenly-spaced start cells
+    let start_points = search.start_points.clamp(1, search.budget.max(1));
+    let mut strategy: Box<dyn Strategy> = match search.strategy {
+        StrategyKind::Climb => Box::new(ClimbStrategy::new(spec, search.objective, start_points)),
+        StrategyKind::Anneal => {
+            search.anneal.validate()?;
+            Box::new(AnnealStrategy::new(
+                spec,
+                search.objective,
+                start_points,
+                &search.anneal,
+            ))
         }
-        rounds += 1;
-        if board.evaluated >= budget {
-            break;
+        StrategyKind::Pareto => {
+            return Err(
+                "strategy 'pareto' optimizes multiple objectives and returns a \
+                 front, not a single winner; use pareto_campaign (CLI: \
+                 --strategy pareto with comma-separated --objective values)"
+                    .into(),
+            )
         }
-        batch = next_batch(spec, &mut board);
+    };
+    let exploration = drive_strategy(spec, &mut *strategy, search.budget, config, archive)?;
+    Ok(assemble_scalar(spec, search, exploration))
+}
+
+/// Runs a multi-objective Pareto search over `spec`'s grid, sharing the
+/// archive/lease machinery (and therefore all determinism guarantees)
+/// with [`search_campaign`].
+///
+/// # Errors
+///
+/// Returns a description when the spec is invalid or the budget is
+/// zero. Scenario panics are not errors; failed cells never join the
+/// front.
+pub fn pareto_campaign(
+    spec: &CampaignSpec,
+    pareto: &ParetoSpec,
+    config: &RunnerConfig,
+    archive: Option<&CampaignArchive>,
+) -> Result<ParetoOutcome, String> {
+    let start_points = pareto.start_points.clamp(1, pareto.budget.max(1));
+    let mut strategy = ParetoStrategy::new(spec, pareto.objectives.clone(), start_points);
+    let exploration = drive_strategy(spec, &mut strategy, pareto.budget, config, archive)?;
+
+    // replay the evaluation sequence to reconstruct the round-by-round
+    // dominated-count trajectory (scores only; one dominance pass per
+    // round keeps this O(rounds * evaluated^2), fine at search scales)
+    let objectives = &pareto.objectives;
+    let mut seen: Vec<(usize, &ScenarioResult, Option<MultiScore>)> = Vec::new();
+    let mut trajectory: Vec<ParetoRound> = Vec::new();
+    let mut at = 0;
+    for round in 0..exploration.rounds {
+        while at < exploration.evaluations.len() && exploration.evaluations[at].0 == round {
+            let result = &exploration.evaluations[at].1;
+            seen.push((result.scenario.index, result, objectives.score(result)));
+            at += 1;
+        }
+        let scored: Vec<&MultiScore> = seen.iter().filter_map(|(_, _, s)| s.as_ref()).collect();
+        let front = objectives
+            .dominated_flags(&scored)
+            .iter()
+            .filter(|dominated| !**dominated)
+            .count();
+        trajectory.push(ParetoRound {
+            round,
+            evaluated: seen.len(),
+            front,
+            dominated: scored.len() - front,
+        });
     }
 
-    stats.total_cells = n;
-    Ok(SearchOutcome {
-        report: SearchReport {
+    // the final front, through the same shared filter the trajectory
+    // (and the brute-force reference) use
+    let scored: Vec<(usize, &ScenarioResult, &MultiScore)> = seen
+        .iter()
+        .filter_map(|(i, r, s)| s.as_ref().map(|s| (*i, *r, s)))
+        .collect();
+    let flags = objectives.dominated_flags(&scored.iter().map(|(_, _, s)| *s).collect::<Vec<_>>());
+    let mut front: Vec<ParetoPoint> = scored
+        .iter()
+        .zip(&flags)
+        .filter(|(_, dominated)| !**dominated)
+        .map(|((index, result, score), _)| ParetoPoint {
+            index: *index,
+            label: result.scenario.label(),
+            values: score.values.clone(),
+            feasible: score.feasible,
+            metrics: result.metrics.clone().expect("scored cells have metrics"),
+        })
+        .collect();
+    front.sort_by_key(|p| p.index);
+
+    Ok(ParetoOutcome {
+        report: ParetoReport {
             name: spec.name.clone(),
-            objective: search.objective.describe(),
-            grid_cells: n,
-            budget: search.budget,
-            evaluated: board.evaluated,
-            rounds,
-            best,
+            strategy: StrategyKind::Pareto.label().to_string(),
+            objectives: objectives.describe(),
+            objective_labels: objectives
+                .objectives
+                .iter()
+                .map(|o| o.metric.label().to_string())
+                .collect(),
+            grid_cells: spec.scenario_count(),
+            budget: pareto.budget,
+            evaluated: exploration.evaluations.len(),
+            rounds: exploration.rounds,
+            front,
             trajectory,
         },
-        stats,
-        archive_errors,
+        stats: exploration.stats,
+        archive_errors: exploration.archive_errors,
     })
 }
 
@@ -349,6 +1019,10 @@ mod tests {
         }
     }
 
+    fn multi() -> MultiObjective {
+        MultiObjective::parse("energy_saving,min:delay").unwrap()
+    }
+
     #[test]
     fn start_frontier_is_spread_and_strictly_increasing() {
         assert_eq!(start_frontier(8, 4), vec![0, 2, 4, 6]);
@@ -359,11 +1033,58 @@ mod tests {
     }
 
     #[test]
+    fn strategy_kinds_parse_and_label() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(kind.label()).unwrap(), kind);
+        }
+        assert!(StrategyKind::parse("warp")
+            .unwrap_err()
+            .contains("unknown strategy"));
+    }
+
+    #[test]
+    fn anneal_schedule_validates_its_ranges() {
+        AnnealSchedule::default().validate().unwrap();
+        for (temp, cooling) in [(0.0, 0.9), (-1.0, 0.9), (f64::NAN, 0.9)] {
+            let schedule = AnnealSchedule {
+                initial_temp: temp,
+                cooling,
+                seed: 1,
+            };
+            assert!(schedule.validate().unwrap_err().contains("initial_temp"));
+        }
+        for cooling in [0.0, 1.0, 1.5, -0.1] {
+            let schedule = AnnealSchedule {
+                cooling,
+                ..AnnealSchedule::default()
+            };
+            assert!(schedule.validate().unwrap_err().contains("cooling"));
+        }
+    }
+
+    #[test]
     fn zero_budget_is_an_error() {
         let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 0);
         let err =
             search_campaign(&tiny_spec(), &search, &RunnerConfig::serial(), None).unwrap_err();
         assert!(err.contains("budget"), "{err}");
+        let err = pareto_campaign(
+            &tiny_spec(),
+            &ParetoSpec::new(multi(), 0),
+            &RunnerConfig::serial(),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn pareto_kind_is_rejected_by_the_scalar_entry_point() {
+        let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 2)
+            .with_strategy(StrategyKind::Pareto);
+        let err =
+            search_campaign(&tiny_spec(), &search, &RunnerConfig::serial(), None).unwrap_err();
+        assert!(err.contains("pareto_campaign"), "{err}");
     }
 
     #[test]
@@ -373,24 +1094,63 @@ mod tests {
         assert_eq!(out.report.evaluated, 1);
         assert_eq!(out.report.trajectory.len(), 1);
         assert_eq!(out.report.best.as_ref().unwrap().index, 0);
+        assert_eq!(out.report.strategy, "climb");
         assert!(out.stats.simulations >= 1);
     }
 
     #[test]
     fn budget_is_never_exceeded_and_oversized_budget_sweeps_the_grid() {
         let spec = tiny_spec();
-        for budget in [2, 3, 100] {
-            let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), budget);
-            let out = search_campaign(&spec, &search, &RunnerConfig::serial(), None).unwrap();
+        for strategy in [StrategyKind::Climb, StrategyKind::Anneal] {
+            for budget in [2, 3, 100] {
+                let search =
+                    SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), budget)
+                        .with_strategy(strategy);
+                let out = search_campaign(&spec, &search, &RunnerConfig::serial(), None).unwrap();
+                assert!(out.report.evaluated <= budget.min(spec.scenario_count()));
+                if budget >= spec.scenario_count() {
+                    assert_eq!(out.report.evaluated, spec.scenario_count());
+                }
+                // every evaluation is a distinct cell
+                let mut seen: Vec<usize> = out.report.trajectory.iter().map(|e| e.index).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), out.report.evaluated);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_budget_respected_and_front_is_non_dominated() {
+        let spec = tiny_spec();
+        for budget in [1, 3, 100] {
+            let out = pareto_campaign(
+                &spec,
+                &ParetoSpec::new(multi(), budget),
+                &RunnerConfig::serial(),
+                None,
+            )
+            .unwrap();
             assert!(out.report.evaluated <= budget.min(spec.scenario_count()));
             if budget >= spec.scenario_count() {
                 assert_eq!(out.report.evaluated, spec.scenario_count());
             }
-            // every evaluation is a distinct cell
-            let mut seen: Vec<usize> = out.report.trajectory.iter().map(|e| e.index).collect();
-            seen.sort_unstable();
-            seen.dedup();
-            assert_eq!(seen.len(), out.report.evaluated);
+            assert!(!out.report.front.is_empty());
+            assert!(out.report.front.windows(2).all(|w| w[0].index < w[1].index));
+            // the trajectory's last round accounts for every evaluation
+            let last = out.report.trajectory.last().unwrap();
+            assert_eq!(last.evaluated, out.report.evaluated);
+            assert_eq!(last.front, out.report.front.len());
         }
+    }
+
+    #[test]
+    fn anneal_is_seed_deterministic_and_seed_sensitive() {
+        let spec = tiny_spec();
+        let base = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 3)
+            .with_strategy(StrategyKind::Anneal);
+        let a = search_campaign(&spec, &base, &RunnerConfig::serial(), None).unwrap();
+        let b = search_campaign(&spec, &base, &RunnerConfig::serial(), None).unwrap();
+        assert_eq!(a.report, b.report, "same seed, same walk");
     }
 }

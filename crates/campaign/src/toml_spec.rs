@@ -25,9 +25,14 @@
 //! ip_counts = [1, 4]
 //!
 //! [search]                          # optional: defaults for `dpm search`
+//! strategy = "climb"                # climb | anneal | pareto
 //! objective = "energy_saving"       # metric label/alias, opt. min:/max: prefix
+//! objectives = ["max:energy_saving", "min:delay"]   # pareto fronts
 //! constraint = "delay_overhead_pct<=5"
 //! budget = 40                       # cells to evaluate
+//! initial_temp = 5.0                # annealing schedule (strategy = "anneal")
+//! cooling = 0.9
+//! anneal_seed = 7
 //! ```
 //!
 //! The `[search]` section never reaches [`CampaignSpec`] (or its archive
@@ -35,6 +40,7 @@
 //! directory's cached cells valid.
 
 use crate::objective::{Constraint, Objective};
+use crate::search::StrategyKind;
 use crate::spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ThermalAxis, TuningAxis, WorkloadAxis,
 };
@@ -242,10 +248,15 @@ const KNOWN_KEYS: &[&str] = &[
     "axes.batteries",
     "axes.thermals",
     "axes.ip_counts",
+    "search.strategy",
     "search.objective",
+    "search.objectives",
     "search.constraint",
     "search.budget",
     "search.start_points",
+    "search.initial_temp",
+    "search.cooling",
+    "search.anneal_seed",
 ];
 
 /// The optional `[search]` section of a spec file: per-spec defaults for
@@ -257,14 +268,25 @@ const KNOWN_KEYS: &[&str] = &[
 /// archive — and the cached cell results — valid.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchDefaults {
+    /// `search.strategy`: `climb`, `anneal` or `pareto`.
+    pub strategy: Option<StrategyKind>,
     /// `search.objective`, e.g. `"energy_saving"` or `"min:energy_j"`.
     pub objective: Option<Objective>,
+    /// `search.objectives`: the Pareto objective list (each entry as in
+    /// [`Objective::parse`]; at least two).
+    pub objectives: Option<Vec<Objective>>,
     /// `search.constraint`, e.g. `"delay_overhead_pct<=5"`.
     pub constraint: Option<Constraint>,
     /// `search.budget` (cells to evaluate).
     pub budget: Option<usize>,
     /// `search.start_points` (start-frontier size).
     pub start_points: Option<usize>,
+    /// `search.initial_temp` (annealing schedule).
+    pub initial_temp: Option<f64>,
+    /// `search.cooling` (annealing schedule).
+    pub cooling: Option<f64>,
+    /// `search.anneal_seed` (the annealer's random stream).
+    pub anneal_seed: Option<u64>,
 }
 
 /// Parses a spec file into the campaign grid plus its `[search]`
@@ -286,6 +308,42 @@ pub fn parse_campaign_toml(text: &str) -> Result<(CampaignSpec, SearchDefaults),
     }
     let spec = spec_from_doc(&doc)?;
     let mut search = SearchDefaults::default();
+    if let Some(v) = doc.get("search.strategy") {
+        let TomlValue::String(s) = v else {
+            return Err(format!(
+                "'search.strategy' must be a string, got {}",
+                v.type_name()
+            ));
+        };
+        search.strategy =
+            Some(StrategyKind::parse(s).map_err(|e| format!("search.strategy: {e}"))?);
+    }
+    if let Some(v) = doc.get("search.objectives") {
+        let TomlValue::Array(items) = v else {
+            return Err(format!(
+                "'search.objectives' must be an array, got {}",
+                v.type_name()
+            ));
+        };
+        let objectives: Vec<Objective> = items
+            .iter()
+            .map(|item| match item {
+                TomlValue::String(s) => {
+                    Objective::parse(s).map_err(|e| format!("search.objectives: {e}"))
+                }
+                other => Err(format!(
+                    "'search.objectives' entries must be strings, got {}",
+                    other.type_name()
+                )),
+            })
+            .collect::<Result<_, _>>()?;
+        if objectives.len() < 2 {
+            return Err("'search.objectives' needs at least two entries \
+                 (a single objective belongs in 'search.objective')"
+                .into());
+        }
+        search.objectives = Some(objectives);
+    }
     if let Some(v) = doc.get("search.objective") {
         let TomlValue::String(s) = v else {
             return Err(format!(
@@ -318,6 +376,23 @@ pub fn parse_campaign_toml(text: &str) -> Result<(CampaignSpec, SearchDefaults),
             return Err("'search.start_points' must be positive".into());
         }
         search.start_points = Some(points);
+    }
+    if let Some(v) = doc.get("search.initial_temp") {
+        let temp = as_f64("search.initial_temp", v)?;
+        if !(temp > 0.0 && temp.is_finite()) {
+            return Err("'search.initial_temp' must be positive and finite".into());
+        }
+        search.initial_temp = Some(temp);
+    }
+    if let Some(v) = doc.get("search.cooling") {
+        let cooling = as_f64("search.cooling", v)?;
+        if !(cooling > 0.0 && cooling < 1.0) {
+            return Err("'search.cooling' must lie strictly between 0 and 1".into());
+        }
+        search.cooling = Some(cooling);
+    }
+    if let Some(v) = doc.get("search.anneal_seed") {
+        search.anneal_seed = Some(as_u64("search.anneal_seed", v)?);
     }
     Ok((spec, search))
 }
@@ -413,6 +488,17 @@ impl CampaignSpec {
             quote_list(&self.thermals, |t| format!("\"{}\"", t.label())),
             quote_list(&self.ip_counts, |n| n.to_string()),
         )
+    }
+}
+
+fn as_f64(key: &str, v: &TomlValue) -> Result<f64, String> {
+    match v {
+        TomlValue::Float(x) => Ok(*x),
+        TomlValue::Integer(n) => Ok(*n as f64),
+        other => Err(format!(
+            "'{key}' must be a number, got {}",
+            other.type_name()
+        )),
     }
 }
 
@@ -554,6 +640,57 @@ ip_counts = [1]
         // absent section -> all defaults empty
         let (_, empty) = parse_campaign_toml(EXAMPLE).unwrap();
         assert_eq!(empty, SearchDefaults::default());
+    }
+
+    #[test]
+    fn search_strategy_and_anneal_keys_parse() {
+        use crate::search::StrategyKind;
+
+        let text = format!(
+            "{EXAMPLE}\n[search]\nstrategy = \"anneal\"\nobjective = \"energy_saving\"\n\
+             budget = 4\ninitial_temp = 2.5\ncooling = 0.85\nanneal_seed = 99\n"
+        );
+        let (_, search) = parse_campaign_toml(&text).unwrap();
+        assert_eq!(search.strategy, Some(StrategyKind::Anneal));
+        assert_eq!(search.initial_temp, Some(2.5));
+        assert_eq!(search.cooling, Some(0.85));
+        assert_eq!(search.anneal_seed, Some(99));
+    }
+
+    #[test]
+    fn search_objectives_parse_for_pareto() {
+        use crate::objective::Direction;
+
+        let text = format!(
+            "{EXAMPLE}\n[search]\nstrategy = \"pareto\"\n\
+             objectives = [\"max:energy_saving\", \"min:delay\"]\nbudget = 4\n"
+        );
+        let (_, search) = parse_campaign_toml(&text).unwrap();
+        let objectives = search.objectives.unwrap();
+        assert_eq!(objectives.len(), 2);
+        assert_eq!(objectives[1].direction, Direction::Minimize);
+
+        let err = parse_campaign_toml("[search]\nobjectives = [\"energy_saving\"]\n").unwrap_err();
+        assert!(err.contains("at least two"), "{err}");
+        let err =
+            parse_campaign_toml("[search]\nobjectives = [\"energy_saving\", 2]\n").unwrap_err();
+        assert!(err.contains("entries must be strings"), "{err}");
+    }
+
+    #[test]
+    fn bad_strategy_and_anneal_values_fail_loudly() {
+        let err = parse_campaign_toml("[search]\nstrategy = \"warp\"\n").unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
+        let err = parse_campaign_toml("[search]\nstrategy = 3\n").unwrap_err();
+        assert!(err.contains("must be a string"), "{err}");
+        let err = parse_campaign_toml("[search]\ninitial_temp = 0\n").unwrap_err();
+        assert!(err.contains("initial_temp"), "{err}");
+        let err = parse_campaign_toml("[search]\ncooling = 1.0\n").unwrap_err();
+        assert!(err.contains("cooling"), "{err}");
+        let err = parse_campaign_toml("[search]\ncooling = \"slow\"\n").unwrap_err();
+        assert!(err.contains("must be a number"), "{err}");
+        let err = parse_campaign_toml("[search]\nanneal_seed = -4\n").unwrap_err();
+        assert!(err.contains("anneal_seed"), "{err}");
     }
 
     #[test]

@@ -164,6 +164,135 @@ fn a_killed_workers_group_is_reclaimed_and_completed() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// ROADMAP "lease heartbeat refresh mid-group": a group whose wall time
+/// exceeds the lease TTL must never be reclaimed from its *living*
+/// holder — the runner refreshes the heartbeat between cells (via the
+/// per-unit hook, throttled to a quarter TTL), not only between chunks.
+///
+/// Three assertions pin the guarantee: a watcher polling the lease file
+/// never observes it stale while the run is in flight; the heartbeat
+/// visibly advances mid-group whenever the group outlives the throttle
+/// interval; and a second, waiting worker absorbs every cell from the
+/// archive instead of stealing the group (summed simulations equal the
+/// single-process totals — a reclaim would duplicate them).
+#[test]
+fn slow_group_under_short_ttl_is_never_reclaimed_from_a_live_worker() {
+    // one baseline group (every inner axis single-valued) of 8 cells,
+    // with a horizon long enough that the whole group far outlives the
+    // TTL on a loaded single-core runner while each individual cell
+    // stays well inside it (~140ms/cell debug vs a 900ms TTL — a
+    // mid-cell gap can never outlast the TTL short of a 6x stall, and
+    // per-cell refreshes land every couple hundred ms)
+    let spec = CampaignSpec {
+        name: "slow_group".into(),
+        horizon_ms: 2500,
+        master_seed: 0x51_0C,
+        initial_soc: 0.9,
+        controllers: vec![
+            ControllerAxis::Dpm,
+            ControllerAxis::Timeout500us,
+            ControllerAxis::Timeout2ms,
+            ControllerAxis::Oracle,
+        ],
+        tunings: vec![TuningAxis::Paper, TuningAxis::Eager],
+        workloads: vec![WorkloadAxis::High],
+        seeds: vec![1],
+        batteries: vec![BatteryAxis::Linear],
+        thermals: vec![ThermalAxis::Cool],
+        ip_counts: vec![1],
+    };
+    assert_eq!(spec.group_count(), 1);
+    let ttl_ms = 900;
+    let cold = run_campaign_with(&spec, &serial(), None).expect("cold run");
+
+    let dir = scratch_dir();
+    let archive = CampaignArchive::open(&dir, &spec).expect("create campaign dir");
+    let lease_path = archive.lease_path(0);
+
+    let (outcomes, stale_seen, heartbeats) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let spec = &spec;
+                let archive = &archive;
+                scope.spawn(move || {
+                    let config = RunnerConfig {
+                        threads: 2,
+                        ..RunnerConfig::default()
+                    }
+                    .with_lease(
+                        LeaseConfig::for_process()
+                            .with_ttl_ms(ttl_ms)
+                            .with_poll_ms(5),
+                    );
+                    let started = std::time::Instant::now();
+                    let run = run_cells_with(spec, &spec.expand(), &config, Some(archive), None)
+                        .expect("leased run");
+                    (run, started.elapsed())
+                })
+            })
+            .collect();
+
+        // the watcher: sample the lease until both workers finish
+        let mut stale_seen = false;
+        let mut heartbeats: Vec<u64> = Vec::new();
+        while !workers.iter().all(|w| w.is_finished()) {
+            if matches!(
+                archive.lease_state(0, ttl_ms),
+                dpm_campaign::LeaseState::Stale
+            ) {
+                stale_seen = true;
+            }
+            if let Ok(text) = std::fs::read_to_string(&lease_path) {
+                if let Ok(rec) = serde_json::from_str::<LeaseRecord>(&text) {
+                    heartbeats.push(rec.heartbeat_ms);
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let outcomes: Vec<_> = workers
+            .into_iter()
+            .map(|w| w.join().expect("join worker"))
+            .collect();
+        (outcomes, stale_seen, heartbeats)
+    });
+
+    assert!(
+        !stale_seen,
+        "a live worker's lease must never be observed stale"
+    );
+    // whenever the *simulating* worker outlived half the TTL, some
+    // refresh (per-cell hook or chunk boundary) must have fired and the
+    // heartbeat must have visibly advanced mid-group
+    let holder_wall = outcomes
+        .iter()
+        .filter(|(run, _)| run.stats.simulations > 0)
+        .map(|(_, wall)| *wall)
+        .max()
+        .expect("one worker simulated the group");
+    if holder_wall.as_millis() as u64 >= ttl_ms / 2 {
+        let advanced = heartbeats
+            .first()
+            .is_some_and(|first| heartbeats.iter().any(|h| h > first));
+        assert!(
+            advanced,
+            "heartbeat never advanced over a {}ms group (observed {} samples)",
+            holder_wall.as_millis(),
+            heartbeats.len(),
+        );
+    }
+    // no reclaim ⇒ no duplicated work: exactly one worker simulated the
+    // group, the other absorbed it from the archive
+    let mut sum = RunStats::default();
+    for (run, _) in &outcomes {
+        assert_eq!(run.result, cold.result, "leased results must match cold");
+        sum.absorb(&run.stats);
+    }
+    assert_eq!(sum.simulations, cold.stats.simulations);
+    assert_eq!(sum.executed_cells, spec.scenario_count());
+    assert_eq!(sum.baseline_groups, cold.stats.baseline_groups);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn concurrent_coordinated_searches_share_one_climb() {
     let spec = spec_with(vec![1, 2, 3, 4]);

@@ -1,0 +1,419 @@
+//! Differential harness for the pluggable search strategies.
+//!
+//! The contract, strategy by strategy:
+//!
+//! * **pareto**: with `budget >= grid size` the returned front equals
+//!   the **brute-force non-dominated set** of an exhaustive campaign
+//!   ([`MultiObjective::front`]) — property-tested over random grids,
+//!   objective pairs and budget surpluses, and pinned on a 64-cell
+//!   acceptance grid;
+//! * **anneal**: with `budget >= grid size` the walk degenerates to an
+//!   exhaustive sweep and the reported best equals the campaign
+//!   argmax — property-tested over random grids, metrics and schedules;
+//! * **every strategy**: the report is **byte-identical** across 1/2/8
+//!   threads, fresh/archived mixes, and lease-coordinated concurrent
+//!   runs (`--coordinate`), with summed `RunStats` across coordinated
+//!   searchers equal to the single-process totals.
+//!
+//! Policy (tests/README.md): determinism claims assert on report
+//! *bytes* (`search_json` / `pareto_json`), work claims on `RunStats` —
+//! never both on the same artifact.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dpm_campaign::{
+    pareto_campaign, pareto_json, run_campaign_with, search_campaign, search_json, BatteryAxis,
+    CampaignArchive, CampaignSpec, ControllerAxis, LeaseConfig, Metric, MultiObjective, Objective,
+    ParetoSpec, RunnerConfig, SearchSpec, StrategyKind, ThermalAxis, TuningAxis, WorkloadAxis,
+};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "strategies-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(threads: usize) -> RunnerConfig {
+    RunnerConfig {
+        threads,
+        ..RunnerConfig::default()
+    }
+}
+
+/// The 64-cell acceptance grid (4 controllers × 2 tunings × 2 workloads
+/// × 2 seeds × 2 thermals).
+fn grid64() -> CampaignSpec {
+    CampaignSpec {
+        name: "strategies64".into(),
+        horizon_ms: 5,
+        master_seed: 0x5745_A7E6,
+        initial_soc: 0.9,
+        controllers: vec![
+            ControllerAxis::Dpm,
+            ControllerAxis::Timeout500us,
+            ControllerAxis::Timeout2ms,
+            ControllerAxis::Oracle,
+        ],
+        tunings: vec![TuningAxis::Paper, TuningAxis::Eager],
+        workloads: vec![WorkloadAxis::Low, WorkloadAxis::High],
+        seeds: vec![1, 2],
+        batteries: vec![BatteryAxis::Linear],
+        thermals: vec![ThermalAxis::Cool, ThermalAxis::Hot],
+        ip_counts: vec![1],
+    }
+}
+
+fn small_spec(master_seed: u64, seeds: Vec<u64>, two_controllers: bool) -> CampaignSpec {
+    CampaignSpec {
+        name: "strategies_small".into(),
+        horizon_ms: 6,
+        master_seed,
+        initial_soc: 0.9,
+        controllers: if two_controllers {
+            vec![ControllerAxis::Dpm, ControllerAxis::AlwaysOn]
+        } else {
+            vec![ControllerAxis::Dpm]
+        },
+        tunings: vec![TuningAxis::Paper],
+        workloads: vec![WorkloadAxis::Low],
+        seeds,
+        batteries: vec![BatteryAxis::Linear],
+        thermals: vec![ThermalAxis::Cool],
+        ip_counts: vec![1],
+    }
+}
+
+fn multi() -> MultiObjective {
+    MultiObjective::parse("energy_saving,min:delay").unwrap()
+}
+
+fn anneal_spec(objective: Objective, budget: usize) -> SearchSpec {
+    SearchSpec::new(objective, budget).with_strategy(StrategyKind::Anneal)
+}
+
+// ---- acceptance: the 64-cell grid -----------------------------------
+
+/// ISSUE 5 acceptance: `--strategy pareto --budget <grid-size>` on a
+/// ≤64-cell spec returns exactly the brute-force non-dominated set.
+#[test]
+fn full_budget_pareto_on_64_cells_equals_brute_force_front() {
+    let spec = grid64();
+    let objectives = multi();
+    let exhaustive = run_campaign_with(&spec, &config(0), None).expect("exhaustive sweep");
+    let reference: Vec<usize> = objectives
+        .front(&exhaustive.result.results)
+        .iter()
+        .map(|r| r.scenario.index)
+        .collect();
+    assert!(!reference.is_empty());
+
+    let pareto = ParetoSpec::new(objectives.clone(), spec.scenario_count());
+    let outcome = pareto_campaign(&spec, &pareto, &config(0), None).expect("pareto search");
+    assert_eq!(outcome.report.evaluated, spec.scenario_count());
+    let front: Vec<usize> = outcome.report.front.iter().map(|p| p.index).collect();
+    assert_eq!(front, reference, "front must equal the brute-force set");
+    // the front's metric vectors match the exhaustive cells bit for bit
+    for point in &outcome.report.front {
+        let cell = &exhaustive.result.results[point.index];
+        let score = objectives.score(cell).expect("front cells scored");
+        assert_eq!(point.values, score.values);
+        assert_eq!(point.metrics, *cell.metrics.as_ref().unwrap());
+    }
+}
+
+/// A *budgeted* Pareto search reports a front that is internally
+/// non-dominated and a subset of the evaluated cells' true front.
+#[test]
+fn budgeted_pareto_front_is_mutually_non_dominated() {
+    let spec = grid64();
+    let objectives = multi();
+    let pareto = ParetoSpec::new(objectives.clone(), 24);
+    let outcome = pareto_campaign(&spec, &pareto, &config(0), None).expect("pareto search");
+    assert!(outcome.report.evaluated <= 24);
+    let scores: Vec<_> = outcome
+        .report
+        .front
+        .iter()
+        .map(|p| dpm_campaign::MultiScore {
+            values: p.values.clone(),
+            feasible: p.feasible,
+        })
+        .collect();
+    for (i, a) in scores.iter().enumerate() {
+        for (j, b) in scores.iter().enumerate() {
+            assert!(
+                i == j || !objectives.dominates(a, b),
+                "front cell #{} dominates front cell #{}",
+                outcome.report.front[i].index,
+                outcome.report.front[j].index,
+            );
+        }
+    }
+}
+
+#[test]
+fn full_budget_anneal_on_64_cells_equals_exhaustive_argmax() {
+    let spec = grid64();
+    let objective = Objective::for_metric(Metric::EnergySavingPct);
+    let exhaustive = run_campaign_with(&spec, &config(0), None).expect("exhaustive sweep");
+    let reference = objective
+        .argbest(&exhaustive.result.results)
+        .expect("grid has successful cells");
+
+    let outcome = search_campaign(
+        &spec,
+        &anneal_spec(objective, spec.scenario_count()),
+        &config(0),
+        None,
+    )
+    .expect("anneal search");
+    assert_eq!(outcome.report.evaluated, spec.scenario_count());
+    let best = outcome.report.best.as_ref().expect("anneal found a best");
+    assert_eq!(best.index, reference.scenario.index);
+    assert_eq!(&best.metrics, reference.metrics.as_ref().unwrap());
+}
+
+// ---- coordinated (lease-sharing) byte-identity ----------------------
+
+/// Runs `search` through two lease-coordinated searchers over one
+/// campaign directory and returns their (report-bytes, stats) pairs.
+fn coordinated_pair<R: Send>(
+    spec: &CampaignSpec,
+    run: impl Fn(&RunnerConfig, &CampaignArchive) -> R + Sync,
+) -> Vec<R> {
+    let dir = scratch_dir();
+    let _ = CampaignArchive::open(&dir, spec).expect("create campaign dir");
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let dir = dir.clone();
+                let run = &run;
+                scope.spawn(move || {
+                    let archive = CampaignArchive::open(&dir, spec).expect("open archive");
+                    let config = config(1).with_lease(LeaseConfig::for_process().with_poll_ms(1));
+                    run(&config, &archive)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join searcher"))
+            .collect()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    outcomes
+}
+
+/// ISSUE 5 acceptance: both new strategies are byte-identical under
+/// `--coordinate` with 2 workers, with summed work equal to one run.
+#[test]
+fn anneal_and_pareto_are_byte_identical_under_coordination() {
+    let spec = grid64();
+
+    let anneal = anneal_spec(Objective::for_metric(Metric::EnergySavingPct), 16);
+    let reference = search_campaign(&spec, &anneal, &config(1), None).expect("reference");
+    let reference_bytes = search_json(&reference.report).expect("render");
+    let outcomes = coordinated_pair(&spec, |config, archive| {
+        let out = search_campaign(&spec, &anneal, config, Some(archive)).expect("anneal");
+        (search_json(&out.report).expect("render"), out.stats)
+    });
+    let mut executed = 0;
+    for (bytes, stats) in &outcomes {
+        assert_eq!(bytes, &reference_bytes, "coordinated anneal diverged");
+        executed += stats.executed_cells;
+    }
+    assert_eq!(
+        executed, reference.stats.executed_cells,
+        "coordinated annealers must split the work, not duplicate it"
+    );
+
+    let pareto = ParetoSpec::new(multi(), 16);
+    let reference = pareto_campaign(&spec, &pareto, &config(1), None).expect("reference");
+    let reference_bytes = pareto_json(&reference.report).expect("render");
+    let outcomes = coordinated_pair(&spec, |config, archive| {
+        let out = pareto_campaign(&spec, &pareto, config, Some(archive)).expect("pareto");
+        (pareto_json(&out.report).expect("render"), out.stats)
+    });
+    let mut executed = 0;
+    for (bytes, stats) in &outcomes {
+        assert_eq!(bytes, &reference_bytes, "coordinated pareto diverged");
+        executed += stats.executed_cells;
+    }
+    assert_eq!(executed, reference.stats.executed_cells);
+}
+
+/// Re-searching a populated directory performs zero fresh simulations
+/// for the new strategies too (the archive is a full result cache).
+#[test]
+fn archived_anneal_and_pareto_simulate_nothing_on_resume() {
+    let spec = grid64();
+    let dir = scratch_dir();
+
+    let anneal = anneal_spec(Objective::for_metric(Metric::EnergySavingPct), 12);
+    let archive = CampaignArchive::open(&dir, &spec).unwrap();
+    let first = search_campaign(&spec, &anneal, &config(2), Some(&archive)).unwrap();
+    assert!(first.stats.simulations > 0);
+    let second = search_campaign(&spec, &anneal, &config(1), Some(&archive)).unwrap();
+    assert_eq!(second.stats.simulations, 0, "anneal resume must be free");
+    assert_eq!(
+        search_json(&second.report).unwrap(),
+        search_json(&first.report).unwrap(),
+    );
+
+    let pareto = ParetoSpec::new(multi(), 12);
+    let first = pareto_campaign(&spec, &pareto, &config(2), Some(&archive)).unwrap();
+    let second = pareto_campaign(&spec, &pareto, &config(1), Some(&archive)).unwrap();
+    assert_eq!(second.stats.simulations, 0, "pareto resume must be free");
+    assert_eq!(
+        pareto_json(&second.report).unwrap(),
+        pareto_json(&first.report).unwrap(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- the differential proptests -------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Full-budget Pareto search == the brute-force non-dominated set,
+    // for random grids, objective pairs and budget surpluses.
+    #[test]
+    fn full_budget_pareto_equals_brute_force_front(
+        master in 0u64..u64::MAX / 2,
+        seeds in prop::collection::vec(0u64..1000, 1..4),
+        two_controllers in prop::sample::select(vec![false, true]),
+        pair in prop::sample::select(vec![
+            "energy_saving,min:delay",
+            "min:energy_j,latency",
+            "energy_saving,min:delay,max:low_power",
+        ]),
+        extra_budget in 0usize..3,
+    ) {
+        let spec = small_spec(master, seeds, two_controllers);
+        let objectives = MultiObjective::parse(pair).unwrap();
+        let exhaustive = run_campaign_with(&spec, &config(1), None).unwrap();
+        let reference: Vec<usize> = objectives
+            .front(&exhaustive.result.results)
+            .iter()
+            .map(|r| r.scenario.index)
+            .collect();
+
+        let pareto = ParetoSpec::new(objectives, spec.scenario_count() + extra_budget);
+        let outcome = pareto_campaign(&spec, &pareto, &config(1), None).unwrap();
+        prop_assert_eq!(outcome.report.evaluated, spec.scenario_count());
+        let front: Vec<usize> = outcome.report.front.iter().map(|p| p.index).collect();
+        prop_assert_eq!(front, reference);
+    }
+
+    // Full-budget anneal == the exhaustive argmax, for random grids,
+    // metrics and schedules (any seed, any temperature, any cooling).
+    #[test]
+    fn full_budget_anneal_equals_exhaustive_argmax(
+        master in 0u64..u64::MAX / 2,
+        seeds in prop::collection::vec(0u64..1000, 1..4),
+        two_controllers in prop::sample::select(vec![false, true]),
+        metric in prop::sample::select(vec![
+            Metric::EnergySavingPct,
+            Metric::EnergyJ,
+            Metric::MeanLatencyUs,
+            Metric::LowPowerFrac,
+        ]),
+        anneal_seed in 0u64..u64::MAX / 2,
+        initial_temp in prop::sample::select(vec![0.1, 1.0, 10.0]),
+        cooling in prop::sample::select(vec![0.5, 0.9, 0.99]),
+    ) {
+        let spec = small_spec(master, seeds, two_controllers);
+        let objective = Objective::for_metric(metric);
+        let exhaustive = run_campaign_with(&spec, &config(1), None).unwrap();
+        let reference = objective.argbest(&exhaustive.result.results).unwrap();
+
+        let mut search = anneal_spec(objective, spec.scenario_count());
+        search.anneal.seed = anneal_seed;
+        search.anneal.initial_temp = initial_temp;
+        search.anneal.cooling = cooling;
+        let outcome = search_campaign(&spec, &search, &config(1), None).unwrap();
+        prop_assert_eq!(outcome.report.evaluated, spec.scenario_count());
+        let best = outcome.report.best.as_ref().unwrap();
+        prop_assert_eq!(best.index, reference.scenario.index);
+        prop_assert_eq!(&best.metrics, reference.metrics.as_ref().unwrap());
+    }
+
+    // Every strategy's report is byte-identical across 1/2/8 threads
+    // and for any archived/fresh mix of cells.
+    #[test]
+    fn every_strategy_is_byte_deterministic_across_threads_and_archives(
+        master in 0u64..u64::MAX / 2,
+        seeds in prop::collection::vec(0u64..1000, 2..4),
+        budget in 1usize..9,
+        keep_mask in prop::bits::u8::masked(0b1111_1111),
+        strategy in prop::sample::select(vec![
+            StrategyKind::Climb,
+            StrategyKind::Anneal,
+            StrategyKind::Pareto,
+        ]),
+    ) {
+        let spec = small_spec(master, seeds, true);
+        // one closure per strategy kind: render the report bytes under
+        // a given config/archive
+        let render = |config: &RunnerConfig, archive: Option<&CampaignArchive>| match strategy {
+            StrategyKind::Pareto => {
+                let pareto = ParetoSpec::new(multi(), budget);
+                pareto_json(&pareto_campaign(&spec, &pareto, config, archive).unwrap().report)
+                    .unwrap()
+            }
+            kind => {
+                let search = SearchSpec::new(
+                    Objective::for_metric(Metric::EnergySavingPct),
+                    budget,
+                )
+                .with_strategy(kind);
+                search_json(&search_campaign(&spec, &search, config, archive).unwrap().report)
+                    .unwrap()
+            }
+        };
+
+        let reference = render(&config(1), None);
+        for threads in [2, 8] {
+            prop_assert_eq!(
+                &render(&config(threads), None),
+                &reference,
+                "threads={} diverged for {:?}", threads, strategy
+            );
+        }
+
+        // pre-archive an arbitrary subset of the exhaustive results and
+        // re-search: identical bytes again
+        let exhaustive = run_campaign_with(&spec, &config(1), None).unwrap();
+        let dir = scratch_dir();
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        for (i, r) in exhaustive.result.results.iter().enumerate() {
+            if keep_mask & (1 << (i % 8)) != 0 {
+                archive.store(&spec, r).unwrap();
+            }
+        }
+        prop_assert_eq!(
+            &render(&config(2), Some(&archive)),
+            &reference,
+            "archived/fresh mix diverged for {:?}", strategy
+        );
+
+        // ... and a lease-coordinated run over the same directory also
+        // reports the identical bytes
+        let coordinated = config(1).with_lease(LeaseConfig::for_process().with_poll_ms(1));
+        prop_assert_eq!(
+            &render(&coordinated, Some(&archive)),
+            &reference,
+            "coordinated run diverged for {:?}", strategy
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
