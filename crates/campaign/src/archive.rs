@@ -228,7 +228,7 @@ impl CellState {
 }
 
 /// What `gc` found and removed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct GcReport {
     /// Valid cell records kept.
     pub records_kept: usize,
@@ -239,7 +239,9 @@ pub struct GcReport {
     /// Expired, foreign or unreadable leases (and takeover tombstones)
     /// removed.
     pub leases_removed: usize,
-    /// Orphaned temporary files removed.
+    /// Orphaned temporary files removed: interrupted cell-record and
+    /// spec writes (`*.tmp`) and heartbeat refresh files
+    /// (`*.refresh-PID-SEQ`) left behind by killed workers.
     pub tmp_removed: usize,
 }
 
@@ -678,13 +680,26 @@ impl CampaignArchive {
                     remove(&path)?;
                     report.leases_removed += 1;
                 }
-                // takeover tombstones and refresh temp files
-                None if name.contains(".stale-") || name.contains(".refresh-") => {
+                // refresh heartbeat files are temp files (tmp + rename),
+                // orphaned when their writer is killed mid-refresh
+                None if name.contains(".refresh-") => {
+                    remove(&path)?;
+                    report.tmp_removed += 1;
+                }
+                // takeover tombstones
+                None if name.contains(".stale-") => {
                     remove(&path)?;
                     report.leases_removed += 1;
                 }
                 None => {}
             }
+        }
+        // a kill between `campaign.toml.tmp` write and its rename leaves
+        // the temp spec at the directory root
+        let spec_tmp = self.dir.join("campaign.toml.tmp");
+        if spec_tmp.is_file() {
+            remove(&spec_tmp)?;
+            report.tmp_removed += 1;
         }
         Ok(report)
     }
@@ -991,6 +1006,44 @@ mod tests {
         assert_eq!(load.loaded, spec.scenario_count() - 1);
         assert_eq!(load.skipped, 0, "gc removed everything unloadable");
         archive.release(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_refresh_orphans_of_killed_workers_as_temp_files() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("gc-refresh-orphans");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        // what a worker killed mid-heartbeat leaves behind: refresh temp
+        // files in leases/, plus an interrupted spec write at the root
+        let leases = dir.join("leases");
+        std::fs::create_dir_all(&leases).unwrap();
+        std::fs::write(leases.join("group-00000.refresh-4242-1"), "{}").unwrap();
+        std::fs::write(leases.join("group-00001.refresh-4242-7"), "{}").unwrap();
+        std::fs::write(leases.join("group-00000.stale-pid9"), "").unwrap();
+        std::fs::write(dir.join("campaign.toml.tmp"), "name = ").unwrap();
+
+        let report = archive.gc(&spec, test_lease().ttl_ms).unwrap();
+        assert_eq!(
+            report.tmp_removed, 3,
+            "two refresh orphans + the interrupted spec write"
+        );
+        assert_eq!(report.leases_removed, 1, "the takeover tombstone");
+        assert_eq!(report.leases_active, 0);
+        for name in [
+            "leases/group-00000.refresh-4242-1",
+            "leases/group-00001.refresh-4242-7",
+            "leases/group-00000.stale-pid9",
+            "campaign.toml.tmp",
+        ] {
+            assert!(!dir.join(name).exists(), "{name} must be swept");
+        }
+        // sweeping hygiene never touches the spec itself
+        assert!(dir.join("campaign.toml").is_file());
+        // and a second pass finds nothing left to do
+        let again = archive.gc(&spec, test_lease().ttl_ms).unwrap();
+        assert_eq!(again.tmp_removed, 0);
+        assert_eq!(again.leases_removed, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,6 +10,8 @@
 //!            [--constraint C] [--budget N] [--start-points N] [--threads N]
 //!            [--initial-temp T] [--cooling F] [--anneal-seed N]
 //!            [--format F] [--out FILE] [--resume DIR] [--coordinate] [--no-dedup]
+//! dpm serve <DIR> [--addr HOST:PORT] [--workers N] [--threads N]
+//!           [--ttl-ms N] [--poll-ms N] [--no-dedup]
 //! dpm table2 [--format F]
 //! dpm quickstart
 //! ```
@@ -21,12 +23,12 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dpm_campaign::{
-    campaign_ascii, campaign_json, campaign_markdown, pareto_ascii, pareto_campaign, pareto_json,
-    pareto_markdown, parse_campaign_toml, run_stats_line, run_worker, search_ascii,
-    search_campaign, search_json, search_markdown, summarize, CampaignArchive, CampaignExecutor,
-    CampaignSpec, Constraint, Executor as _, LeaseConfig, MultiObjective, Objective, ParetoSpec,
-    RunnerConfig, SearchDefaults, SearchSpec, StrategyKind, ThreadPool, WorkerOptions, WorkerPool,
-    DEFAULT_LEASE_TTL_MS,
+    campaign_ascii, campaign_json, campaign_markdown, grid_json, pareto_ascii, pareto_campaign,
+    pareto_json, pareto_markdown, parse_campaign_toml, run_stats_line, run_worker, search_ascii,
+    search_campaign, search_json, search_markdown, spawn_server, summarize, CampaignArchive,
+    CampaignExecutor, CampaignSpec, Constraint, Executor as _, LeaseConfig, MultiObjective,
+    Objective, ParetoSpec, RunnerConfig, SearchDefaults, SearchSpec, ServeOptions, StrategyKind,
+    ThreadPool, WorkerOptions, WorkerPool, DEFAULT_LEASE_POLL_MS, DEFAULT_LEASE_TTL_MS,
 };
 use dpm_soc::experiment::{run_scenario, ScenarioId};
 use dpm_soc::report::{table2_ascii, table2_json, table2_markdown};
@@ -47,6 +49,8 @@ USAGE:
                [--initial-temp T] [--cooling F] [--anneal-seed N]
                [--format ascii|markdown|json] [--out FILE] [--resume DIR]
                [--coordinate] [--no-dedup]
+    dpm serve <DIR> [--addr HOST:PORT] [--workers N] [--threads N]
+              [--ttl-ms N] [--poll-ms N] [--no-dedup]
     dpm table2 [--format ascii|markdown|json]
     dpm quickstart
     dpm help
@@ -66,6 +70,16 @@ hand; launch as many as you like, on any host sharing the filesystem.
 `dpm campaign gc DIR` removes unloadable records, expired leases and
 orphaned temp files. `dpm campaign list DIR --format json` reports each
 cell's state (archived / leased / pending).
+
+`dpm serve DIR` runs the campaign service: a daemon owning DIR as a
+root of campaign directories (one per submitted spec, keyed by spec
+fingerprint) with an HTTP/JSON API — POST /campaigns submits a TOML or
+JSON spec (idempotent: equal specs dedup into one campaign), GET
+/campaigns[/{id}] reports status, /report /best /pareto answer from
+the archive with zero fresh simulations once complete, /events streams
+cell completions, POST /shutdown drains gracefully. --workers N sets
+in-daemon executor slots (0 = coordinate only); external `dpm worker`
+processes may attach to any campaign directory under DIR at any time.
 
 `dpm search` explores the grid adaptively instead of sweeping it: pass
 an objective (metric label or alias, optional min:/max: prefix, e.g.
@@ -105,6 +119,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("campaign") => campaign(&args[1..]),
         Some("worker") => worker(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("search") => search(&args[1..]),
         Some("table2") => table2(&args[1..]),
         Some("quickstart") => {
@@ -344,6 +359,7 @@ fn campaign_run(args: &[String]) -> Result<(), String> {
         progress: true,
         dedup_baselines: !opts.has("no-dedup"),
         lease: None,
+        cancel: None,
     };
 
     // the multi-process backend needs a directory to coordinate through;
@@ -477,7 +493,7 @@ fn campaign_list(args: &[String]) -> Result<(), String> {
                 }
             }
         }
-        "json" => out(list_json(&spec, states.as_deref())),
+        "json" => out(grid_json(&spec, states.as_deref())),
         other => return Err(format!("unknown format '{other}'")),
     }
     Ok(())
@@ -534,77 +550,38 @@ fn worker(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Machine-readable grid description: scalars, per-axis sizes and the
-/// expanded cells — so CI can assert grid shapes without scraping the
-/// human table. When listing a campaign *directory*, each cell also
-/// carries its lifecycle `state` (archived / leased / pending).
-fn list_json(spec: &CampaignSpec, states: Option<&[dpm_campaign::CellState]>) -> String {
-    use serde_json::Value;
-    let axes = Value::Object(vec![
-        (
-            "controllers".into(),
-            serde::Serialize::to_value(&spec.controllers.len()),
-        ),
-        (
-            "tunings".into(),
-            serde::Serialize::to_value(&spec.tunings.len()),
-        ),
-        (
-            "workloads".into(),
-            serde::Serialize::to_value(&spec.workloads.len()),
-        ),
-        (
-            "seeds".into(),
-            serde::Serialize::to_value(&spec.seeds.len()),
-        ),
-        (
-            "batteries".into(),
-            serde::Serialize::to_value(&spec.batteries.len()),
-        ),
-        (
-            "thermals".into(),
-            serde::Serialize::to_value(&spec.thermals.len()),
-        ),
-        (
-            "ip_counts".into(),
-            serde::Serialize::to_value(&spec.ip_counts.len()),
-        ),
-    ]);
-    let cells: Vec<Value> = spec
-        .expand()
-        .iter()
-        .map(|cell| {
-            let mut fields = vec![
-                ("index".into(), serde::Serialize::to_value(&cell.index)),
-                ("label".into(), Value::String(cell.label())),
-            ];
-            if let Some(states) = states {
-                fields.push((
-                    "state".into(),
-                    Value::String(states[cell.index].label().to_string()),
-                ));
-            }
-            Value::Object(fields)
-        })
-        .collect();
-    let doc = Value::Object(vec![
-        ("name".into(), Value::String(spec.name.clone())),
-        (
-            "scenarios".into(),
-            serde::Serialize::to_value(&spec.scenario_count()),
-        ),
-        (
-            "horizon_ms".into(),
-            serde::Serialize::to_value(&spec.horizon_ms),
-        ),
-        (
-            "master_seed".into(),
-            serde::Serialize::to_value(&spec.master_seed),
-        ),
-        ("axes".into(), axes),
-        ("cells".into(), Value::Array(cells)),
-    ]);
-    doc.to_json_pretty()
+fn serve(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["addr", "workers", "threads", "ttl-ms", "poll-ms"],
+        &["no-dedup"],
+    )?;
+    let dir = opts
+        .positionals
+        .first()
+        .ok_or("expected a store directory (it will hold one subdirectory per campaign)")?;
+    let options = ServeOptions {
+        addr: opts.value("addr").unwrap_or("127.0.0.1:0").to_string(),
+        job_slots: parse_usize_flag(&opts, "workers")?.unwrap_or(1),
+        threads: parse_usize_flag(&opts, "threads")?.unwrap_or(0),
+        dedup_baselines: !opts.has("no-dedup"),
+        ttl_ms: parse_ms_flag(&opts, "ttl-ms", DEFAULT_LEASE_TTL_MS)?,
+        poll_ms: parse_ms_flag(&opts, "poll-ms", DEFAULT_LEASE_POLL_MS)?,
+    };
+    let slots = options.job_slots;
+    let server = spawn_server(Path::new(dir), options)?;
+    // scripts parse this line for the resolved port (--addr HOST:0)
+    out(format_args!(
+        "dpm serve: listening on http://{}",
+        server.addr()
+    ));
+    eprintln!(
+        "  store root {dir}; {} executor slot(s); POST /shutdown drains gracefully",
+        slots,
+    );
+    server.join();
+    eprintln!("dpm serve: drained and stopped");
+    Ok(())
 }
 
 /// Parses a `--flag FLOAT` value.
@@ -688,6 +665,7 @@ fn search(args: &[String]) -> Result<(), String> {
         progress: false,
         dedup_baselines: !opts.has("no-dedup"),
         lease,
+        cancel: None,
     };
     let archive = open_archive(&opts, &spec)?;
     let started = std::time::Instant::now();

@@ -19,6 +19,9 @@
 //! | aggregation | [`aggregate`] | streaming stats, percentiles, winners, roll-ups |
 //! | report | [`report`] | ASCII / Markdown / JSON campaign + search reports |
 //! | persistence | [`toml_spec`] | TOML spec loading (minimal in-crate parser) |
+//! | store | [`store`] | campaign-directory root addressed by spec fingerprint; shared CLI/server queries |
+//! | http | [`http`] | hand-rolled HTTP/1.1 core: parsing, chunked responses, bounded handler pool |
+//! | server | [`server`] | the `dpm serve` daemon: submit/query/stream campaigns over HTTP/JSON |
 //!
 //! Determinism is the load-bearing property: scenario indices come from
 //! the grid expansion (not execution order), per-scenario trace seeds
@@ -74,11 +77,14 @@
 pub mod aggregate;
 pub mod archive;
 pub mod executor;
+pub mod http;
 pub mod objective;
 pub mod report;
 pub mod runner;
 pub mod search;
+pub mod server;
 pub mod spec;
+pub mod store;
 pub mod toml_spec;
 pub mod worker;
 
@@ -104,6 +110,7 @@ pub use report::{
 pub use runner::{
     run_campaign, run_campaign_with, run_cells_with, run_scenario_cell, BaselineCache,
     CampaignResult, CampaignRun, RunStats, RunnerConfig, ScenarioMetrics, ScenarioResult,
+    RUN_CANCELLED,
 };
 pub use search::{
     drive_strategy, pareto_campaign, search_campaign, AnnealSchedule, AnnealStrategy,
@@ -111,8 +118,13 @@ pub use search::{
     ParetoSpec, ParetoStrategy, SearchBest, SearchOutcome, SearchReport, SearchSpec, Strategy,
     StrategyKind, DEFAULT_START_POINTS,
 };
+pub use server::{spawn as spawn_server, RunningServer, ServeOptions};
 pub use spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, TuningAxis, WorkloadAxis,
 };
+pub use store::{
+    best_of, completed_run, front_of, grid_json, report_json, status_of, CampaignStatus,
+    CampaignStore, Submission, DEFAULT_STORE_TTL_MS,
+};
 pub use toml_spec::{parse_campaign_toml, SearchDefaults};
-pub use worker::{run_worker, WorkerOptions, WorkerOutcome, WorkerSummary};
+pub use worker::{run_worker, PollBackoff, WorkerOptions, WorkerOutcome, WorkerSummary};

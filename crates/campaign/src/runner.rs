@@ -25,8 +25,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use dpm_kernel::Simulation;
 use dpm_soc::experiment::table2_row;
@@ -56,6 +56,12 @@ pub struct RunnerConfig {
     /// other workers hold (requires an archive). `None` (default) means
     /// this process owns every cell.
     pub lease: Option<LeaseConfig>,
+    /// Cooperative cancellation flag, checked between baseline groups on
+    /// the leased path: when it flips, the in-flight group drains (its
+    /// lease is released as usual) and the run stops with
+    /// [`RUN_CANCELLED`]. `None` (default) means the run cannot be
+    /// cancelled. Set by the `dpm serve` daemon on graceful shutdown.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for RunnerConfig {
@@ -65,6 +71,7 @@ impl Default for RunnerConfig {
             progress: false,
             dedup_baselines: true,
             lease: None,
+            cancel: None,
         }
     }
 }
@@ -90,6 +97,19 @@ impl RunnerConfig {
         self
     }
 
+    /// This configuration with a cooperative cancellation flag attached.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// `true` once the attached cancellation flag (if any) has flipped.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
     /// The effective worker count.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
@@ -99,6 +119,11 @@ impl RunnerConfig {
         }
     }
 }
+
+/// The error a leased run returns when its [`RunnerConfig::cancel`] flag
+/// flips: the in-flight group drained, every lease was released, and the
+/// partial work is safely archived for any successor to resume.
+pub const RUN_CANCELLED: &str = "run cancelled (work archived, leases released)";
 
 /// Flat, compact metrics of one scenario (everything Table 2 reports,
 /// plus absolute energies and residency).
@@ -661,9 +686,12 @@ fn run_cells_leased(
     };
     let mut inner = config.clone();
     inner.lease = None; // the batches below run on the local path
-    let mut idle_ticks = 0u32;
+    let mut backoff = crate::worker::PollBackoff::new(lease_cfg.poll_ms);
 
     loop {
+        if config.cancelled() {
+            return Err(RUN_CANCELLED.to_string());
+        }
         // claim and run every group we can get a lease on
         let mut ran_any = false;
         let missing: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
@@ -678,6 +706,11 @@ fn run_cells_leased(
                 .push(i);
         }
         for (group, positions) in by_group {
+            if config.cancelled() {
+                // graceful drain: leases release per finished group, so
+                // nothing is held — just stop claiming new ones
+                break;
+            }
             let Some(lease) = archive.try_claim(group, lease_cfg)? else {
                 continue;
             };
@@ -767,18 +800,15 @@ fn run_cells_leased(
             break;
         }
         if ran_any || absorbed_any {
-            idle_ticks = 0;
+            backoff.reset();
         }
         if !ran_any {
             // exponential backoff while nothing moves: polling a large
             // foreign-held grid must not hammer a (possibly networked)
-            // filesystem once per poll_ms forever
-            let base = lease_cfg.poll_ms.max(1);
-            let wait = base
-                .saturating_mul(1 << idle_ticks.min(5))
-                .min(base.max(1_000));
-            idle_ticks += 1;
-            std::thread::sleep(std::time::Duration::from_millis(wait));
+            // filesystem once per poll_ms forever. The sleep watches the
+            // cancellation flag so a shutting-down daemon never waits
+            // out a full idle tick.
+            backoff.sleep(config.cancel.as_deref());
         }
     }
 

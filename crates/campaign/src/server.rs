@@ -1,0 +1,826 @@
+//! The `dpm serve` daemon: a long-running campaign service with an
+//! HTTP/JSON job API over the lease/archive layer.
+//!
+//! The daemon owns a [`CampaignStore`] root and exposes it over the
+//! [`crate::http`] core:
+//!
+//! | Method | Path | Meaning |
+//! |---|---|---|
+//! | `POST` | `/campaigns` | submit a TOML (or JSON) spec; dedups by spec fingerprint |
+//! | `GET`  | `/campaigns` | list campaigns with archived/leased/pending counts |
+//! | `GET`  | `/campaigns/{id}` | the grid with per-cell lifecycle states |
+//! | `GET`  | `/campaigns/{id}/report` | the campaign report (`?per_scenario=1` for full results) |
+//! | `GET`  | `/campaigns/{id}/best` | best cell under `?objective=` (default `energy_saving`) |
+//! | `GET`  | `/campaigns/{id}/pareto` | non-dominated front under `?objectives=a,b` |
+//! | `GET`  | `/campaigns/{id}/events` | chunked NDJSON long-poll of cell completions |
+//! | `POST` | `/campaigns/{id}/gc` | archive hygiene, returns the [`GcReport`] |
+//! | `GET`  | `/healthz` | liveness probe |
+//! | `POST` | `/shutdown` | graceful shutdown (drain in-flight groups, release leases) |
+//!
+//! Three invariants carry over from the batch layers unchanged:
+//!
+//! * **Submission is idempotent.** A campaign's id is its spec
+//!   fingerprint, so resubmitting — from any number of clients,
+//!   concurrently — resolves to the same campaign directory and never
+//!   duplicates work (leases partition the grid regardless).
+//! * **Completed campaigns are served, never re-run.** `/report`,
+//!   `/best` and `/pareto` answer straight from the archive with zero
+//!   fresh simulations — a `GET` cannot start a simulation — and the
+//!   report bytes are identical to `dpm campaign run` on the same spec.
+//! * **The lease protocol is the only coordination.** The daemon's own
+//!   job executor claims work exactly like an external `dpm worker DIR`
+//!   attached to the campaign directory; both kinds of worker can drain
+//!   one grid together.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::archive::{GcReport, LeaseConfig, DEFAULT_LEASE_POLL_MS, DEFAULT_LEASE_TTL_MS};
+use crate::http::{
+    error_body, read_request, write_error, write_json, BoundedPool, ChunkedWriter, HttpError,
+    Request,
+};
+use crate::objective::{Constraint, MultiObjective, Objective};
+use crate::report::run_stats_line;
+use crate::runner::{run_campaign_with, RunnerConfig, RUN_CANCELLED};
+use crate::store::{completed_run, grid_json, report_json, status_of, CampaignStore};
+use crate::toml_spec::SearchDefaults;
+
+/// Connection-handler threads; each long-poll `/events` stream occupies
+/// one for its duration, so the pool is sized above the expected number
+/// of concurrent watchers plus control requests.
+const HTTP_THREADS: usize = 8;
+
+/// Default `/events` long-poll budget, and its ceiling.
+const EVENT_WAIT_DEFAULT_MS: u64 = 30_000;
+const EVENT_WAIT_MAX_MS: u64 = 120_000;
+
+/// Poll interval while an `/events` stream waits for archive progress.
+const EVENT_POLL_MS: u64 = 100;
+
+/// Options for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address, `HOST:PORT` (`:0` picks a free port; the bound
+    /// address is printed and returned).
+    pub addr: String,
+    /// In-daemon campaign executor slots: how many submitted campaigns
+    /// run concurrently inside the daemon. `0` disables in-daemon
+    /// execution entirely — the daemon only coordinates, and attached
+    /// `dpm worker DIR` processes do all simulation.
+    pub job_slots: usize,
+    /// Simulation threads per executor slot; `0` = machine parallelism.
+    pub threads: usize,
+    /// Share always-`ON1` baselines within each job (default on).
+    pub dedup_baselines: bool,
+    /// Lease TTL for the daemon's own claims and for liveness judgement.
+    pub ttl_ms: u64,
+    /// Archive poll interval for the daemon's executor.
+    pub poll_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            job_slots: 1,
+            threads: 0,
+            dedup_baselines: true,
+            ttl_ms: DEFAULT_LEASE_TTL_MS,
+            poll_ms: DEFAULT_LEASE_POLL_MS,
+        }
+    }
+}
+
+/// Lifecycle of one submitted campaign inside the daemon's queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JobStatus {
+    /// Waiting for an executor slot.
+    Queued,
+    /// An executor slot is driving `run_cells_leased` on it.
+    Running,
+    /// Every cell archived.
+    Complete,
+    /// Stopped by graceful shutdown; resubmission (or any worker)
+    /// resumes from the archive.
+    Cancelled,
+    /// The run returned an error.
+    Failed(String),
+}
+
+impl JobStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Complete => "complete",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// The daemon's job queue: pending campaign ids plus the status of every
+/// campaign this daemon has touched.
+#[derive(Debug, Default)]
+struct JobBoard {
+    queue: VecDeque<String>,
+    status: HashMap<String, JobStatus>,
+}
+
+/// Per-campaign event history: NDJSON lines appended as cells are
+/// discovered archived (whoever archived them — this daemon's executor
+/// or an attached external worker), closed by one terminal `complete`
+/// event. Streams replay from any cursor, so late or reconnecting
+/// clients miss nothing.
+#[derive(Debug, Default)]
+struct EventLog {
+    lines: Vec<String>,
+    announced: Vec<bool>,
+    terminal: bool,
+}
+
+/// Shared daemon state.
+#[derive(Debug)]
+struct ServerState {
+    store: CampaignStore,
+    options: ServeOptions,
+    addr: SocketAddr,
+    /// Accept no new work; flips once, never back.
+    shutdown: AtomicBool,
+    /// Cooperative cancel for in-flight runs (drain current group).
+    cancel: Arc<AtomicBool>,
+    jobs: Mutex<JobBoard>,
+    jobs_ready: Condvar,
+    events: Mutex<HashMap<String, EventLog>>,
+    /// Serializes submissions: two concurrent submits of the *same* new
+    /// spec would otherwise race their `campaign.toml` tmp+rename.
+    submit_lock: Mutex<()>,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Initiates graceful shutdown: stop accepting, cancel in-flight
+    /// runs after their current group, wake every sleeper, and unblock
+    /// the accept loop with a self-connection.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.cancel.store(true, Ordering::Relaxed);
+        self.jobs_ready.notify_all();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Queues a campaign for the in-daemon executor unless it is already
+    /// queued, running, or has no executor to run on. Returns the status
+    /// label after the attempt.
+    fn enqueue(&self, id: &str) -> &'static str {
+        let mut jobs = self.jobs.lock().expect("job board poisoned");
+        match jobs.status.get(id) {
+            Some(JobStatus::Queued) => return JobStatus::Queued.label(),
+            Some(JobStatus::Running) => return JobStatus::Running.label(),
+            _ => {}
+        }
+        if self.options.job_slots == 0 {
+            // coordination-only daemon: external workers drain the grid
+            return "external";
+        }
+        jobs.status.insert(id.to_string(), JobStatus::Queued);
+        jobs.queue.push_back(id.to_string());
+        self.jobs_ready.notify_one();
+        JobStatus::Queued.label()
+    }
+
+    fn job_label(&self, id: &str) -> &'static str {
+        let jobs = self.jobs.lock().expect("job board poisoned");
+        jobs.status.get(id).map_or("none", JobStatus::label)
+    }
+
+    fn set_status(&self, id: &str, status: JobStatus) {
+        let mut jobs = self.jobs.lock().expect("job board poisoned");
+        jobs.status.insert(id.to_string(), status);
+    }
+
+    /// Scans the archive and appends an event line for every newly
+    /// archived cell, plus the terminal `complete` line once the grid
+    /// drains. Safe to call from any thread, any number of times.
+    fn refresh_events(&self, id: &str) -> Result<(), String> {
+        let (archive, spec) = self.store.open_campaign(id)?;
+        let states = archive.cell_states(&spec, self.options.ttl_ms);
+        let cells = spec.expand();
+        let mut logs = self.events.lock().expect("event log poisoned");
+        let log = logs.entry(id.to_string()).or_default();
+        if log.terminal {
+            return Ok(());
+        }
+        log.announced.resize(states.len(), false);
+        let mut archived = 0usize;
+        for (i, state) in states.iter().enumerate() {
+            if *state != crate::archive::CellState::Archived {
+                continue;
+            }
+            archived += 1;
+            if !log.announced[i] {
+                log.announced[i] = true;
+                let seq = log.lines.len();
+                log.lines.push(event_line(&[
+                    ("seq", serde::Serialize::to_value(&seq)),
+                    ("event", serde_json::Value::String("cell".into())),
+                    ("index", serde::Serialize::to_value(&i)),
+                    ("label", serde_json::Value::String(cells[i].label())),
+                ]));
+            }
+        }
+        if archived == states.len() {
+            let seq = log.lines.len();
+            log.lines.push(event_line(&[
+                ("seq", serde::Serialize::to_value(&seq)),
+                ("event", serde_json::Value::String("complete".into())),
+                ("cells", serde::Serialize::to_value(&archived)),
+            ]));
+            log.terminal = true;
+        }
+        Ok(())
+    }
+}
+
+/// One compact JSON object as an NDJSON line.
+fn event_line(fields: &[(&str, serde_json::Value)]) -> String {
+    serde_json::Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect(),
+    )
+    .to_json()
+}
+
+/// A running daemon: its bound address plus the handle that joins it.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: std::thread::JoinHandle<()>,
+}
+
+impl RunningServer {
+    /// The actually-bound address (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon shuts down (via `POST /shutdown`).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+
+    /// Initiates graceful shutdown from the owning process and waits for
+    /// the drain: in-flight groups finish, leases are released, handler
+    /// and executor threads join.
+    pub fn shutdown(self) {
+        self.state.request_shutdown();
+        let _ = self.accept.join();
+    }
+}
+
+/// Binds the address and spawns the daemon: an accept loop feeding a
+/// bounded handler pool, plus `job_slots` campaign executor threads.
+/// Returns once the socket is listening; the daemon runs until
+/// `POST /shutdown` (or [`RunningServer::shutdown`]).
+///
+/// # Errors
+///
+/// Returns a description when the store root cannot be opened or the
+/// address cannot be bound.
+pub fn spawn(root: &Path, options: ServeOptions) -> Result<RunningServer, String> {
+    let store = CampaignStore::open(root)?;
+    let listener = TcpListener::bind(&options.addr)
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let state = Arc::new(ServerState {
+        store,
+        options: options.clone(),
+        addr,
+        shutdown: AtomicBool::new(false),
+        cancel: Arc::new(AtomicBool::new(false)),
+        jobs: Mutex::new(JobBoard::default()),
+        jobs_ready: Condvar::new(),
+        events: Mutex::new(HashMap::new()),
+        submit_lock: Mutex::new(()),
+    });
+
+    let executors: Vec<_> = (0..options.job_slots)
+        .map(|slot| {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("dpm-serve-exec-{slot}"))
+                .spawn(move || executor_loop(&state))
+                .expect("spawn executor thread")
+        })
+        .collect();
+
+    let pool = {
+        let state = Arc::clone(&state);
+        BoundedPool::new(HTTP_THREADS, move |stream| {
+            handle_connection(&state, stream);
+        })
+    };
+
+    let accept = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("dpm-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if state.shutting_down() {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => pool.submit(stream),
+                        Err(_) => {
+                            if state.shutting_down() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // drain: finish queued connections, then the executors
+                pool.shutdown();
+                for handle in executors {
+                    let _ = handle.join();
+                }
+            })
+            .expect("spawn accept thread")
+    };
+
+    Ok(RunningServer {
+        addr,
+        state,
+        accept,
+    })
+}
+
+/// One executor slot: wait for a queued campaign, drive the leased
+/// runner on it (exactly like an attached worker), record the outcome.
+fn executor_loop(state: &ServerState) {
+    loop {
+        let id = {
+            let mut jobs = state.jobs.lock().expect("job board poisoned");
+            loop {
+                if state.shutting_down() {
+                    return;
+                }
+                if let Some(id) = jobs.queue.pop_front() {
+                    jobs.status.insert(id.clone(), JobStatus::Running);
+                    break id;
+                }
+                jobs = state.jobs_ready.wait(jobs).expect("job board poisoned");
+            }
+        };
+        let outcome = run_one(state, &id);
+        state.set_status(
+            &id,
+            match outcome {
+                Ok(()) => JobStatus::Complete,
+                Err(e) if e == RUN_CANCELLED => JobStatus::Cancelled,
+                Err(e) => {
+                    eprintln!("dpm serve: campaign {id} failed: {e}");
+                    JobStatus::Failed(e)
+                }
+            },
+        );
+        let _ = state.refresh_events(&id);
+    }
+}
+
+/// Runs one campaign to completion on the leased path.
+fn run_one(state: &ServerState, id: &str) -> Result<(), String> {
+    let (archive, spec) = state.store.open_campaign(id)?;
+    let o = &state.options;
+    let config = RunnerConfig {
+        threads: o.threads,
+        progress: false,
+        dedup_baselines: o.dedup_baselines,
+        lease: Some(
+            LeaseConfig::for_process()
+                .with_ttl_ms(o.ttl_ms)
+                .with_poll_ms(o.poll_ms),
+        ),
+        cancel: Some(Arc::clone(&state.cancel)),
+    };
+    let run = run_campaign_with(&spec, &config, Some(&archive))?;
+    println!(
+        "dpm serve: campaign {id} complete; {}",
+        run_stats_line(&run.stats)
+    );
+    Ok(())
+}
+
+/// Reads one request and routes it; every protocol failure becomes a
+/// JSON error response, every handler panic a 500.
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    // a stalled or silent client must not pin a handler thread forever
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+        Err(HttpError::TooLarge(n)) => {
+            let _ = write_error(
+                &mut stream,
+                413,
+                &format!("request body of {n} bytes exceeds the limit"),
+            );
+            return;
+        }
+        Err(HttpError::Malformed(m)) => {
+            let _ = write_error(&mut stream, 400, &format!("malformed request: {m}"));
+            return;
+        }
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        route(state, &request, &mut stream)
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(_)) => {} // client hung up mid-response; nothing to salvage
+        Err(_) => {
+            let _ = write_error(&mut stream, 500, "internal error (handler panicked)");
+        }
+    }
+}
+
+/// Maps `(method, path)` to a handler.
+fn route(state: &ServerState, request: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
+    let segments = request.segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", []) | ("GET", ["healthz"]) => write_json(
+            stream,
+            200,
+            &serde_json::Value::Object(vec![
+                ("ok".into(), serde_json::Value::Bool(true)),
+                (
+                    "service".into(),
+                    serde_json::Value::String("dpm serve".into()),
+                ),
+                (
+                    "draining".into(),
+                    serde_json::Value::Bool(state.shutting_down()),
+                ),
+            ])
+            .to_json(),
+        ),
+        ("POST", ["shutdown"]) => {
+            let reply = write_json(stream, 200, "{\"ok\": true, \"draining\": true}");
+            state.request_shutdown();
+            reply
+        }
+        ("POST", ["campaigns"]) => submit(state, request, stream),
+        ("GET", ["campaigns"]) => list(state, stream),
+        ("GET", ["campaigns", id]) => campaign_grid(state, id, stream),
+        ("GET", ["campaigns", id, "report"]) => report(state, id, request, stream),
+        ("GET", ["campaigns", id, "best"]) => best(state, id, request, stream),
+        ("GET", ["campaigns", id, "pareto"]) => pareto(state, id, request, stream),
+        ("GET", ["campaigns", id, "events"]) => events(state, id, request, stream),
+        ("POST", ["campaigns", id, "gc"]) => gc(state, id, stream),
+        (_, [] | ["healthz"] | ["shutdown"] | ["campaigns", ..]) => write_error(
+            stream,
+            405,
+            &format!("method {} not allowed here", request.method),
+        ),
+        _ => write_error(stream, 404, &format!("no route for {}", request.path)),
+    }
+}
+
+/// `POST /campaigns`: parse the spec (TOML, or JSON when the body leads
+/// with `{`), dedup into the store, queue execution if incomplete.
+fn submit(state: &ServerState, request: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
+    if state.shutting_down() {
+        return write_error(stream, 503, "shutting down; not accepting campaigns");
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return write_error(stream, 400, "spec must be UTF-8 text"),
+    };
+    let submission = {
+        let _guard = state.submit_lock.lock().expect("submit lock poisoned");
+        if body.trim_start().starts_with('{') {
+            serde_json::from_str::<crate::spec::CampaignSpec>(body)
+                .map_err(|e| format!("invalid JSON spec: {e}"))
+                .and_then(|spec| state.store.submit_spec(spec, SearchDefaults::default()))
+        } else {
+            state.store.submit_toml(body)
+        }
+    };
+    let submission = match submission {
+        Ok(s) => s,
+        Err(e) => return write_error(stream, 400, &e),
+    };
+    let status = status_of(
+        &submission.id,
+        &submission.archive,
+        &submission.spec,
+        state.options.ttl_ms,
+    );
+    let job = if status.complete() {
+        state.set_status(&submission.id, JobStatus::Complete);
+        JobStatus::Complete.label()
+    } else {
+        state.enqueue(&submission.id)
+    };
+    let _ = state.refresh_events(&submission.id);
+    let mut doc = match serde::Serialize::to_value(&status) {
+        serde_json::Value::Object(fields) => fields,
+        _ => unreachable!("a struct serializes to an object"),
+    };
+    doc.push((
+        "existed".into(),
+        serde_json::Value::Bool(submission.existed),
+    ));
+    doc.push(("job".into(), serde_json::Value::String(job.into())));
+    let code = if submission.existed { 200 } else { 201 };
+    write_json(
+        stream,
+        code,
+        &serde_json::Value::Object(doc).to_json_pretty(),
+    )
+}
+
+/// `GET /campaigns`: every campaign in the store, with job status.
+fn list(state: &ServerState, stream: &mut TcpStream) -> std::io::Result<()> {
+    let statuses = match state.store.list(state.options.ttl_ms) {
+        Ok(s) => s,
+        Err(e) => return write_error(stream, 500, &e),
+    };
+    let campaigns: Vec<serde_json::Value> = statuses
+        .iter()
+        .map(|status| {
+            let mut fields = match serde::Serialize::to_value(status) {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!("a struct serializes to an object"),
+            };
+            fields.push((
+                "job".into(),
+                serde_json::Value::String(state.job_label(&status.id).into()),
+            ));
+            serde_json::Value::Object(fields)
+        })
+        .collect();
+    let doc = serde_json::Value::Object(vec![
+        ("count".into(), serde::Serialize::to_value(&campaigns.len())),
+        ("campaigns".into(), serde_json::Value::Array(campaigns)),
+    ]);
+    write_json(stream, 200, &doc.to_json_pretty())
+}
+
+/// `GET /campaigns/{id}`: the grid with per-cell lifecycle states —
+/// exactly the `dpm campaign list --format json` document.
+fn campaign_grid(state: &ServerState, id: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+    let (archive, spec) = match state.store.open_campaign(id) {
+        Ok(pair) => pair,
+        Err(e) => return write_error(stream, 404, &e),
+    };
+    let states = archive.cell_states(&spec, state.options.ttl_ms);
+    write_json(stream, 200, &grid_json(&spec, Some(&states)))
+}
+
+/// Loads a campaign only if complete; otherwise answers 409 with
+/// progress. The completeness gate is what guarantees a `GET` performs
+/// **zero** simulations: either every cell is served from the archive,
+/// or nothing is.
+fn complete_or_conflict(
+    state: &ServerState,
+    id: &str,
+    stream: &mut TcpStream,
+) -> std::io::Result<Option<(crate::runner::CampaignResult, crate::runner::RunStats)>> {
+    let (archive, spec) = match state.store.open_campaign(id) {
+        Ok(pair) => pair,
+        Err(e) => {
+            write_error(stream, 404, &e)?;
+            return Ok(None);
+        }
+    };
+    match completed_run(&archive, &spec) {
+        Ok(pair) => Ok(Some(pair)),
+        Err(archived) => {
+            let body = serde_json::Value::Object(vec![
+                (
+                    "error".into(),
+                    serde_json::Value::String("campaign incomplete".into()),
+                ),
+                ("status".into(), serde::Serialize::to_value(&409u16)),
+                ("archived".into(), serde::Serialize::to_value(&archived)),
+                (
+                    "cells".into(),
+                    serde::Serialize::to_value(&spec.scenario_count()),
+                ),
+                (
+                    "job".into(),
+                    serde_json::Value::String(state.job_label(id).into()),
+                ),
+            ]);
+            write_json(stream, 409, &body.to_json())?;
+            Ok(None)
+        }
+    }
+}
+
+/// `GET /campaigns/{id}/report`: the campaign report, byte-identical to
+/// `dpm campaign run --format json` on the same spec.
+fn report(
+    state: &ServerState,
+    id: &str,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let Some((result, stats)) = complete_or_conflict(state, id, stream)? else {
+        return Ok(());
+    };
+    let per_scenario = matches!(request.query_param("per_scenario"), Some("1" | "true"));
+    let body = report_json(&result, per_scenario).expect("shim serializer never fails");
+    // the service's honest accounting: a served report simulates nothing
+    println!(
+        "dpm serve: report {id} from archive; {}",
+        run_stats_line(&stats)
+    );
+    write_json(stream, 200, &body)
+}
+
+/// Parses `?objective=`/`?constraint=` into an [`Objective`].
+fn objective_from(request: &Request) -> Result<Objective, String> {
+    let objective = Objective::parse(request.query_param("objective").unwrap_or("energy_saving"))?;
+    match request.query_param("constraint") {
+        Some(c) => Ok(objective.with_constraint(Constraint::parse(c)?)),
+        None => Ok(objective),
+    }
+}
+
+/// `GET /campaigns/{id}/best`: the best cell under the objective —
+/// the cell a full-budget `dpm search` would report.
+fn best(
+    state: &ServerState,
+    id: &str,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let objective = match objective_from(request) {
+        Ok(o) => o,
+        Err(e) => return write_error(stream, 400, &e),
+    };
+    let Some((result, stats)) = complete_or_conflict(state, id, stream)? else {
+        return Ok(());
+    };
+    let best = crate::store::best_of(&result, &objective);
+    println!(
+        "dpm serve: best {id} from archive; {}",
+        run_stats_line(&stats)
+    );
+    let doc = serde_json::Value::Object(vec![
+        (
+            "objective".into(),
+            serde_json::Value::String(objective.describe()),
+        ),
+        (
+            "best".into(),
+            best.map_or(serde_json::Value::Null, |b| serde::Serialize::to_value(&b)),
+        ),
+    ]);
+    write_json(stream, 200, &doc.to_json_pretty())
+}
+
+/// `GET /campaigns/{id}/pareto`: the non-dominated front under
+/// `?objectives=a,b` (default `energy_saving,min:delay`).
+fn pareto(
+    state: &ServerState,
+    id: &str,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let objectives = request
+        .query_param("objectives")
+        .unwrap_or("energy_saving,min:delay");
+    let objectives = match MultiObjective::parse(objectives).and_then(|m| {
+        match request.query_param("constraint") {
+            Some(c) => Ok(m.with_constraint(Constraint::parse(c)?)),
+            None => Ok(m),
+        }
+    }) {
+        Ok(m) => m,
+        Err(e) => return write_error(stream, 400, &e),
+    };
+    let Some((result, stats)) = complete_or_conflict(state, id, stream)? else {
+        return Ok(());
+    };
+    let front = crate::store::front_of(&result, &objectives);
+    println!(
+        "dpm serve: pareto {id} from archive; {}",
+        run_stats_line(&stats)
+    );
+    let doc = serde_json::Value::Object(vec![
+        (
+            "objectives".into(),
+            serde_json::Value::String(objectives.describe()),
+        ),
+        ("size".into(), serde::Serialize::to_value(&front.len())),
+        ("front".into(), serde::Serialize::to_value(&front)),
+    ]);
+    write_json(stream, 200, &doc.to_json_pretty())
+}
+
+/// `GET /campaigns/{id}/events`: chunked NDJSON long-poll. Replays the
+/// event log from `?since=N`, then follows archive progress until the
+/// campaign completes, the `?wait_ms=` budget runs out, or the daemon
+/// shuts down. Each line is one event with a `seq` cursor; resume by
+/// passing the last seen `seq + 1` as `since`.
+fn events(
+    state: &ServerState,
+    id: &str,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    if let Err(e) = state.store.open_campaign(id) {
+        return write_error(stream, 404, &e);
+    }
+    let since: usize = request
+        .query_param("since")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let wait_ms: u64 = request
+        .query_param("wait_ms")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(EVENT_WAIT_DEFAULT_MS)
+        .min(EVENT_WAIT_MAX_MS);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wait_ms);
+    let mut writer = ChunkedWriter::begin(&mut *stream, 200, "application/x-ndjson")?;
+    let mut cursor = since;
+    loop {
+        if let Err(e) = state.refresh_events(id) {
+            writer.chunk(format!("{}\n", error_body(500, &e)).as_bytes())?;
+            break;
+        }
+        let (fresh, terminal) = {
+            let logs = state.events.lock().expect("event log poisoned");
+            let log = logs.get(id).expect("refresh_events created the log");
+            let fresh: Vec<String> = log.lines.get(cursor..).unwrap_or(&[]).to_vec();
+            (fresh, log.terminal)
+        };
+        for line in &fresh {
+            cursor += 1;
+            writer.chunk(format!("{line}\n").as_bytes())?;
+        }
+        if terminal || state.shutting_down() || std::time::Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(EVENT_POLL_MS));
+    }
+    writer.finish()
+}
+
+/// `POST /campaigns/{id}/gc`: archive hygiene, reported as JSON.
+fn gc(state: &ServerState, id: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+    match state.store.gc(id, state.options.ttl_ms) {
+        Ok(report) => {
+            let body = serde_json::to_string_pretty::<GcReport>(&report)
+                .expect("shim serializer never fails");
+            write_json(stream, 200, &body)
+        }
+        Err(e) => write_error(stream, 404, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_status_labels_are_stable_api() {
+        assert_eq!(JobStatus::Queued.label(), "queued");
+        assert_eq!(JobStatus::Running.label(), "running");
+        assert_eq!(JobStatus::Complete.label(), "complete");
+        assert_eq!(JobStatus::Cancelled.label(), "cancelled");
+        assert_eq!(JobStatus::Failed("x".into()).label(), "failed");
+    }
+
+    #[test]
+    fn serve_options_default_to_one_slot_on_an_ephemeral_port() {
+        let o = ServeOptions::default();
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.job_slots, 1);
+        assert!(o.dedup_baselines);
+    }
+
+    #[test]
+    fn event_lines_are_compact_json() {
+        let line = event_line(&[
+            ("seq", serde::Serialize::to_value(&3usize)),
+            ("event", serde_json::Value::String("cell".into())),
+        ]);
+        assert_eq!(line, "{\"seq\":3,\"event\":\"cell\"}");
+    }
+}

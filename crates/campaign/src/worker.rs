@@ -17,10 +17,74 @@
 //! hosts sharing a filesystem.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::archive::{CampaignArchive, LeaseConfig};
 use crate::runner::{run_campaign_with, CampaignRun, RunStats, RunnerConfig};
 use crate::spec::CampaignSpec;
+
+/// Capped exponential backoff for idle polling: the wait starts at the
+/// lease's `poll_ms`, doubles on every consecutive idle tick, and is
+/// capped at `max(poll_ms, 1000)` ms — so an idle worker attached to a
+/// server-owned directory backs off to ~1 Hz instead of spinning at the
+/// poll rate against a (possibly networked) filesystem, yet notices new
+/// work within a second.
+///
+/// The policy is deliberately a tiny value type so the leased runner
+/// loop and any future poller share one tested implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollBackoff {
+    base_ms: u64,
+    idle_ticks: u32,
+}
+
+impl PollBackoff {
+    /// Doubling stops after this many idle ticks (32 × base before the
+    /// absolute cap applies).
+    const MAX_DOUBLINGS: u32 = 5;
+    /// Absolute ceiling on one wait, regardless of base.
+    const CAP_MS: u64 = 1_000;
+
+    /// A fresh (non-idle) policy over a poll interval in milliseconds
+    /// (clamped to at least 1).
+    pub fn new(poll_ms: u64) -> Self {
+        Self {
+            base_ms: poll_ms.max(1),
+            idle_ticks: 0,
+        }
+    }
+
+    /// Records one idle tick and returns the wait before the next poll.
+    pub fn next_wait_ms(&mut self) -> u64 {
+        let wait = self
+            .base_ms
+            .saturating_mul(1 << self.idle_ticks.min(Self::MAX_DOUBLINGS))
+            .min(self.base_ms.max(Self::CAP_MS));
+        self.idle_ticks += 1;
+        wait
+    }
+
+    /// Forgets accumulated idleness — call whenever work was found.
+    pub fn reset(&mut self) {
+        self.idle_ticks = 0;
+    }
+
+    /// Sleeps out one idle tick in short slices, returning early (and
+    /// reporting `true`) as soon as `cancel` flips — a shutting-down
+    /// daemon never waits out a full backed-off tick.
+    pub fn sleep(&mut self, cancel: Option<&AtomicBool>) -> bool {
+        let mut remaining = self.next_wait_ms();
+        while remaining > 0 {
+            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                return true;
+            }
+            let slice = remaining.min(50);
+            std::thread::sleep(std::time::Duration::from_millis(slice));
+            remaining -= slice;
+        }
+        cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
 
 /// Options for one worker process.
 #[derive(Debug, Clone)]
@@ -84,6 +148,7 @@ pub fn run_worker(dir: &Path, options: &WorkerOptions) -> Result<WorkerOutcome, 
         progress: false,
         dedup_baselines: options.dedup_baselines,
         lease: Some(options.lease.clone()),
+        cancel: None,
     };
     let run = run_campaign_with(&spec, &config, Some(&archive))?;
     let summary = WorkerSummary {
@@ -152,6 +217,42 @@ mod tests {
         let err = run_worker(&dir, &WorkerOptions::default()).unwrap_err();
         assert!(err.contains("not a campaign directory"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_resets() {
+        let mut b = PollBackoff::new(5);
+        let waits: Vec<u64> = (0..9).map(|_| b.next_wait_ms()).collect();
+        // 5 → 10 → 20 → … doubling, then pinned at the 1 s cap
+        assert_eq!(waits, vec![5, 10, 20, 40, 80, 160, 160, 160, 160]);
+        b.reset();
+        assert_eq!(b.next_wait_ms(), 5);
+
+        // a base above the cap is honoured as-is (never shortened)
+        let mut slow = PollBackoff::new(2_000);
+        assert_eq!(slow.next_wait_ms(), 2_000);
+        assert_eq!(slow.next_wait_ms(), 2_000);
+
+        // a zero poll interval still makes progress
+        let mut zero = PollBackoff::new(0);
+        assert_eq!(zero.next_wait_ms(), 1);
+        assert_eq!(zero.next_wait_ms(), 2);
+    }
+
+    #[test]
+    fn backoff_sleep_honours_cancellation_immediately() {
+        use std::sync::atomic::AtomicBool;
+        let cancel = AtomicBool::new(true);
+        let mut b = PollBackoff::new(60_000);
+        let started = std::time::Instant::now();
+        assert!(b.sleep(Some(&cancel)));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(1),
+            "a pre-set cancel flag must short-circuit the whole wait"
+        );
+        // and an un-cancelled sleep of a tiny tick completes normally
+        let mut quick = PollBackoff::new(1);
+        assert!(!quick.sleep(None));
     }
 
     #[test]
