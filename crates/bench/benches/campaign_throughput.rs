@@ -13,16 +13,23 @@
 //! ≥ 1.5× throughput gain on a policy-heavy grid is enforced on any
 //! host, single-core included.
 //!
+//! A third summary drives the segment archive at 10^5 synthetic cells:
+//! append throughput, the enforced < 1 s bound on a cold open plus a
+//! full `cell_states` scan, and byte-equivalence of the compacted
+//! segment layout with the legacy per-cell-JSON layout.
+//!
 //! ```sh
 //! cargo bench -p dpm-bench campaign_throughput
 //! ```
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dpm_campaign::{
-    campaign_json, run_campaign, run_campaign_with, summarize, CampaignSpec, ControllerAxis,
-    RunnerConfig, TuningAxis, WorkloadAxis,
+    campaign_json, run_campaign, run_campaign_with, summarize, CampaignArchive, CampaignResult,
+    CampaignSpec, CellState, ControllerAxis, RunnerConfig, ScenarioMetrics, ScenarioResult,
+    TuningAxis, WorkloadAxis, DEFAULT_LEASE_TTL_MS,
 };
 
 /// A meaty enough grid that thread-pool overhead is amortized:
@@ -181,8 +188,136 @@ fn print_dedup_summary() {
     );
 }
 
+/// A seeds-only grid of `cells` cells: the archive layer is exercised at
+/// scale without paying for `cells` simulations.
+fn wide_spec(name: &str, cells: usize) -> CampaignSpec {
+    let mut spec = CampaignSpec::default_sweep();
+    spec.name = name.into();
+    spec.horizon_ms = 5;
+    spec.controllers = vec![ControllerAxis::Dpm];
+    spec.tunings = vec![TuningAxis::Paper];
+    spec.workloads = vec![WorkloadAxis::Low];
+    spec.seeds = (1..=cells as u64).collect();
+    spec.thermals.truncate(1);
+    spec.ip_counts = vec![1];
+    spec
+}
+
+/// Deterministic synthetic metrics for grid cell `i` — the archive does
+/// not care whether a simulator produced them.
+fn synthetic_result(spec: &CampaignSpec, i: usize) -> ScenarioResult {
+    let f = i as f64;
+    ScenarioResult {
+        scenario: spec.cell_at(i),
+        metrics: Some(ScenarioMetrics {
+            completed: i,
+            total_tasks: i + 7,
+            deferred: i % 3,
+            energy_j: f * 0.125,
+            baseline_energy_j: f * 0.25,
+            energy_saving_pct: 50.0 - (f % 17.0),
+            temp_reduction_pct: f % 9.0,
+            delay_overhead_pct: f % 5.0,
+            mean_latency_us: 100.0 + f,
+            max_temp_c: 40.0 + (f % 20.0),
+            final_soc: 1.0 / (1.0 + f * 1e-6),
+            low_power_frac: (f % 100.0) / 100.0,
+        }),
+        error: None,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("archive-scale-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn result_bytes(spec: &CampaignSpec, results: Vec<ScenarioResult>) -> String {
+    let result = CampaignResult {
+        name: spec.name.clone(),
+        horizon_ms: spec.horizon_ms,
+        master_seed: spec.master_seed,
+        results,
+    };
+    campaign_json(&summarize(&result), Some(&result)).expect("render json")
+}
+
+/// The segment store at 10^5 cells: append throughput, then the bound
+/// that motivated it — a cold open plus a full `cell_states` scan of
+/// 100 000 records must finish in **under a second** (the per-cell-JSON
+/// layout paid ~3 syscalls per cell here and took tens of seconds on
+/// cold caches).
+fn print_archive_scale_summary() {
+    const CELLS: usize = 100_000;
+    let spec = wide_spec("archive_scale", CELLS);
+    let dir = scratch_dir("wide");
+    println!("\n== segment archive at {CELLS} cells ==");
+
+    let start = Instant::now();
+    {
+        let archive = CampaignArchive::open(&dir, &spec).expect("open archive");
+        for i in 0..CELLS {
+            archive
+                .store(&spec, &synthetic_result(&spec, i))
+                .expect("store cell");
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "  append  : {:>8.0} records/s ({wall:.2}s total)",
+        CELLS as f64 / wall
+    );
+
+    let start = Instant::now();
+    let archive = CampaignArchive::open(&dir, &spec).expect("reopen archive");
+    let states = archive.cell_states(&spec, DEFAULT_LEASE_TTL_MS);
+    let scan = start.elapsed().as_secs_f64();
+    assert_eq!(states.len(), CELLS);
+    assert!(
+        states.iter().all(|s| matches!(s, CellState::Archived)),
+        "every stored cell must scan as archived"
+    );
+    println!("  open + full cell_states scan: {scan:.3}s");
+    assert!(
+        scan < 1.0,
+        "opening and scanning a {CELLS}-cell archive took {scan:.2}s (bound: 1s)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // byte-equivalence with the legacy per-file layout, at a size where
+    // writing thousands of individual JSON files is still tolerable
+    const LEGACY_CELLS: usize = 2_000;
+    let spec = wide_spec("archive_compat", LEGACY_CELLS);
+    let dir = scratch_dir("legacy");
+    let archive = CampaignArchive::open(&dir, &spec).expect("open archive");
+    for i in 0..LEGACY_CELLS {
+        archive
+            .store_legacy(&spec, &synthetic_result(&spec, i))
+            .expect("store legacy cell");
+    }
+    let cells = spec.expand();
+    let legacy = archive.load(&spec, &cells);
+    assert_eq!(legacy.loaded, LEGACY_CELLS);
+    let reference = result_bytes(&spec, legacy.slots.into_iter().flatten().collect());
+    let report = archive.compact(&spec).expect("compact");
+    assert_eq!(report.legacy_migrated, LEGACY_CELLS);
+    let compacted = CampaignArchive::open(&dir, &spec).expect("reopen compacted");
+    let load = compacted.load(&spec, &cells);
+    assert_eq!(load.loaded, LEGACY_CELLS);
+    let bytes = result_bytes(&spec, load.slots.into_iter().flatten().collect());
+    assert_eq!(
+        bytes, reference,
+        "compaction changed the aggregate bytes vs the per-file-JSON layout"
+    );
+    println!("  compaction: {LEGACY_CELLS} per-file-JSON cells migrated, aggregate byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_campaign(c: &mut Criterion) {
     print_summary();
+    print_archive_scale_summary();
     let spec = bench_spec();
     let scenarios = spec.scenario_count() as u64;
 

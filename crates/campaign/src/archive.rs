@@ -8,12 +8,25 @@
 //! ```text
 //! <dir>/
 //!   campaign.toml          # the spec, as written by CampaignSpec::to_toml
-//!   cells/
-//!     cell-00000.json      # one CellRecord per *successful* cell
-//!     cell-00017.json
+//!   segments/
+//!     seg-0000.log         # append-only CellRecord frames (see segment.rs)
+//!     seg-0001.log
+//!   cells/                 # legacy per-cell records, read-through only
+//!     cell-00000.json
 //!   leases/
 //!     group-00003.lease    # one LeaseRecord per in-flight baseline group
 //! ```
+//!
+//! New records are **appended to segment files** — length-prefixed,
+//! checksummed frames in `segments/seg-NNNN.log`, one private segment
+//! per writing process — and located through an in-memory index built
+//! on open (see [`crate::segment`]). Archives written by older versions
+//! store one JSON file per cell under `cells/`; those records are read
+//! transparently wherever the segment index misses, so a legacy archive
+//! resumes without migration. [`CampaignArchive::compact`] rewrites all
+//! live records (segment + legacy) into a single fresh segment via an
+//! atomic tmp+rename, dropping torn tails, duplicates and migrated
+//! legacy files.
 //!
 //! Records carry the archive format version, a fingerprint of the spec,
 //! and the full seed derivation (`master_seed` + the cell's
@@ -54,10 +67,13 @@
 //!   are deterministic), wasting work but changing nothing. Leases are a
 //!   work-partitioning mechanism; correctness never depends on them.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::runner::{ScenarioMetrics, ScenarioResult};
+use crate::segment::{self, IndexEntry, SegmentIndex, SegmentWriter};
 use crate::spec::{CampaignSpec, ScenarioSpec};
 
 /// Archive format version; bump when [`CellRecord`]'s layout changes.
@@ -239,10 +255,27 @@ pub struct GcReport {
     /// Expired, foreign or unreadable leases (and takeover tombstones)
     /// removed.
     pub leases_removed: usize,
-    /// Orphaned temporary files removed: interrupted cell-record and
-    /// spec writes (`*.tmp`) and heartbeat refresh files
-    /// (`*.refresh-PID-SEQ`) left behind by killed workers.
+    /// Orphaned temporary files removed: interrupted cell-record,
+    /// compaction and spec writes (`*.tmp`), empty or recordless
+    /// segment files, and heartbeat refresh files (`*.refresh-PID-SEQ`)
+    /// left behind by killed workers.
     pub tmp_removed: usize,
+}
+
+/// What [`CampaignArchive::compact`] rewrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CompactReport {
+    /// Live records written into the fresh segment.
+    pub records: usize,
+    /// Old segment files removed after the rewrite.
+    pub segments_removed: usize,
+    /// Legacy `cells/cell-*.json` files migrated into the segment and
+    /// removed.
+    pub legacy_migrated: usize,
+    /// Total segment bytes before compaction.
+    pub bytes_before: u64,
+    /// Segment bytes after compaction (the fresh segment alone).
+    pub bytes_after: u64,
 }
 
 /// Outcome of loading an archive against an expanded grid.
@@ -257,11 +290,22 @@ pub struct ArchiveLoad {
     pub skipped: usize,
 }
 
+/// The segment-store half of an archive handle: the in-memory index
+/// plus this process's private append handle. Shared across clones so
+/// worker threads storing cells and the poll loop reading them see one
+/// coherent index.
+#[derive(Debug)]
+struct SegmentState {
+    index: SegmentIndex,
+    writer: SegmentWriter,
+}
+
 /// A campaign directory opened against a specific spec.
 #[derive(Debug, Clone)]
 pub struct CampaignArchive {
     dir: PathBuf,
     fingerprint: u64,
+    segments: Arc<Mutex<SegmentState>>,
 }
 
 impl CampaignArchive {
@@ -310,9 +354,18 @@ impl CampaignArchive {
             }
             Err(e) => return Err(format!("cannot read {}: {e}", spec_path.display())),
         }
+        let fingerprint = spec_fingerprint(spec);
+        let mut index = SegmentIndex::new(dir.join("segments"), fingerprint, ARCHIVE_VERSION);
+        // build the index up front: one sequential scan of the segment
+        // files, no JSON parsing — sub-second even at 10^5 cells
+        index.refresh()?;
         Ok(Self {
             dir: dir.to_path_buf(),
-            fingerprint: spec_fingerprint(spec),
+            fingerprint,
+            segments: Arc::new(Mutex::new(SegmentState {
+                index,
+                writer: SegmentWriter::default(),
+            })),
         })
     }
 
@@ -349,8 +402,73 @@ impl CampaignArchive {
         self.fingerprint
     }
 
+    /// This process's segment-store state (poison-recovering: a worker
+    /// thread panicking mid-store must not wedge every later archive
+    /// access).
+    fn seg_lock(&self) -> MutexGuard<'_, SegmentState> {
+        self.segments
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The `segments/` directory.
+    fn segments_dir(&self) -> PathBuf {
+        self.dir.join("segments")
+    }
+
+    /// The legacy-format path of one cell record. New legacy-format
+    /// writes (tests, migrations) use 8-digit padding so names sort
+    /// lexicographically up to 10^8 cells; reads also accept the
+    /// historical 5-digit names.
     fn cell_path(&self, index: usize) -> PathBuf {
-        self.dir.join("cells").join(format!("cell-{index:05}.json"))
+        self.dir.join("cells").join(format!("cell-{index:08}.json"))
+    }
+
+    /// Every legacy cell record present under `cells/`, keyed by its
+    /// **numerically parsed** index (so 5- and 8-digit names mix
+    /// freely); 8-digit names win when both widths exist.
+    fn legacy_map(&self) -> HashMap<usize, PathBuf> {
+        let mut map: HashMap<usize, (usize, PathBuf)> = HashMap::new();
+        let Ok(entries) = std::fs::read_dir(self.dir.join("cells")) else {
+            return HashMap::new();
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(digits) = name
+                .strip_prefix("cell-")
+                .and_then(|rest| rest.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            let Ok(index) = digits.parse::<usize>() else {
+                continue;
+            };
+            match map.get(&index) {
+                Some((width, _)) if *width >= digits.len() => {}
+                _ => {
+                    map.insert(index, (digits.len(), path));
+                }
+            }
+        }
+        map.into_iter().map(|(i, (_, p))| (i, p)).collect()
+    }
+
+    /// Reads one legacy cell record's text, trying the 8-digit name
+    /// first and falling back to the historical 5-digit one.
+    fn legacy_cell_text(&self, index: usize) -> Option<String> {
+        let cells = self.dir.join("cells");
+        for name in [
+            format!("cell-{index:08}.json"),
+            format!("cell-{index:05}.json"),
+        ] {
+            if let Ok(text) = std::fs::read_to_string(cells.join(name)) {
+                return Some(text);
+            }
+        }
+        None
     }
 
     /// The lease file guarding one baseline group (public for
@@ -361,13 +479,14 @@ impl CampaignArchive {
             .join(format!("group-{group:05}.lease"))
     }
 
-    /// Validates one record's text against the cell it should hold.
-    fn record_from(
+    /// Parses and validates one record's text against the cell it
+    /// should hold, returning the full record.
+    fn valid_record(
         &self,
         spec: &CampaignSpec,
         cell: &ScenarioSpec,
         text: &str,
-    ) -> Option<ScenarioResult> {
+    ) -> Option<CellRecord> {
         match serde_json::from_str::<CellRecord>(text) {
             Ok(rec)
                 if rec.archive_version == ARCHIVE_VERSION
@@ -376,19 +495,43 @@ impl CampaignArchive {
                     && rec.horizon_ms == spec.horizon_ms
                     && rec.scenario == *cell =>
             {
-                Some(ScenarioResult {
-                    scenario: rec.scenario,
-                    metrics: Some(rec.metrics),
-                    error: None,
-                })
+                Some(rec)
             }
             _ => None,
         }
     }
 
-    /// Loads one cell's record, if a valid one exists.
+    /// Validates one record's text against the cell it should hold.
+    fn record_from(
+        &self,
+        spec: &CampaignSpec,
+        cell: &ScenarioSpec,
+        text: &str,
+    ) -> Option<ScenarioResult> {
+        self.valid_record(spec, cell, text)
+            .map(|rec| ScenarioResult {
+                scenario: rec.scenario,
+                metrics: Some(rec.metrics),
+                error: None,
+            })
+    }
+
+    /// Loads one cell's record, if a valid one exists: the segment
+    /// index first (refreshing on a miss, so a record another process
+    /// just appended is found), then the legacy per-cell files.
     pub fn load_cell(&self, spec: &CampaignSpec, cell: &ScenarioSpec) -> Option<ScenarioResult> {
-        let text = std::fs::read_to_string(self.cell_path(cell.index)).ok()?;
+        {
+            let mut state = self.seg_lock();
+            if let Some(payload) = state.index.read_refreshing(cell.index) {
+                if let Some(result) = std::str::from_utf8(&payload)
+                    .ok()
+                    .and_then(|text| self.record_from(spec, cell, text))
+                {
+                    return Some(result);
+                }
+            }
+        }
+        let text = self.legacy_cell_text(cell.index)?;
         self.record_from(spec, cell, &text)
     }
 
@@ -402,16 +545,51 @@ impl CampaignArchive {
         let mut slots: Vec<Option<ScenarioResult>> = vec![None; cells.len()];
         let mut loaded = 0;
         let mut skipped = 0;
-        for (i, cell) in cells.iter().enumerate() {
-            let Ok(text) = std::fs::read_to_string(self.cell_path(cell.index)) else {
-                continue;
-            };
-            match self.record_from(spec, cell, &text) {
-                Some(result) => {
-                    slots[i] = Some(result);
-                    loaded += 1;
+        {
+            // one refresh for the whole batch, then index-served reads
+            let mut state = self.seg_lock();
+            let _ = state.index.refresh();
+            for (i, cell) in cells.iter().enumerate() {
+                if !state.index.contains(cell.index) {
+                    continue;
                 }
-                None => skipped += 1,
+                let Some(payload) = state.index.read_refreshing(cell.index) else {
+                    continue; // segment vanished (compaction race): legacy below
+                };
+                match std::str::from_utf8(&payload)
+                    .ok()
+                    .and_then(|text| self.record_from(spec, cell, text))
+                {
+                    Some(result) => {
+                        slots[i] = Some(result);
+                        loaded += 1;
+                    }
+                    None => skipped += 1,
+                }
+            }
+        }
+        // legacy read-through for whatever the segments didn't cover
+        if slots.iter().any(Option::is_none) {
+            let legacy = self.legacy_map();
+            if !legacy.is_empty() {
+                for (i, cell) in cells.iter().enumerate() {
+                    if slots[i].is_some() {
+                        continue;
+                    }
+                    let Some(path) = legacy.get(&cell.index) else {
+                        continue;
+                    };
+                    let Ok(text) = std::fs::read_to_string(path) else {
+                        continue;
+                    };
+                    match self.record_from(spec, cell, &text) {
+                        Some(result) => {
+                            slots[i] = Some(result);
+                            loaded += 1;
+                        }
+                        None => skipped += 1,
+                    }
+                }
             }
         }
         ArchiveLoad {
@@ -424,13 +602,71 @@ impl CampaignArchive {
     /// Persists one finished cell. Failed cells are not archived (a
     /// resume retries them); storing them is a silent no-op.
     ///
-    /// The record is written to a temporary file and renamed into place,
-    /// so a killed sweep never leaves a truncated record behind.
+    /// The record is framed (length prefix + checksum) and appended to
+    /// this process's segment file; a kill mid-append leaves a torn
+    /// tail that every scan detects and skips, never a record that
+    /// loads corrupt.
     ///
     /// # Errors
     ///
     /// Returns a description when the record cannot be written.
     pub fn store(&self, spec: &CampaignSpec, result: &ScenarioResult) -> Result<(), String> {
+        let Some(json) = self.encode_record(spec, result)? else {
+            return Ok(());
+        };
+        let index = result.scenario.index;
+        let dir = self.segments_dir();
+        let mut state = self.seg_lock();
+        let appended = state.writer.append(
+            &dir,
+            index,
+            self.fingerprint,
+            ARCHIVE_VERSION,
+            json.as_bytes(),
+        )?;
+        let path = segment::segment_path(&dir, appended.segment);
+        state.index.insert_local(
+            index,
+            IndexEntry {
+                segment: appended.segment,
+                payload_offset: appended.payload_offset,
+                payload_len: appended.payload_len,
+            },
+            &path,
+            appended.end,
+        );
+        Ok(())
+    }
+
+    /// The canonical (compact-JSON) record text of one successful
+    /// result; `None` for failed cells.
+    fn encode_record(
+        &self,
+        spec: &CampaignSpec,
+        result: &ScenarioResult,
+    ) -> Result<Option<String>, String> {
+        let Some(metrics) = result.metrics.as_ref() else {
+            return Ok(None);
+        };
+        let record = CellRecord {
+            archive_version: ARCHIVE_VERSION,
+            spec_fingerprint: self.fingerprint,
+            master_seed: spec.master_seed,
+            horizon_ms: spec.horizon_ms,
+            scenario: result.scenario,
+            metrics: metrics.clone(),
+        };
+        serde_json::to_string(&record)
+            .map(Some)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Persists one finished cell in the **legacy** per-cell-JSON-file
+    /// format (tmp + rename at `cells/cell-<index>.json`). Only here so
+    /// tests and benchmarks can fabricate the archives old binaries
+    /// wrote; new code stores through [`store`](Self::store).
+    #[doc(hidden)]
+    pub fn store_legacy(&self, spec: &CampaignSpec, result: &ScenarioResult) -> Result<(), String> {
         let Some(metrics) = result.metrics.as_ref() else {
             return Ok(());
         };
@@ -444,9 +680,141 @@ impl CampaignArchive {
         };
         let json = serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?;
         let path = self.cell_path(result.scenario.index);
+        std::fs::create_dir_all(self.dir.join("cells"))
+            .map_err(|e| format!("cannot create {}: {e}", self.dir.join("cells").display()))?;
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, &json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &path).map_err(|e| format!("cannot finalize {}: {e}", path.display()))
+    }
+
+    /// Rewrites every live record — segment frames and legacy per-cell
+    /// files alike — into a single fresh segment file, dropping torn
+    /// tails, duplicate frames, foreign/corrupt records and the
+    /// migrated legacy files. The new segment is written to a temporary
+    /// file and renamed into place, so a kill mid-compaction never
+    /// loses a record: the old files are only removed after the rename
+    /// lands.
+    ///
+    /// Safe (but wasteful) while workers are running: records appended
+    /// during the compaction window may be discarded with the old
+    /// segments, in which case those cells simply re-run — determinism
+    /// makes the re-run byte-identical, exactly like a lease-overlap
+    /// duplicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the directory cannot be listed,
+    /// scanned or written.
+    pub fn compact(&self, spec: &CampaignSpec) -> Result<CompactReport, String> {
+        use std::io::Write as _;
+        let dir = self.segments_dir();
+        let n = spec.scenario_count();
+        let mut report = CompactReport::default();
+        let mut state = self.seg_lock();
+        // our own open segment is rewritten like any other
+        state.writer.close();
+        state.index.reset();
+        state.index.refresh()?;
+        let old_segments = segment::list_segments(&dir)?;
+        for path in old_segments.values() {
+            report.bytes_before += std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        }
+        // full-validation pass: canonical record text per live cell
+        let mut records: std::collections::BTreeMap<usize, String> =
+            std::collections::BTreeMap::new();
+        let mut indices: Vec<usize> = state.index.indices().collect();
+        indices.sort_unstable();
+        for index in indices {
+            if index >= n {
+                continue;
+            }
+            let cell = spec.cell_at(index);
+            let Some(payload) = state.index.read(index) else {
+                continue;
+            };
+            if let Some(rec) = std::str::from_utf8(&payload)
+                .ok()
+                .and_then(|text| self.valid_record(spec, &cell, text))
+            {
+                let text = serde_json::to_string(&rec).map_err(|e| e.to_string())?;
+                records.insert(index, text);
+            }
+        }
+        // migrate legacy records (valid ones; corrupt files are gc's
+        // business, not compaction's)
+        let mut migrated: Vec<PathBuf> = Vec::new();
+        for (index, path) in self.legacy_map() {
+            if index >= n {
+                continue;
+            }
+            if records.contains_key(&index) {
+                migrated.push(path); // duplicate of a segment record
+                continue;
+            }
+            let cell = spec.cell_at(index);
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Some(rec) = self.valid_record(spec, &cell, &text) {
+                let canonical = serde_json::to_string(&rec).map_err(|e| e.to_string())?;
+                records.insert(index, canonical);
+                migrated.push(path);
+            }
+        }
+        if !records.is_empty() {
+            // reserve the target number with create_new (concurrent
+            // writers allocate past it), build the segment in a temp
+            // file, then atomically rename over the reservation
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let mut number = old_segments.keys().next_back().map_or(0, |l| l + 1);
+            let target = loop {
+                let path = segment::segment_path(&dir, number);
+                match std::fs::OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(&path)
+                {
+                    Ok(_) => break path,
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => number += 1,
+                    Err(e) => return Err(format!("cannot reserve {}: {e}", path.display())),
+                }
+            };
+            let tmp = dir.join(format!("seg-{number:04}.log.tmp"));
+            let write_all = || -> std::io::Result<()> {
+                let file = std::fs::File::create(&tmp)?;
+                let mut out = std::io::BufWriter::new(file);
+                for (index, text) in &records {
+                    out.write_all(&segment::encode_frame(
+                        *index as u64,
+                        self.fingerprint,
+                        ARCHIVE_VERSION,
+                        text.as_bytes(),
+                    ))?;
+                }
+                out.flush()
+            };
+            write_all().map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+            std::fs::rename(&tmp, &target)
+                .map_err(|e| format!("cannot finalize {}: {e}", target.display()))?;
+            report.bytes_after = std::fs::metadata(&target).map(|m| m.len()).unwrap_or(0);
+            report.records = records.len();
+        }
+        // only now drop the old files: every live record is durable in
+        // the fresh segment
+        for path in old_segments.values() {
+            if std::fs::remove_file(path).is_ok() {
+                report.segments_removed += 1;
+            }
+        }
+        for path in &migrated {
+            if std::fs::remove_file(path).is_ok() {
+                report.legacy_migrated += 1;
+            }
+        }
+        state.index.reset();
+        state.index.refresh()?;
+        Ok(report)
     }
 
     // ---- work leases -------------------------------------------------
@@ -466,11 +834,14 @@ impl CampaignArchive {
                 if rec.lease_version == LEASE_VERSION
                     && rec.spec_fingerprint == self.fingerprint =>
             {
-                // judged symmetrically: a heartbeat more than a TTL in
-                // the *future* (cross-host clock skew, or a corrupt
-                // timestamp) must not pin the lease Held forever
+                // a heartbeat stamped in the *future* (a worker on a
+                // fast clock) is fresh, never reclaimable: staleness is
+                // strictly `now - heartbeat > ttl`, so a skewed-but-live
+                // holder is never preempted, and a skewed holder that
+                // dies becomes reclaimable once real time passes its
+                // stamp plus the TTL
                 let now = epoch_ms();
-                if now.abs_diff(rec.heartbeat_ms) > ttl_ms {
+                if now.saturating_sub(rec.heartbeat_ms) > ttl_ms {
                     LeaseState::Stale
                 } else {
                     LeaseState::Held { holder: rec.holder }
@@ -482,16 +853,25 @@ impl CampaignArchive {
             // leftovers never wedge a new one)
             Ok(_) => LeaseState::Stale,
             // unparseable (possibly a torn read of a just-created
-            // lease): stale only once the *file* is old
-            Err(_) => match std::fs::metadata(&path)
-                .and_then(|m| m.modified())
-                .ok()
-                .and_then(|t| SystemTime::now().duration_since(t).ok())
-            {
-                Some(age) if (age.as_millis() as u64) <= ttl_ms => LeaseState::Held {
-                    holder: "<unreadable>".into(),
-                },
-                _ => LeaseState::Stale,
+            // lease): stale only once the *file* is old. A modification
+            // time in the future (writer on a fast clock) means age
+            // zero — fresh — not stale; `duration_since` erring on a
+            // future timestamp must never be read as expiry.
+            Err(_) => match std::fs::metadata(&path).and_then(|m| m.modified()).ok() {
+                Some(modified) => {
+                    let age_ms = SystemTime::now()
+                        .duration_since(modified)
+                        .map_or(0, |age| age.as_millis() as u64);
+                    if age_ms <= ttl_ms {
+                        LeaseState::Held {
+                            holder: "<unreadable>".into(),
+                        }
+                    } else {
+                        LeaseState::Stale
+                    }
+                }
+                // no readable mtime at all: reclaimable
+                None => LeaseState::Stale,
             },
         }
     }
@@ -601,17 +981,46 @@ impl CampaignArchive {
 
     /// The lifecycle state of every grid cell: its record, else its
     /// group's lease, else pending.
+    ///
+    /// Segment-archived cells are judged by index membership alone —
+    /// every indexed frame already passed the checksum, fingerprint and
+    /// version checks during the scan, so no JSON is parsed here. That
+    /// keeps a full-status sweep sub-second at 10^5 cells.
     pub fn cell_states(&self, spec: &CampaignSpec, ttl_ms: u64) -> Vec<CellState> {
         let cells = spec.expand();
-        let load = self.load(spec, &cells);
+        let mut archived = vec![false; cells.len()];
+        {
+            let mut state = self.seg_lock();
+            let _ = state.index.refresh();
+            for (i, cell) in cells.iter().enumerate() {
+                archived[i] = state.index.contains(cell.index);
+            }
+        }
+        if archived.iter().any(|a| !a) {
+            let legacy = self.legacy_map();
+            if !legacy.is_empty() {
+                for (i, cell) in cells.iter().enumerate() {
+                    if archived[i] {
+                        continue;
+                    }
+                    let Some(path) = legacy.get(&cell.index) else {
+                        continue;
+                    };
+                    archived[i] = std::fs::read_to_string(path)
+                        .ok()
+                        .and_then(|text| self.record_from(spec, cell, &text))
+                        .is_some();
+                }
+            }
+        }
         let lease_live: Vec<bool> = (0..spec.group_count())
             .map(|g| matches!(self.lease_state(g, ttl_ms), LeaseState::Held { .. }))
             .collect();
         cells
             .iter()
-            .zip(&load.slots)
-            .map(|(cell, slot)| {
-                if slot.is_some() {
+            .zip(&archived)
+            .map(|(cell, &archived)| {
+                if archived {
                     CellState::Archived
                 } else if lease_live[spec.group_of(cell.index)] {
                     CellState::Leased
@@ -624,20 +1033,84 @@ impl CampaignArchive {
 
     /// Archive hygiene: removes cell records that can never be loaded
     /// for `spec` (foreign fingerprint, stale version, corrupt JSON,
-    /// out-of-range index), expired/foreign lease files and takeover
-    /// tombstones, and orphaned temporary files. Live leases and valid
-    /// records are left untouched.
+    /// out-of-range index), segment files holding no live record,
+    /// expired/foreign lease files and takeover tombstones, and
+    /// orphaned temporary files. Live leases, valid records and the
+    /// segment files holding them are left untouched — invalid frames
+    /// *inside* a segment that also holds live records are
+    /// [`compact`](Self::compact)'s job, since removing them means
+    /// rewriting the file.
     ///
     /// # Errors
     ///
     /// Returns a description when a directory listing or a removal
-    /// fails (a missing `cells/` or `leases/` directory is fine).
+    /// fails (a missing `segments/`, `cells/` or `leases/` directory is
+    /// fine).
     pub fn gc(&self, spec: &CampaignSpec, ttl_ms: u64) -> Result<GcReport, String> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
         let mut report = GcReport::default();
         let remove = |path: &Path| -> Result<(), String> {
             std::fs::remove_file(path).map_err(|e| format!("cannot remove {}: {e}", path.display()))
         };
         let n = spec.scenario_count();
+        let segdir = self.segments_dir();
+        for entry in read_dir_or_empty(&segdir)? {
+            let path = entry?;
+            let name = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
+            if name.ends_with(".tmp") {
+                remove(&path)?;
+                report.tmp_removed += 1;
+                continue;
+            }
+            if segment::parse_segment_name(name).is_none() {
+                continue; // not ours; leave unknown files alone
+            }
+            let (frames, _) = segment::scan_segment(&path, 0)
+                .map_err(|e| format!("cannot scan {}: {e}", path.display()))?;
+            let mut valid = 0;
+            let mut invalid = 0;
+            if !frames.is_empty() {
+                let mut file = std::fs::File::open(&path)
+                    .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+                for frame in &frames {
+                    let ok = frame.fingerprint == self.fingerprint
+                        && frame.version == ARCHIVE_VERSION
+                        && usize::try_from(frame.index).is_ok_and(|index| {
+                            index < n && {
+                                let mut payload = vec![0u8; frame.payload_len as usize];
+                                file.seek(SeekFrom::Start(frame.payload_offset)).is_ok()
+                                    && file.read_exact(&mut payload).is_ok()
+                                    && std::str::from_utf8(&payload).is_ok_and(|text| {
+                                        self.record_from(spec, &spec.cell_at(index), text).is_some()
+                                    })
+                            }
+                        });
+                    if ok {
+                        valid += 1;
+                    } else {
+                        invalid += 1;
+                    }
+                }
+            }
+            if valid > 0 {
+                report.records_kept += valid;
+            } else if invalid > 0 {
+                remove(&path)?;
+                report.records_removed += invalid;
+            } else {
+                // empty or pure-garbage segment (a writer killed
+                // between allocation and its first append)
+                remove(&path)?;
+                report.tmp_removed += 1;
+            }
+        }
+        // removing dead segments invalidates any index entries into
+        // them; the next refresh rebuilds
+        if report.records_removed > 0 || report.tmp_removed > 0 {
+            let mut state = self.seg_lock();
+            state.index.reset();
+            let _ = state.index.refresh();
+        }
         for entry in read_dir_or_empty(&self.dir.join("cells"))? {
             let path = entry?;
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -781,7 +1254,7 @@ mod tests {
         let dir = tmp_dir("foreign");
         let archive = CampaignArchive::open(&dir, &spec).unwrap();
         let result = run_campaign(&spec, &RunnerConfig::serial());
-        archive.store(&spec, &result.results[0]).unwrap();
+        archive.store_legacy(&spec, &result.results[0]).unwrap();
 
         // same directory, different grid: open refuses outright
         let mut other = spec.clone();
@@ -789,7 +1262,8 @@ mod tests {
         let err = CampaignArchive::open(&dir, &other).unwrap_err();
         assert!(err.contains("different grid"), "{err}");
 
-        // a record rewritten with a stale version is skipped, not loaded
+        // a legacy record rewritten with a stale version is skipped,
+        // not loaded
         let path = archive.cell_path(0);
         let stale = std::fs::read_to_string(&path)
             .unwrap()
@@ -992,7 +1466,9 @@ mod tests {
         .unwrap();
 
         let report = archive.gc(&spec, cfg.ttl_ms).unwrap();
-        assert_eq!(report.records_kept, spec.scenario_count() - 1);
+        // every stored cell is a live segment frame; the corrupt legacy
+        // file is the one record removed
+        assert_eq!(report.records_kept, spec.scenario_count());
         assert_eq!(report.records_removed, 1);
         assert_eq!(report.leases_active, 1);
         assert_eq!(report.leases_removed, 1);
@@ -1003,7 +1479,7 @@ mod tests {
             LeaseState::Held { .. }
         ));
         let load = archive.load(&spec, &spec.expand());
-        assert_eq!(load.loaded, spec.scenario_count() - 1);
+        assert_eq!(load.loaded, spec.scenario_count());
         assert_eq!(load.skipped, 0, "gc removed everything unloadable");
         archive.release(live);
         let _ = std::fs::remove_dir_all(&dir);
@@ -1066,6 +1542,143 @@ mod tests {
         archive.release(lease);
         let states = archive.cell_states(&spec, cfg.ttl_ms);
         assert_eq!(states[1], CellState::Pending);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_dated_heartbeats_are_fresh_not_reclaimable() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("future-heartbeat");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        // a worker on a fast clock: heartbeat an hour in the future
+        let skewed = LeaseRecord {
+            lease_version: LEASE_VERSION,
+            spec_fingerprint: archive.fingerprint(),
+            group: 0,
+            holder: "fast-clock".into(),
+            heartbeat_ms: epoch_ms() + 3_600_000,
+        };
+        std::fs::create_dir_all(dir.join("leases")).unwrap();
+        std::fs::write(
+            archive.lease_path(0),
+            serde_json::to_string(&skewed).unwrap(),
+        )
+        .unwrap();
+        // fresh under any TTL, even one of a single millisecond
+        assert_eq!(
+            archive.lease_state(0, 1),
+            LeaseState::Held {
+                holder: "fast-clock".into()
+            },
+            "a future heartbeat must never be judged stale",
+        );
+        let claimant = LeaseConfig::for_process().with_ttl_ms(1);
+        assert!(
+            archive.try_claim(0, &claimant).unwrap().is_none(),
+            "a future-dated lease must not be taken over",
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_five_digit_records_are_read_through() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("legacy-5digit");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let result = run_campaign(&spec, &RunnerConfig::serial());
+        // fabricate what an old binary left behind: 5-digit names
+        for r in &result.results {
+            archive.store_legacy(&spec, r).unwrap();
+            let index = r.scenario.index;
+            std::fs::rename(
+                dir.join("cells").join(format!("cell-{index:08}.json")),
+                dir.join("cells").join(format!("cell-{index:05}.json")),
+            )
+            .unwrap();
+        }
+        // a fresh handle (index built on open) loads them all
+        let reopened = CampaignArchive::open(&dir, &spec).unwrap();
+        let load = reopened.load(&spec, &spec.expand());
+        assert_eq!(load.loaded, spec.scenario_count());
+        assert_eq!(load.skipped, 0);
+        assert!(reopened
+            .cell_states(&spec, DEFAULT_LEASE_TTL_MS)
+            .iter()
+            .all(|s| *s == CellState::Archived));
+        let cell = spec.cell_at(1);
+        assert!(reopened.load_cell(&spec, &cell).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_rewrites_segments_and_migrates_legacy() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("compact");
+        let result = run_campaign(&spec, &RunnerConfig::serial());
+        // two writer handles → two segment files, plus one legacy file
+        let a = CampaignArchive::open(&dir, &spec).unwrap();
+        let b = CampaignArchive::open(&dir, &spec).unwrap();
+        a.store(&spec, &result.results[0]).unwrap();
+        b.store(&spec, &result.results[1]).unwrap();
+        a.store_legacy(&spec, &result.results[1]).unwrap();
+        let before = archive_reference(&a, &spec);
+
+        let report = a.compact(&spec).unwrap();
+        assert_eq!(report.records, spec.scenario_count());
+        assert_eq!(report.segments_removed, 2);
+        assert_eq!(report.legacy_migrated, 1);
+        assert!(report.bytes_after > 0);
+        let segments = std::fs::read_dir(dir.join("segments"))
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".log"))
+            .count();
+        assert_eq!(segments, 1, "one fresh segment holds everything");
+        assert!(
+            !dir.join("cells").join("cell-00000001.json").exists(),
+            "migrated legacy files are gone"
+        );
+
+        // same handle and a fresh one both load identically
+        assert_eq!(archive_reference(&a, &spec), before);
+        let reopened = CampaignArchive::open(&dir, &spec).unwrap();
+        assert_eq!(archive_reference(&reopened, &spec), before);
+
+        // compaction is idempotent
+        let again = reopened.compact(&spec).unwrap();
+        assert_eq!(again.records, spec.scenario_count());
+        assert_eq!(again.legacy_migrated, 0);
+        assert_eq!(archive_reference(&reopened, &spec), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The loaded results of every cell, for before/after comparisons.
+    fn archive_reference(
+        archive: &CampaignArchive,
+        spec: &CampaignSpec,
+    ) -> Vec<Option<ScenarioResult>> {
+        archive.load(spec, &spec.expand()).slots
+    }
+
+    #[test]
+    fn gc_removes_segments_without_live_records() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("gc-dead-segment");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let segdir = dir.join("segments");
+        std::fs::create_dir_all(&segdir).unwrap();
+        // a segment of foreign frames only, an empty one, and an
+        // orphaned compaction temp
+        let frame = crate::segment::encode_frame(0, 0xDEAD_BEEF, ARCHIVE_VERSION, b"{}");
+        std::fs::write(segdir.join("seg-0007.log"), &frame).unwrap();
+        std::fs::write(segdir.join("seg-0008.log"), b"").unwrap();
+        std::fs::write(segdir.join("seg-0009.log.tmp"), b"half a rewrite").unwrap();
+        let report = archive.gc(&spec, DEFAULT_LEASE_TTL_MS).unwrap();
+        assert_eq!(report.records_removed, 1, "the foreign frame");
+        assert_eq!(report.tmp_removed, 2, "empty segment + compaction temp");
+        assert!(!segdir.join("seg-0007.log").exists());
+        assert!(!segdir.join("seg-0008.log").exists());
+        assert!(!segdir.join("seg-0009.log.tmp").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

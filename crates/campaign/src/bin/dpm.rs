@@ -5,6 +5,7 @@
 //!                  [--per-scenario] [--out FILE] [--resume DIR] [--no-dedup] [--ttl-ms N]
 //! dpm campaign list <spec.toml | DIR | --builtin> [--format F]
 //! dpm campaign gc <DIR> [--ttl-ms N]
+//! dpm campaign compact <DIR>
 //! dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
 //! dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto] [--objective O]
 //!            [--constraint C] [--budget N] [--start-points N] [--threads N]
@@ -42,6 +43,7 @@ USAGE:
                       [--resume DIR] [--no-dedup] [--ttl-ms N]
     dpm campaign list <spec.toml | DIR | --builtin> [--format ascii|json]
     dpm campaign gc   <DIR> [--ttl-ms N]
+    dpm campaign compact <DIR>
     dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
     dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto]
                [--objective METRIC[,METRIC...]] [--constraint METRIC<=X]
@@ -68,8 +70,11 @@ aggregates when the grid drains — the report is byte-identical to the
 single-process run. `dpm worker DIR` joins a campaign directory by
 hand; launch as many as you like, on any host sharing the filesystem.
 `dpm campaign gc DIR` removes unloadable records, expired leases and
-orphaned temp files. `dpm campaign list DIR --format json` reports each
-cell's state (archived / leased / pending).
+orphaned temp files. `dpm campaign compact DIR` rewrites all live cell
+records (segment frames and legacy per-cell JSON alike) into a single
+fresh segment file, dropping torn tails and duplicates. `dpm campaign
+list DIR --format json` reports each cell's state (archived / leased /
+pending).
 
 `dpm serve DIR` runs the campaign service: a daemon owning DIR as a
 root of campaign directories (one per submitted spec, keyed by spec
@@ -333,8 +338,9 @@ fn campaign(args: &[String]) -> Result<(), String> {
         Some("run") => campaign_run(rest),
         Some("list") => campaign_list(rest),
         Some("gc") => campaign_gc(rest),
+        Some("compact") => campaign_compact(rest),
         _ => Err(format!(
-            "expected 'campaign run', 'campaign list' or 'campaign gc'\n\n{USAGE}"
+            "expected 'campaign run', 'campaign list', 'campaign gc' or 'campaign compact'\n\n{USAGE}"
         )),
     }
 }
@@ -516,6 +522,27 @@ fn campaign_gc(args: &[String]) -> Result<(), String> {
         report.leases_removed,
         report.tmp_removed,
         report.leases_active,
+    ));
+    Ok(())
+}
+
+fn campaign_compact(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[], &[])?;
+    let dir = opts
+        .positionals
+        .first()
+        .ok_or("expected a campaign directory")?;
+    let (archive, spec) = CampaignArchive::open_existing(Path::new(dir))?;
+    let report = archive.compact(&spec)?;
+    out(format_args!(
+        "compact {dir}: {} records rewritten into one segment \
+         ({} old segments and {} legacy cell files removed; \
+         {} -> {} segment bytes)",
+        report.records,
+        report.segments_removed,
+        report.legacy_migrated,
+        report.bytes_before,
+        report.bytes_after,
     ));
     Ok(())
 }

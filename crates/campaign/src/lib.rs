@@ -13,7 +13,8 @@
 //! | executor | [`executor`] | pluggable backends: in-process thread pool, multi-process worker pool |
 //! | runner | [`runner`] | work-unit dispatch, baseline dedup, panic isolation, lease loop |
 //! | worker | [`worker`] | the `dpm worker` loop: claim, simulate, store, reclaim |
-//! | archive | [`archive`] | per-cell JSON records, work leases, gc — the coordination medium |
+//! | archive | [`archive`] | cell records, work leases, gc/compaction — the coordination medium |
+//! | segments | `segment` | append-only segment files: checksummed frames + in-memory index |
 //! | objective | [`objective`] | search objectives: metric, direction, constraints, Pareto dominance |
 //! | search | [`search`] | pluggable budgeted strategies: climb, simulated annealing, Pareto fronts |
 //! | aggregation | [`aggregate`] | streaming stats, percentiles, winners, roll-ups |
@@ -82,6 +83,7 @@ pub mod objective;
 pub mod report;
 pub mod runner;
 pub mod search;
+pub(crate) mod segment;
 pub mod server;
 pub mod spec;
 pub mod store;
@@ -92,8 +94,8 @@ pub use aggregate::{
     metric_stat_where, summarize, CampaignSummary, Metric, MetricSummary, StreamingStat,
 };
 pub use archive::{
-    spec_fingerprint, ArchiveLoad, CampaignArchive, CellRecord, CellState, GcReport, LeaseConfig,
-    LeaseRecord, LeaseState, WorkLease, ARCHIVE_VERSION, DEFAULT_LEASE_POLL_MS,
+    spec_fingerprint, ArchiveLoad, CampaignArchive, CellRecord, CellState, CompactReport, GcReport,
+    LeaseConfig, LeaseRecord, LeaseState, WorkLease, ARCHIVE_VERSION, DEFAULT_LEASE_POLL_MS,
     DEFAULT_LEASE_TTL_MS, LEASE_VERSION,
 };
 pub use executor::{

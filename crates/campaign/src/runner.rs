@@ -715,10 +715,14 @@ fn run_cells_leased(
                 continue;
             };
             // double-check under the lease: a previous holder may have
-            // stored some of these cells before dying or releasing
+            // stored some of these cells before dying or releasing. One
+            // bulk load — a single segment-index refresh covers the
+            // whole group, instead of a directory probe per cell.
             let mut fresh: Vec<usize> = Vec::new();
-            for &p in &positions {
-                match archive.load_cell(spec, &cells[p]) {
+            let group_cells: Vec<ScenarioSpec> = positions.iter().map(|&p| cells[p]).collect();
+            let check = archive.load(spec, &group_cells);
+            for (slot, &p) in check.slots.into_iter().zip(&positions) {
+                match slot {
                     Some(result) => {
                         slots[p] = Some(result);
                         stats.archived_cells += 1;
@@ -780,13 +784,18 @@ fn run_cells_leased(
         }
 
         // whatever is still missing is held by other workers: absorb
-        // their stored records, and wait before re-trying claims (their
-        // leases become stale — and claimable above — if they died)
+        // their stored records — one bulk load per poll tick, which
+        // costs a single segment-index refresh however many cells are
+        // outstanding — and wait before re-trying claims (their leases
+        // become stale, and claimable above, if they died)
         let mut still_missing = false;
         let mut absorbed_any = false;
-        for i in 0..total {
-            if slots[i].is_none() {
-                match archive.load_cell(spec, &cells[i]) {
+        let waiting: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+        if !waiting.is_empty() {
+            let waiting_cells: Vec<ScenarioSpec> = waiting.iter().map(|&i| cells[i]).collect();
+            let absorbed = archive.load(spec, &waiting_cells);
+            for (slot, &i) in absorbed.slots.into_iter().zip(&waiting) {
+                match slot {
                     Some(result) => {
                         slots[i] = Some(result);
                         stats.archived_cells += 1;

@@ -14,6 +14,7 @@
 //! | `GET`  | `/campaigns/{id}/pareto` | non-dominated front under `?objectives=a,b` |
 //! | `GET`  | `/campaigns/{id}/events` | chunked NDJSON long-poll of cell completions |
 //! | `POST` | `/campaigns/{id}/gc` | archive hygiene, returns the [`GcReport`] |
+//! | `POST` | `/campaigns/{id}/compact` | rewrite the archive into one segment, returns the [`crate::archive::CompactReport`] |
 //! | `GET`  | `/healthz` | liveness probe |
 //! | `POST` | `/shutdown` | graceful shutdown (drain in-flight groups, release leases) |
 //!
@@ -489,6 +490,7 @@ fn route(state: &ServerState, request: &Request, stream: &mut TcpStream) -> std:
         ("GET", ["campaigns", id, "pareto"]) => pareto(state, id, request, stream),
         ("GET", ["campaigns", id, "events"]) => events(state, id, request, stream),
         ("POST", ["campaigns", id, "gc"]) => gc(state, id, stream),
+        ("POST", ["campaigns", id, "compact"]) => compact(state, id, stream),
         (_, [] | ["healthz"] | ["shutdown"] | ["campaigns", ..]) => write_error(
             stream,
             405,
@@ -747,10 +749,21 @@ fn events(
     if let Err(e) = state.store.open_campaign(id) {
         return write_error(stream, 404, &e);
     }
-    let since: usize = request
-        .query_param("since")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    // an unparseable cursor is a client bug: reject it loudly instead
+    // of silently replaying the whole log from 0
+    let since: usize = match request.query_param("since") {
+        None => 0,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                return write_error(
+                    stream,
+                    400,
+                    &format!("invalid ?since= cursor {raw:?}: expected a non-negative integer"),
+                );
+            }
+        },
+    };
     let wait_ms: u64 = request
         .query_param("wait_ms")
         .and_then(|s| s.parse().ok())
@@ -787,6 +800,19 @@ fn gc(state: &ServerState, id: &str, stream: &mut TcpStream) -> std::io::Result<
     match state.store.gc(id, state.options.ttl_ms) {
         Ok(report) => {
             let body = serde_json::to_string_pretty::<GcReport>(&report)
+                .expect("shim serializer never fails");
+            write_json(stream, 200, &body)
+        }
+        Err(e) => write_error(stream, 404, &e),
+    }
+}
+
+/// `POST /campaigns/{id}/compact`: rewrite the archive into a single
+/// fresh segment, reported as JSON.
+fn compact(state: &ServerState, id: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+    match state.store.compact(id) {
+        Ok(report) => {
+            let body = serde_json::to_string_pretty::<crate::archive::CompactReport>(&report)
                 .expect("shim serializer never fails");
             write_json(stream, 200, &body)
         }

@@ -214,6 +214,19 @@ impl CampaignStore {
         let (archive, spec) = self.open_campaign(id)?;
         archive.gc(&spec, ttl_ms)
     }
+
+    /// Compacts one campaign's archive: every live record is rewritten
+    /// into a single fresh segment file and migrated legacy per-cell
+    /// files are dropped (see [`CampaignArchive::compact`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the campaign does not exist or the
+    /// rewrite fails.
+    pub fn compact(&self, id: &str) -> Result<crate::archive::CompactReport, String> {
+        let (archive, spec) = self.open_campaign(id)?;
+        archive.compact(&spec)
+    }
 }
 
 /// One campaign's status, derived from its archive (records + leases).

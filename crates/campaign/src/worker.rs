@@ -4,9 +4,11 @@
 //! A worker is handed nothing but a campaign directory. It recovers the
 //! spec from `campaign.toml`, then runs the leased execution path of the
 //! runner: claim a baseline group (atomic lease record), simulate its
-//! missing cells, store their records, release the lease, repeat — and
-//! when nothing is claimable, poll the archive for the cells other
-//! workers hold, reclaiming any group whose lease goes stale. The worker
+//! missing cells, append their records to this process's private
+//! segment file, release the lease, repeat — and when nothing is
+//! claimable, poll the archive (one bulk indexed load per tick) for the
+//! cells other workers hold, reclaiming any group whose lease goes
+//! stale. The worker
 //! returns once **every** cell has a result, so each worker ends holding
 //! the complete campaign and any one of them could render the report.
 //!

@@ -137,13 +137,14 @@ fn interrupted_sweep_leaves_a_resumable_archive() {
 
 #[test]
 fn broken_archive_mid_run_keeps_the_results() {
-    // the archive dir breaks after open (cells/ replaced by a file):
+    // the archive dir breaks after open (segments/ blocked by a file,
+    // so the writer can neither create the directory nor a segment):
     // stores fail, but the run still returns complete, correct results
     let spec = spec_with(21, vec![1], true);
     let dir = scratch_dir();
     let archive = CampaignArchive::open(&dir, &spec).unwrap();
-    std::fs::remove_dir_all(dir.join("cells")).unwrap();
-    std::fs::write(dir.join("cells"), "in the way").unwrap();
+    let _ = std::fs::remove_dir_all(dir.join("segments"));
+    std::fs::write(dir.join("segments"), "in the way").unwrap();
 
     let run = run_campaign_with(&spec, &config(2), Some(&archive)).unwrap();
     assert!(!run.archive_errors.is_empty(), "store failures surface");

@@ -1,0 +1,254 @@
+//! Segment-store contract: records round-trip bit-identically through
+//! the append-only segment files, torn tails re-run exactly the cell
+//! they hid, and legacy per-cell-JSON archives resume (and compact)
+//! with zero fresh simulations.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dpm_campaign::{
+    campaign_json, run_campaign_with, summarize, BatteryAxis, CampaignArchive, CampaignResult,
+    CampaignSpec, ControllerAxis, RunnerConfig, ScenarioMetrics, ScenarioResult, ThermalAxis,
+    TuningAxis, WorkloadAxis,
+};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "segments-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec_with(seeds: Vec<u64>) -> CampaignSpec {
+    CampaignSpec {
+        name: "segments".into(),
+        horizon_ms: 6,
+        master_seed: 0x5E6_2005,
+        initial_soc: 0.9,
+        controllers: vec![ControllerAxis::Dpm],
+        tunings: vec![TuningAxis::Paper],
+        workloads: vec![WorkloadAxis::Low],
+        seeds,
+        batteries: vec![BatteryAxis::Linear],
+        thermals: vec![ThermalAxis::Cool],
+        ip_counts: vec![1],
+    }
+}
+
+fn config(threads: usize) -> RunnerConfig {
+    RunnerConfig {
+        threads,
+        ..RunnerConfig::default()
+    }
+}
+
+fn archive_bytes(result: &CampaignResult) -> String {
+    campaign_json(&summarize(result), Some(result)).expect("render json")
+}
+
+/// A synthetic result for one grid cell, its metrics derived from an
+/// arbitrary bag of floats — the payloads never see a simulator, so the
+/// round-trip is tested on arbitrary bit patterns, not just the ones
+/// the kernel happens to produce.
+fn synthetic_result(
+    spec: &CampaignSpec,
+    index: usize,
+    floats: &[f64],
+    ints: &[usize],
+) -> ScenarioResult {
+    let f = |i: usize| floats[i % floats.len()];
+    let n = |i: usize| ints[i % ints.len()];
+    ScenarioResult {
+        scenario: spec.cell_at(index),
+        metrics: Some(ScenarioMetrics {
+            completed: n(0),
+            total_tasks: n(1),
+            deferred: n(2),
+            energy_j: f(0),
+            baseline_energy_j: f(1),
+            energy_saving_pct: f(2),
+            temp_reduction_pct: f(3),
+            delay_overhead_pct: f(4),
+            mean_latency_us: f(5),
+            max_temp_c: f(6),
+            final_soc: f(7),
+            low_power_frac: f(8),
+        }),
+        error: None,
+    }
+}
+
+/// The single segment file of an archive that had exactly one writer.
+fn only_segment(dir: &std::path::Path) -> PathBuf {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir.join("segments"))
+        .expect("segments dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.to_string_lossy().ends_with(".log"))
+        .collect();
+    assert_eq!(segments.len(), 1, "one writer allocates one segment");
+    segments.pop().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Arbitrary cell payloads -> append -> reopen: the rebuilt index
+    // serves every record, and the loaded results (and their rendered
+    // bytes) are identical to what was stored — before and after
+    // compaction.
+    #[test]
+    fn segment_records_round_trip(
+        cell_count in 1usize..10,
+        floats in prop::collection::vec(
+            // spread draws across wildly different magnitudes — including
+            // subnormals — so the round-trip is exercised on bit patterns
+            // the simulator itself would never produce
+            (0u8..4, -1.0f64..1.0).prop_map(|(scale, v)| match scale {
+                0 => v,
+                1 => v * 1.0e18,
+                2 => v * 1.0e-300,
+                _ => v * f64::MIN_POSITIVE,
+            }),
+            1..12,
+        ),
+        ints in prop::collection::vec(0usize..1_000_000, 1..4),
+    ) {
+        let spec = spec_with((1..=cell_count as u64).collect());
+        let dir = scratch_dir();
+        let stored: Vec<ScenarioResult> = (0..spec.scenario_count())
+            .map(|i| synthetic_result(&spec, i, &floats, &ints))
+            .collect();
+        {
+            let archive = CampaignArchive::open(&dir, &spec).expect("open");
+            for r in &stored {
+                archive.store(&spec, r).expect("store");
+            }
+        }
+        // reopen: the index is rebuilt from the segment scan alone
+        let reopened = CampaignArchive::open(&dir, &spec).expect("reopen");
+        let load = reopened.load(&spec, &spec.expand());
+        prop_assert_eq!(load.loaded, stored.len());
+        prop_assert_eq!(load.skipped, 0);
+        let loaded: Vec<ScenarioResult> =
+            load.slots.into_iter().map(Option::unwrap).collect();
+        prop_assert_eq!(&loaded, &stored);
+        let result = |results: Vec<ScenarioResult>| CampaignResult {
+            name: spec.name.clone(),
+            horizon_ms: spec.horizon_ms,
+            master_seed: spec.master_seed,
+            results,
+        };
+        let reference = archive_bytes(&result(stored.clone()));
+        prop_assert_eq!(&archive_bytes(&result(loaded)), &reference);
+        // compaction preserves every byte of the rendered aggregate
+        let report = reopened.compact(&spec).expect("compact");
+        prop_assert_eq!(report.records, stored.len());
+        let recompacted = CampaignArchive::open(&dir, &spec).expect("reopen after compact");
+        let load = recompacted.load(&spec, &spec.expand());
+        prop_assert_eq!(load.loaded, stored.len());
+        let loaded: Vec<ScenarioResult> =
+            load.slots.into_iter().map(Option::unwrap).collect();
+        prop_assert_eq!(&archive_bytes(&result(loaded)), &reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_final_record_reruns_exactly_that_cell() {
+    // a writer killed mid-append leaves a truncated final frame: the
+    // reopened archive must skip it — and only it — and a resume must
+    // re-run exactly that cell, byte-identically
+    let spec = spec_with(vec![1, 2, 3]);
+    let cold = run_campaign_with(&spec, &config(1), None).expect("cold run");
+    let dir = scratch_dir();
+    {
+        let archive = CampaignArchive::open(&dir, &spec).expect("open");
+        for r in &cold.result.results {
+            archive.store(&spec, r).expect("store");
+        }
+    }
+    let segment = only_segment(&dir);
+    let full = std::fs::metadata(&segment).expect("segment stat").len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .expect("open segment");
+    file.set_len(full - 3).expect("tear the final record");
+    drop(file);
+
+    let archive = CampaignArchive::open(&dir, &spec).expect("reopen torn");
+    let load = archive.load(&spec, &spec.expand());
+    assert_eq!(
+        load.loaded,
+        spec.scenario_count() - 1,
+        "torn cell is missing"
+    );
+    assert_eq!(load.skipped, 0, "a torn tail is not a corrupt record");
+
+    let resumed = run_campaign_with(&spec, &config(2), Some(&archive)).expect("resume");
+    assert_eq!(
+        resumed.stats.executed_cells, 1,
+        "exactly the torn cell re-runs"
+    );
+    assert_eq!(
+        archive_bytes(&resumed.result),
+        archive_bytes(&cold.result),
+        "the healed campaign is byte-identical"
+    );
+    // the re-run stored the cell again: a second resume is all-archive
+    let again = run_campaign_with(&spec, &config(1), Some(&archive)).expect("second resume");
+    assert_eq!(again.stats.simulations, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_five_digit_archive_resumes_and_compacts_without_simulations() {
+    // an archive exactly as an old binary left it: per-cell JSON files
+    // with 5-digit names, no segments at all
+    let spec = spec_with(vec![4, 5]);
+    let cold = run_campaign_with(&spec, &config(1), None).expect("cold run");
+    let dir = scratch_dir();
+    {
+        let archive = CampaignArchive::open(&dir, &spec).expect("open");
+        for r in &cold.result.results {
+            archive.store_legacy(&spec, r).expect("store legacy");
+            let index = r.scenario.index;
+            std::fs::rename(
+                dir.join("cells").join(format!("cell-{index:08}.json")),
+                dir.join("cells").join(format!("cell-{index:05}.json")),
+            )
+            .expect("rename to the historical 5-digit name");
+        }
+        let _ = std::fs::remove_dir_all(dir.join("segments"));
+    }
+
+    // read-through: zero fresh simulations, byte-identical report
+    let archive = CampaignArchive::open(&dir, &spec).expect("reopen legacy");
+    let resumed = run_campaign_with(&spec, &config(2), Some(&archive)).expect("legacy resume");
+    assert_eq!(resumed.stats.simulations, 0, "legacy records all load");
+    assert_eq!(archive_bytes(&resumed.result), archive_bytes(&cold.result));
+
+    // compaction migrates every legacy file into one segment...
+    let report = archive.compact(&spec).expect("compact legacy");
+    assert_eq!(report.records, spec.scenario_count());
+    assert_eq!(report.legacy_migrated, spec.scenario_count());
+    assert!(
+        std::fs::read_dir(dir.join("cells"))
+            .map(|entries| entries.count() == 0)
+            .unwrap_or(true),
+        "migrated legacy files are removed"
+    );
+    // ...and the compacted archive still resumes with zero simulations
+    let compacted = CampaignArchive::open(&dir, &spec).expect("reopen compacted");
+    let again = run_campaign_with(&spec, &config(1), Some(&compacted)).expect("compacted resume");
+    assert_eq!(again.stats.simulations, 0);
+    assert_eq!(archive_bytes(&again.result), archive_bytes(&cold.result));
+    let _ = std::fs::remove_dir_all(&dir);
+}

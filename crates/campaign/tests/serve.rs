@@ -257,6 +257,18 @@ fn submit_stream_and_report_match_the_cli_byte_for_byte() {
     assert!(again.body.contains("\"existed\": true"), "{}", again.body);
     assert_eq!(json_str(&again.body, "job"), Some("complete"));
 
+    // compaction over the API rewrites the archive into one segment —
+    // and the report the daemon serves afterwards is byte-identical
+    let compacted = http(addr, "POST", &format!("/campaigns/{id}/compact"), None);
+    assert_eq!(compacted.status, 200, "{}", compacted.body);
+    assert!(
+        compacted.body.contains("\"records\": 4"),
+        "{}",
+        compacted.body
+    );
+    let after = http(addr, "GET", &format!("/campaigns/{id}/report"), None);
+    assert_eq!(after.body, report.body, "compaction changed the report");
+
     // graceful shutdown over the API; join() returns once drained
     let bye = http(addr, "POST", "/shutdown", None);
     assert_eq!(bye.status, 200);
@@ -387,6 +399,58 @@ fn errors_are_structured_json_and_reads_never_simulate() {
     let gc = http(addr, "POST", &format!("/campaigns/{id}/gc"), None);
     assert_eq!(gc.status, 200, "{}", gc.body);
     assert!(gc.body.contains("\"records_removed\": 0"), "{}", gc.body);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The `?since=` cursor's edges: a non-numeric cursor is a 400 with a
+/// structured JSON error (not a silent replay from zero), and a cursor
+/// beyond the log tail long-polls cleanly — an empty 200 stream, never
+/// an error.
+#[test]
+fn event_cursor_rejects_garbage_and_longpolls_past_the_tail() {
+    let root = scratch_dir();
+    let server = spawn_server(&root, serve_options(0)).expect("spawn daemon");
+    let addr = server.addr();
+
+    let submitted = http(addr, "POST", "/campaigns", Some(SPEC_TOML));
+    assert_eq!(submitted.status, 201, "{}", submitted.body);
+    let id = json_str(&submitted.body, "id").expect("id").to_string();
+
+    // non-numeric cursors are client bugs and must fail loudly
+    for bad in ["abc", "-1", "1.5", "0x10", ""] {
+        let rejected = http(
+            addr,
+            "GET",
+            &format!("/campaigns/{id}/events?since={bad}"),
+            None,
+        );
+        assert_eq!(rejected.status, 400, "since={bad}: {}", rejected.body);
+        assert_eq!(rejected.header("content-type"), Some("application/json"));
+        assert!(
+            rejected.body.contains("\"error\"") && rejected.body.contains("since"),
+            "since={bad}: {}",
+            rejected.body
+        );
+    }
+
+    // a cursor past the tail of an incomplete campaign is *not* an
+    // error: the stream long-polls for wait_ms and closes empty
+    let start = std::time::Instant::now();
+    let tail = http(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/events?since=999&wait_ms=120"),
+        None,
+    );
+    assert_eq!(tail.status, 200, "{}", tail.body);
+    assert_eq!(tail.header("content-type"), Some("application/x-ndjson"));
+    assert_eq!(tail.body, "", "no events past the tail: {}", tail.body);
+    assert!(
+        start.elapsed() >= std::time::Duration::from_millis(100),
+        "beyond-tail cursor must long-poll, not return instantly"
+    );
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&root);
