@@ -11,6 +11,11 @@
 //! (compare with 35 000 and 7 500 elem/s). A summary line per
 //! configuration is printed at startup.
 //!
+//! The bench also **enforces the coarse-evaluator floor**: multi-fidelity
+//! search charges one coarse evaluation at 1/10 of a fine simulation
+//! (`COARSE_FACTOR`), so `run_config_coarse` must deliver at least 10x
+//! the fine event-driven throughput — the run aborts if it does not.
+//!
 //! ```sh
 //! cargo bench -p dpm-bench --bench simspeed
 //! ```
@@ -18,7 +23,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dpm_bench::bench_trace;
 use dpm_kernel::{Clock, Simulation};
-use dpm_soc::{build_soc, IpConfig, SocConfig};
+use dpm_soc::{build_soc, run_config_coarse, IpConfig, SocConfig, SocMetrics};
 use dpm_units::SimTime;
 use dpm_workload::ActivityLevel;
 
@@ -68,8 +73,60 @@ fn print_summary() {
     println!("  (the paper's *ratio* single-IP/multi-IP ≈ 4.7x is the portable claim)");
 }
 
+/// Runs one fine (event-driven) evaluation, as the campaign runner does.
+fn run_fine(cfg: &SocConfig, horizon: SimTime) -> SocMetrics {
+    let mut sim = Simulation::new();
+    let handles = build_soc(&mut sim, cfg);
+    sim.run_until(horizon);
+    dpm_soc::collect_metrics(&mut sim, &handles, horizon)
+}
+
+/// The multi-fidelity search charges one coarse evaluation at 1/10 of a
+/// fine simulation (`dpm_campaign::COARSE_FACTOR`). This guard keeps the
+/// accounting honest: the coarse dwell-time evaluator must actually be
+/// at least 10x the fine event-driven throughput, or the "widened"
+/// screening budget would be a lie. Measured wall-to-wall over the same
+/// configurations the campaign grids sweep.
+fn enforce_coarse_speedup() {
+    const FLOOR: f64 = 10.0;
+    let horizon = SimTime::from_millis(15);
+    let configs = [single_ip_config(false), four_ip_config(false)];
+    // Warm up both paths (lazy statics, allocator, branch caches).
+    for cfg in &configs {
+        std::hint::black_box(run_fine(cfg, horizon));
+        std::hint::black_box(run_config_coarse(cfg, horizon));
+    }
+    let reps = 10;
+    let fine_start = std::time::Instant::now();
+    for _ in 0..reps {
+        for cfg in &configs {
+            std::hint::black_box(run_fine(cfg, horizon));
+        }
+    }
+    let fine = fine_start.elapsed();
+    let coarse_start = std::time::Instant::now();
+    for _ in 0..reps {
+        for cfg in &configs {
+            std::hint::black_box(run_config_coarse(cfg, horizon));
+        }
+    }
+    let coarse = coarse_start.elapsed();
+    let speedup = fine.as_secs_f64() / coarse.as_secs_f64().max(1e-12);
+    println!(
+        "== coarse evaluator: {reps}x{} evals fine {fine:?} vs coarse {coarse:?} -> {speedup:.0}x ==",
+        configs.len()
+    );
+    assert!(
+        speedup >= FLOOR,
+        "coarse evaluator only {speedup:.1}x faster than fine; \
+         the multi-fidelity budget accounting assumes >= {FLOOR}x \
+         (COARSE_FACTOR) — profile the coarse walk before shipping"
+    );
+}
+
 fn bench_simspeed(c: &mut Criterion) {
     print_summary();
+    enforce_coarse_speedup();
     let mut group = c.benchmark_group("simspeed");
     group.sample_size(10);
     let cycles = 200_000u64; // 1 ms at 200 MHz

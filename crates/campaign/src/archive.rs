@@ -72,7 +72,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use crate::runner::{ScenarioMetrics, ScenarioResult};
+use crate::runner::{Fidelity, ScenarioMetrics, ScenarioResult};
 use crate::segment::{self, IndexEntry, SegmentIndex, SegmentWriter};
 use crate::spec::{CampaignSpec, ScenarioSpec};
 
@@ -129,6 +129,15 @@ pub struct CellRecord {
     pub scenario: ScenarioSpec,
     /// The cell's metrics.
     pub metrics: ScenarioMetrics,
+    /// The fidelity the metrics were evaluated at. Absent in records
+    /// written before multi-fidelity search existed, which were all
+    /// full-kernel runs — so a missing tag deserializes as
+    /// [`Fidelity::Fine`] and legacy records read through unchanged.
+    /// This is a *tag*, not a layout change: [`ARCHIVE_VERSION`] stays
+    /// the same, and a read only accepts records whose tag matches the
+    /// requested fidelity (a coarse screen must never be resumed as a
+    /// completed fine cell, nor the reverse).
+    pub fidelity: Fidelity,
 }
 
 /// One work lease on disk: a claim on a whole baseline group, created
@@ -224,8 +233,11 @@ pub enum LeaseState {
 /// group's lease (`dpm campaign list --format json` over a directory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellState {
-    /// A valid record exists.
+    /// A valid *fine* (full-kernel) record exists.
     Archived,
+    /// A valid record exists, but it is a coarse screening result — the
+    /// cell still needs a fine run before it can back a report.
+    Screened,
     /// No record, but the cell's group is under a live lease.
     Leased,
     /// No record and no live lease.
@@ -237,6 +249,7 @@ impl CellState {
     pub fn label(self) -> &'static str {
         match self {
             CellState::Archived => "archived",
+            CellState::Screened => "screened",
             CellState::Leased => "leased",
             CellState::Pending => "pending",
         }
@@ -301,11 +314,20 @@ struct SegmentState {
 }
 
 /// A campaign directory opened against a specific spec.
+///
+/// Fine and coarse records live in **separate segment stores**
+/// (`segments/` and `segments-coarse/`): the segment layer's
+/// first-frame-wins index is only sound while every frame for a cell
+/// is byte-identical, which holds within one fidelity but not across
+/// two. Keeping the stores apart preserves that invariant and lets a
+/// cell hold a coarse screen *and* a fine result at once — each read
+/// fidelity hits its own cache.
 #[derive(Debug, Clone)]
 pub struct CampaignArchive {
     dir: PathBuf,
     fingerprint: u64,
     segments: Arc<Mutex<SegmentState>>,
+    coarse: Arc<Mutex<SegmentState>>,
 }
 
 impl CampaignArchive {
@@ -359,11 +381,18 @@ impl CampaignArchive {
         // build the index up front: one sequential scan of the segment
         // files, no JSON parsing — sub-second even at 10^5 cells
         index.refresh()?;
+        let mut coarse_index =
+            SegmentIndex::new(dir.join("segments-coarse"), fingerprint, ARCHIVE_VERSION);
+        coarse_index.refresh()?;
         Ok(Self {
             dir: dir.to_path_buf(),
             fingerprint,
             segments: Arc::new(Mutex::new(SegmentState {
                 index,
+                writer: SegmentWriter::default(),
+            })),
+            coarse: Arc::new(Mutex::new(SegmentState {
+                index: coarse_index,
                 writer: SegmentWriter::default(),
             })),
         })
@@ -411,9 +440,29 @@ impl CampaignArchive {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// The segment-store state for one fidelity. Code touching both
+    /// stores must take the fine lock before the coarse one.
+    fn lock_for(&self, fidelity: Fidelity) -> MutexGuard<'_, SegmentState> {
+        match fidelity {
+            Fidelity::Fine => self.seg_lock(),
+            Fidelity::Coarse => self
+                .coarse
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        }
+    }
+
     /// The `segments/` directory.
     fn segments_dir(&self) -> PathBuf {
         self.dir.join("segments")
+    }
+
+    /// The segment directory of one fidelity's store.
+    fn segments_dir_for(&self, fidelity: Fidelity) -> PathBuf {
+        match fidelity {
+            Fidelity::Fine => self.dir.join("segments"),
+            Fidelity::Coarse => self.dir.join("segments-coarse"),
+        }
     }
 
     /// The legacy-format path of one cell record. New legacy-format
@@ -480,12 +529,17 @@ impl CampaignArchive {
     }
 
     /// Parses and validates one record's text against the cell it
-    /// should hold, returning the full record.
+    /// should hold, returning the full record. With `fidelity` set, a
+    /// record of any other fidelity is rejected **in both directions**
+    /// — a fine record must not satisfy a coarse read either, or a
+    /// resumed coarse screen would silently change its numbers. `None`
+    /// accepts any fidelity (hygiene passes: gc, compaction, status).
     fn valid_record(
         &self,
         spec: &CampaignSpec,
         cell: &ScenarioSpec,
         text: &str,
+        fidelity: Option<Fidelity>,
     ) -> Option<CellRecord> {
         match serde_json::from_str::<CellRecord>(text) {
             Ok(rec)
@@ -493,7 +547,8 @@ impl CampaignArchive {
                     && rec.spec_fingerprint == self.fingerprint
                     && rec.master_seed == spec.master_seed
                     && rec.horizon_ms == spec.horizon_ms
-                    && rec.scenario == *cell =>
+                    && rec.scenario == *cell
+                    && fidelity.is_none_or(|f| rec.fidelity == f) =>
             {
                 Some(rec)
             }
@@ -507,8 +562,9 @@ impl CampaignArchive {
         spec: &CampaignSpec,
         cell: &ScenarioSpec,
         text: &str,
+        fidelity: Option<Fidelity>,
     ) -> Option<ScenarioResult> {
-        self.valid_record(spec, cell, text)
+        self.valid_record(spec, cell, text, fidelity)
             .map(|rec| ScenarioResult {
                 scenario: rec.scenario,
                 metrics: Some(rec.metrics),
@@ -516,23 +572,40 @@ impl CampaignArchive {
             })
     }
 
-    /// Loads one cell's record, if a valid one exists: the segment
-    /// index first (refreshing on a miss, so a record another process
-    /// just appended is found), then the legacy per-cell files.
+    /// Loads one cell's *fine* record, if a valid one exists: the
+    /// segment index first (refreshing on a miss, so a record another
+    /// process just appended is found), then the legacy per-cell files.
     pub fn load_cell(&self, spec: &CampaignSpec, cell: &ScenarioSpec) -> Option<ScenarioResult> {
+        self.load_cell_as(spec, cell, Fidelity::Fine)
+    }
+
+    /// [`load_cell`](Self::load_cell) at an explicit fidelity: reads
+    /// that fidelity's segment store; only a record evaluated at
+    /// exactly `fidelity` satisfies the read.
+    pub fn load_cell_as(
+        &self,
+        spec: &CampaignSpec,
+        cell: &ScenarioSpec,
+        fidelity: Fidelity,
+    ) -> Option<ScenarioResult> {
         {
-            let mut state = self.seg_lock();
+            let mut state = self.lock_for(fidelity);
             if let Some(payload) = state.index.read_refreshing(cell.index) {
                 if let Some(result) = std::str::from_utf8(&payload)
                     .ok()
-                    .and_then(|text| self.record_from(spec, cell, text))
+                    .and_then(|text| self.record_from(spec, cell, text, Some(fidelity)))
                 {
                     return Some(result);
                 }
             }
         }
+        // legacy per-cell files predate the coarse evaluator entirely,
+        // so they can only ever satisfy a fine read
+        if fidelity != Fidelity::Fine {
+            return None;
+        }
         let text = self.legacy_cell_text(cell.index)?;
-        self.record_from(spec, cell, &text)
+        self.record_from(spec, cell, &text, Some(fidelity))
     }
 
     /// Loads every valid archived record against the given cells (the
@@ -540,14 +613,27 @@ impl CampaignArchive {
     /// **grid** index, so a search evaluating scattered cells hits the
     /// same cache an exhaustive sweep fills). Slot `i` of the result
     /// corresponds to `cells[i]`. Invalid or foreign records count as
-    /// `skipped` and their cells run fresh.
+    /// `skipped` and their cells run fresh. Loads *fine* records only.
     pub fn load(&self, spec: &CampaignSpec, cells: &[ScenarioSpec]) -> ArchiveLoad {
+        self.load_as(spec, cells, Fidelity::Fine)
+    }
+
+    /// [`load`](Self::load) at an explicit fidelity: reads that
+    /// fidelity's segment store; a record of the wrong fidelity that
+    /// somehow ended up there counts as `skipped` (its cell runs fresh
+    /// at the requested fidelity — never served across the boundary).
+    pub fn load_as(
+        &self,
+        spec: &CampaignSpec,
+        cells: &[ScenarioSpec],
+        fidelity: Fidelity,
+    ) -> ArchiveLoad {
         let mut slots: Vec<Option<ScenarioResult>> = vec![None; cells.len()];
         let mut loaded = 0;
         let mut skipped = 0;
         {
             // one refresh for the whole batch, then index-served reads
-            let mut state = self.seg_lock();
+            let mut state = self.lock_for(fidelity);
             let _ = state.index.refresh();
             for (i, cell) in cells.iter().enumerate() {
                 if !state.index.contains(cell.index) {
@@ -558,7 +644,7 @@ impl CampaignArchive {
                 };
                 match std::str::from_utf8(&payload)
                     .ok()
-                    .and_then(|text| self.record_from(spec, cell, text))
+                    .and_then(|text| self.record_from(spec, cell, text, Some(fidelity)))
                 {
                     Some(result) => {
                         slots[i] = Some(result);
@@ -569,7 +655,8 @@ impl CampaignArchive {
             }
         }
         // legacy read-through for whatever the segments didn't cover
-        if slots.iter().any(Option::is_none) {
+        // (legacy files predate the coarse evaluator: fine reads only)
+        if fidelity == Fidelity::Fine && slots.iter().any(Option::is_none) {
             let legacy = self.legacy_map();
             if !legacy.is_empty() {
                 for (i, cell) in cells.iter().enumerate() {
@@ -582,7 +669,7 @@ impl CampaignArchive {
                     let Ok(text) = std::fs::read_to_string(path) else {
                         continue;
                     };
-                    match self.record_from(spec, cell, &text) {
+                    match self.record_from(spec, cell, &text, Some(fidelity)) {
                         Some(result) => {
                             slots[i] = Some(result);
                             loaded += 1;
@@ -611,12 +698,29 @@ impl CampaignArchive {
     ///
     /// Returns a description when the record cannot be written.
     pub fn store(&self, spec: &CampaignSpec, result: &ScenarioResult) -> Result<(), String> {
-        let Some(json) = self.encode_record(spec, result)? else {
+        self.store_as(spec, result, Fidelity::Fine)
+    }
+
+    /// [`store`](Self::store) at an explicit fidelity: the record is
+    /// appended to that fidelity's segment store. A cell may hold a
+    /// coarse screen and a fine result at once — each lives in its own
+    /// store, so neither ever shadows the other.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the record cannot be written.
+    pub fn store_as(
+        &self,
+        spec: &CampaignSpec,
+        result: &ScenarioResult,
+        fidelity: Fidelity,
+    ) -> Result<(), String> {
+        let Some(json) = self.encode_record(spec, result, fidelity)? else {
             return Ok(());
         };
         let index = result.scenario.index;
-        let dir = self.segments_dir();
-        let mut state = self.seg_lock();
+        let dir = self.segments_dir_for(fidelity);
+        let mut state = self.lock_for(fidelity);
         let appended = state.writer.append(
             &dir,
             index,
@@ -644,6 +748,7 @@ impl CampaignArchive {
         &self,
         spec: &CampaignSpec,
         result: &ScenarioResult,
+        fidelity: Fidelity,
     ) -> Result<Option<String>, String> {
         let Some(metrics) = result.metrics.as_ref() else {
             return Ok(None);
@@ -655,6 +760,7 @@ impl CampaignArchive {
             horizon_ms: spec.horizon_ms,
             scenario: result.scenario,
             metrics: metrics.clone(),
+            fidelity,
         };
         serde_json::to_string(&record)
             .map(Some)
@@ -677,6 +783,7 @@ impl CampaignArchive {
             horizon_ms: spec.horizon_ms,
             scenario: result.scenario,
             metrics: metrics.clone(),
+            fidelity: Fidelity::Fine,
         };
         let json = serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?;
         let path = self.cell_path(result.scenario.index);
@@ -701,21 +808,46 @@ impl CampaignArchive {
     /// makes the re-run byte-identical, exactly like a lease-overlap
     /// duplicate.
     ///
+    /// Both segment stores are compacted: the fine store (which also
+    /// absorbs legacy per-cell files) and the coarse store. The report
+    /// totals cover the two combined.
+    ///
     /// # Errors
     ///
-    /// Returns a description when the directory cannot be listed,
+    /// Returns a description when a directory cannot be listed,
     /// scanned or written.
     pub fn compact(&self, spec: &CampaignSpec) -> Result<CompactReport, String> {
-        use std::io::Write as _;
-        let dir = self.segments_dir();
-        let n = spec.scenario_count();
         let mut report = CompactReport::default();
-        let mut state = self.seg_lock();
+        {
+            let mut state = self.seg_lock();
+            self.compact_store(spec, &mut state, &self.segments_dir(), true, &mut report)?;
+        }
+        {
+            let mut state = self.lock_for(Fidelity::Coarse);
+            let dir = self.segments_dir_for(Fidelity::Coarse);
+            self.compact_store(spec, &mut state, &dir, false, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    /// Compacts one segment store in place; `migrate_legacy` also
+    /// folds valid legacy per-cell files into the fresh segment (the
+    /// fine store only — legacy records predate the coarse evaluator).
+    fn compact_store(
+        &self,
+        spec: &CampaignSpec,
+        state: &mut SegmentState,
+        dir: &Path,
+        migrate_legacy: bool,
+        report: &mut CompactReport,
+    ) -> Result<(), String> {
+        use std::io::Write as _;
+        let n = spec.scenario_count();
         // our own open segment is rewritten like any other
         state.writer.close();
         state.index.reset();
         state.index.refresh()?;
-        let old_segments = segment::list_segments(&dir)?;
+        let old_segments = segment::list_segments(dir)?;
         for path in old_segments.values() {
             report.bytes_before += std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         }
@@ -734,7 +866,7 @@ impl CampaignArchive {
             };
             if let Some(rec) = std::str::from_utf8(&payload)
                 .ok()
-                .and_then(|text| self.valid_record(spec, &cell, text))
+                .and_then(|text| self.valid_record(spec, &cell, text, None))
             {
                 let text = serde_json::to_string(&rec).map_err(|e| e.to_string())?;
                 records.insert(index, text);
@@ -743,33 +875,35 @@ impl CampaignArchive {
         // migrate legacy records (valid ones; corrupt files are gc's
         // business, not compaction's)
         let mut migrated: Vec<PathBuf> = Vec::new();
-        for (index, path) in self.legacy_map() {
-            if index >= n {
-                continue;
-            }
-            if records.contains_key(&index) {
-                migrated.push(path); // duplicate of a segment record
-                continue;
-            }
-            let cell = spec.cell_at(index);
-            let Ok(text) = std::fs::read_to_string(&path) else {
-                continue;
-            };
-            if let Some(rec) = self.valid_record(spec, &cell, &text) {
-                let canonical = serde_json::to_string(&rec).map_err(|e| e.to_string())?;
-                records.insert(index, canonical);
-                migrated.push(path);
+        if migrate_legacy {
+            for (index, path) in self.legacy_map() {
+                if index >= n {
+                    continue;
+                }
+                if records.contains_key(&index) {
+                    migrated.push(path); // duplicate of a segment record
+                    continue;
+                }
+                let cell = spec.cell_at(index);
+                let Ok(text) = std::fs::read_to_string(&path) else {
+                    continue;
+                };
+                if let Some(rec) = self.valid_record(spec, &cell, &text, None) {
+                    let canonical = serde_json::to_string(&rec).map_err(|e| e.to_string())?;
+                    records.insert(index, canonical);
+                    migrated.push(path);
+                }
             }
         }
         if !records.is_empty() {
             // reserve the target number with create_new (concurrent
             // writers allocate past it), build the segment in a temp
             // file, then atomically rename over the reservation
-            std::fs::create_dir_all(&dir)
+            std::fs::create_dir_all(dir)
                 .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
             let mut number = old_segments.keys().next_back().map_or(0, |l| l + 1);
             let target = loop {
-                let path = segment::segment_path(&dir, number);
+                let path = segment::segment_path(dir, number);
                 match std::fs::OpenOptions::new()
                     .write(true)
                     .create_new(true)
@@ -797,8 +931,8 @@ impl CampaignArchive {
             write_all().map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
             std::fs::rename(&tmp, &target)
                 .map_err(|e| format!("cannot finalize {}: {e}", target.display()))?;
-            report.bytes_after = std::fs::metadata(&target).map(|m| m.len()).unwrap_or(0);
-            report.records = records.len();
+            report.bytes_after += std::fs::metadata(&target).map(|m| m.len()).unwrap_or(0);
+            report.records += records.len();
         }
         // only now drop the old files: every live record is durable in
         // the fresh segment
@@ -814,7 +948,7 @@ impl CampaignArchive {
         }
         state.index.reset();
         state.index.refresh()?;
-        Ok(report)
+        Ok(())
     }
 
     // ---- work leases -------------------------------------------------
@@ -982,13 +1116,16 @@ impl CampaignArchive {
     /// The lifecycle state of every grid cell: its record, else its
     /// group's lease, else pending.
     ///
-    /// Segment-archived cells are judged by index membership alone —
-    /// every indexed frame already passed the checksum, fingerprint and
+    /// Segment-archived cells are judged by index membership plus a
+    /// byte scan of the payload for the coarse fidelity tag — every
+    /// indexed frame already passed the checksum, fingerprint and
     /// version checks during the scan, so no JSON is parsed here. That
-    /// keeps a full-status sweep sub-second at 10^5 cells.
+    /// keeps a full-status sweep sub-second at 10^5 cells while still
+    /// telling coarse screens ([`CellState::Screened`]) apart from
+    /// completed fine cells.
     pub fn cell_states(&self, spec: &CampaignSpec, ttl_ms: u64) -> Vec<CellState> {
         let cells = spec.expand();
-        let mut archived = vec![false; cells.len()];
+        let mut archived: Vec<bool> = vec![false; cells.len()];
         {
             let mut state = self.seg_lock();
             let _ = state.index.refresh();
@@ -996,7 +1133,7 @@ impl CampaignArchive {
                 archived[i] = state.index.contains(cell.index);
             }
         }
-        if archived.iter().any(|a| !a) {
+        if archived.iter().any(|&a| !a) {
             let legacy = self.legacy_map();
             if !legacy.is_empty() {
                 for (i, cell) in cells.iter().enumerate() {
@@ -1006,11 +1143,24 @@ impl CampaignArchive {
                     let Some(path) = legacy.get(&cell.index) else {
                         continue;
                     };
-                    archived[i] = std::fs::read_to_string(path)
+                    if std::fs::read_to_string(path)
                         .ok()
-                        .and_then(|text| self.record_from(spec, cell, &text))
-                        .is_some();
+                        .and_then(|text| self.record_from(spec, cell, &text, None))
+                        .is_some()
+                    {
+                        archived[i] = true;
+                    }
                 }
+            }
+        }
+        // a cell with only a coarse record is *screened*: ranked by the
+        // fast path, but still pending as far as fine results go
+        let mut screened: Vec<bool> = vec![false; cells.len()];
+        {
+            let mut state = self.lock_for(Fidelity::Coarse);
+            let _ = state.index.refresh();
+            for (i, cell) in cells.iter().enumerate() {
+                screened[i] = !archived[i] && state.index.contains(cell.index);
             }
         }
         let lease_live: Vec<bool> = (0..spec.group_count())
@@ -1018,10 +1168,12 @@ impl CampaignArchive {
             .collect();
         cells
             .iter()
-            .zip(&archived)
-            .map(|(cell, &archived)| {
-                if archived {
+            .enumerate()
+            .map(|(i, cell)| {
+                if archived[i] {
                     CellState::Archived
+                } else if screened[i] {
+                    CellState::Screened
                 } else if lease_live[spec.group_of(cell.index)] {
                     CellState::Leased
                 } else {
@@ -1053,63 +1205,68 @@ impl CampaignArchive {
             std::fs::remove_file(path).map_err(|e| format!("cannot remove {}: {e}", path.display()))
         };
         let n = spec.scenario_count();
-        let segdir = self.segments_dir();
-        for entry in read_dir_or_empty(&segdir)? {
-            let path = entry?;
-            let name = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
-            if name.ends_with(".tmp") {
-                remove(&path)?;
-                report.tmp_removed += 1;
-                continue;
-            }
-            if segment::parse_segment_name(name).is_none() {
-                continue; // not ours; leave unknown files alone
-            }
-            let (frames, _) = segment::scan_segment(&path, 0)
-                .map_err(|e| format!("cannot scan {}: {e}", path.display()))?;
-            let mut valid = 0;
-            let mut invalid = 0;
-            if !frames.is_empty() {
-                let mut file = std::fs::File::open(&path)
-                    .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
-                for frame in &frames {
-                    let ok = frame.fingerprint == self.fingerprint
-                        && frame.version == ARCHIVE_VERSION
-                        && usize::try_from(frame.index).is_ok_and(|index| {
-                            index < n && {
-                                let mut payload = vec![0u8; frame.payload_len as usize];
-                                file.seek(SeekFrom::Start(frame.payload_offset)).is_ok()
-                                    && file.read_exact(&mut payload).is_ok()
-                                    && std::str::from_utf8(&payload).is_ok_and(|text| {
-                                        self.record_from(spec, &spec.cell_at(index), text).is_some()
-                                    })
-                            }
-                        });
-                    if ok {
-                        valid += 1;
-                    } else {
-                        invalid += 1;
+        for fidelity in [Fidelity::Fine, Fidelity::Coarse] {
+            let segdir = self.segments_dir_for(fidelity);
+            for entry in read_dir_or_empty(&segdir)? {
+                let path = entry?;
+                let name = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
+                if name.ends_with(".tmp") {
+                    remove(&path)?;
+                    report.tmp_removed += 1;
+                    continue;
+                }
+                if segment::parse_segment_name(name).is_none() {
+                    continue; // not ours; leave unknown files alone
+                }
+                let (frames, _) = segment::scan_segment(&path, 0)
+                    .map_err(|e| format!("cannot scan {}: {e}", path.display()))?;
+                let mut valid = 0;
+                let mut invalid = 0;
+                if !frames.is_empty() {
+                    let mut file = std::fs::File::open(&path)
+                        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+                    for frame in &frames {
+                        let ok = frame.fingerprint == self.fingerprint
+                            && frame.version == ARCHIVE_VERSION
+                            && usize::try_from(frame.index).is_ok_and(|index| {
+                                index < n && {
+                                    let mut payload = vec![0u8; frame.payload_len as usize];
+                                    file.seek(SeekFrom::Start(frame.payload_offset)).is_ok()
+                                        && file.read_exact(&mut payload).is_ok()
+                                        && std::str::from_utf8(&payload).is_ok_and(|text| {
+                                            self.record_from(spec, &spec.cell_at(index), text, None)
+                                                .is_some()
+                                        })
+                                }
+                            });
+                        if ok {
+                            valid += 1;
+                        } else {
+                            invalid += 1;
+                        }
                     }
                 }
-            }
-            if valid > 0 {
-                report.records_kept += valid;
-            } else if invalid > 0 {
-                remove(&path)?;
-                report.records_removed += invalid;
-            } else {
-                // empty or pure-garbage segment (a writer killed
-                // between allocation and its first append)
-                remove(&path)?;
-                report.tmp_removed += 1;
+                if valid > 0 {
+                    report.records_kept += valid;
+                } else if invalid > 0 {
+                    remove(&path)?;
+                    report.records_removed += invalid;
+                } else {
+                    // empty or pure-garbage segment (a writer killed
+                    // between allocation and its first append)
+                    remove(&path)?;
+                    report.tmp_removed += 1;
+                }
             }
         }
         // removing dead segments invalidates any index entries into
         // them; the next refresh rebuilds
         if report.records_removed > 0 || report.tmp_removed > 0 {
-            let mut state = self.seg_lock();
-            state.index.reset();
-            let _ = state.index.refresh();
+            for fidelity in [Fidelity::Fine, Fidelity::Coarse] {
+                let mut state = self.lock_for(fidelity);
+                state.index.reset();
+                let _ = state.index.refresh();
+            }
         }
         for entry in read_dir_or_empty(&self.dir.join("cells"))? {
             let path = entry?;
@@ -1129,7 +1286,7 @@ impl CampaignArchive {
             let valid = index < n
                 && std::fs::read_to_string(&path)
                     .ok()
-                    .and_then(|text| self.record_from(spec, &spec.cell_at(index), &text))
+                    .and_then(|text| self.record_from(spec, &spec.cell_at(index), &text, None))
                     .is_some();
             if valid {
                 report.records_kept += 1;
@@ -1542,6 +1699,102 @@ mod tests {
         archive.release(lease);
         let states = archive.cell_states(&spec, cfg.ttl_ms);
         assert_eq!(states[1], CellState::Pending);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coarse_and_fine_records_live_in_separate_stores() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("fidelity-coexist");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let fine = run_campaign(&spec, &RunnerConfig::serial());
+        let coarse = run_campaign(
+            &spec,
+            &RunnerConfig::serial().with_fidelity(Fidelity::Coarse),
+        );
+        // a full coarse screen ...
+        for r in &coarse.results {
+            archive.store_as(&spec, r, Fidelity::Coarse).unwrap();
+        }
+        // ... never satisfies a fine read
+        let load = archive.load(&spec, &spec.expand());
+        assert_eq!(load.loaded, 0, "screens must not stand in for fine cells");
+        // cell 0 then completes at fine fidelity
+        archive.store(&spec, &fine.results[0]).unwrap();
+        let got = archive
+            .load_cell(&spec, &spec.cell_at(0))
+            .expect("fine record");
+        assert_eq!(&got, &fine.results[0]);
+        // the coarse record coexists, unshadowed — a resumed screen
+        // replays byte-identically from its own store
+        let got = archive
+            .load_cell_as(&spec, &spec.cell_at(0), Fidelity::Coarse)
+            .expect("coarse record");
+        assert_eq!(&got, &coarse.results[0]);
+        // and the fine record never leaks into coarse reads
+        let screen = archive.load_as(&spec, &spec.expand(), Fidelity::Coarse);
+        assert_eq!(screen.loaded, spec.scenario_count());
+        for (slot, want) in screen.slots.iter().zip(&coarse.results) {
+            assert_eq!(slot.as_ref().unwrap(), want);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coarse_only_cells_report_screened() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("fidelity-states");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let coarse = run_campaign(
+            &spec,
+            &RunnerConfig::serial().with_fidelity(Fidelity::Coarse),
+        );
+        for r in &coarse.results {
+            archive.store_as(&spec, r, Fidelity::Coarse).unwrap();
+        }
+        let cfg = test_lease();
+        let states = archive.cell_states(&spec, cfg.ttl_ms);
+        assert!(
+            states.iter().all(|&s| s == CellState::Screened),
+            "{states:?}"
+        );
+        // a fine completion promotes the cell past "screened"
+        let fine = run_campaign(&spec, &RunnerConfig::serial());
+        archive.store(&spec, &fine.results[0]).unwrap();
+        let states = archive.cell_states(&spec, cfg.ttl_ms);
+        assert_eq!(states[0], CellState::Archived);
+        assert_eq!(states[1], CellState::Screened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_and_gc_preserve_both_fidelity_stores() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("fidelity-compact");
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let fine = run_campaign(&spec, &RunnerConfig::serial());
+        let coarse = run_campaign(
+            &spec,
+            &RunnerConfig::serial().with_fidelity(Fidelity::Coarse),
+        );
+        for r in &coarse.results {
+            archive.store_as(&spec, r, Fidelity::Coarse).unwrap();
+        }
+        for r in &fine.results {
+            archive.store(&spec, r).unwrap();
+        }
+        let report = archive.compact(&spec).unwrap();
+        assert_eq!(report.records, 2 * spec.scenario_count());
+        let gc = archive.gc(&spec, test_lease().ttl_ms).unwrap();
+        assert_eq!(gc.records_kept, 2 * spec.scenario_count());
+        assert_eq!(gc.records_removed, 0);
+        let fine_load = archive.load(&spec, &spec.expand());
+        assert_eq!(fine_load.loaded, spec.scenario_count());
+        let coarse_load = archive.load_as(&spec, &spec.expand(), Fidelity::Coarse);
+        assert_eq!(coarse_load.loaded, spec.scenario_count());
+        for (slot, want) in coarse_load.slots.iter().zip(&coarse.results) {
+            assert_eq!(slot.as_ref().unwrap(), want);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -27,9 +27,10 @@ use dpm_campaign::{
     campaign_ascii, campaign_json, campaign_markdown, grid_json, pareto_ascii, pareto_campaign,
     pareto_json, pareto_markdown, parse_campaign_toml, run_stats_line, run_worker, search_ascii,
     search_campaign, search_json, search_markdown, spawn_server, summarize, CampaignArchive,
-    CampaignExecutor, CampaignSpec, Constraint, Executor as _, LeaseConfig, MultiObjective,
-    Objective, ParetoSpec, RunnerConfig, SearchDefaults, SearchSpec, ServeOptions, StrategyKind,
-    ThreadPool, WorkerOptions, WorkerPool, DEFAULT_LEASE_POLL_MS, DEFAULT_LEASE_TTL_MS,
+    CampaignExecutor, CampaignSpec, Constraint, Executor as _, Fidelity, LeaseConfig,
+    MultiObjective, Objective, ParetoSpec, RunnerConfig, SearchDefaults, SearchFidelity,
+    SearchSpec, ServeOptions, StrategyKind, ThreadPool, WorkerOptions, WorkerPool,
+    DEFAULT_LEASE_POLL_MS, DEFAULT_LEASE_TTL_MS,
 };
 use dpm_soc::experiment::{run_scenario, ScenarioId};
 use dpm_soc::report::{table2_ascii, table2_json, table2_markdown};
@@ -47,6 +48,7 @@ USAGE:
     dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
     dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto]
                [--objective METRIC[,METRIC...]] [--constraint METRIC<=X]
+               [--fidelity fine|coarse|multi]
                [--budget N] [--start-points N] [--threads N]
                [--initial-temp T] [--cooling F] [--anneal-seed N]
                [--format ascii|markdown|json] [--out FILE] [--resume DIR]
@@ -98,7 +100,16 @@ expansion; pass two or more comma-separated --objective metrics and get
 the non-dominated front instead of a single winner). With --resume DIR
 the campaign directory doubles as a result cache — re-searching it
 performs zero fresh simulations — and --coordinate lets several search
-processes share one exploration through the directory's work leases.";
+processes share one exploration through the directory's work leases.
+
+--fidelity picks how scalar searches spend the budget: 'fine' (full
+kernel simulation, the default), 'coarse' (the analytic dwell-time
+evaluator — screening numbers, ~10x faster), or 'multi' (screen widely
+at coarse fidelity, then promote the top-ranked cells to full fine
+runs within the same fine-equivalent budget; the report contains fine
+numbers only). Archive records are fidelity-tagged, so coarse screens
+and fine results share a campaign directory without ever standing in
+for each other.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -366,6 +377,7 @@ fn campaign_run(args: &[String]) -> Result<(), String> {
         dedup_baselines: !opts.has("no-dedup"),
         lease: None,
         cancel: None,
+        fidelity: Fidelity::Fine,
     };
 
     // the multi-process backend needs a directory to coordinate through;
@@ -628,6 +640,7 @@ fn search(args: &[String]) -> Result<(), String> {
             "strategy",
             "objective",
             "constraint",
+            "fidelity",
             "budget",
             "start-points",
             "threads",
@@ -662,6 +675,24 @@ fn search(args: &[String]) -> Result<(), String> {
         Some(text) => Some(Constraint::parse(text)?),
         None => defaults.constraint,
     };
+    let fidelity = match opts.value("fidelity") {
+        Some(text) => {
+            let fidelity = SearchFidelity::parse(text)?;
+            if strategy == StrategyKind::Pareto && fidelity != SearchFidelity::Fine {
+                return Err(
+                    "--fidelity only applies to scalar strategies (climb, anneal); \
+                     pareto fronts are always computed at fine fidelity"
+                        .into(),
+                );
+            }
+            fidelity
+        }
+        // A spec-default fidelity applies to the scalar strategies only;
+        // pareto quietly stays fine rather than rejecting a spec whose
+        // [search] section was written for climb/anneal.
+        None if strategy == StrategyKind::Pareto => SearchFidelity::Fine,
+        None => defaults.fidelity.unwrap_or_default(),
+    };
     let grid = spec.scenario_count();
     let budget = parse_positive_flag(&opts, "budget")?
         .or(defaults.budget)
@@ -687,12 +718,15 @@ fn search(args: &[String]) -> Result<(), String> {
                     directory is the work-sharing medium)"
             .into());
     }
+    // always fine here: search_campaign pins the per-phase fidelity
+    // itself from the SearchSpec, and pareto fronts are fine-only
     let config = RunnerConfig {
         threads: parse_usize_flag(&opts, "threads")?.unwrap_or(0),
         progress: false,
         dedup_baselines: !opts.has("no-dedup"),
         lease,
         cancel: None,
+        fidelity: Fidelity::Fine,
     };
     let archive = open_archive(&opts, &spec)?;
     let started = std::time::Instant::now();
@@ -762,7 +796,9 @@ fn search(args: &[String]) -> Result<(), String> {
         Some(c) => objective.with_constraint(c),
         None => objective,
     };
-    let mut search_spec = SearchSpec::new(objective, budget).with_strategy(strategy);
+    let mut search_spec = SearchSpec::new(objective, budget)
+        .with_strategy(strategy)
+        .with_fidelity(fidelity);
     if let Some(points) = start_points {
         search_spec.start_points = points;
     }
@@ -785,18 +821,30 @@ fn search(args: &[String]) -> Result<(), String> {
         search_spec.anneal.seed = seed;
     }
     search_spec.anneal.validate()?;
+    // fine mode keeps the exact historical header; the other modes name
+    // their fidelity so a screening run is never mistaken for fine data
+    let fidelity_note = match fidelity {
+        SearchFidelity::Fine => String::new(),
+        other => format!(", {} fidelity", other.label()),
+    };
     eprintln!(
-        "search '{}' ({}): {} over a {}-cell grid, budget {}",
+        "search '{}' ({}{}): {} over a {}-cell grid, budget {}",
         spec.name,
         strategy.label(),
+        fidelity_note,
         search_spec.objective.describe(),
         grid,
         search_spec.budget,
     );
     let outcome = search_campaign(&spec, &search_spec, &config, archive.as_ref())?;
+    let screened_note = match outcome.report.screened {
+        0 => String::new(),
+        n => format!(" ({n} coarse-screened)"),
+    };
     eprintln!(
-        "  {} cells evaluated in {} rounds in {:.2?}; {}",
+        "  {} cells evaluated{} in {} rounds in {:.2?}; {}",
         outcome.report.evaluated,
+        screened_note,
         outcome.report.rounds,
         started.elapsed(),
         run_stats_line(&outcome.stats),

@@ -111,14 +111,14 @@ pub use report::{
 };
 pub use runner::{
     run_campaign, run_campaign_with, run_cells_with, run_scenario_cell, BaselineCache,
-    CampaignResult, CampaignRun, RunStats, RunnerConfig, ScenarioMetrics, ScenarioResult,
+    CampaignResult, CampaignRun, Fidelity, RunStats, RunnerConfig, ScenarioMetrics, ScenarioResult,
     RUN_CANCELLED,
 };
 pub use search::{
     drive_strategy, pareto_campaign, search_campaign, AnnealSchedule, AnnealStrategy,
     ClimbStrategy, Evaluation, Exploration, ParetoOutcome, ParetoPoint, ParetoReport, ParetoRound,
-    ParetoSpec, ParetoStrategy, SearchBest, SearchOutcome, SearchReport, SearchSpec, Strategy,
-    StrategyKind, DEFAULT_START_POINTS,
+    ParetoSpec, ParetoStrategy, SearchBest, SearchFidelity, SearchOutcome, SearchReport,
+    SearchSpec, Strategy, StrategyKind, COARSE_FACTOR, DEFAULT_START_POINTS,
 };
 pub use server::{spawn as spawn_server, RunningServer, ServeOptions};
 pub use spec::{

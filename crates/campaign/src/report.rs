@@ -10,9 +10,15 @@ use crate::search::{ParetoReport, SearchReport};
 /// of the report files, whose bytes must not depend on how much work a
 /// particular run skipped.
 pub fn run_stats_line(stats: &RunStats) -> String {
+    // the coarse clause appears only when coarse work was done, so
+    // fine-only runs keep the exact historical line (CI greps it)
+    let coarse = match stats.coarse_simulations {
+        0 => String::new(),
+        n => format!(", {n} coarse evaluations"),
+    };
     format!(
         "{} cells: {} archived, {} executed; {} simulations \
-         ({} shared baselines, {} always-on reuses)",
+         ({} shared baselines, {} always-on reuses){coarse}",
         stats.total_cells,
         stats.archived_cells,
         stats.executed_cells,
@@ -180,6 +186,18 @@ pub fn search_ascii(report: &SearchReport) -> String {
         report.budget,
         100.0 * report.evaluated as f64 / report.grid_cells.max(1) as f64,
     );
+    // non-fine searches say so up front; fine reports keep the
+    // historical shape byte-for-byte
+    if report.fidelity != "fine" {
+        out.push_str(&format!("  fidelity: {}", report.fidelity));
+        if report.screened > 0 {
+            out.push_str(&format!(
+                " ({} cells coarse-screened before promotion)",
+                report.screened
+            ));
+        }
+        out.push('\n');
+    }
     match &report.best {
         Some(best) => {
             out.push_str(&format!(
@@ -500,9 +518,28 @@ mod tests {
             simulations: 18,
             baseline_groups: 4,
             reused_baselines: 2,
+            coarse_simulations: 0,
         });
         for needle in ["32 cells", "20 archived", "12 executed", "18 simulations"] {
             assert!(line.contains(needle), "{line}");
         }
+        assert!(
+            !line.contains("coarse"),
+            "fine-only runs keep the historical line: {line}"
+        );
+    }
+
+    #[test]
+    fn stats_line_names_coarse_work_when_present() {
+        let line = run_stats_line(&crate::runner::RunStats {
+            total_cells: 64,
+            archived_cells: 0,
+            executed_cells: 64,
+            simulations: 7,
+            baseline_groups: 2,
+            reused_baselines: 5,
+            coarse_simulations: 70,
+        });
+        assert!(line.contains("70 coarse evaluations"), "{line}");
     }
 }

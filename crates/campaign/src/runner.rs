@@ -39,6 +39,57 @@ use crate::spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ScenarioSpec, ThermalAxis, WorkloadAxis,
 };
 
+/// How a cell's metrics are produced.
+///
+/// `Fine` elaborates the full discrete-event kernel (the reference
+/// result); `Coarse` uses [`dpm_soc::run_config_coarse`], the analytic
+/// dwell-time fast path — an order of magnitude faster, accurate to the
+/// tolerance band documented in the README's "Multi-fidelity search"
+/// section. Coarse results are *screening* numbers: they rank
+/// configurations reliably but are never mixed with fine results in a
+/// report, and a coarse archive record never satisfies a fine read (or
+/// vice versa — see [`crate::archive`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// Full kernel elaboration (the default, and the only fidelity
+    /// reports are assembled from).
+    #[default]
+    Fine,
+    /// Analytic dwell-time evaluation — fast screening numbers.
+    Coarse,
+}
+
+// Serde impls are hand-written (the in-tree shim has no attribute
+// support): the tag serializes as its lowercase label, and a *missing*
+// field — which the shim surfaces as `Null` — reads as `Fine`, so every
+// pre-tag archive record keeps deserializing as the fine record it is.
+impl serde::Serialize for Fidelity {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.label().to_string())
+    }
+}
+
+impl serde::Deserialize for Fidelity {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(Fidelity::Fine),
+            serde::Value::String(s) if s == "fine" => Ok(Fidelity::Fine),
+            serde::Value::String(s) if s == "coarse" => Ok(Fidelity::Coarse),
+            other => Err(serde::Error::type_mismatch("\"fine\" or \"coarse\"", other)),
+        }
+    }
+}
+
+impl Fidelity {
+    /// Stable lowercase label (matches the serde form).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fidelity::Fine => "fine",
+            Fidelity::Coarse => "coarse",
+        }
+    }
+}
+
 /// Execution options.
 #[derive(Debug, Clone)]
 pub struct RunnerConfig {
@@ -62,6 +113,11 @@ pub struct RunnerConfig {
     /// [`RUN_CANCELLED`]. `None` (default) means the run cannot be
     /// cancelled. Set by the `dpm serve` daemon on graceful shutdown.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Evaluation fidelity for every cell in this run (default
+    /// [`Fidelity::Fine`]). Coarse runs archive under fidelity-tagged
+    /// records and count in [`RunStats::coarse_simulations`], never in
+    /// [`RunStats::simulations`].
+    pub fidelity: Fidelity,
 }
 
 impl Default for RunnerConfig {
@@ -72,6 +128,7 @@ impl Default for RunnerConfig {
             dedup_baselines: true,
             lease: None,
             cancel: None,
+            fidelity: Fidelity::Fine,
         }
     }
 }
@@ -100,6 +157,12 @@ impl RunnerConfig {
     /// This configuration with a cooperative cancellation flag attached.
     pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// This configuration evaluating at the given fidelity.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
         self
     }
 
@@ -225,13 +288,18 @@ pub struct RunStats {
     pub archived_cells: usize,
     /// Cells executed this run.
     pub executed_cells: usize,
-    /// Simulations actually run (scenario runs + baseline runs).
+    /// *Fine* (full-kernel) simulations actually run (scenario runs +
+    /// baseline runs). Coarse evaluations are counted separately so the
+    /// cost of multi-fidelity search stays legible in fine-equivalents.
     pub simulations: usize,
     /// Shared always-`ON1` baseline runs (one per dedup group).
     pub baseline_groups: usize,
     /// Always-`ON1` cells whose scenario run was served straight from the
     /// shared baseline.
     pub reused_baselines: usize,
+    /// Coarse (analytic dwell-time) evaluations run, scenario and
+    /// baseline evaluations both.
+    pub coarse_simulations: usize,
 }
 
 impl RunStats {
@@ -246,6 +314,7 @@ impl RunStats {
         self.simulations += other.simulations;
         self.baseline_groups += other.baseline_groups;
         self.reused_baselines += other.reused_baselines;
+        self.coarse_simulations += other.coarse_simulations;
     }
 }
 
@@ -297,36 +366,44 @@ pub struct CampaignRun {
     pub archive_errors: Vec<String>,
 }
 
-fn run_to_metrics(cfg: &SocConfig, horizon: SimTime) -> SocMetrics {
-    let mut sim = Simulation::new();
-    let handles = build_soc(&mut sim, cfg);
-    sim.run_until(horizon);
-    collect_metrics(&mut sim, &handles, horizon)
+fn run_to_metrics(cfg: &SocConfig, horizon: SimTime, fidelity: Fidelity) -> SocMetrics {
+    match fidelity {
+        Fidelity::Fine => {
+            let mut sim = Simulation::new();
+            let handles = build_soc(&mut sim, cfg);
+            sim.run_until(horizon);
+            collect_metrics(&mut sim, &handles, horizon)
+        }
+        Fidelity::Coarse => dpm_soc::run_config_coarse(cfg, horizon),
+    }
 }
 
-/// Executes one scenario: the configured run plus its always-`ON1`
-/// baseline on identical traces.
+/// Executes one scenario at *fine* fidelity: the configured run plus its
+/// always-`ON1` baseline on identical traces.
 pub fn run_scenario_cell(spec: &CampaignSpec, cell: &ScenarioSpec) -> ScenarioMetrics {
     let horizon = spec.horizon();
     let cfg = cell.build_config(spec);
     let baseline_cfg = cfg.clone().with_controller(ControllerKind::AlwaysOn);
-    let dpm = run_to_metrics(&cfg, horizon);
-    let baseline = run_to_metrics(&baseline_cfg, horizon);
+    let dpm = run_to_metrics(&cfg, horizon, Fidelity::Fine);
+    let baseline = run_to_metrics(&baseline_cfg, horizon, Fidelity::Fine);
     ScenarioMetrics::from_runs(&dpm, &baseline, horizon)
 }
 
 /// The axes a cell's always-`ON1` baseline actually depends on —
 /// everything *except* controller and tuning (the SoC builder reads the
-/// LEM tuning only for [`ControllerKind::Dpm`]).
-type BaselineKey = (WorkloadAxis, u64, BatteryAxis, ThermalAxis, usize);
+/// LEM tuning only for [`ControllerKind::Dpm`]) — plus the fidelity it
+/// was evaluated at, so a coarse screen never serves its approximate
+/// baseline to a fine batch sharing the cache.
+type BaselineKey = (WorkloadAxis, u64, BatteryAxis, ThermalAxis, usize, Fidelity);
 
-fn baseline_key(cell: &ScenarioSpec) -> BaselineKey {
+fn baseline_key(cell: &ScenarioSpec, fidelity: Fidelity) -> BaselineKey {
     (
         cell.workload,
         cell.seed,
         cell.battery,
         cell.thermal,
         cell.ip_count,
+        fidelity,
     )
 }
 
@@ -370,6 +447,7 @@ fn execute_cell(
     spec: &CampaignSpec,
     cell: &ScenarioSpec,
     shared_baseline: Option<&Result<SocMetrics, String>>,
+    fidelity: Fidelity,
     sims: &AtomicUsize,
     reused: &AtomicUsize,
 ) -> ScenarioResult {
@@ -381,7 +459,7 @@ fn execute_cell(
             sims.fetch_add(1, Ordering::Relaxed);
             caught(|| {
                 let cfg = cell.build_config(spec);
-                run_to_metrics(&cfg, horizon)
+                run_to_metrics(&cfg, horizon, fidelity)
             })
             .and_then(|dpm| {
                 sims.fetch_add(1, Ordering::Relaxed);
@@ -389,7 +467,7 @@ fn execute_cell(
                     let baseline_cfg = cell
                         .build_config(spec)
                         .with_controller(ControllerKind::AlwaysOn);
-                    run_to_metrics(&baseline_cfg, horizon)
+                    run_to_metrics(&baseline_cfg, horizon, fidelity)
                 })
                 .map(|baseline| ScenarioMetrics::from_runs(&dpm, &baseline, horizon))
             })
@@ -404,7 +482,7 @@ fn execute_cell(
             sims.fetch_add(1, Ordering::Relaxed);
             caught(|| {
                 let cfg = cell.build_config(spec);
-                run_to_metrics(&cfg, horizon)
+                run_to_metrics(&cfg, horizon, fidelity)
             })
             .map(|dpm| ScenarioMetrics::from_runs(&dpm, baseline, horizon))
         }
@@ -419,7 +497,7 @@ fn execute_cell(
                 sims.fetch_add(1, Ordering::Relaxed);
                 match caught(|| {
                     let cfg = cell.build_config(spec);
-                    run_to_metrics(&cfg, horizon)
+                    run_to_metrics(&cfg, horizon, fidelity)
                 }) {
                     Ok(_) => Err(baseline_err.clone()),
                     Err(scenario_err) => Err(scenario_err),
@@ -515,9 +593,10 @@ fn run_cells_local(
 ) -> Result<CampaignRun, String> {
     let total = cells.len();
 
-    // resume: prefill result slots from the archive
+    // resume: prefill result slots from the archive (only records of
+    // this run's fidelity satisfy the read — see `CampaignArchive`)
     let mut slots: Vec<Option<ScenarioResult>> = match archive {
-        Some(a) => a.load(spec, cells).slots,
+        Some(a) => a.load_as(spec, cells, config.fidelity).slots,
         None => vec![None; total],
     };
     let archived_cells = slots.iter().filter(|s| s.is_some()).count();
@@ -530,10 +609,12 @@ fn run_cells_local(
     let mut cell_group: Vec<usize> = Vec::new();
     if config.dedup_baselines {
         for &i in &missing {
-            let g = *group_of.entry(baseline_key(&cells[i])).or_insert_with(|| {
-                groups.push(cells[i]);
-                groups.len() - 1
-            });
+            let g = *group_of
+                .entry(baseline_key(&cells[i], config.fidelity))
+                .or_insert_with(|| {
+                    groups.push(cells[i]);
+                    groups.len() - 1
+                });
             cell_group.push(g);
         }
     }
@@ -543,7 +624,7 @@ fn run_cells_local(
     let mut baselines: Vec<Option<Result<SocMetrics, String>>> = match &cache {
         Some(c) => groups
             .iter()
-            .map(|g| c.map.get(&baseline_key(g)).cloned())
+            .map(|g| c.map.get(&baseline_key(g, config.fidelity)).cloned())
             .collect(),
         None => vec![None; groups.len()],
     };
@@ -554,7 +635,14 @@ fn run_cells_local(
     let work = to_run.len() + missing.len();
     let pool = ThreadPool::new(config.effective_threads().min(work.max(1)));
     let progress = Progress::new(config.progress, work);
-    let sims = AtomicUsize::new(0);
+    // one counter per fidelity; this run's evaluations all land in the
+    // counter matching `config.fidelity`
+    let fine_sims = AtomicUsize::new(0);
+    let coarse_sims = AtomicUsize::new(0);
+    let sims = match config.fidelity {
+        Fidelity::Fine => &fine_sims,
+        Fidelity::Coarse => &coarse_sims,
+    };
     let reused = AtomicUsize::new(0);
     let store_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let archive_broken = std::sync::atomic::AtomicBool::new(false);
@@ -568,7 +656,7 @@ fn run_cells_local(
             let cfg = groups[to_run[k]]
                 .build_config(spec)
                 .with_controller(ControllerKind::AlwaysOn);
-            run_to_metrics(&cfg, spec.horizon())
+            run_to_metrics(&cfg, spec.horizon(), config.fidelity)
         });
         progress.tick();
         if let Some(hook) = on_unit {
@@ -585,7 +673,10 @@ fn run_cells_local(
         .collect();
     if let Some(c) = cache {
         for &g in &to_run {
-            c.map.insert(baseline_key(&groups[g]), baselines[g].clone());
+            c.map.insert(
+                baseline_key(&groups[g], config.fidelity),
+                baselines[g].clone(),
+            );
         }
     }
 
@@ -594,10 +685,10 @@ fn run_cells_local(
     let fresh: Vec<ScenarioResult> = map_units(&pool, missing.len(), |k| {
         let cell = &cells[missing[k]];
         let baseline = config.dedup_baselines.then(|| &baselines[cell_group[k]]);
-        let result = execute_cell(spec, cell, baseline, &sims, &reused);
+        let result = execute_cell(spec, cell, baseline, config.fidelity, sims, &reused);
         if let Some(a) = archive {
             if !archive_broken.load(Ordering::Relaxed) {
-                if let Err(e) = a.store(spec, &result) {
+                if let Err(e) = a.store_as(spec, &result, config.fidelity) {
                     archive_broken.store(true, Ordering::Relaxed);
                     store_errors
                         .lock()
@@ -636,9 +727,10 @@ fn run_cells_local(
             total_cells: total,
             archived_cells,
             executed_cells: missing.len(),
-            simulations: sims.into_inner(),
+            simulations: fine_sims.into_inner(),
             baseline_groups: to_run.len(),
             reused_baselines: reused.into_inner(),
+            coarse_simulations: coarse_sims.into_inner(),
         },
         archive_errors,
     })
@@ -668,7 +760,7 @@ fn run_cells_leased(
     cache: Option<&mut BaselineCache>,
 ) -> Result<CampaignRun, String> {
     let total = cells.len();
-    let load = archive.load(spec, cells);
+    let load = archive.load_as(spec, cells, config.fidelity);
     let mut slots = load.slots;
     let mut stats = RunStats {
         total_cells: total,
@@ -720,7 +812,7 @@ fn run_cells_leased(
             // whole group, instead of a directory probe per cell.
             let mut fresh: Vec<usize> = Vec::new();
             let group_cells: Vec<ScenarioSpec> = positions.iter().map(|&p| cells[p]).collect();
-            let check = archive.load(spec, &group_cells);
+            let check = archive.load_as(spec, &group_cells, config.fidelity);
             for (slot, &p) in check.slots.into_iter().zip(&positions) {
                 match slot {
                     Some(result) => {
@@ -773,6 +865,7 @@ fn run_cells_leased(
                     stats.simulations += run.stats.simulations;
                     stats.baseline_groups += run.stats.baseline_groups;
                     stats.reused_baselines += run.stats.reused_baselines;
+                    stats.coarse_simulations += run.stats.coarse_simulations;
                     archive_errors.extend(run.archive_errors);
                     for (j, result) in run.result.results.into_iter().enumerate() {
                         slots[chunk[j]] = Some(result);
@@ -793,7 +886,7 @@ fn run_cells_leased(
         let waiting: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
         if !waiting.is_empty() {
             let waiting_cells: Vec<ScenarioSpec> = waiting.iter().map(|&i| cells[i]).collect();
-            let absorbed = archive.load(spec, &waiting_cells);
+            let absorbed = archive.load_as(spec, &waiting_cells, config.fidelity);
             for (slot, &i) in absorbed.slots.into_iter().zip(&waiting) {
                 match slot {
                     Some(result) => {
@@ -944,6 +1037,35 @@ mod tests {
         assert_eq!(cold.stats.simulations, 8, "2 sims per cell without dedup");
         assert_eq!(cold.stats.baseline_groups, 0);
         assert_eq!(cold.result, run.result, "dedup must not change results");
+    }
+
+    #[test]
+    fn coarse_runs_count_as_coarse_evaluations_not_simulations() {
+        let spec = tiny_spec();
+        let run = run_campaign_with(
+            &spec,
+            &RunnerConfig::serial().with_fidelity(Fidelity::Coarse),
+            None,
+        )
+        .unwrap();
+        assert_eq!(run.stats.simulations, 0);
+        assert!(run.stats.coarse_simulations > 0);
+        assert_eq!(run.stats.executed_cells, spec.scenario_count());
+        for r in &run.result.results {
+            assert!(r.error.is_none(), "{:?}", r.error);
+            assert!(r.metrics.as_ref().unwrap().energy_j > 0.0);
+        }
+
+        // thread count does not change coarse results either
+        let parallel = run_campaign(
+            &spec,
+            &RunnerConfig {
+                threads: 4,
+                fidelity: Fidelity::Coarse,
+                ..RunnerConfig::default()
+            },
+        );
+        assert_eq!(run.result, parallel);
     }
 
     #[test]

@@ -41,12 +41,75 @@
 use crate::archive::CampaignArchive;
 use crate::objective::{CellScore, MultiObjective, MultiScore, Objective};
 use crate::runner::{
-    run_cells_with, BaselineCache, RunStats, RunnerConfig, ScenarioMetrics, ScenarioResult,
+    run_cells_with, BaselineCache, Fidelity, RunStats, RunnerConfig, ScenarioMetrics,
+    ScenarioResult,
 };
 use crate::spec::{CampaignSpec, ScenarioSpec};
 
 /// Default number of start-frontier cells.
 pub const DEFAULT_START_POINTS: usize = 4;
+
+/// Fine-equivalent cost ratio of the coarse evaluator: one fine
+/// simulation buys [`COARSE_FACTOR`] coarse evaluations. The coarse
+/// path is benchmarked at well over 10× the fine throughput (the
+/// `simspeed` bench guards the floor), so budgeting coarse work at a
+/// flat 1/10 never makes a multi-fidelity search spend more wall clock
+/// than the fine-only search it replaces.
+pub const COARSE_FACTOR: usize = 10;
+
+/// How a search spends its budget across evaluation fidelities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchFidelity {
+    /// Every evaluation runs the full kernel (the default; reports are
+    /// byte-identical to pre-multi-fidelity builds).
+    #[default]
+    Fine,
+    /// Every evaluation uses the coarse dwell-time path: an
+    /// order-of-magnitude faster *approximate* search — the winner is a
+    /// screening result, not a report-grade number.
+    Coarse,
+    /// Screen broadly at coarse fidelity, then promote only the
+    /// top-ranked candidates to full-kernel runs, all within the same
+    /// fine-equivalent budget (coarse evaluations cost
+    /// 1/[`COARSE_FACTOR`] each). The reported winner and trajectory
+    /// come from the *fine* evaluations only.
+    Multi,
+}
+
+impl SearchFidelity {
+    /// Every fidelity mode.
+    pub const ALL: [SearchFidelity; 3] = [
+        SearchFidelity::Fine,
+        SearchFidelity::Coarse,
+        SearchFidelity::Multi,
+    ];
+
+    /// The CLI/spec-file name of this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            SearchFidelity::Fine => "fine",
+            SearchFidelity::Coarse => "coarse",
+            SearchFidelity::Multi => "multi",
+        }
+    }
+
+    /// Parses a CLI/spec-file name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description listing the accepted names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|f| f.label() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown fidelity '{s}' (expected one of: {})",
+                    Self::ALL.map(Self::label).join(", ")
+                )
+            })
+    }
+}
 
 /// Which exploration strategy drives the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -157,10 +220,13 @@ pub struct SearchSpec {
     pub strategy: StrategyKind,
     /// The annealing schedule (read only by [`StrategyKind::Anneal`]).
     pub anneal: AnnealSchedule,
+    /// How the budget is spent across fidelities (see
+    /// [`SearchFidelity`]; the budget is always in fine-equivalents).
+    pub fidelity: SearchFidelity,
 }
 
 impl SearchSpec {
-    /// A climbing search with the default start frontier.
+    /// A climbing fine-fidelity search with the default start frontier.
     pub fn new(objective: Objective, budget: usize) -> Self {
         Self {
             objective,
@@ -168,12 +234,19 @@ impl SearchSpec {
             start_points: DEFAULT_START_POINTS,
             strategy: StrategyKind::Climb,
             anneal: AnnealSchedule::default(),
+            fidelity: SearchFidelity::Fine,
         }
     }
 
     /// This search with a different scalar strategy.
     pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// This search with a different fidelity mode.
+    pub fn with_fidelity(mut self, fidelity: SearchFidelity) -> Self {
+        self.fidelity = fidelity;
         self
     }
 }
@@ -258,6 +331,13 @@ pub struct SearchReport {
     pub best: Option<SearchBest>,
     /// Every evaluation, in order.
     pub trajectory: Vec<Evaluation>,
+    /// The fidelity mode that produced this report
+    /// ([`SearchFidelity::label`]).
+    pub fidelity: String,
+    /// Coarse evaluations spent screening (zero outside multi mode).
+    /// In a multi report, `evaluated`/`best`/`trajectory` cover the
+    /// *fine* promotions exclusively.
+    pub screened: usize,
 }
 
 /// A finished search: the deterministic report plus this run's work
@@ -856,35 +936,24 @@ fn assemble_scalar(
             rounds: exploration.rounds,
             best,
             trajectory,
+            fidelity: search.fidelity.label().to_string(),
+            screened: 0,
         },
         stats: exploration.stats,
         archive_errors: exploration.archive_errors,
     }
 }
 
-/// Runs a scalar (climb or anneal) search over `spec`'s grid.
-///
-/// With an archive, evaluated cells are read from (and written back to)
-/// the campaign directory exactly like a resumed campaign — re-running a
-/// search against a populated directory performs **zero** simulations
-/// and returns the byte-identical report.
-///
-/// # Errors
-///
-/// Returns a description when the spec is invalid, the budget is zero,
-/// the annealing schedule is out of range, or the strategy is
-/// [`StrategyKind::Pareto`] (fronts come from [`pareto_campaign`]).
-/// Scenario panics are not errors; failed cells simply score as failed.
-pub fn search_campaign(
+/// Builds the scalar strategy a [`SearchSpec`] asks for, with the start
+/// frontier clamped to `budget` *before* the strategy spreads it, so a
+/// small budget still gets evenly-spaced start cells.
+fn build_scalar_strategy(
     spec: &CampaignSpec,
     search: &SearchSpec,
-    config: &RunnerConfig,
-    archive: Option<&CampaignArchive>,
-) -> Result<SearchOutcome, String> {
-    // clamp the frontier to the budget *before* the strategy spreads it,
-    // so a small budget still gets evenly-spaced start cells
-    let start_points = search.start_points.clamp(1, search.budget.max(1));
-    let mut strategy: Box<dyn Strategy> = match search.strategy {
+    budget: usize,
+) -> Result<Box<dyn Strategy>, String> {
+    let start_points = search.start_points.clamp(1, budget.max(1));
+    Ok(match search.strategy {
         StrategyKind::Climb => Box::new(ClimbStrategy::new(spec, search.objective, start_points)),
         StrategyKind::Anneal => {
             search.anneal.validate()?;
@@ -903,9 +972,138 @@ pub fn search_campaign(
                     .into(),
             )
         }
+    })
+}
+
+/// Runs a scalar (climb or anneal) search over `spec`'s grid.
+///
+/// With an archive, evaluated cells are read from (and written back to)
+/// the campaign directory exactly like a resumed campaign — re-running a
+/// search against a populated directory performs **zero** simulations
+/// and returns the byte-identical report. This holds at every
+/// [`SearchFidelity`]: records are fidelity-tagged, so a multi search
+/// resumes its coarse screen and its fine promotions independently and
+/// the re-run report is byte-identical with zero *fine* simulations.
+///
+/// # Errors
+///
+/// Returns a description when the spec is invalid, the budget is zero,
+/// the annealing schedule is out of range, or the strategy is
+/// [`StrategyKind::Pareto`] (fronts come from [`pareto_campaign`]).
+/// Scenario panics are not errors; failed cells simply score as failed.
+pub fn search_campaign(
+    spec: &CampaignSpec,
+    search: &SearchSpec,
+    config: &RunnerConfig,
+    archive: Option<&CampaignArchive>,
+) -> Result<SearchOutcome, String> {
+    match search.fidelity {
+        // single-fidelity searches are the original exploration loop,
+        // with every batch pinned to the requested fidelity
+        SearchFidelity::Fine | SearchFidelity::Coarse => {
+            let fidelity = match search.fidelity {
+                SearchFidelity::Coarse => Fidelity::Coarse,
+                _ => Fidelity::Fine,
+            };
+            let config = config.clone().with_fidelity(fidelity);
+            let mut strategy = build_scalar_strategy(spec, search, search.budget)?;
+            let exploration =
+                drive_strategy(spec, &mut *strategy, search.budget, &config, archive)?;
+            Ok(assemble_scalar(spec, search, exploration))
+        }
+        SearchFidelity::Multi => multi_fidelity_campaign(spec, search, config, archive),
+    }
+}
+
+/// The multi-fidelity path: screen with the configured strategy at
+/// coarse fidelity (budgeted at `budget * COARSE_FACTOR` coarse
+/// evaluations — the same fine-equivalent spend an exhaustive coarse
+/// sweep of that budget would cost), rank every screened cell with the
+/// one shared argmax comparator ([`Objective::wins`]), then promote the
+/// top candidates — whatever fine-equivalent budget the screen left,
+/// and always at least one — to a single full-kernel batch. The report
+/// is assembled from the fine evaluations **only**: coarse numbers
+/// steer the exploration but never appear in a report.
+fn multi_fidelity_campaign(
+    spec: &CampaignSpec,
+    search: &SearchSpec,
+    config: &RunnerConfig,
+    archive: Option<&CampaignArchive>,
+) -> Result<SearchOutcome, String> {
+    spec.validate()?;
+    if search.budget == 0 {
+        return Err("search budget must be positive".into());
+    }
+    let n = spec.scenario_count();
+    let budget = search.budget.min(n);
+
+    // phase 1: the coarse screen (the strategy explores exactly as it
+    // would at fine fidelity, just wider and cheaper)
+    let coarse_budget = n.min(budget.saturating_mul(COARSE_FACTOR));
+    let mut strategy = build_scalar_strategy(spec, search, coarse_budget)?;
+    let coarse_config = config.clone().with_fidelity(Fidelity::Coarse);
+    let screen = drive_strategy(spec, &mut *strategy, coarse_budget, &coarse_config, archive)?;
+    let mut stats = screen.stats;
+    let mut archive_errors = screen.archive_errors;
+    let screened = screen.evaluations.len();
+
+    // rank the screened cells; failed cells sort last (they are only
+    // promoted when nothing else is left to spend the budget on)
+    let objective = &search.objective;
+    let mut ranked: Vec<(usize, Option<CellScore>)> = screen
+        .evaluations
+        .iter()
+        .map(|(_, r)| (r.scenario.index, objective.score(r)))
+        .collect();
+    ranked.sort_unstable_by(|a, b| {
+        use std::cmp::Ordering;
+        match (a.1, b.1) {
+            (Some(sa), Some(sb)) => {
+                if objective.wins(sa, a.0, sb, b.0) {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => a.0.cmp(&b.0),
+        }
+    });
+
+    // phase 2: promote into the fine-equivalent budget the screen left
+    // (each coarse evaluation cost 1/COARSE_FACTOR of a fine run)
+    let screen_cost = screened.div_ceil(COARSE_FACTOR);
+    let promote = budget
+        .saturating_sub(screen_cost)
+        .clamp(1, ranked.len().max(1));
+    let mut chosen: Vec<usize> = ranked.iter().take(promote).map(|(i, _)| *i).collect();
+    chosen.sort_unstable();
+    let cells: Vec<ScenarioSpec> = chosen.iter().map(|&i| spec.cell_at(i)).collect();
+    let fine_config = config.clone().with_fidelity(Fidelity::Fine);
+    let run = run_cells_with(spec, &cells, &fine_config, archive, None)?;
+    stats.absorb(&run.stats);
+    archive_errors.extend(run.archive_errors);
+    stats.total_cells = n;
+
+    // the report replays the fine batch only (one extra round after the
+    // screen's); everything coarse is reduced to the `screened` count
+    let promote_round = screen.rounds;
+    let evaluations: Vec<(usize, ScenarioResult)> = run
+        .result
+        .results
+        .into_iter()
+        .map(|r| (promote_round, r))
+        .collect();
+    let fine_exploration = Exploration {
+        evaluations,
+        rounds: promote_round + 1,
+        stats,
+        archive_errors,
     };
-    let exploration = drive_strategy(spec, &mut *strategy, search.budget, config, archive)?;
-    Ok(assemble_scalar(spec, search, exploration))
+    let mut outcome = assemble_scalar(spec, search, fine_exploration);
+    outcome.report.screened = screened;
+    Ok(outcome)
 }
 
 /// Runs a multi-objective Pareto search over `spec`'s grid, sharing the

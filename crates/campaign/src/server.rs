@@ -46,7 +46,7 @@ use crate::http::{
 };
 use crate::objective::{Constraint, MultiObjective, Objective};
 use crate::report::run_stats_line;
-use crate::runner::{run_campaign_with, RunnerConfig, RUN_CANCELLED};
+use crate::runner::{run_campaign_with, Fidelity, RunnerConfig, RUN_CANCELLED};
 use crate::store::{completed_run, grid_json, report_json, status_of, CampaignStore};
 use crate::toml_spec::SearchDefaults;
 
@@ -415,6 +415,7 @@ fn run_one(state: &ServerState, id: &str) -> Result<(), String> {
                 .with_poll_ms(o.poll_ms),
         ),
         cancel: Some(Arc::clone(&state.cancel)),
+        fidelity: Fidelity::Fine,
     };
     let run = run_campaign_with(&spec, &config, Some(&archive))?;
     println!(

@@ -40,7 +40,7 @@
 //! directory's cached cells valid.
 
 use crate::objective::{Constraint, Objective};
-use crate::search::StrategyKind;
+use crate::search::{SearchFidelity, StrategyKind};
 use crate::spec::{
     BatteryAxis, CampaignSpec, ControllerAxis, ThermalAxis, TuningAxis, WorkloadAxis,
 };
@@ -249,6 +249,7 @@ const KNOWN_KEYS: &[&str] = &[
     "axes.thermals",
     "axes.ip_counts",
     "search.strategy",
+    "search.fidelity",
     "search.objective",
     "search.objectives",
     "search.constraint",
@@ -270,6 +271,8 @@ const KNOWN_KEYS: &[&str] = &[
 pub struct SearchDefaults {
     /// `search.strategy`: `climb`, `anneal` or `pareto`.
     pub strategy: Option<StrategyKind>,
+    /// `search.fidelity`: `fine`, `coarse` or `multi`.
+    pub fidelity: Option<SearchFidelity>,
     /// `search.objective`, e.g. `"energy_saving"` or `"min:energy_j"`.
     pub objective: Option<Objective>,
     /// `search.objectives`: the Pareto objective list (each entry as in
@@ -317,6 +320,16 @@ pub fn parse_campaign_toml(text: &str) -> Result<(CampaignSpec, SearchDefaults),
         };
         search.strategy =
             Some(StrategyKind::parse(s).map_err(|e| format!("search.strategy: {e}"))?);
+    }
+    if let Some(v) = doc.get("search.fidelity") {
+        let TomlValue::String(s) = v else {
+            return Err(format!(
+                "'search.fidelity' must be a string, got {}",
+                v.type_name()
+            ));
+        };
+        search.fidelity =
+            Some(SearchFidelity::parse(s).map_err(|e| format!("search.fidelity: {e}"))?);
     }
     if let Some(v) = doc.get("search.objectives") {
         let TomlValue::Array(items) = v else {

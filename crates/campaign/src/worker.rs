@@ -22,7 +22,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::archive::{CampaignArchive, LeaseConfig};
-use crate::runner::{run_campaign_with, CampaignRun, RunStats, RunnerConfig};
+use crate::runner::{run_campaign_with, CampaignRun, Fidelity, RunStats, RunnerConfig};
 use crate::spec::CampaignSpec;
 
 /// Capped exponential backoff for idle polling: the wait starts at the
@@ -151,6 +151,7 @@ pub fn run_worker(dir: &Path, options: &WorkerOptions) -> Result<WorkerOutcome, 
         dedup_baselines: options.dedup_baselines,
         lease: Some(options.lease.clone()),
         cancel: None,
+        fidelity: Fidelity::Fine,
     };
     let run = run_campaign_with(&spec, &config, Some(&archive))?;
     let summary = WorkerSummary {
@@ -268,6 +269,7 @@ mod tests {
                 simulations: 7,
                 baseline_groups: 2,
                 reused_baselines: 1,
+                coarse_simulations: 0,
             },
         };
         let json = serde_json::to_string_pretty(&summary).unwrap();

@@ -25,7 +25,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use dpm_campaign::{
     pareto_campaign, pareto_json, run_campaign_with, search_campaign, search_json, BatteryAxis,
     CampaignArchive, CampaignSpec, ControllerAxis, LeaseConfig, Metric, MultiObjective, Objective,
-    ParetoSpec, RunnerConfig, SearchSpec, StrategyKind, ThermalAxis, TuningAxis, WorkloadAxis,
+    ParetoSpec, RunnerConfig, SearchFidelity, SearchSpec, StrategyKind, ThermalAxis, TuningAxis,
+    WorkloadAxis,
 };
 use proptest::prelude::*;
 
@@ -279,6 +280,78 @@ fn archived_anneal_and_pareto_simulate_nothing_on_resume() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---- multi-fidelity -------------------------------------------------
+
+/// ISSUE 9 acceptance: on the 64-cell grid, a full-budget
+/// multi-fidelity search reaches the same winner as the fine-only
+/// search while spending **strictly fewer** fine simulations
+/// (`RunStats.simulations`), and its report is byte-identical across
+/// 1/2/8 threads.
+#[test]
+fn multi_fidelity_reaches_fine_winner_with_fewer_fine_simulations() {
+    let spec = grid64();
+    let budget = spec.scenario_count();
+    let obj = || Objective::for_metric(Metric::EnergySavingPct);
+
+    let fine = search_campaign(&spec, &SearchSpec::new(obj(), budget), &config(1), None)
+        .expect("fine search");
+    let multi_spec = SearchSpec::new(obj(), budget).with_fidelity(SearchFidelity::Multi);
+    let multi = search_campaign(&spec, &multi_spec, &config(1), None).expect("multi search");
+
+    let fine_best = fine.report.best.as_ref().expect("fine winner");
+    let multi_best = multi.report.best.as_ref().expect("multi winner");
+    assert_eq!(multi_best.index, fine_best.index, "winners must agree");
+    assert_eq!(multi_best.metrics, fine_best.metrics, "fine numbers only");
+    assert!(
+        multi.stats.simulations < fine.stats.simulations,
+        "multi must spend strictly fewer fine simulations ({} vs {})",
+        multi.stats.simulations,
+        fine.stats.simulations,
+    );
+    assert!(multi.stats.coarse_simulations > 0, "the screen ran coarse");
+    assert_eq!(multi.report.fidelity, "multi");
+    assert_eq!(multi.report.screened, spec.scenario_count());
+
+    let reference = search_json(&multi.report).expect("render");
+    for threads in [2, 8] {
+        let again =
+            search_campaign(&spec, &multi_spec, &config(threads), None).expect("multi search");
+        assert_eq!(
+            search_json(&again.report).unwrap(),
+            reference,
+            "threads={threads} diverged",
+        );
+    }
+}
+
+/// A resumed multi-fidelity search is entirely archive-served: zero
+/// fine simulations, zero coarse evaluations, byte-identical report —
+/// the coarse screen and the fine promotions each hit their own store.
+#[test]
+fn multi_fidelity_resume_simulates_nothing() {
+    let spec = grid64();
+    let dir = scratch_dir();
+    let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 16)
+        .with_fidelity(SearchFidelity::Multi);
+
+    let archive = CampaignArchive::open(&dir, &spec).unwrap();
+    let first = search_campaign(&spec, &search, &config(2), Some(&archive)).unwrap();
+    assert!(first.stats.simulations > 0);
+    assert!(first.stats.coarse_simulations > 0);
+
+    let second = search_campaign(&spec, &search, &config(1), Some(&archive)).unwrap();
+    assert_eq!(second.stats.simulations, 0, "fine resume must be free");
+    assert_eq!(
+        second.stats.coarse_simulations, 0,
+        "the coarse screen resumes from its own store"
+    );
+    assert_eq!(
+        search_json(&second.report).unwrap(),
+        search_json(&first.report).unwrap(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---- the differential proptests -------------------------------------
 
 proptest! {
@@ -345,6 +418,43 @@ proptest! {
         let best = outcome.report.best.as_ref().unwrap();
         prop_assert_eq!(best.index, reference.scenario.index);
         prop_assert_eq!(&best.metrics, reference.metrics.as_ref().unwrap());
+    }
+
+    // Full-budget multi-fidelity search == the fine-only winner, for
+    // random grids and energy objectives (the screen ranks with the
+    // coarse evaluator, whose energy ordering tracks the kernel's).
+    #[test]
+    fn full_budget_multi_fidelity_equals_fine_winner(
+        master in 0u64..u64::MAX / 2,
+        seeds in prop::collection::vec(0u64..1000, 1..4),
+        two_controllers in prop::sample::select(vec![false, true]),
+        metric in prop::sample::select(vec![
+            Metric::EnergySavingPct,
+            Metric::EnergyJ,
+        ]),
+    ) {
+        let spec = small_spec(master, seeds, two_controllers);
+        let budget = spec.scenario_count();
+        let fine = search_campaign(
+            &spec,
+            &SearchSpec::new(Objective::for_metric(metric), budget),
+            &config(1),
+            None,
+        )
+        .unwrap();
+        let multi = search_campaign(
+            &spec,
+            &SearchSpec::new(Objective::for_metric(metric), budget)
+                .with_fidelity(SearchFidelity::Multi),
+            &config(1),
+            None,
+        )
+        .unwrap();
+        let fine_best = fine.report.best.as_ref().unwrap();
+        let multi_best = multi.report.best.as_ref().unwrap();
+        prop_assert_eq!(multi_best.index, fine_best.index);
+        prop_assert_eq!(&multi_best.metrics, &fine_best.metrics);
+        prop_assert!(multi.stats.simulations <= fine.stats.simulations);
     }
 
     // Every strategy's report is byte-identical across 1/2/8 threads

@@ -29,7 +29,7 @@ use dpm_workload::TaskSpec;
 use crate::estimator::EndOfTaskEstimator;
 use crate::gem::GemLemPorts;
 use crate::msg::{GemRequest, TaskGrant, TaskRequest};
-use crate::policy::{PolicyInputs, RuleSet, Selection};
+use crate::policy::{PolicyInputs, PolicyTable, RuleSet, Selection};
 use crate::predictor::{IdlePredictor, PredictorKind};
 
 /// Signal/fifo bundle connecting one LEM to its IP, PSM, sensors and GEM.
@@ -165,6 +165,8 @@ pub struct Lem {
     model: IpPowerModel,
     /// Break-even tables per ON hold level (index = level − 1).
     breakeven: [BreakEvenTable; 4],
+    /// Dense precomputation of `cfg.rules` (O(1) per selection).
+    policy: PolicyTable,
     predictor: Box<dyn IdlePredictor>,
     sleep_timer: EventId,
     phase: Phase,
@@ -194,11 +196,13 @@ impl Lem {
             BreakEvenTable::compute(&model, transitions, PowerState::On4),
         ];
         let predictor = cfg.predictor.build(cfg.initial_prediction);
+        let policy = PolicyTable::new(&cfg.rules);
         let lem = Lem {
             cfg,
             ports,
             model,
             breakeven,
+            policy,
             predictor,
             sleep_timer,
             phase: Phase::Idle,
@@ -316,7 +320,7 @@ impl Lem {
                 self.stats.gem_requests += 1;
             }
         }
-        let selection: Selection = self.cfg.rules.select(self.inputs_for(ctx, &task));
+        let selection: Selection = self.policy.select(self.inputs_for(ctx, &task));
         self.stats.selections_by_state[selection.state.index()] += 1;
         if selection.used_fallback {
             self.stats.fallback_selections += 1;
@@ -441,7 +445,7 @@ impl Process for Lem {
                     // Conditions may have improved; re-evaluate once.
                     if enabled {
                         if let Some(task) = self.queue.front().copied() {
-                            let selection = self.cfg.rules.select(self.inputs_for(ctx, &task));
+                            let selection = self.policy.select(self.inputs_for(ctx, &task));
                             if selection.state.is_execution() {
                                 self.phase = Phase::Idle;
                                 continue;

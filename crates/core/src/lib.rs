@@ -46,7 +46,7 @@ pub use estimator::EndOfTaskEstimator;
 pub use gem::{Gem, GemConfig, GemLemPorts, GemStats};
 pub use lem::{Lem, LemConfig, LemPorts, LemStats, SleepSelection};
 pub use msg::{GemRequest, TaskGrant, TaskRequest};
-pub use policy::{PolicyInputs, Rule, RuleSet, Selection};
+pub use policy::{PolicyInputs, PolicyTable, Rule, RuleSet, Selection};
 pub use predictor::{
     ExpAveragePredictor, FixedPredictor, IdlePredictor, LastIdlePredictor, PredictorKind,
     WindowPredictor,

@@ -220,6 +220,53 @@ impl RuleSet {
     }
 }
 
+/// A dense precomputation of [`RuleSet::select`] over the full input
+/// space (4 priorities × 5 battery classes × 3 thermal classes × 2
+/// sources = 120 entries).
+///
+/// The LEM consults the policy on every task request and on every
+/// deferred-task re-evaluation, which makes the linear first-match scan
+/// (plus its fallback retry) a hot-loop cost. The table trades a one-time
+/// 120-call precomputation at elaboration for an O(1) array lookup at
+/// selection time, preserving `rule_index` and `used_fallback` exactly —
+/// its results are byte-for-byte those of the [`RuleSet`] it was built
+/// from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyTable {
+    entries: Vec<Selection>,
+}
+
+impl PolicyTable {
+    fn slot(inputs: PolicyInputs) -> usize {
+        (((inputs.priority as usize) * 5 + inputs.battery as usize) * 3
+            + inputs.temperature as usize)
+            * 2
+            + inputs.source as usize
+    }
+
+    /// Precomputes every selection of `rules`.
+    pub fn new(rules: &RuleSet) -> Self {
+        let mut entries = vec![
+            Selection {
+                state: PowerState::On1,
+                rule_index: None,
+                used_fallback: true,
+            };
+            4 * 5 * 3 * 2
+        ];
+        for inputs in RuleSet::input_space() {
+            entries[Self::slot(inputs)] = rules.select(inputs);
+        }
+        Self { entries }
+    }
+
+    /// The selection for `inputs` — identical to the source rule set's
+    /// [`RuleSet::select`].
+    pub fn select(&self, inputs: PolicyInputs) -> Selection {
+        self.entries[Self::slot(inputs)]
+    }
+}
+
 impl fmt::Display for RuleSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "priority battery temperature source -> state")?;
@@ -326,5 +373,24 @@ mod tests {
     #[test]
     fn input_space_is_complete() {
         assert_eq!(RuleSet::input_space().count(), 4 * 5 * 3 * 2);
+    }
+
+    #[test]
+    fn dense_table_matches_rule_set_everywhere() {
+        for rules in [
+            table1(),
+            RuleSet::new(vec![]).with_default(PowerState::On3),
+            RuleSet::new(vec![rule(
+                PrioritySet::any(),
+                BatterySet::any(),
+                TempSet::only(ThermalClass::Low),
+                PowerState::On2,
+            )]),
+        ] {
+            let table = PolicyTable::new(&rules);
+            for inputs in RuleSet::input_space() {
+                assert_eq!(table.select(inputs), rules.select(inputs), "{inputs}");
+            }
+        }
     }
 }

@@ -232,6 +232,10 @@ impl Sched {
                 self.fire(*event);
             }
         }
+        // Recycle the batch buffer (as commit_updates does): dropping it
+        // here would make every delta cycle re-allocate the vector.
+        self.delta_events = batch;
+        self.delta_events.clear();
         !self.runnable.is_empty()
     }
 

@@ -16,6 +16,9 @@
 //!   cycle-accurate clock.
 //! * [`SocMetrics`] — per-IP and SoC-level results (energy by state, task
 //!   latency, temperature elevation, residency).
+//! * [`run_config_coarse`] — the dwell-time fast path: the same metrics
+//!   computed analytically from the characterized models, without
+//!   elaborating the kernel (the campaign layer's *coarse* fidelity).
 //! * [`experiment`] — the paper's scenarios A1–A4, B, C and the Table 2
 //!   metric computation against the always-max-frequency baseline.
 //! * [`report`] — ASCII/Markdown/JSON renderers for the regenerated
@@ -26,6 +29,7 @@
 
 mod build;
 mod bus;
+mod coarse;
 mod config;
 pub mod experiment;
 mod ip;
@@ -35,6 +39,7 @@ mod util;
 
 pub use build::{build_soc, SocHandles};
 pub use bus::{Bus, BusStats};
+pub use coarse::run_config_coarse;
 pub use config::{BatteryKind, ControllerKind, IpConfig, LemTuning, SocConfig, ThermalScenario};
 pub use ip::{IpBlock, IpPorts, TaskRecord};
 pub use metrics::{collect_metrics, IpMetrics, SocMetrics};

@@ -43,6 +43,10 @@ pub struct ThermalMonitor {
     elevation_integral_ks: f64,
     max_temp: Celsius,
     fan_on_time: SimDuration,
+    /// Last published outputs, to skip no-op writes (the monitor runs on
+    /// every IP power event; unconditional writes would push three no-op
+    /// updates through the kernel's update queue each activation).
+    published: (f64, ThermalClass, f64),
 }
 
 impl ThermalMonitor {
@@ -99,6 +103,7 @@ impl ThermalMonitor {
             elevation_integral_ks: 0.0,
             max_temp: t0,
             fan_on_time: SimDuration::ZERO,
+            published: (t0.as_celsius(), class0, 0.0),
         };
         let pid = sim.add_process(name, monitor);
         sim.sensitize(pid, tick);
@@ -160,9 +165,10 @@ impl ThermalMonitor {
     fn settle(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         let dt = now.saturating_duration_since(self.last_step);
+        let mut hottest = self.network.hottest();
         if !dt.is_zero() {
             // Integrate the elevation with the trapezoid of pre/post temps.
-            let before = self.network.hottest();
+            let before = hottest;
             self.network.step(&self.cached_powers, self.cached_fan, dt);
             let after = self.network.hottest();
             let amb = self.network.ambient();
@@ -172,21 +178,31 @@ impl ThermalMonitor {
                 self.fan_on_time += dt;
             }
             self.max_temp = self.max_temp.max(after);
+            hottest = after;
         }
         self.last_step = now;
         self.refresh_cache(ctx);
-        let hottest = self.network.hottest();
         let class = self.classifier.classify(hottest);
-        ctx.write(self.temp_out, hottest.as_celsius());
-        ctx.write(self.class_out, class);
-        ctx.write(
-            self.fan_power_out,
-            if self.cached_fan {
-                self.fan_draw.as_watts()
-            } else {
-                0.0
-            },
-        );
+        let fan_power = if self.cached_fan {
+            self.fan_draw.as_watts()
+        } else {
+            0.0
+        };
+        // Publish only on change — a write of an equal value never fires a
+        // change event, so skipping it is behaviour-preserving while
+        // avoiding redundant update-queue work on zero-dt activations.
+        if self.published.0 != hottest.as_celsius() {
+            self.published.0 = hottest.as_celsius();
+            ctx.write(self.temp_out, hottest.as_celsius());
+        }
+        if self.published.1 != class {
+            self.published.1 = class;
+            ctx.write(self.class_out, class);
+        }
+        if self.published.2 != fan_power {
+            self.published.2 = fan_power;
+            ctx.write(self.fan_power_out, fan_power);
+        }
     }
 }
 
