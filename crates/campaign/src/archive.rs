@@ -140,6 +140,31 @@ pub struct CellRecord {
     pub fidelity: Fidelity,
 }
 
+/// One shared always-`ON1` baseline result on disk, so *cross-process*
+/// runs share baselines the way the in-memory `BaselineCache` shares
+/// them across batches inside one process. Written by the group's lease
+/// holder after it first simulates the baseline; any later holder of
+/// the same group (an adaptive search touches a group across many
+/// batches, and which searcher claims it is a race) loads it instead of
+/// re-simulating — summed `simulations`/`coarse_simulations` across
+/// coordinated workers stay equal to the single-process totals.
+/// Deterministic simulation makes the read purely a work saving: served
+/// and re-simulated baselines are identical.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct BaselineRecord {
+    /// Archive format version ([`ARCHIVE_VERSION`] at write time).
+    archive_version: u32,
+    /// Fingerprint of the producing spec ([`spec_fingerprint`]).
+    spec_fingerprint: u64,
+    /// The baseline group ([`CampaignSpec::group_of`]).
+    group: usize,
+    /// The fidelity the baseline was evaluated at (never served across
+    /// the fine/coarse boundary, like cell records).
+    fidelity: Fidelity,
+    /// The shared always-`ON1` run.
+    metrics: dpm_soc::SocMetrics,
+}
+
 /// One work lease on disk: a claim on a whole baseline group, created
 /// with `create_new` so exactly one claimant wins.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -528,6 +553,72 @@ impl CampaignArchive {
             .join(format!("group-{group:05}.lease"))
     }
 
+    /// The stored shared-baseline file of one group at one fidelity.
+    fn baseline_path(&self, group: usize, fidelity: Fidelity) -> PathBuf {
+        let tag = match fidelity {
+            Fidelity::Fine => "fine",
+            Fidelity::Coarse => "coarse",
+        };
+        self.dir
+            .join("baselines")
+            .join(format!("{tag}-group-{group:05}.json"))
+    }
+
+    /// Loads `group`'s stored shared baseline at `fidelity`, if a valid
+    /// one exists (see [`BaselineRecord`]): a missing, foreign or
+    /// corrupt file just means the caller simulates the baseline
+    /// itself, exactly as before baselines were persisted.
+    pub fn load_baseline(&self, group: usize, fidelity: Fidelity) -> Option<dpm_soc::SocMetrics> {
+        let text = std::fs::read_to_string(self.baseline_path(group, fidelity)).ok()?;
+        match serde_json::from_str::<BaselineRecord>(&text) {
+            Ok(rec)
+                if rec.archive_version == ARCHIVE_VERSION
+                    && rec.spec_fingerprint == self.fingerprint
+                    && rec.group == group
+                    && rec.fidelity == fidelity =>
+            {
+                Some(rec.metrics)
+            }
+            _ => None,
+        }
+    }
+
+    /// Stores `group`'s freshly simulated shared baseline (best-effort
+    /// for callers: a failure only risks a peer re-simulating the
+    /// baseline, never wrong results). Written to a temporary file and
+    /// renamed into place, so a reader never sees a torn record; the
+    /// caller holds `group`'s lease, so concurrent writers of the same
+    /// file do not arise in normal operation — and would write
+    /// identical bytes if staleness reclaim ever overlapped them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the record cannot be written.
+    pub fn store_baseline(
+        &self,
+        group: usize,
+        fidelity: Fidelity,
+        metrics: &dpm_soc::SocMetrics,
+    ) -> Result<(), String> {
+        let record = BaselineRecord {
+            archive_version: ARCHIVE_VERSION,
+            spec_fingerprint: self.fingerprint,
+            group,
+            fidelity,
+            metrics: metrics.clone(),
+        };
+        let json = serde_json::to_string(&record)
+            .map_err(|e| format!("cannot serialize baseline record: {e}"))?;
+        let path = self.baseline_path(group, fidelity);
+        let dir = path.parent().expect("baseline path has a parent");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
+    }
+
     /// Parses and validates one record's text against the cell it
     /// should hold, returning the full record. With `fidelity` set, a
     /// record of any other fidelity is rejected **in both directions**
@@ -802,11 +893,13 @@ impl CampaignArchive {
     /// loses a record: the old files are only removed after the rename
     /// lands.
     ///
-    /// Safe (but wasteful) while workers are running: records appended
-    /// during the compaction window may be discarded with the old
-    /// segments, in which case those cells simply re-run — determinism
-    /// makes the re-run byte-identical, exactly like a lease-overlap
-    /// duplicate.
+    /// Refused while any unexpired work lease exists: a live lease means
+    /// a worker may append records during the compaction window, and
+    /// those appends would be silently discarded with the old segments —
+    /// the cells would re-run byte-identically later, but as wasted,
+    /// surprising work (and under `dpm serve`, behind the operator's
+    /// back). Wait for the leases to expire or be released (or clear
+    /// stale ones with `campaign gc`) and retry.
     ///
     /// Both segment stores are compacted: the fine store (which also
     /// absorbs legacy per-cell files) and the coarse store. The report
@@ -814,9 +907,17 @@ impl CampaignArchive {
     ///
     /// # Errors
     ///
-    /// Returns a description when a directory cannot be listed,
-    /// scanned or written.
+    /// Returns a description when an unexpired lease is held, or when a
+    /// directory cannot be listed, scanned or written.
     pub fn compact(&self, spec: &CampaignSpec) -> Result<CompactReport, String> {
+        if let Some(holder) = self.held_lease_holder(DEFAULT_LEASE_TTL_MS)? {
+            return Err(format!(
+                "cannot compact: unexpired lease held by '{holder}' — a worker \
+                 may still be appending records (they would be dropped with the \
+                 old segments); wait for leases to expire or release, or run \
+                 'campaign gc', then retry"
+            ));
+        }
         let mut report = CompactReport::default();
         {
             let mut state = self.seg_lock();
@@ -949,6 +1050,27 @@ impl CampaignArchive {
         state.index.reset();
         state.index.refresh()?;
         Ok(())
+    }
+
+    /// The holder of one currently-held (unexpired) work lease, if any —
+    /// the compaction guard. Scans the `leases/` directory the way
+    /// [`Self::gc`] does; tombstones and refresh temp files are not
+    /// leases and never block.
+    fn held_lease_holder(&self, ttl_ms: u64) -> Result<Option<String>, String> {
+        for entry in read_dir_or_empty(&self.dir.join("leases"))? {
+            let path = entry?;
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let group = name
+                .strip_prefix("group-")
+                .and_then(|rest| rest.strip_suffix(".lease"))
+                .and_then(|digits| digits.parse::<usize>().ok());
+            if let Some(g) = group {
+                if let LeaseState::Held { holder } = self.lease_state(g, ttl_ms) {
+                    return Ok(Some(holder));
+                }
+            }
+        }
+        Ok(None)
     }
 
     // ---- work leases -------------------------------------------------

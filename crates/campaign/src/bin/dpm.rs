@@ -7,8 +7,9 @@
 //! dpm campaign gc <DIR> [--ttl-ms N]
 //! dpm campaign compact <DIR>
 //! dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
-//! dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto] [--objective O]
-//!            [--constraint C] [--budget N] [--start-points N] [--threads N]
+//! dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto|portfolio]
+//!            [--objective O] [--constraint C] [--budget N] [--start-points N]
+//!            [--threads N] [--workers N] [--prefetch]
 //!            [--initial-temp T] [--cooling F] [--anneal-seed N]
 //!            [--format F] [--out FILE] [--resume DIR] [--coordinate] [--no-dedup]
 //! dpm serve <DIR> [--addr HOST:PORT] [--workers N] [--threads N]
@@ -29,7 +30,7 @@ use dpm_campaign::{
     search_campaign, search_json, search_markdown, spawn_server, summarize, CampaignArchive,
     CampaignExecutor, CampaignSpec, Constraint, Executor as _, Fidelity, LeaseConfig,
     MultiObjective, Objective, ParetoSpec, RunnerConfig, SearchDefaults, SearchFidelity,
-    SearchSpec, ServeOptions, StrategyKind, ThreadPool, WorkerOptions, WorkerPool,
+    SearchSpec, ServeOptions, StrategyKind, ThreadPool, WorkerOptions, WorkerPool, WorkerSummary,
     DEFAULT_LEASE_POLL_MS, DEFAULT_LEASE_TTL_MS,
 };
 use dpm_soc::experiment::{run_scenario, ScenarioId};
@@ -46,13 +47,13 @@ USAGE:
     dpm campaign gc   <DIR> [--ttl-ms N]
     dpm campaign compact <DIR>
     dpm worker <DIR> [--threads N] [--ttl-ms N] [--poll-ms N] [--holder ID] [--no-dedup]
-    dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto]
+    dpm search <spec.toml | --builtin> [--strategy climb|anneal|pareto|portfolio]
                [--objective METRIC[,METRIC...]] [--constraint METRIC<=X]
                [--fidelity fine|coarse|multi]
-               [--budget N] [--start-points N] [--threads N]
+               [--budget N] [--start-points N] [--threads N] [--workers N]
                [--initial-temp T] [--cooling F] [--anneal-seed N]
                [--format ascii|markdown|json] [--out FILE] [--resume DIR]
-               [--coordinate] [--no-dedup]
+               [--coordinate] [--prefetch] [--no-dedup]
     dpm serve <DIR> [--addr HOST:PORT] [--workers N] [--threads N]
               [--ttl-ms N] [--poll-ms N] [--no-dedup]
     dpm table2 [--format ascii|markdown|json]
@@ -95,12 +96,23 @@ an evaluation budget (default: half the grid). A spec's [search] section
 supplies per-spec defaults; flags override it. --strategy selects the
 exploration: 'climb' (deterministic neighborhood climbing, the
 default), 'anneal' (seeded simulated annealing; tune --initial-temp,
---cooling and --anneal-seed), or 'pareto' (multi-objective front
+--cooling and --anneal-seed), 'pareto' (multi-objective front
 expansion; pass two or more comma-separated --objective metrics and get
-the non-dominated front instead of a single winner). With --resume DIR
+the non-dominated front instead of a single winner), or 'portfolio'
+(a restart portfolio racing climb, anneal and a single-objective front
+expansion under one shared budget; every result is observed by all
+three, and the turn rotates deterministically). With --resume DIR
 the campaign directory doubles as a result cache — re-searching it
 performs zero fresh simulations — and --coordinate lets several search
 processes share one exploration through the directory's work leases.
+`search --workers N` spawns and supervises N such coordinated search
+processes itself (no --coordinate needed; an ephemeral directory is
+used when --resume is absent) and prints each child's accounting; the
+report stays byte-identical to the single-process run. --prefetch lets
+idle threads speculatively evaluate each strategy's likely next
+proposals while a batch is in flight: results land in the archive
+keyed by grid index, so reports are unchanged, and speculative work is
+accounted separately (never against the strategy's budget).
 
 --fidelity picks how scalar searches spend the budget: 'fine' (full
 kernel simulation, the default), 'coarse' (the analytic dwell-time
@@ -260,13 +272,6 @@ fn parse_positive_flag(opts: &Opts, name: &str) -> Result<Option<usize>, String>
     }
 }
 
-fn open_archive(opts: &Opts, spec: &CampaignSpec) -> Result<Option<CampaignArchive>, String> {
-    match opts.value("resume") {
-        Some(dir) => Ok(Some(CampaignArchive::open(Path::new(dir), spec)?)),
-        None => Ok(None),
-    }
-}
-
 fn warn_archive_errors(errors: &[String]) {
     for e in errors {
         eprintln!(
@@ -378,6 +383,7 @@ fn campaign_run(args: &[String]) -> Result<(), String> {
         lease: None,
         cancel: None,
         fidelity: Fidelity::Fine,
+        speculative: Vec::new(),
     };
 
     // the multi-process backend needs a directory to coordinate through;
@@ -633,6 +639,99 @@ fn parse_f64_flag(opts: &Opts, name: &str) -> Result<Option<f64>, String> {
         .transpose()
 }
 
+/// What a `search --workers` child pool resolves to.
+type PoolOutcome = Result<(Vec<WorkerSummary>, Vec<String>), String>;
+
+/// Spawns `n` coordinated `dpm search` children over `dir`, forwarding
+/// the user's search flags verbatim (the children re-derive the same
+/// spec, strategy and budget) plus the coordination flags this driver
+/// computed. Each child prints a [`WorkerSummary`] on stdout via the
+/// hidden `--worker-summary` flag.
+fn spawn_search_pool(
+    opts: &Opts,
+    n: usize,
+    config: &RunnerConfig,
+    dir: Option<&Path>,
+    prefetch: bool,
+) -> Result<std::thread::JoinHandle<PoolOutcome>, String> {
+    let dir = dir
+        .ok_or("--workers needs a campaign directory")?
+        .to_owned();
+    let mut pool = WorkerPool::new(n);
+    pool.threads_per_worker = config.threads;
+    let lease_cfg = config
+        .lease
+        .clone()
+        .ok_or("--workers implies coordination")?;
+    let mut argv: Vec<std::ffi::OsString> = vec!["search".into()];
+    if opts.has("builtin") {
+        argv.push("--builtin".into());
+    } else if let Some(path) = opts.positionals.first() {
+        argv.push(path.into());
+    }
+    for flag in [
+        "strategy",
+        "objective",
+        "constraint",
+        "fidelity",
+        "budget",
+        "start-points",
+        "initial-temp",
+        "cooling",
+        "anneal-seed",
+    ] {
+        if let Some(v) = opts.value(flag) {
+            argv.push(format!("--{flag}").into());
+            argv.push(v.into());
+        }
+    }
+    if opts.has("no-dedup") {
+        argv.push("--no-dedup".into());
+    }
+    if prefetch {
+        argv.push("--prefetch".into());
+    }
+    argv.push("--threads".into());
+    argv.push(pool.effective_child_threads().to_string().into());
+    argv.push("--coordinate".into());
+    argv.push("--resume".into());
+    argv.push(dir.clone().into_os_string());
+    argv.push("--ttl-ms".into());
+    argv.push(lease_cfg.ttl_ms.to_string().into());
+    argv.push("--poll-ms".into());
+    argv.push(lease_cfg.poll_ms.to_string().into());
+    argv.push("--worker-summary".into());
+    eprintln!(
+        "  spawning {n} coordinated search worker(s) × {} threads over {}",
+        pool.effective_child_threads(),
+        dir.display(),
+    );
+    Ok(std::thread::spawn(move || pool.run_command(&argv)))
+}
+
+/// Joins the `search --workers` child pool and prints each child's
+/// accounting line, mirroring `campaign run --workers`. A failed child
+/// is a warning, not an error: a coordinated search completes solo.
+fn join_search_pool(handle: Option<std::thread::JoinHandle<PoolOutcome>>) -> Result<(), String> {
+    let Some(handle) = handle else {
+        return Ok(());
+    };
+    let (summaries, failures) = handle
+        .join()
+        .map_err(|_| "search worker pool thread panicked".to_string())??;
+    for summary in &summaries {
+        eprintln!(
+            "  worker {}: {}",
+            summary.holder,
+            run_stats_line(&summary.stats)
+        );
+    }
+    for failure in &failures {
+        eprintln!("  warning: {failure}");
+    }
+    Ok(())
+}
+
 fn search(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
@@ -644,6 +743,7 @@ fn search(args: &[String]) -> Result<(), String> {
             "budget",
             "start-points",
             "threads",
+            "workers",
             "initial-temp",
             "cooling",
             "anneal-seed",
@@ -654,7 +754,13 @@ fn search(args: &[String]) -> Result<(), String> {
             "poll-ms",
             "holder",
         ],
-        &["builtin", "no-dedup", "coordinate"],
+        &[
+            "builtin",
+            "no-dedup",
+            "coordinate",
+            "prefetch",
+            "worker-summary",
+        ],
     )?;
     let format = output_format(&opts)?;
     let (spec, defaults) = load_spec_full(&opts)?;
@@ -664,10 +770,13 @@ fn search(args: &[String]) -> Result<(), String> {
         Some(text) => StrategyKind::parse(text)?,
         None => defaults.strategy.unwrap_or(StrategyKind::Climb),
     };
-    if strategy != StrategyKind::Anneal {
+    if !matches!(strategy, StrategyKind::Anneal | StrategyKind::Portfolio) {
         for flag in ["initial-temp", "cooling", "anneal-seed"] {
             if opts.value(flag).is_some() {
-                return Err(format!("--{flag} only applies with --strategy anneal"));
+                return Err(format!(
+                    "--{flag} only applies with --strategy anneal (or portfolio, \
+                     which races an annealer)"
+                ));
             }
         }
     }
@@ -701,21 +810,40 @@ fn search(args: &[String]) -> Result<(), String> {
 
     // --coordinate: claim batch-level work leases so several search
     // processes can share one exploration over the same campaign
-    // directory
-    if !opts.has("coordinate") {
+    // directory; --workers spawns and supervises N such processes itself
+    let workers = parse_positive_flag(&opts, "workers")?;
+    if workers.is_some() && opts.has("coordinate") {
+        return Err("--workers spawns and coordinates its own search children; \
+                    --coordinate is for attaching this process to searchers \
+                    launched elsewhere — use one or the other"
+            .into());
+    }
+    if opts.has("worker-summary") && !opts.has("coordinate") {
+        return Err("--worker-summary only applies with --coordinate \
+                    (the --workers pool sets it on its children)"
+            .into());
+    }
+    let coordinated = opts.has("coordinate") || workers.is_some();
+    if !coordinated {
         for flag in ["ttl-ms", "poll-ms", "holder"] {
             if opts.value(flag).is_some() {
-                return Err(format!("--{flag} only applies with --coordinate"));
+                return Err(format!(
+                    "--{flag} only applies with --coordinate or --workers"
+                ));
             }
         }
     }
-    let lease = opts
-        .has("coordinate")
-        .then(|| lease_from_flags(&opts))
-        .transpose()?;
-    if lease.is_some() && !opts.has("resume") {
+    let lease = coordinated.then(|| lease_from_flags(&opts)).transpose()?;
+    if opts.has("coordinate") && !opts.has("resume") {
         return Err("--coordinate needs --resume DIR (the campaign \
                     directory is the work-sharing medium)"
+            .into());
+    }
+    let prefetch = opts.has("prefetch") || defaults.prefetch.unwrap_or(false);
+    if opts.has("prefetch") && workers.is_none() && !opts.has("resume") {
+        return Err("--prefetch needs an archive to key speculative results \
+                    by grid index: pass --resume DIR (or --workers N, which \
+                    creates an ephemeral one)"
             .into());
     }
     // always fine here: search_campaign pins the per-phase fidelity
@@ -727,8 +855,42 @@ fn search(args: &[String]) -> Result<(), String> {
         lease,
         cancel: None,
         fidelity: Fidelity::Fine,
+        speculative: Vec::new(),
     };
-    let archive = open_archive(&opts, &spec)?;
+
+    // --workers without --resume coordinates through an ephemeral
+    // directory — uniquely named and removed on *every* exit path by
+    // the guard's Drop, exactly like `campaign run --workers`
+    let resume_dir = opts.value("resume").map(PathBuf::from);
+    let ephemeral = workers.is_some() && resume_dir.is_none();
+    let dir = resume_dir.or_else(|| {
+        ephemeral.then(|| {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos());
+            std::env::temp_dir().join(format!("dpm-search-{}-{nanos}", std::process::id()))
+        })
+    });
+    let _ephemeral_guard = ephemeral.then(|| EphemeralDir(dir.clone()));
+    let archive = match &dir {
+        Some(d) => Some(CampaignArchive::open(d, &spec)?),
+        None => None,
+    };
+
+    // spawn the search children *before* running our own coordinated
+    // search: the driver participates as one more searcher and is the
+    // one that renders the report
+    let pool_handle = match workers {
+        None => None,
+        Some(n) => Some(spawn_search_pool(
+            &opts,
+            n,
+            &config,
+            dir.as_deref(),
+            prefetch,
+        )?),
+    };
+    let quiet = opts.has("worker-summary");
     let started = std::time::Instant::now();
 
     if strategy == StrategyKind::Pareto {
@@ -749,27 +911,43 @@ fn search(args: &[String]) -> Result<(), String> {
             Some(c) => objectives.with_constraint(c),
             None => objectives,
         };
-        let mut pareto_spec = ParetoSpec::new(objectives, budget);
+        let mut pareto_spec = ParetoSpec::new(objectives, budget).with_prefetch(prefetch);
         if let Some(points) = start_points {
             pareto_spec.start_points = points;
         }
-        eprintln!(
-            "search '{}' (pareto): {} over a {}-cell grid, budget {}",
-            spec.name,
-            pareto_spec.objectives.describe(),
-            grid,
-            pareto_spec.budget,
-        );
+        if !quiet {
+            eprintln!(
+                "search '{}' (pareto): {} over a {}-cell grid, budget {}",
+                spec.name,
+                pareto_spec.objectives.describe(),
+                grid,
+                pareto_spec.budget,
+            );
+        }
         let outcome = pareto_campaign(&spec, &pareto_spec, &config, archive.as_ref())?;
-        eprintln!(
-            "  {} cells evaluated in {} rounds in {:.2?}; front size {}; {}",
-            outcome.report.evaluated,
-            outcome.report.rounds,
-            started.elapsed(),
-            outcome.report.front.len(),
-            run_stats_line(&outcome.stats),
-        );
+        join_search_pool(pool_handle)?;
+        if !quiet {
+            eprintln!(
+                "  {} cells evaluated in {} rounds in {:.2?}; front size {}; {}",
+                outcome.report.evaluated,
+                outcome.report.rounds,
+                started.elapsed(),
+                outcome.report.front.len(),
+                run_stats_line(&outcome.stats),
+            );
+        }
         warn_archive_errors(&outcome.archive_errors);
+        if quiet {
+            let summary = WorkerSummary {
+                holder: config
+                    .lease
+                    .as_ref()
+                    .map_or_else(String::new, |l| l.holder.clone()),
+                stats: outcome.stats,
+            };
+            out(serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?);
+            return Ok(());
+        }
         return render_report(
             &opts,
             format,
@@ -798,7 +976,8 @@ fn search(args: &[String]) -> Result<(), String> {
     };
     let mut search_spec = SearchSpec::new(objective, budget)
         .with_strategy(strategy)
-        .with_fidelity(fidelity);
+        .with_fidelity(fidelity)
+        .with_prefetch(prefetch);
     if let Some(points) = start_points {
         search_spec.start_points = points;
     }
@@ -827,29 +1006,45 @@ fn search(args: &[String]) -> Result<(), String> {
         SearchFidelity::Fine => String::new(),
         other => format!(", {} fidelity", other.label()),
     };
-    eprintln!(
-        "search '{}' ({}{}): {} over a {}-cell grid, budget {}",
-        spec.name,
-        strategy.label(),
-        fidelity_note,
-        search_spec.objective.describe(),
-        grid,
-        search_spec.budget,
-    );
+    if !quiet {
+        eprintln!(
+            "search '{}' ({}{}): {} over a {}-cell grid, budget {}",
+            spec.name,
+            strategy.label(),
+            fidelity_note,
+            search_spec.objective.describe(),
+            grid,
+            search_spec.budget,
+        );
+    }
     let outcome = search_campaign(&spec, &search_spec, &config, archive.as_ref())?;
+    join_search_pool(pool_handle)?;
     let screened_note = match outcome.report.screened {
         0 => String::new(),
         n => format!(" ({n} coarse-screened)"),
     };
-    eprintln!(
-        "  {} cells evaluated{} in {} rounds in {:.2?}; {}",
-        outcome.report.evaluated,
-        screened_note,
-        outcome.report.rounds,
-        started.elapsed(),
-        run_stats_line(&outcome.stats),
-    );
+    if !quiet {
+        eprintln!(
+            "  {} cells evaluated{} in {} rounds in {:.2?}; {}",
+            outcome.report.evaluated,
+            screened_note,
+            outcome.report.rounds,
+            started.elapsed(),
+            run_stats_line(&outcome.stats),
+        );
+    }
     warn_archive_errors(&outcome.archive_errors);
+    if quiet {
+        let summary = WorkerSummary {
+            holder: config
+                .lease
+                .as_ref()
+                .map_or_else(String::new, |l| l.holder.clone()),
+            stats: outcome.stats,
+        };
+        out(serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
     render_report(
         &opts,
         format,

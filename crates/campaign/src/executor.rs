@@ -166,6 +166,41 @@ impl WorkerPool {
     /// Returns a description when no child can be spawned at all (bad
     /// program path, zero workers).
     pub fn run(&self, dir: &Path) -> Result<(Vec<WorkerSummary>, Vec<String>), String> {
+        let threads = self.effective_child_threads();
+        let mut argv: Vec<std::ffi::OsString> = vec![
+            "worker".into(),
+            dir.into(),
+            "--threads".into(),
+            threads.to_string().into(),
+            "--ttl-ms".into(),
+            self.ttl_ms.to_string().into(),
+        ];
+        if self.no_dedup {
+            argv.push("--no-dedup".into());
+        }
+        self.run_command(&argv)
+    }
+
+    /// Spawns `workers` children running `dpm <argv...>` and waits for
+    /// all of them, collecting one [`WorkerSummary`] JSON line from each
+    /// clean child's stdout — the generalized core behind [`Self::run`].
+    ///
+    /// `dpm search --workers` reuses this to spawn coordinated *search*
+    /// children (`dpm search ... --coordinate --worker-summary`) instead
+    /// of plain grid-draining workers: a plain worker evaluates the full
+    /// grid at fine fidelity, which is exactly wrong for a budgeted or
+    /// multi-fidelity search. Every child gets the identical argv; the
+    /// children distinguish themselves through their process-unique
+    /// lease holder ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when no child can be spawned at all (bad
+    /// program path, zero workers).
+    pub fn run_command(
+        &self,
+        argv: &[std::ffi::OsString],
+    ) -> Result<(Vec<WorkerSummary>, Vec<String>), String> {
         if self.workers == 0 {
             return Err("worker pool needs at least one worker".into());
         }
@@ -174,21 +209,12 @@ impl WorkerPool {
             None => std::env::current_exe()
                 .map_err(|e| format!("cannot locate the dpm binary to spawn workers: {e}"))?,
         };
-        let threads = self.effective_child_threads();
         let mut children = Vec::new();
         for k in 0..self.workers {
             let mut cmd = Command::new(&program);
-            cmd.arg("worker")
-                .arg(dir)
-                .arg("--threads")
-                .arg(threads.to_string())
-                .arg("--ttl-ms")
-                .arg(self.ttl_ms.to_string())
+            cmd.args(argv)
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit());
-            if self.no_dedup {
-                cmd.arg("--no-dedup");
-            }
             match cmd.spawn() {
                 Ok(child) => children.push((k, child)),
                 Err(e) => {

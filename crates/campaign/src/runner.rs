@@ -118,6 +118,15 @@ pub struct RunnerConfig {
     /// records and count in [`RunStats::coarse_simulations`], never in
     /// [`RunStats::simulations`].
     pub fidelity: Fidelity,
+    /// Grid indices of cells in this run that are **speculative**
+    /// (prefetched by the search driver, not proposed by a strategy).
+    /// Speculative cells execute and archive exactly like any other
+    /// cell — determinism is untouched — but their work is accounted in
+    /// the `speculative_*` fields of [`RunStats`] instead of
+    /// `executed_cells`/`simulations`, and on the leased path their
+    /// groups are claimed only after every group containing a real
+    /// (proposed) cell. Empty (the default) means every cell is real.
+    pub speculative: Vec<usize>,
 }
 
 impl Default for RunnerConfig {
@@ -129,6 +138,7 @@ impl Default for RunnerConfig {
             lease: None,
             cancel: None,
             fidelity: Fidelity::Fine,
+            speculative: Vec::new(),
         }
     }
 }
@@ -163,6 +173,13 @@ impl RunnerConfig {
     /// This configuration evaluating at the given fidelity.
     pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
         self.fidelity = fidelity;
+        self
+    }
+
+    /// This configuration with the given grid indices accounted as
+    /// speculative (prefetched) work.
+    pub fn with_speculative(mut self, cells: Vec<usize>) -> Self {
+        self.speculative = cells;
         self
     }
 
@@ -300,6 +317,16 @@ pub struct RunStats {
     /// Coarse (analytic dwell-time) evaluations run, scenario and
     /// baseline evaluations both.
     pub coarse_simulations: usize,
+    /// Cells executed *speculatively* (search prefetch): evaluated ahead
+    /// of any strategy proposal to fill otherwise-idle executor slots.
+    /// Never counted in `executed_cells`; speculative cells already in
+    /// the archive cost (and count) nothing.
+    pub speculative_cells: usize,
+    /// Fine simulations spent on speculative cells (never charged
+    /// against a search budget, never mixed into `simulations`).
+    pub speculative_simulations: usize,
+    /// Coarse evaluations spent on speculative cells.
+    pub speculative_coarse: usize,
 }
 
 impl RunStats {
@@ -315,6 +342,9 @@ impl RunStats {
         self.baseline_groups += other.baseline_groups;
         self.reused_baselines += other.reused_baselines;
         self.coarse_simulations += other.coarse_simulations;
+        self.speculative_cells += other.speculative_cells;
+        self.speculative_simulations += other.speculative_simulations;
+        self.speculative_coarse += other.speculative_coarse;
     }
 }
 
@@ -592,6 +622,7 @@ fn run_cells_local(
     on_unit: UnitHook<'_>,
 ) -> Result<CampaignRun, String> {
     let total = cells.len();
+    let is_spec = speculative_flags(cells, config);
 
     // resume: prefill result slots from the archive (only records of
     // this run's fidelity satisfy the read — see `CampaignArchive`)
@@ -599,22 +630,33 @@ fn run_cells_local(
         Some(a) => a.load_as(spec, cells, config.fidelity).slots,
         None => vec![None; total],
     };
-    let archived_cells = slots.iter().filter(|s| s.is_some()).count();
+    // speculative archive hits count nowhere: nobody asked for the cell
+    // and no work was done
+    let archived_cells = (0..total)
+        .filter(|&i| slots[i].is_some() && !is_spec[i])
+        .count();
     let missing: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
 
     // dedup: one always-ON1 baseline per (workload, seed, battery,
-    // thermal, ip-count) group, in first-appearance order
+    // thermal, ip-count) group, in first-appearance order. A group is
+    // speculative — its baseline run accounted as prefetch work — only
+    // when *every* cell needing it is speculative.
     let mut groups: Vec<ScenarioSpec> = Vec::new();
     let mut group_of: HashMap<BaselineKey, usize> = HashMap::new();
     let mut cell_group: Vec<usize> = Vec::new();
+    let mut group_spec: Vec<bool> = Vec::new();
     if config.dedup_baselines {
         for &i in &missing {
             let g = *group_of
                 .entry(baseline_key(&cells[i], config.fidelity))
                 .or_insert_with(|| {
                     groups.push(cells[i]);
+                    group_spec.push(true);
                     groups.len() - 1
                 });
+            if !is_spec[i] {
+                group_spec[g] = false;
+            }
             cell_group.push(g);
         }
     }
@@ -635,13 +677,16 @@ fn run_cells_local(
     let work = to_run.len() + missing.len();
     let pool = ThreadPool::new(config.effective_threads().min(work.max(1)));
     let progress = Progress::new(config.progress, work);
-    // one counter per fidelity; this run's evaluations all land in the
-    // counter matching `config.fidelity`
+    // one counter per (fidelity, speculative) pair; this run's
+    // evaluations all land in the pair matching `config.fidelity`, with
+    // prefetched cells accounted separately
     let fine_sims = AtomicUsize::new(0);
     let coarse_sims = AtomicUsize::new(0);
-    let sims = match config.fidelity {
-        Fidelity::Fine => &fine_sims,
-        Fidelity::Coarse => &coarse_sims,
+    let spec_fine_sims = AtomicUsize::new(0);
+    let spec_coarse_sims = AtomicUsize::new(0);
+    let (sims, spec_sims) = match config.fidelity {
+        Fidelity::Fine => (&fine_sims, &spec_fine_sims),
+        Fidelity::Coarse => (&coarse_sims, &spec_coarse_sims),
     };
     let reused = AtomicUsize::new(0);
     let store_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
@@ -651,7 +696,12 @@ fn run_cells_local(
     // panicking trace generator must fail the group's cells, not the
     // whole campaign, exactly as it would without dedup)
     let fresh_baselines: Vec<Result<SocMetrics, String>> = map_units(&pool, to_run.len(), |k| {
-        sims.fetch_add(1, Ordering::Relaxed);
+        let counter = if group_spec[to_run[k]] {
+            spec_sims
+        } else {
+            sims
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
         let out = caught(|| {
             let cfg = groups[to_run[k]]
                 .build_config(spec)
@@ -685,7 +735,8 @@ fn run_cells_local(
     let fresh: Vec<ScenarioResult> = map_units(&pool, missing.len(), |k| {
         let cell = &cells[missing[k]];
         let baseline = config.dedup_baselines.then(|| &baselines[cell_group[k]]);
-        let result = execute_cell(spec, cell, baseline, config.fidelity, sims, &reused);
+        let counter = if is_spec[missing[k]] { spec_sims } else { sims };
+        let result = execute_cell(spec, cell, baseline, config.fidelity, counter, &reused);
         if let Some(a) = archive {
             if !archive_broken.load(Ordering::Relaxed) {
                 if let Err(e) = a.store_as(spec, &result, config.fidelity) {
@@ -726,14 +777,27 @@ fn run_cells_local(
         stats: RunStats {
             total_cells: total,
             archived_cells,
-            executed_cells: missing.len(),
+            executed_cells: missing.iter().filter(|&&i| !is_spec[i]).count(),
             simulations: fine_sims.into_inner(),
-            baseline_groups: to_run.len(),
+            baseline_groups: to_run.iter().filter(|&&g| !group_spec[g]).count(),
             reused_baselines: reused.into_inner(),
             coarse_simulations: coarse_sims.into_inner(),
+            speculative_cells: missing.iter().filter(|&&i| is_spec[i]).count(),
+            speculative_simulations: spec_fine_sims.into_inner(),
+            speculative_coarse: spec_coarse_sims.into_inner(),
         },
         archive_errors,
     })
+}
+
+/// Per-position speculative flags for a run's cell list, from the grid
+/// indices in [`RunnerConfig::speculative`].
+fn speculative_flags(cells: &[ScenarioSpec], config: &RunnerConfig) -> Vec<bool> {
+    if config.speculative.is_empty() {
+        return vec![false; cells.len()];
+    }
+    let set: std::collections::HashSet<usize> = config.speculative.iter().copied().collect();
+    cells.iter().map(|c| set.contains(&c.index)).collect()
 }
 
 /// The cross-process execution path: claim whole baseline groups via
@@ -760,11 +824,15 @@ fn run_cells_leased(
     cache: Option<&mut BaselineCache>,
 ) -> Result<CampaignRun, String> {
     let total = cells.len();
+    let is_spec = speculative_flags(cells, config);
     let load = archive.load_as(spec, cells, config.fidelity);
     let mut slots = load.slots;
     let mut stats = RunStats {
         total_cells: total,
-        archived_cells: load.loaded,
+        // speculative archive hits count nowhere, as on the local path
+        archived_cells: (0..total)
+            .filter(|&i| slots[i].is_some() && !is_spec[i])
+            .count(),
         ..RunStats::default()
     };
     let mut archive_errors = Vec::new();
@@ -797,7 +865,13 @@ fn run_cells_leased(
                 .or_default()
                 .push(i);
         }
-        for (group, positions) in by_group {
+        // lease-claim ordering: groups containing at least one real
+        // (proposed) cell are claimed first, in group order; groups made
+        // purely of speculative cells come last, so prefetch work never
+        // delays a proposal a coordinated searcher is waiting on
+        let mut ordered: Vec<(usize, Vec<usize>)> = by_group.into_iter().collect();
+        ordered.sort_by_key(|(group, positions)| (positions.iter().all(|&p| is_spec[p]), *group));
+        for (group, positions) in ordered {
             if config.cancelled() {
                 // graceful drain: leases release per finished group, so
                 // nothing is held — just stop claiming new ones
@@ -817,12 +891,29 @@ fn run_cells_leased(
                 match slot {
                     Some(result) => {
                         slots[p] = Some(result);
-                        stats.archived_cells += 1;
+                        if !is_spec[p] {
+                            stats.archived_cells += 1;
+                        }
                     }
                     None => fresh.push(p),
                 }
             }
             if !fresh.is_empty() {
+                // cross-process baseline sharing: an earlier holder of
+                // this group (this search touches a group across many
+                // batches, and which worker claims it each time is a
+                // race) may have stored its shared baseline — load it
+                // into the cache so it is never re-simulated, keeping
+                // summed work across coordinated workers equal to the
+                // single-process totals
+                let key = baseline_key(&cells[fresh[0]], inner.fidelity);
+                let mut baseline_known = !inner.dedup_baselines || cache.map.contains_key(&key);
+                if !baseline_known {
+                    if let Some(metrics) = archive.load_baseline(group, inner.fidelity) {
+                        cache.map.insert(key, Ok(metrics));
+                        baseline_known = true;
+                    }
+                }
                 // run in thread-sized chunks (the baseline cache makes
                 // chunking work-neutral: the group's baseline simulates
                 // in the first chunk and is served from memory
@@ -866,9 +957,21 @@ fn run_cells_leased(
                     stats.baseline_groups += run.stats.baseline_groups;
                     stats.reused_baselines += run.stats.reused_baselines;
                     stats.coarse_simulations += run.stats.coarse_simulations;
+                    stats.speculative_cells += run.stats.speculative_cells;
+                    stats.speculative_simulations += run.stats.speculative_simulations;
+                    stats.speculative_coarse += run.stats.speculative_coarse;
                     archive_errors.extend(run.archive_errors);
                     for (j, result) in run.result.results.into_iter().enumerate() {
                         slots[chunk[j]] = Some(result);
+                    }
+                }
+                // persist a freshly simulated baseline (still under the
+                // group's lease) for the next holder. Best-effort, and
+                // failed baselines stay unstored — they re-run in every
+                // worker, like failed cells
+                if !baseline_known {
+                    if let Some(Ok(metrics)) = cache.map.get(&key) {
+                        let _ = archive.store_baseline(group, inner.fidelity, metrics);
                     }
                 }
                 ran_any = true;
@@ -891,7 +994,9 @@ fn run_cells_leased(
                 match slot {
                     Some(result) => {
                         slots[i] = Some(result);
-                        stats.archived_cells += 1;
+                        if !is_spec[i] {
+                            stats.archived_cells += 1;
+                        }
                         absorbed_any = true;
                     }
                     None => still_missing = true,

@@ -4,12 +4,15 @@
 //! The search layer is split into two halves:
 //!
 //! * a **[`Strategy`]** decides *which cells to look at next*: it
-//!   proposes batches of unevaluated grid indices and observes each
-//!   evaluated cell's result. Three strategies ship in-tree —
-//!   [`ClimbStrategy`] (the original neighborhood climber),
-//!   [`AnnealStrategy`] (seeded simulated annealing over the same
-//!   single-axis neighbor primitive), and [`ParetoStrategy`]
-//!   (multi-objective non-dominated front expansion);
+//!   proposes batches of unevaluated grid indices, observes each
+//!   evaluated cell's result, and may rank likely *next* proposals
+//!   through [`Strategy::prefetch_hint`] (the driver's speculative
+//!   prefetch). Four strategies ship in-tree — [`ClimbStrategy`] (the
+//!   original neighborhood climber), [`AnnealStrategy`] (seeded
+//!   simulated annealing over the same single-axis neighbor primitive),
+//!   [`ParetoStrategy`] (multi-objective non-dominated front
+//!   expansion), and [`PortfolioStrategy`] (a restart portfolio racing
+//!   the other three under one shared budget);
 //! * the **driver** ([`drive_strategy`]) owns everything else: budget
 //!   accounting, batch execution through
 //!   [`crate::runner::run_cells_with`], the cross-batch
@@ -120,14 +123,18 @@ pub enum StrategyKind {
     Anneal,
     /// Multi-objective non-dominated front expansion.
     Pareto,
+    /// A restart portfolio racing climb, anneal and single-objective
+    /// front expansion round-robin under one shared budget.
+    Portfolio,
 }
 
 impl StrategyKind {
     /// Every strategy kind.
-    pub const ALL: [StrategyKind; 3] = [
+    pub const ALL: [StrategyKind; 4] = [
         StrategyKind::Climb,
         StrategyKind::Anneal,
         StrategyKind::Pareto,
+        StrategyKind::Portfolio,
     ];
 
     /// The CLI/spec-file name of this strategy.
@@ -136,6 +143,7 @@ impl StrategyKind {
             StrategyKind::Climb => "climb",
             StrategyKind::Anneal => "anneal",
             StrategyKind::Pareto => "pareto",
+            StrategyKind::Portfolio => "portfolio",
         }
     }
 
@@ -223,6 +231,16 @@ pub struct SearchSpec {
     /// How the budget is spent across fidelities (see
     /// [`SearchFidelity`]; the budget is always in fine-equivalents).
     pub fidelity: SearchFidelity,
+    /// Speculative neighbor prefetch: while a proposed batch is in
+    /// flight, idle executor capacity evaluates the strategy's
+    /// [`Strategy::prefetch_hint`] cells into the archive. Reports stay
+    /// byte-identical with prefetch on or off (results are keyed by
+    /// grid index and the strategy only ever observes its own
+    /// proposals); the extra work is accounted in the `speculative_*`
+    /// [`RunStats`] fields and never charged against `budget`. Needs an
+    /// archive (the prefetched results must land somewhere). Off by
+    /// default.
+    pub prefetch: bool,
 }
 
 impl SearchSpec {
@@ -235,6 +253,7 @@ impl SearchSpec {
             strategy: StrategyKind::Climb,
             anneal: AnnealSchedule::default(),
             fidelity: SearchFidelity::Fine,
+            prefetch: false,
         }
     }
 
@@ -249,6 +268,12 @@ impl SearchSpec {
         self.fidelity = fidelity;
         self
     }
+
+    /// This search with speculative neighbor prefetch enabled.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
 }
 
 /// What a Pareto search explores: the joint objectives plus the same
@@ -261,6 +286,8 @@ pub struct ParetoSpec {
     pub budget: usize,
     /// Start-frontier size (clamped to the budget and the grid).
     pub start_points: usize,
+    /// Speculative neighbor prefetch (see [`SearchSpec::prefetch`]).
+    pub prefetch: bool,
 }
 
 impl ParetoSpec {
@@ -270,7 +297,14 @@ impl ParetoSpec {
             objectives,
             budget,
             start_points: DEFAULT_START_POINTS,
+            prefetch: false,
         }
+    }
+
+    /// This search with speculative neighbor prefetch enabled.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
     }
 }
 
@@ -448,6 +482,18 @@ pub trait Strategy {
 
     /// One evaluated cell's outcome.
     fn observe(&mut self, index: usize, result: &ScenarioResult);
+
+    /// A deterministic ranking of the cells this strategy is *likely*
+    /// to propose next (best guesses first), for the driver's
+    /// speculative prefetch. Called after `propose`, before the batch's
+    /// results are observed — so hints predict the round after the one
+    /// in flight. Hints are advisory: the driver filters out evaluated
+    /// and in-flight cells, caps the rest to idle executor capacity,
+    /// and never feeds speculative results back through `observe`. The
+    /// default hints nothing (no speculation).
+    fn prefetch_hint(&self, _spec: &CampaignSpec) -> Vec<usize> {
+        Vec::new()
+    }
 }
 
 /// Evenly-spread start frontier: `count` cells at indices `k * n /
@@ -559,6 +605,24 @@ impl Strategy for ClimbStrategy {
     fn observe(&mut self, index: usize, result: &ScenarioResult) {
         let score = self.board.objective.score(result);
         self.board.record(index, score);
+    }
+
+    /// The climber's likely next proposal: the unevaluated neighbors of
+    /// the best evaluated-but-unexpanded cell — exactly the batch the
+    /// next `propose` returns if the in-flight batch beats nothing —
+    /// falling back to the restart cell.
+    fn prefetch_hint(&self, spec: &CampaignSpec) -> Vec<usize> {
+        if !self.started {
+            return Vec::new();
+        }
+        match self.board.best_unexpanded() {
+            Some(center) => spec
+                .neighbors_of(center)
+                .into_iter()
+                .filter(|&j| !self.board.is_evaluated(j))
+                .collect(),
+            None => self.board.first_unevaluated().into_iter().collect(),
+        }
     }
 }
 
@@ -701,6 +765,31 @@ impl Strategy for AnnealStrategy {
             self.temp *= self.cooling;
         }
     }
+
+    /// The annealer's candidate pool for its next draw: the unevaluated
+    /// neighbors of the current cell (the pool if the in-flight step is
+    /// rejected) and of the pending step (the pool if it is accepted),
+    /// falling back to the restart cell. Reads no randomness, so
+    /// hinting never perturbs the walk.
+    fn prefetch_hint(&self, spec: &CampaignSpec) -> Vec<usize> {
+        if !self.started {
+            return Vec::new();
+        }
+        let mut hint: Vec<usize> = Vec::new();
+        if let Some((cur, _)) = self.current {
+            hint.extend(spec.neighbors_of(cur));
+        }
+        if let Some(pending) = self.pending {
+            hint.extend(spec.neighbors_of(pending));
+        }
+        hint.retain(|&j| !self.board.is_evaluated(j));
+        hint.sort_unstable();
+        hint.dedup();
+        if hint.is_empty() {
+            return self.board.first_unevaluated().into_iter().collect();
+        }
+        hint
+    }
 }
 
 /// Multi-objective front expansion: evaluate the start frontier, then
@@ -717,6 +806,10 @@ pub struct ParetoStrategy {
     expanded: Vec<bool>,
     start_points: usize,
     started: bool,
+    /// The most recent proposal (prefetch hints rank its neighborhood:
+    /// cells the next round expands if the in-flight batch joins the
+    /// front).
+    last_batch: Vec<usize>,
 }
 
 impl ParetoStrategy {
@@ -729,6 +822,7 @@ impl ParetoStrategy {
             expanded: vec![false; n],
             start_points,
             started: false,
+            last_batch: Vec::new(),
         }
     }
 
@@ -762,7 +856,8 @@ impl Strategy for ParetoStrategy {
         let n = spec.scenario_count();
         if !self.started {
             self.started = true;
-            return start_frontier(n, self.start_points.clamp(1, n));
+            self.last_batch = start_frontier(n, self.start_points.clamp(1, n));
+            return self.last_batch.clone();
         }
         loop {
             let unexpanded: Vec<usize> = self
@@ -772,12 +867,13 @@ impl Strategy for ParetoStrategy {
                 .collect();
             if unexpanded.is_empty() {
                 // the whole front is expanded: restart (or finish)
-                return self
+                self.last_batch = self
                     .scores
                     .iter()
                     .position(Option::is_none)
                     .into_iter()
                     .collect();
+                return self.last_batch.clone();
             }
             let mut batch: Vec<usize> = Vec::new();
             for center in unexpanded {
@@ -791,6 +887,7 @@ impl Strategy for ParetoStrategy {
             batch.sort_unstable();
             batch.dedup();
             if !batch.is_empty() {
+                self.last_batch = batch.clone();
                 return batch;
             }
             // every neighbor was already evaluated; the next iteration
@@ -802,6 +899,125 @@ impl Strategy for ParetoStrategy {
     fn observe(&mut self, index: usize, result: &ScenarioResult) {
         debug_assert!(self.scores[index].is_none(), "cell evaluated twice");
         self.scores[index] = Some(self.objectives.score(result));
+    }
+
+    /// The front expander's likely next proposal: the unevaluated
+    /// neighbors of the in-flight batch (the cells the next round
+    /// expands when batch cells join the front), falling back to the
+    /// restart cell.
+    fn prefetch_hint(&self, spec: &CampaignSpec) -> Vec<usize> {
+        let mut hint: Vec<usize> = self
+            .last_batch
+            .iter()
+            .flat_map(|&c| spec.neighbors_of(c))
+            .filter(|&j| self.scores[j].is_none())
+            .collect();
+        hint.sort_unstable();
+        hint.dedup();
+        if hint.is_empty() {
+            return self
+                .scores
+                .iter()
+                .position(Option::is_none)
+                .into_iter()
+                .collect();
+        }
+        hint
+    }
+}
+
+/// A restart portfolio racing every scalar approach under one shared
+/// budget: a climber, an annealer and a *single-objective* front
+/// expander take turns proposing round-robin, while every result fans
+/// out to all three — each sub-strategy always sees the complete
+/// evaluation history, exactly as if it had proposed everything itself.
+///
+/// Guarantees, inherited from the subs:
+///
+/// * **byte-deterministic** — the rotation is fixed, the subs are
+///   deterministic, and the annealer spends randomness only on its own
+///   annealing steps (fan-out observations are greedy frontier moves);
+/// * **complete** — whichever sub holds the turn restarts from the
+///   lowest-index unevaluated cell when its move pool is empty, so the
+///   portfolio never stalls while cells remain and full budget still
+///   degenerates to an exhaustive sweep (⇒ the provable argmax).
+///
+/// The front-expander sub runs the Pareto expansion over the one scalar
+/// objective — a deliberately greedy "expand every cell tied for best"
+/// racer, not a multi-objective front (scalar searches report a single
+/// winner either way; [`StrategyKind::Pareto`] proper stays the
+/// multi-objective entry point).
+pub struct PortfolioStrategy {
+    subs: Vec<Box<dyn Strategy>>,
+    evaluated: Vec<bool>,
+    /// Which sub proposes next (rotates every successful turn).
+    cursor: usize,
+}
+
+impl PortfolioStrategy {
+    /// A portfolio over `spec`'s grid.
+    pub fn new(
+        spec: &CampaignSpec,
+        objective: Objective,
+        start_points: usize,
+        schedule: &AnnealSchedule,
+    ) -> Self {
+        // a single-objective "front": dominance degenerates to the
+        // objective's comparator, so the front is the set of cells tied
+        // for best — built directly (MultiObjective::new insists on two
+        // objectives because *users* asking for one scalar want a
+        // search, but the portfolio wants exactly this degenerate racer)
+        let single = MultiObjective {
+            objectives: vec![objective],
+            constraint: None,
+        };
+        let subs: Vec<Box<dyn Strategy>> = vec![
+            Box::new(ClimbStrategy::new(spec, objective, start_points)),
+            Box::new(AnnealStrategy::new(spec, objective, start_points, schedule)),
+            Box::new(ParetoStrategy::new(spec, single, start_points)),
+        ];
+        Self {
+            subs,
+            evaluated: vec![false; spec.scenario_count()],
+            cursor: 0,
+        }
+    }
+}
+
+impl Strategy for PortfolioStrategy {
+    fn propose(&mut self, spec: &CampaignSpec) -> Vec<usize> {
+        // ask each sub in rotation; the first non-empty (filtered)
+        // batch wins the turn. The filter is load-bearing exactly once
+        // per sub — its unconditional start frontier may repeat cells
+        // another sub already proposed — and defensive afterwards: subs
+        // observe every result, so their later proposals are always
+        // fresh. All subs empty ⇒ the grid is exhausted.
+        for _ in 0..self.subs.len() {
+            let turn = self.cursor;
+            self.cursor = (self.cursor + 1) % self.subs.len();
+            let mut batch = self.subs[turn].propose(spec);
+            batch.retain(|&i| !self.evaluated[i]);
+            batch.sort_unstable();
+            batch.dedup();
+            if !batch.is_empty() {
+                return batch;
+            }
+        }
+        Vec::new()
+    }
+
+    fn observe(&mut self, index: usize, result: &ScenarioResult) {
+        self.evaluated[index] = true;
+        for sub in &mut self.subs {
+            sub.observe(index, result);
+        }
+    }
+
+    /// Delegates to the sub holding the next turn.
+    fn prefetch_hint(&self, spec: &CampaignSpec) -> Vec<usize> {
+        let mut hint = self.subs[self.cursor].prefetch_hint(spec);
+        hint.retain(|&i| !self.evaluated[i]);
+        hint
     }
 }
 
@@ -825,6 +1041,18 @@ pub struct Exploration {
 /// [`run_cells_with`] (archive resume/store, baseline dedup, lease
 /// coordination — everything the campaign runner guarantees).
 ///
+/// With `prefetch` set (and an archive to land results in), each round
+/// also executes the strategy's [`Strategy::prefetch_hint`] cells —
+/// capped to the executor capacity the batch leaves idle and to the
+/// budget the search can still spend — *in the same runner call as the
+/// batch*, so speculation rides the pool's free threads. Speculative
+/// results are stored in the archive and otherwise discarded: the
+/// strategy never observes them, the budget never pays for them (their
+/// work lands in the `speculative_*` [`RunStats`] fields), and a later
+/// round proposing a prefetched cell is served a free archive hit. The
+/// exploration — and therefore every report — is byte-identical with
+/// prefetch on or off.
+///
 /// # Errors
 ///
 /// Returns a description when the spec is invalid or the budget is
@@ -836,6 +1064,7 @@ pub fn drive_strategy(
     budget: usize,
     config: &RunnerConfig,
     archive: Option<&CampaignArchive>,
+    prefetch: bool,
 ) -> Result<Exploration, String> {
     spec.validate()?;
     if budget == 0 {
@@ -862,11 +1091,42 @@ pub fn drive_strategy(
             break;
         }
         batch.truncate(budget - evaluations.len());
-        let cells: Vec<ScenarioSpec> = batch.iter().map(|&i| spec.cell_at(i)).collect();
-        let run = run_cells_with(spec, &cells, config, archive, Some(&mut baselines))?;
+
+        // speculative prefetch: fill the executor slots this batch
+        // leaves idle with the strategy's best guesses at the *next*
+        // proposal, but never beyond what the remaining budget could
+        // still ask for
+        let mut speculative: Vec<usize> = Vec::new();
+        if prefetch && archive.is_some() {
+            let idle = config.effective_threads().saturating_sub(batch.len());
+            let lookahead = budget - evaluations.len() - batch.len();
+            let cap = idle.min(lookahead);
+            if cap > 0 {
+                speculative = strategy.prefetch_hint(spec);
+                let mut picked = vec![false; n];
+                speculative.retain(|&i| {
+                    !evaluated[i] && !batch.contains(&i) && !std::mem::replace(&mut picked[i], true)
+                });
+                speculative.truncate(cap);
+            }
+        }
+
+        let mut indices = batch.clone();
+        indices.extend(speculative.iter().copied());
+        let cells: Vec<ScenarioSpec> = indices.iter().map(|&i| spec.cell_at(i)).collect();
+        let speculative_config;
+        let run_config = if speculative.is_empty() {
+            config
+        } else {
+            speculative_config = config.clone().with_speculative(speculative.clone());
+            &speculative_config
+        };
+        let run = run_cells_with(spec, &cells, run_config, archive, Some(&mut baselines))?;
         stats.absorb(&run.stats);
         archive_errors.extend(run.archive_errors);
-        for result in run.result.results {
+        for result in run.result.results.into_iter().take(batch.len()) {
+            // results come back in `cells` order: the batch first, then
+            // the speculative tail (archived only, never observed)
             let index = result.scenario.index;
             evaluated[index] = true;
             strategy.observe(index, &result);
@@ -972,6 +1232,15 @@ fn build_scalar_strategy(
                     .into(),
             )
         }
+        StrategyKind::Portfolio => {
+            search.anneal.validate()?;
+            Box::new(PortfolioStrategy::new(
+                spec,
+                search.objective,
+                start_points,
+                &search.anneal,
+            ))
+        }
     })
 }
 
@@ -1007,8 +1276,14 @@ pub fn search_campaign(
             };
             let config = config.clone().with_fidelity(fidelity);
             let mut strategy = build_scalar_strategy(spec, search, search.budget)?;
-            let exploration =
-                drive_strategy(spec, &mut *strategy, search.budget, &config, archive)?;
+            let exploration = drive_strategy(
+                spec,
+                &mut *strategy,
+                search.budget,
+                &config,
+                archive,
+                search.prefetch,
+            )?;
             Ok(assemble_scalar(spec, search, exploration))
         }
         SearchFidelity::Multi => multi_fidelity_campaign(spec, search, config, archive),
@@ -1042,7 +1317,14 @@ fn multi_fidelity_campaign(
     let coarse_budget = n.min(budget.saturating_mul(COARSE_FACTOR));
     let mut strategy = build_scalar_strategy(spec, search, coarse_budget)?;
     let coarse_config = config.clone().with_fidelity(Fidelity::Coarse);
-    let screen = drive_strategy(spec, &mut *strategy, coarse_budget, &coarse_config, archive)?;
+    let screen = drive_strategy(
+        spec,
+        &mut *strategy,
+        coarse_budget,
+        &coarse_config,
+        archive,
+        search.prefetch,
+    )?;
     let mut stats = screen.stats;
     let mut archive_errors = screen.archive_errors;
     let screened = screen.evaluations.len();
@@ -1123,7 +1405,14 @@ pub fn pareto_campaign(
 ) -> Result<ParetoOutcome, String> {
     let start_points = pareto.start_points.clamp(1, pareto.budget.max(1));
     let mut strategy = ParetoStrategy::new(spec, pareto.objectives.clone(), start_points);
-    let exploration = drive_strategy(spec, &mut strategy, pareto.budget, config, archive)?;
+    let exploration = drive_strategy(
+        spec,
+        &mut strategy,
+        pareto.budget,
+        config,
+        archive,
+        pareto.prefetch,
+    )?;
 
     // replay the evaluation sequence to reconstruct the round-by-round
     // dominated-count trajectory (scores only; one dominance pass per

@@ -416,6 +416,7 @@ fn run_one(state: &ServerState, id: &str) -> Result<(), String> {
         ),
         cancel: Some(Arc::clone(&state.cancel)),
         fidelity: Fidelity::Fine,
+        speculative: Vec::new(),
     };
     let run = run_campaign_with(&spec, &config, Some(&archive))?;
     println!(
@@ -791,7 +792,15 @@ fn events(
         if terminal || state.shutting_down() || std::time::Instant::now() >= deadline {
             break;
         }
-        std::thread::sleep(std::time::Duration::from_millis(EVENT_POLL_MS));
+        // sleep in short slices, re-checking the shutdown flag: a
+        // long-polling client must never make POST /shutdown wait out
+        // the remainder of a full poll tick before the drain completes
+        let mut remaining = EVENT_POLL_MS;
+        while remaining > 0 && !state.shutting_down() {
+            let slice = remaining.min(5);
+            std::thread::sleep(std::time::Duration::from_millis(slice));
+            remaining -= slice;
+        }
     }
     writer.finish()
 }
@@ -809,7 +818,10 @@ fn gc(state: &ServerState, id: &str, stream: &mut TcpStream) -> std::io::Result<
 }
 
 /// `POST /campaigns/{id}/compact`: rewrite the archive into a single
-/// fresh segment, reported as JSON.
+/// fresh segment, reported as JSON. A campaign with unexpired work
+/// leases refuses with 409 (workers may still be appending; the client
+/// retries once they finish) rather than silently dropping their
+/// concurrent appends.
 fn compact(state: &ServerState, id: &str, stream: &mut TcpStream) -> std::io::Result<()> {
     match state.store.compact(id) {
         Ok(report) => {
@@ -817,6 +829,7 @@ fn compact(state: &ServerState, id: &str, stream: &mut TcpStream) -> std::io::Re
                 .expect("shim serializer never fails");
             write_json(stream, 200, &body)
         }
+        Err(e) if e.contains("unexpired lease") => write_error(stream, 409, &e),
         Err(e) => write_error(stream, 404, &e),
     }
 }

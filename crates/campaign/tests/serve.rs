@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dpm_campaign::{
     campaign_json, completed_run, run_campaign_with, spawn_server, summarize, CampaignStore,
-    RunnerConfig, ServeOptions,
+    LeaseConfig, RunnerConfig, ServeOptions,
 };
 
 static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
@@ -451,6 +451,82 @@ fn event_cursor_rejects_garbage_and_longpolls_past_the_tail() {
         start.elapsed() >= std::time::Duration::from_millis(100),
         "beyond-tail cursor must long-poll, not return instantly"
     );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A parked `/events` long-poll must not hold the daemon open: the wait
+/// loop checks the shutdown flag between sleep slices, so `POST
+/// /shutdown` drains in milliseconds even with a 60-second poller in
+/// flight (before the fix, `join()` blocked for the full `wait_ms`).
+#[test]
+fn events_longpoll_releases_promptly_on_shutdown() {
+    let root = scratch_dir();
+    let server = spawn_server(&root, serve_options(0)).expect("spawn daemon");
+    let addr = server.addr();
+
+    let submitted = http(addr, "POST", "/campaigns", Some(SPEC_TOML));
+    assert_eq!(submitted.status, 201, "{}", submitted.body);
+    let id = json_str(&submitted.body, "id").expect("id").to_string();
+
+    // park a poller far past the tail with a long deadline, give it a
+    // moment to reach the wait loop, then shut the daemon down
+    let poller = std::thread::spawn(move || {
+        http(
+            addr,
+            "GET",
+            &format!("/campaigns/{id}/events?since=999&wait_ms=60000"),
+            None,
+        )
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let bye = http(addr, "POST", "/shutdown", None);
+    assert_eq!(bye.status, 200);
+
+    let start = std::time::Instant::now();
+    server.join();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown blocked on the parked long-poll for {:?}",
+        start.elapsed()
+    );
+    // the poller's stream closed cleanly: an empty 200, not an error
+    let streamed = poller.join().expect("join poller");
+    assert_eq!(streamed.status, 200, "{}", streamed.body);
+    assert_eq!(streamed.body, "", "{}", streamed.body);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `POST /campaigns/{id}/compact` refuses with `409 Conflict` while a
+/// worker holds an unexpired lease on the campaign — the HTTP face of
+/// the compaction/append race fix — and proceeds once it is released.
+#[test]
+fn compact_conflicts_while_a_worker_holds_a_lease() {
+    let root = scratch_dir();
+    let server = spawn_server(&root, serve_options(0)).expect("spawn daemon");
+    let addr = server.addr();
+
+    let submitted = http(addr, "POST", "/campaigns", Some(SPEC_TOML));
+    assert_eq!(submitted.status, 201, "{}", submitted.body);
+    let id = json_str(&submitted.body, "id").expect("id").to_string();
+
+    // an external worker claims a group, as `dpm campaign worker` would
+    let store = CampaignStore::open(&root).expect("open store");
+    let (archive, _) = store.open_campaign(&id).expect("open campaign");
+    let lease = archive
+        .try_claim(0, &LeaseConfig::for_process())
+        .expect("claim io")
+        .expect("group 0 free");
+
+    let refused = http(addr, "POST", &format!("/campaigns/{id}/compact"), None);
+    assert_eq!(refused.status, 409, "{}", refused.body);
+    assert!(refused.body.contains("unexpired lease"), "{}", refused.body);
+
+    // released -> the same request compacts cleanly
+    archive.release(lease);
+    let compacted = http(addr, "POST", &format!("/campaigns/{id}/compact"), None);
+    assert_eq!(compacted.status, 200, "{}", compacted.body);
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&root);

@@ -10,10 +10,15 @@
 //! * **anneal**: with `budget >= grid size` the walk degenerates to an
 //!   exhaustive sweep and the reported best equals the campaign
 //!   argmax — property-tested over random grids, metrics and schedules;
+//! * **portfolio**: the restart portfolio racing climb/anneal/front
+//!   expansion inherits both guarantees — full budget ⇒ the exhaustive
+//!   argmax — property-tested over the same random grids and schedules;
 //! * **every strategy**: the report is **byte-identical** across 1/2/8
-//!   threads, fresh/archived mixes, and lease-coordinated concurrent
-//!   runs (`--coordinate`), with summed `RunStats` across coordinated
-//!   searchers equal to the single-process totals.
+//!   threads, fresh/archived mixes, lease-coordinated concurrent runs
+//!   (`--coordinate`), and speculative prefetch on or off — with summed
+//!   `RunStats` across coordinated searchers equal to the
+//!   single-process totals, and speculative work never charged against
+//!   the strategy budget.
 //!
 //! Policy (tests/README.md): determinism claims assert on report
 //! *bytes* (`search_json` / `pareto_json`), work claims on `RunStats` —
@@ -182,6 +187,31 @@ fn full_budget_anneal_on_64_cells_equals_exhaustive_argmax() {
     assert_eq!(&best.metrics, reference.metrics.as_ref().unwrap());
 }
 
+/// ISSUE 10 acceptance: the restart portfolio is complete — full budget
+/// degenerates to an exhaustive sweep and the reported best equals the
+/// campaign argmax, exactly like its slowest sub-strategy alone.
+#[test]
+fn full_budget_portfolio_on_64_cells_equals_exhaustive_argmax() {
+    let spec = grid64();
+    let objective = Objective::for_metric(Metric::EnergySavingPct);
+    let exhaustive = run_campaign_with(&spec, &config(0), None).expect("exhaustive sweep");
+    let reference = objective
+        .argbest(&exhaustive.result.results)
+        .expect("grid has successful cells");
+
+    let search =
+        SearchSpec::new(objective, spec.scenario_count()).with_strategy(StrategyKind::Portfolio);
+    let outcome = search_campaign(&spec, &search, &config(0), None).expect("portfolio search");
+    assert_eq!(outcome.report.evaluated, spec.scenario_count());
+    let best = outcome
+        .report
+        .best
+        .as_ref()
+        .expect("portfolio found a best");
+    assert_eq!(best.index, reference.scenario.index);
+    assert_eq!(&best.metrics, reference.metrics.as_ref().unwrap());
+}
+
 // ---- coordinated (lease-sharing) byte-identity ----------------------
 
 /// Runs `search` through two lease-coordinated searchers over one
@@ -251,6 +281,30 @@ fn anneal_and_pareto_are_byte_identical_under_coordination() {
     assert_eq!(executed, reference.stats.executed_cells);
 }
 
+/// The portfolio under `--coordinate`: byte-identical reports from both
+/// searchers, with summed work equal to the single-process run.
+#[test]
+fn portfolio_is_byte_identical_under_coordination() {
+    let spec = grid64();
+    let search = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 16)
+        .with_strategy(StrategyKind::Portfolio);
+    let reference = search_campaign(&spec, &search, &config(1), None).expect("reference");
+    let reference_bytes = search_json(&reference.report).expect("render");
+    let outcomes = coordinated_pair(&spec, |config, archive| {
+        let out = search_campaign(&spec, &search, config, Some(archive)).expect("portfolio");
+        (search_json(&out.report).expect("render"), out.stats)
+    });
+    let mut executed = 0;
+    for (bytes, stats) in &outcomes {
+        assert_eq!(bytes, &reference_bytes, "coordinated portfolio diverged");
+        executed += stats.executed_cells;
+    }
+    assert_eq!(
+        executed, reference.stats.executed_cells,
+        "coordinated portfolios must split the work, not duplicate it"
+    );
+}
+
 /// Re-searching a populated directory performs zero fresh simulations
 /// for the new strategies too (the archive is a full result cache).
 #[test]
@@ -276,6 +330,123 @@ fn archived_anneal_and_pareto_simulate_nothing_on_resume() {
     assert_eq!(
         pareto_json(&second.report).unwrap(),
         pareto_json(&first.report).unwrap(),
+    );
+
+    let portfolio = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 12)
+        .with_strategy(StrategyKind::Portfolio);
+    let first = search_campaign(&spec, &portfolio, &config(2), Some(&archive)).unwrap();
+    let second = search_campaign(&spec, &portfolio, &config(1), Some(&archive)).unwrap();
+    assert_eq!(second.stats.simulations, 0, "portfolio resume must be free");
+    assert_eq!(
+        search_json(&second.report).unwrap(),
+        search_json(&first.report).unwrap(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- speculative prefetch -------------------------------------------
+
+/// ISSUE 10 acceptance: with prefetch on, every strategy's report is
+/// byte-identical to the prefetch-free run, speculative work lands in
+/// the `speculative_*` stats (never in `executed_cells`, never against
+/// the budget), and the accounting identity `archived + executed ==
+/// evaluated` holds for the strategy's own cells.
+#[test]
+fn prefetch_is_byte_identical_and_never_charged_to_the_budget() {
+    let spec = grid64();
+    let budget = 16;
+    let mut total_speculative = 0;
+
+    for kind in [
+        StrategyKind::Climb,
+        StrategyKind::Anneal,
+        StrategyKind::Portfolio,
+    ] {
+        let plain = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), budget)
+            .with_strategy(kind);
+        let reference = search_campaign(&spec, &plain, &config(8), None).expect("reference");
+        let reference_bytes = search_json(&reference.report).expect("render");
+
+        let dir = scratch_dir();
+        let archive = CampaignArchive::open(&dir, &spec).unwrap();
+        let speculative = plain.clone().with_prefetch(true);
+        let outcome =
+            search_campaign(&spec, &speculative, &config(8), Some(&archive)).expect("prefetch");
+        assert_eq!(
+            search_json(&outcome.report).unwrap(),
+            reference_bytes,
+            "{kind:?}: prefetch changed the report bytes"
+        );
+        assert_eq!(outcome.report.evaluated, budget, "{kind:?}");
+        assert_eq!(
+            outcome.stats.archived_cells + outcome.stats.executed_cells,
+            budget,
+            "{kind:?}: speculative cells leaked into the strategy accounting"
+        );
+        total_speculative += outcome.stats.speculative_cells;
+        if outcome.stats.speculative_cells > 0 {
+            assert!(
+                outcome.stats.speculative_simulations + outcome.stats.speculative_coarse > 0,
+                "{kind:?}: speculative cells executed without speculative evals"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // pareto prefetches through its own spec knob
+    let plain = ParetoSpec::new(multi(), budget);
+    let reference = pareto_campaign(&spec, &plain, &config(8), None).expect("reference");
+    let reference_bytes = pareto_json(&reference.report).expect("render");
+    let dir = scratch_dir();
+    let archive = CampaignArchive::open(&dir, &spec).unwrap();
+    let speculative = ParetoSpec::new(multi(), budget).with_prefetch(true);
+    let outcome =
+        pareto_campaign(&spec, &speculative, &config(8), Some(&archive)).expect("prefetch");
+    assert_eq!(
+        pareto_json(&outcome.report).unwrap(),
+        reference_bytes,
+        "pareto: prefetch changed the report bytes"
+    );
+    assert_eq!(
+        outcome.stats.archived_cells + outcome.stats.executed_cells,
+        outcome.report.evaluated,
+        "pareto: speculative cells leaked into the strategy accounting"
+    );
+    total_speculative += outcome.stats.speculative_cells;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // the knob must actually engage somewhere on this grid — a prefetch
+    // that never speculates would pass every assertion above vacuously
+    assert!(
+        total_speculative > 0,
+        "no strategy speculated on the 64-cell grid at 8 threads"
+    );
+}
+
+/// Prefetch composes with multi-fidelity: the coarse screen speculates
+/// into the coarse store, the report stays byte-identical, and coarse
+/// speculation is accounted in `speculative_coarse`.
+#[test]
+fn prefetch_is_byte_identical_at_multi_fidelity() {
+    let spec = grid64();
+    let plain = SearchSpec::new(Objective::for_metric(Metric::EnergySavingPct), 16)
+        .with_fidelity(SearchFidelity::Multi);
+    let reference = search_campaign(&spec, &plain, &config(8), None).expect("reference");
+    let reference_bytes = search_json(&reference.report).expect("render");
+
+    let dir = scratch_dir();
+    let archive = CampaignArchive::open(&dir, &spec).unwrap();
+    let speculative = plain.clone().with_prefetch(true);
+    let outcome =
+        search_campaign(&spec, &speculative, &config(8), Some(&archive)).expect("prefetch");
+    assert_eq!(
+        search_json(&outcome.report).unwrap(),
+        reference_bytes,
+        "multi-fidelity prefetch changed the report bytes"
+    );
+    assert_eq!(
+        outcome.stats.speculative_simulations, 0,
+        "the multi-fidelity screen speculates at coarse fidelity only"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -420,6 +591,40 @@ proptest! {
         prop_assert_eq!(&best.metrics, reference.metrics.as_ref().unwrap());
     }
 
+    // Full-budget portfolio == the exhaustive argmax, for random grids,
+    // metrics and annealer schedules: the race is complete no matter
+    // which sub-strategy holds the turn when the grid runs dry.
+    #[test]
+    fn full_budget_portfolio_equals_exhaustive_argmax(
+        master in 0u64..u64::MAX / 2,
+        seeds in prop::collection::vec(0u64..1000, 1..4),
+        two_controllers in prop::sample::select(vec![false, true]),
+        metric in prop::sample::select(vec![
+            Metric::EnergySavingPct,
+            Metric::EnergyJ,
+            Metric::MeanLatencyUs,
+        ]),
+        anneal_seed in 0u64..u64::MAX / 2,
+        initial_temp in prop::sample::select(vec![0.1, 1.0, 10.0]),
+        cooling in prop::sample::select(vec![0.5, 0.9, 0.99]),
+    ) {
+        let spec = small_spec(master, seeds, two_controllers);
+        let objective = Objective::for_metric(metric);
+        let exhaustive = run_campaign_with(&spec, &config(1), None).unwrap();
+        let reference = objective.argbest(&exhaustive.result.results).unwrap();
+
+        let mut search = SearchSpec::new(objective, spec.scenario_count())
+            .with_strategy(StrategyKind::Portfolio);
+        search.anneal.seed = anneal_seed;
+        search.anneal.initial_temp = initial_temp;
+        search.anneal.cooling = cooling;
+        let outcome = search_campaign(&spec, &search, &config(1), None).unwrap();
+        prop_assert_eq!(outcome.report.evaluated, spec.scenario_count());
+        let best = outcome.report.best.as_ref().unwrap();
+        prop_assert_eq!(best.index, reference.scenario.index);
+        prop_assert_eq!(&best.metrics, reference.metrics.as_ref().unwrap());
+    }
+
     // Full-budget multi-fidelity search == the fine-only winner, for
     // random grids and energy objectives (the screen ranks with the
     // coarse evaluator, whose energy ordering tracks the kernel's).
@@ -469,6 +674,7 @@ proptest! {
             StrategyKind::Climb,
             StrategyKind::Anneal,
             StrategyKind::Pareto,
+            StrategyKind::Portfolio,
         ]),
     ) {
         let spec = small_spec(master, seeds, true);

@@ -121,7 +121,7 @@ impl LemConfig {
 }
 
 /// Activity counters of one LEM.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LemStats {
     /// Task requests received.
     pub tasks_seen: u64,

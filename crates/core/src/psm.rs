@@ -36,7 +36,7 @@ pub struct PsmPorts {
 }
 
 /// Activity counters of one PSM.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PsmStats {
     /// Completed transitions.
     pub transitions: u64,

@@ -35,7 +35,7 @@ pub struct IpPorts {
 }
 
 /// Per-task outcome record.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TaskRecord {
     /// The task.
     pub spec: TaskSpec,

@@ -13,7 +13,7 @@ use crate::config::ControllerKind;
 use crate::ip::{IpBlock, TaskRecord};
 
 /// Metrics of one IP block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct IpMetrics {
     /// Instance name.
     pub name: String,
@@ -70,7 +70,7 @@ impl IpMetrics {
 }
 
 /// SoC-level metrics of one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SocMetrics {
     /// Per-IP metrics in configuration order.
     pub per_ip: Vec<IpMetrics>,
